@@ -1,0 +1,256 @@
+//! Trainable-parameter storage shared between tapes and optimizers.
+
+use vgod_tensor::Matrix;
+
+/// Identifier of a parameter inside a [`ParamStore`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+impl ParamId {
+    /// The raw index of the parameter (stable for the store's lifetime).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A single trainable parameter: its value and accumulated gradient.
+#[derive(Clone, Debug)]
+pub struct Param {
+    /// Current value.
+    pub value: Matrix,
+    /// Gradient accumulated by the last backward pass (zeroed by
+    /// [`ParamStore::zero_grads`], typically once per optimizer step).
+    pub grad: Matrix,
+}
+
+/// Storage for every trainable parameter of a model.
+///
+/// A `ParamStore` outlives the per-step [`crate::Tape`]: each forward pass
+/// copies parameter values onto a fresh tape via [`crate::Tape::param`], and
+/// [`crate::Var::backward_into`] accumulates the resulting gradients back
+/// here, where an optimizer (`vgod-nn`) consumes them.
+///
+/// Every store carries a unique identity so that models using *several*
+/// stores on one tape (e.g. a GAN's generator and discriminator) can route
+/// gradients selectively: `backward_into(store)` only touches leaves
+/// created from that store. (Clones share the identity — a clone is a
+/// snapshot of the same logical parameter set.)
+#[derive(Clone, Debug)]
+pub struct ParamStore {
+    id: u64,
+    params: Vec<Param>,
+}
+
+static STORE_IDS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+impl Default for ParamStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ParamStore {
+    /// An empty store with a fresh identity.
+    pub fn new() -> Self {
+        Self {
+            id: STORE_IDS.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            params: Vec::new(),
+        }
+    }
+
+    /// The store's unique identity (shared by clones).
+    pub fn store_id(&self) -> u64 {
+        self.id
+    }
+
+    /// Register a new parameter with the given initial value.
+    pub fn insert(&mut self, value: Matrix) -> ParamId {
+        let grad = Matrix::zeros(value.rows(), value.cols());
+        self.params.push(Param { value, grad });
+        ParamId(self.params.len() - 1)
+    }
+
+    /// Number of registered parameters.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Whether the store has no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total number of scalar parameters across all tensors.
+    pub fn num_scalars(&self) -> usize {
+        self.params.iter().map(|p| p.value.len()).sum()
+    }
+
+    /// Current value of a parameter.
+    pub fn value(&self, id: ParamId) -> &Matrix {
+        &self.params[id.0].value
+    }
+
+    /// Mutable value of a parameter (used by optimizers).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.params[id.0].value
+    }
+
+    /// Accumulated gradient of a parameter.
+    pub fn grad(&self, id: ParamId) -> &Matrix {
+        &self.params[id.0].grad
+    }
+
+    /// Accumulate `g` into the parameter's gradient.
+    pub(crate) fn accumulate_grad(&mut self, id: ParamId, g: &Matrix) {
+        self.params[id.0].grad.add_assign(g);
+    }
+
+    /// Zero every gradient (call before each backward pass / optimizer step).
+    pub fn zero_grads(&mut self) {
+        for p in &mut self.params {
+            p.grad.fill_zero();
+        }
+    }
+
+    /// Iterate over `(id, param)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Param)> {
+        self.params.iter().enumerate().map(|(i, p)| (ParamId(i), p))
+    }
+
+    /// Iterate mutably over `(id, param)` pairs (used by optimizers).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (ParamId, &mut Param)> {
+        self.params
+            .iter_mut()
+            .enumerate()
+            .map(|(i, p)| (ParamId(i), p))
+    }
+
+    /// Serialise every parameter value as plain text (one `param r c`
+    /// header line followed by one whitespace-separated row per line).
+    /// Gradients are not persisted.
+    pub fn write_text(&self, out: &mut impl std::io::Write) -> std::io::Result<()> {
+        writeln!(out, "params {}", self.params.len())?;
+        for p in &self.params {
+            writeln!(out, "param {} {}", p.value.rows(), p.value.cols())?;
+            for r in 0..p.value.rows() {
+                let row: Vec<String> = p.value.row(r).iter().map(|v| v.to_string()).collect();
+                writeln!(out, "{}", row.join(" "))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Read a store written by [`ParamStore::write_text`].
+    pub fn read_text(input: &mut impl std::io::BufRead) -> Result<Self, String> {
+        let mut next_line = || -> Result<String, String> {
+            let mut line = String::new();
+            let n = input.read_line(&mut line).map_err(|e| e.to_string())?;
+            if n == 0 {
+                return Err("unexpected end of parameter data".to_string());
+            }
+            Ok(line.trim_end().to_string())
+        };
+        let header = next_line()?;
+        let count: usize = header
+            .strip_prefix("params ")
+            .ok_or_else(|| format!("bad store header: {header:?}"))?
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad parameter count: {e}"))?;
+        let mut store = ParamStore::new();
+        for _ in 0..count {
+            let header = next_line()?;
+            let dims: Vec<&str> = header.split_whitespace().collect();
+            let (rows, cols) = match dims.as_slice() {
+                ["param", r, c] => (
+                    r.parse::<usize>().map_err(|e| format!("bad rows: {e}"))?,
+                    c.parse::<usize>().map_err(|e| format!("bad cols: {e}"))?,
+                ),
+                _ => return Err(format!("bad param header: {header:?}")),
+            };
+            let mut m = Matrix::zeros(rows, cols);
+            for r in 0..rows {
+                let line = next_line()?;
+                let values: Result<Vec<f32>, _> = line.split_whitespace().map(str::parse).collect();
+                let values = values.map_err(|e| format!("bad value: {e}"))?;
+                if values.len() != cols {
+                    return Err(format!(
+                        "row {r}: expected {cols} values, got {}",
+                        values.len()
+                    ));
+                }
+                m.row_mut(r).copy_from_slice(&values);
+            }
+            store.insert(m);
+        }
+        Ok(store)
+    }
+
+    /// Global L2 norm of all gradients (useful for clipping / diagnostics).
+    pub fn grad_norm(&self) -> f32 {
+        self.params
+            .iter()
+            .map(|p| p.grad.as_slice().iter().map(|v| v * v).sum::<f32>())
+            .sum::<f32>()
+            .sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_access() {
+        let mut s = ParamStore::new();
+        let a = s.insert(Matrix::filled(2, 3, 1.0));
+        let b = s.insert(Matrix::filled(1, 1, -2.0));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.num_scalars(), 7);
+        assert_eq!(s.value(a).shape(), (2, 3));
+        assert_eq!(s.value(b).as_slice(), &[-2.0]);
+        assert!(s.grad(a).as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn text_roundtrip_preserves_values() {
+        let mut s = ParamStore::new();
+        s.insert(Matrix::from_rows(&[&[1.5, -2.25], &[0.0, 1e-7]]));
+        s.insert(Matrix::filled(1, 3, std::f32::consts::PI));
+        let mut buf = Vec::new();
+        s.write_text(&mut buf).unwrap();
+        let back = ParamStore::read_text(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.len(), 2);
+        for (id, p) in s.iter() {
+            assert_eq!(back.value(id), &p.value);
+        }
+    }
+
+    #[test]
+    fn read_text_rejects_malformed() {
+        for bad in [
+            "",
+            "params x\n",
+            "params 1\nparam 2 2\n1 2\n",   // missing row
+            "params 1\nparam 1 2\n1 2 3\n", // too many values
+            "params 1\nnotparam 1 1\n0\n",
+        ] {
+            assert!(
+                ParamStore::read_text(&mut bad.as_bytes()).is_err(),
+                "accepted {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn grad_accumulation_and_reset() {
+        let mut s = ParamStore::new();
+        let a = s.insert(Matrix::zeros(1, 2));
+        s.accumulate_grad(a, &Matrix::row_vector(&[1.0, 2.0]));
+        s.accumulate_grad(a, &Matrix::row_vector(&[1.0, 2.0]));
+        assert_eq!(s.grad(a).as_slice(), &[2.0, 4.0]);
+        assert!((s.grad_norm() - 20.0f32.sqrt()).abs() < 1e-6);
+        s.zero_grads();
+        assert_eq!(s.grad(a).as_slice(), &[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,302 @@
+//! Numerical gradient checking for every differentiable operation.
+//!
+//! Each test builds a scalar loss from an input matrix, computes the
+//! analytic gradient with the tape, and compares it element-by-element with
+//! central finite differences `(f(x+h) − f(x−h)) / 2h`.
+
+use std::rc::Rc;
+
+use vgod_autograd::{Tape, Var};
+use vgod_tensor::{Csr, Matrix};
+
+const H: f32 = 1e-3;
+
+/// Compare analytic and numeric gradients of `f` with respect to `x0`.
+///
+/// `f` must be a pure function of its input (it is re-run many times).
+fn check_grad(x0: &Matrix, tol: f32, f: impl Fn(&Tape, &Var) -> Var) {
+    let tape = Tape::new();
+    let x = tape.constant(x0.clone());
+    let loss = f(&tape, &x);
+    assert_eq!(loss.shape(), (1, 1), "loss must be scalar");
+    let grads = loss.backward();
+    let analytic = grads
+        .wrt(&x)
+        .expect("input should receive a gradient")
+        .clone();
+
+    let eval = |m: &Matrix| -> f32 {
+        let t = Tape::new();
+        let v = t.constant(m.clone());
+        f(&t, &v).value().as_slice()[0]
+    };
+
+    for i in 0..x0.len() {
+        let mut plus = x0.clone();
+        plus.as_mut_slice()[i] += H;
+        let mut minus = x0.clone();
+        minus.as_mut_slice()[i] -= H;
+        let numeric = (eval(&plus) - eval(&minus)) / (2.0 * H);
+        let a = analytic.as_slice()[i];
+        let denom = 1.0f32.max(a.abs()).max(numeric.abs());
+        assert!(
+            (a - numeric).abs() / denom <= tol,
+            "grad mismatch at element {i}: analytic {a}, numeric {numeric}"
+        );
+    }
+}
+
+fn test_input(rows: usize, cols: usize) -> Matrix {
+    // Deterministic, avoids zeros (ReLU kinks) and tiny rows (norm kinks).
+    Matrix::from_fn(rows, cols, |r, c| {
+        let v = ((r * 7 + c * 3 + 1) % 11) as f32 * 0.37 - 1.9;
+        if v.abs() < 0.15 {
+            v + 0.3
+        } else {
+            v
+        }
+    })
+}
+
+#[test]
+fn grad_matmul_left() {
+    let b = test_input(3, 4);
+    check_grad(&test_input(2, 3), 1e-2, move |t, x| {
+        let bv = t.constant(b.clone());
+        x.matmul(&bv).square().sum_all()
+    });
+}
+
+#[test]
+fn grad_matmul_right() {
+    let a = test_input(2, 3);
+    check_grad(&test_input(3, 4), 1e-2, move |t, x| {
+        let av = t.constant(a.clone());
+        av.matmul(x).square().sum_all()
+    });
+}
+
+#[test]
+fn grad_matmul_tn() {
+    let b = test_input(4, 2);
+    check_grad(&test_input(4, 3), 1e-2, move |t, x| {
+        let bv = t.constant(b.clone());
+        x.matmul_tn(&bv).square().sum_all()
+    });
+}
+
+#[test]
+fn grad_matmul_nt() {
+    let b = test_input(5, 3);
+    check_grad(&test_input(2, 3), 1e-2, move |t, x| {
+        let bv = t.constant(b.clone());
+        x.matmul_nt(&bv).square().sum_all()
+    });
+}
+
+#[test]
+fn grad_spmm() {
+    let csr = Rc::new(
+        Csr::from_triplets(
+            3,
+            3,
+            &[
+                (0, 1, 1.5),
+                (1, 0, -0.5),
+                (1, 2, 2.0),
+                (2, 2, 1.0),
+                (2, 0, 0.7),
+            ],
+        )
+        .unwrap(),
+    );
+    check_grad(&test_input(3, 2), 1e-2, move |_, x| {
+        x.spmm(&csr).square().sum_all()
+    });
+}
+
+#[test]
+fn grad_add_sub_mul() {
+    let other = test_input(3, 3);
+    check_grad(&test_input(3, 3), 1e-2, move |t, x| {
+        let o = t.constant(other.clone());
+        x.add(&o).mul(&x.sub(&o)).sum_all()
+    });
+}
+
+#[test]
+fn grad_square_of_shared_input() {
+    check_grad(&test_input(2, 2), 1e-2, |_, x| x.square().sum_all());
+}
+
+#[test]
+fn grad_scale_neg() {
+    check_grad(&test_input(2, 3), 1e-2, |_, x| {
+        x.scale(2.5).neg().square().sum_all()
+    });
+}
+
+#[test]
+fn grad_add_row_broadcast_base() {
+    let row = Matrix::row_vector(&[0.3, -0.8, 1.2]);
+    check_grad(&test_input(4, 3), 1e-2, move |t, x| {
+        let r = t.constant(row.clone());
+        x.add_row_broadcast(&r).square().sum_all()
+    });
+}
+
+#[test]
+fn grad_add_row_broadcast_bias() {
+    let base = test_input(4, 3);
+    check_grad(&Matrix::row_vector(&[0.3, -0.8, 1.2]), 1e-2, move |t, x| {
+        let b = t.constant(base.clone());
+        b.add_row_broadcast(x).square().sum_all()
+    });
+}
+
+#[test]
+fn grad_mul_col_broadcast_both_sides() {
+    let col = Matrix::column_vector(&[0.5, -1.5, 2.0]);
+    check_grad(&test_input(3, 2), 1e-2, move |t, x| {
+        let c = t.constant(col.clone());
+        x.mul_col_broadcast(&c).square().sum_all()
+    });
+    let base = test_input(3, 2);
+    check_grad(
+        &Matrix::column_vector(&[0.5, -1.5, 2.0]),
+        1e-2,
+        move |t, x| {
+            let b = t.constant(base.clone());
+            b.mul_col_broadcast(x).square().sum_all()
+        },
+    );
+}
+
+#[test]
+fn grad_relu() {
+    check_grad(&test_input(3, 3), 1e-2, |_, x| x.relu().square().sum_all());
+}
+
+#[test]
+fn grad_leaky_relu() {
+    check_grad(&test_input(3, 3), 1e-2, |_, x| {
+        x.leaky_relu(0.2).square().sum_all()
+    });
+}
+
+#[test]
+fn grad_sigmoid() {
+    check_grad(&test_input(3, 3), 1e-2, |_, x| {
+        x.sigmoid().square().sum_all()
+    });
+}
+
+#[test]
+fn grad_tanh() {
+    check_grad(&test_input(3, 3), 1e-2, |_, x| x.tanh().square().sum_all());
+}
+
+#[test]
+fn grad_exp() {
+    check_grad(&test_input(2, 3), 1e-2, |_, x| x.exp().sum_all());
+}
+
+#[test]
+fn grad_l2_normalize_rows() {
+    // Weighted sum so the gradient is non-trivial (plain sum of a normalised
+    // row has near-zero radial component). The weights must differ from the
+    // input: at w = x the map x ↦ (x·w)/‖x‖ sits at a stationary point.
+    let w = test_input(3, 4).map(|v| 0.6 * v + 0.9);
+    check_grad(&test_input(3, 4), 2e-2, move |t, x| {
+        let wv = t.constant(w.clone());
+        x.l2_normalize_rows().mul(&wv).sum_all()
+    });
+}
+
+#[test]
+fn grad_row_sum() {
+    check_grad(&test_input(4, 3), 1e-2, |_, x| {
+        x.row_sum().square().sum_all()
+    });
+}
+
+#[test]
+fn grad_mean_all() {
+    check_grad(&test_input(3, 5), 1e-2, |_, x| x.square().mean_all());
+}
+
+#[test]
+fn grad_gather_rows() {
+    let idx = Rc::new(vec![2u32, 0, 2, 1]);
+    check_grad(&test_input(3, 2), 1e-2, move |_, x| {
+        x.gather_rows(&idx).square().sum_all()
+    });
+}
+
+#[test]
+fn grad_segment_softmax() {
+    let seg = Rc::new(vec![0u32, 0, 1, 1, 1]);
+    let w = Matrix::column_vector(&[1.0, -2.0, 0.5, 3.0, -1.0]);
+    check_grad(
+        &Matrix::column_vector(&[0.2, -0.4, 1.1, 0.9, -0.7]),
+        2e-2,
+        move |t, x| {
+            let wv = t.constant(w.clone());
+            x.segment_softmax(&seg).mul(&wv).sum_all()
+        },
+    );
+}
+
+#[test]
+fn grad_edge_aggregate_wrt_alpha() {
+    let h = test_input(3, 2);
+    let src = Rc::new(vec![0u32, 1, 2, 0]);
+    let dst = Rc::new(vec![1u32, 2, 0, 2]);
+    check_grad(
+        &Matrix::column_vector(&[0.5, -1.0, 2.0, 0.3]),
+        1e-2,
+        move |t, x| {
+            let hv = t.constant(h.clone());
+            x.edge_aggregate(&hv, &src, &dst, 3).square().sum_all()
+        },
+    );
+}
+
+#[test]
+fn grad_edge_aggregate_wrt_features() {
+    let alpha = Matrix::column_vector(&[0.5, -1.0, 2.0, 0.3]);
+    let src = Rc::new(vec![0u32, 1, 2, 0]);
+    let dst = Rc::new(vec![1u32, 2, 0, 2]);
+    check_grad(&test_input(3, 2), 1e-2, move |t, x| {
+        let av = t.constant(alpha.clone());
+        av.edge_aggregate(x, &src, &dst, 3).square().sum_all()
+    });
+}
+
+#[test]
+fn grad_hcat() {
+    let other = test_input(3, 2);
+    check_grad(&test_input(3, 4), 1e-2, move |t, x| {
+        let o = t.constant(other.clone());
+        x.hcat(&o).square().sum_all()
+    });
+}
+
+#[test]
+fn grad_composite_gnn_like_expression() {
+    // A realistic composite: spmm → linear → leaky-relu → normalise → variance-ish.
+    let csr = Rc::new(
+        Csr::from_edges(4, 4, &[(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2)])
+            .unwrap()
+            .row_normalized(),
+    );
+    let w = test_input(3, 2);
+    check_grad(&test_input(4, 3), 2e-2, move |t, x| {
+        let wv = t.constant(w.clone());
+        let h = x.matmul(&wv).leaky_relu(0.1).l2_normalize_rows();
+        let mean = h.spmm(&csr);
+        let mean_sq = h.square().spmm(&csr);
+        let var = mean_sq.sub(&mean.square());
+        var.row_sum().sum_all()
+    });
+}

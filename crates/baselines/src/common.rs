@@ -1,0 +1,214 @@
+//! Shared plumbing for the deep baselines.
+
+use std::rc::Rc;
+
+use rand::Rng;
+use vgod_autograd::Var;
+use vgod_graph::AttributedGraph;
+use vgod_tensor::Matrix;
+
+/// Hyperparameters shared by every deep baseline. Defaults follow the
+/// common settings in the respective papers / the BOND benchmark.
+#[derive(Clone, Debug)]
+pub struct DeepConfig {
+    /// Hidden embedding dimension.
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// RNG seed (initialisation and sampling).
+    pub seed: u64,
+}
+
+impl Default for DeepConfig {
+    fn default() -> Self {
+        Self {
+            hidden: 64,
+            epochs: 60,
+            lr: 0.005,
+            seed: 0,
+        }
+    }
+}
+
+impl DeepConfig {
+    /// Reduced-cost settings for tests.
+    pub fn fast() -> Self {
+        Self {
+            hidden: 16,
+            epochs: 25,
+            lr: 0.01,
+            seed: 0,
+        }
+    }
+}
+
+/// A positive/negative edge sample for negative-sampled structure decoding:
+/// the graph's directed edges plus an equal number of sampled non-edges.
+#[derive(Clone, Debug)]
+pub struct EdgeSample {
+    /// Sources of real edges.
+    pub pos_src: Rc<Vec<u32>>,
+    /// Destinations of real edges.
+    pub pos_dst: Rc<Vec<u32>>,
+    /// Sources of sampled non-edges.
+    pub neg_src: Rc<Vec<u32>>,
+    /// Destinations of sampled non-edges.
+    pub neg_dst: Rc<Vec<u32>>,
+}
+
+impl EdgeSample {
+    /// Sample from `g`: all directed edges as positives, degree-matched
+    /// uniform non-edges as negatives.
+    pub fn from_graph(g: &AttributedGraph, rng: &mut impl Rng) -> Self {
+        let mut pos_src = Vec::new();
+        let mut pos_dst = Vec::new();
+        for (u, v) in g.directed_edges() {
+            pos_src.push(u);
+            pos_dst.push(v);
+        }
+        let mut neg_src = Vec::new();
+        let mut neg_dst = Vec::new();
+        for (u, v) in g.negative_edges(rng) {
+            neg_src.push(u);
+            neg_dst.push(v);
+        }
+        Self {
+            pos_src: Rc::new(pos_src),
+            pos_dst: Rc::new(pos_dst),
+            neg_src: Rc::new(neg_src),
+            neg_dst: Rc::new(neg_dst),
+        }
+    }
+}
+
+/// Edge-probability scores `σ(z_uᵀ z_v)` for an edge list, as an `m × 1`
+/// variable (differentiable in `z`).
+pub fn edge_probabilities(z: &Var, src: &Rc<Vec<u32>>, dst: &Rc<Vec<u32>>) -> Var {
+    z.gather_rows(src)
+        .mul(&z.gather_rows(dst))
+        .row_sum()
+        .sigmoid()
+}
+
+/// Negative-sampled structure reconstruction loss (the scalable stand-in
+/// for `‖A − σ(ZZᵀ)‖²_F`): real edges should decode to 1, sampled
+/// non-edges to 0.
+pub fn structure_loss(z: &Var, sample: &EdgeSample) -> Var {
+    let tape = z.tape();
+    let pos = edge_probabilities(z, &sample.pos_src, &sample.pos_dst);
+    let ones = tape.constant(Matrix::filled(sample.pos_src.len(), 1, 1.0));
+    let pos_loss = pos.sub(&ones).square().mean_all();
+    let neg = edge_probabilities(z, &sample.neg_src, &sample.neg_dst);
+    let neg_loss = neg.square().mean_all();
+    pos_loss.add(&neg_loss)
+}
+
+/// Per-node structure reconstruction error at inference time (plain
+/// matrices): the mean squared decode error of each node's incident real
+/// edges and sampled non-edges.
+pub fn per_node_structure_errors(z: &Matrix, g: &AttributedGraph, rng: &mut impl Rng) -> Vec<f32> {
+    /// Negative-sampling rounds averaged at inference; multiple rounds cut
+    /// the sampling variance of the non-edge term.
+    const ROUNDS: usize = 4;
+    let n = g.num_nodes();
+    let mut err = vec![0.0f32; n];
+    let mut cnt = vec![0u32; n];
+    let dot_sigmoid = |u: u32, v: u32| -> f32 {
+        let d: f32 = z
+            .row(u as usize)
+            .iter()
+            .zip(z.row(v as usize))
+            .map(|(&a, &b)| a * b)
+            .sum();
+        1.0 / (1.0 + (-d).exp())
+    };
+    for (u, v) in g.directed_edges() {
+        let e = 1.0 - dot_sigmoid(u, v);
+        err[u as usize] += ROUNDS as f32 * e * e;
+        cnt[u as usize] += ROUNDS as u32;
+    }
+    for _ in 0..ROUNDS {
+        for (u, v) in g.negative_edges(rng) {
+            let e = dot_sigmoid(u, v);
+            err[u as usize] += e * e;
+            cnt[u as usize] += 1;
+        }
+    }
+    for i in 0..n {
+        if cnt[i] > 0 {
+            err[i] /= cnt[i] as f32;
+        }
+    }
+    err
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vgod_autograd::Tape;
+    use vgod_graph::seeded_rng;
+
+    fn path(n: usize) -> AttributedGraph {
+        let mut g = AttributedGraph::new(Matrix::zeros(n, 1));
+        for i in 0..n as u32 - 1 {
+            g.add_edge(i, i + 1);
+        }
+        g
+    }
+
+    #[test]
+    fn edge_sample_is_degree_matched() {
+        let mut rng = seeded_rng(0);
+        let g = path(20);
+        let s = EdgeSample::from_graph(&g, &mut rng);
+        assert_eq!(s.pos_src.len(), 2 * g.num_edges());
+        assert_eq!(s.neg_src.len(), s.pos_src.len());
+    }
+
+    #[test]
+    fn structure_loss_favors_correct_embeddings() {
+        // Embeddings where connected nodes align and others anti-align
+        // should produce lower loss than random ones.
+        let mut rng = seeded_rng(1);
+        let mut g = AttributedGraph::new(Matrix::zeros(4, 1));
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        let s = EdgeSample::from_graph(&g, &mut rng);
+        let tape = Tape::new();
+        let good = tape.constant(Matrix::from_rows(&[
+            &[4.0, 0.0],
+            &[4.0, 0.0],
+            &[0.0, 4.0],
+            &[0.0, 4.0],
+        ]));
+        let bad = tape.constant(Matrix::from_rows(&[
+            &[4.0, 0.0],
+            &[0.0, 4.0],
+            &[4.0, 0.0],
+            &[0.0, 4.0],
+        ]));
+        let lg = structure_loss(&good, &s).value().as_slice()[0];
+        let lb = structure_loss(&bad, &s).value().as_slice()[0];
+        assert!(lg < lb, "good {lg} !< bad {lb}");
+    }
+
+    #[test]
+    fn per_node_errors_highlight_badly_embedded_nodes() {
+        let mut rng = seeded_rng(2);
+        // Two components: {0,1} aligned embeddings (edge decodes right),
+        // {2,3} anti-aligned (edge decodes wrong). Cross-component dots are
+        // zero, so sampled non-edges contribute identically (σ(0) = 0.5).
+        let mut g = AttributedGraph::new(Matrix::zeros(4, 1));
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        let z = Matrix::from_rows(&[&[3.0, 0.0], &[3.0, 0.0], &[0.0, 3.0], &[0.0, -3.0]]);
+        let errs = per_node_structure_errors(&z, &g, &mut rng);
+        assert!(
+            errs[3] > errs[0],
+            "anti-aligned node should decode worse: {errs:?}"
+        );
+        assert!(errs[2] > errs[1], "{errs:?}");
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerates Fig. 7 (train s/epoch) and Table VII (inference seconds).
+fn main() {
+    vgod_bench::banner("Efficiency", "Fig. 7 & Table VII of the VGOD paper");
+    vgod_bench::experiments::efficiency::run(
+        vgod_bench::scale_from_env(),
+        vgod_bench::seed_from_env(),
+    );
+}

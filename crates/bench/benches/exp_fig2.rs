@@ -1,0 +1,12 @@
+//! Regenerates Fig. 2 (the data-leakage demonstration).
+fn main() {
+    vgod_bench::banner(
+        "Fig. 2 — injection data leakage",
+        "Fig. 2 of the VGOD paper",
+    );
+    vgod_bench::experiments::fig2::run(
+        vgod_bench::scale_from_env(),
+        vgod_bench::seed_from_env(),
+        vgod_bench::runs_from_env(),
+    );
+}

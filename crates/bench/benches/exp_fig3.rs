@@ -1,0 +1,12 @@
+//! Regenerates Fig. 3 (contextual-leakage sweep over k and distance metric).
+fn main() {
+    vgod_bench::banner(
+        "Fig. 3 — contextual leakage vs k / distance",
+        "Fig. 3 of the VGOD paper",
+    );
+    vgod_bench::experiments::fig3::run(
+        vgod_bench::scale_from_env(),
+        vgod_bench::seed_from_env(),
+        vgod_bench::runs_from_env(),
+    );
+}

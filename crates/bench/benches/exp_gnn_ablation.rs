@@ -1,0 +1,12 @@
+//! Regenerates Table VIII (AUC) and Table IX (AucGap) — ARM backbone ablation.
+fn main() {
+    vgod_bench::banner(
+        "GNN backbone ablation",
+        "Tables VIII & IX of the VGOD paper",
+    );
+    vgod_bench::experiments::gnn_ablation::run(
+        vgod_bench::scale_from_env(),
+        vgod_bench::seed_from_env(),
+        vgod_bench::runs_from_env(),
+    );
+}

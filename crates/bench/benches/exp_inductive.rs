@@ -1,0 +1,9 @@
+//! Regenerates Tables XV & XVI — the inductive-setting experiment (Appendix B).
+fn main() {
+    vgod_bench::banner("Inductive setting", "Tables XV & XVI of the VGOD paper");
+    vgod_bench::experiments::inductive::run(
+        vgod_bench::scale_from_env(),
+        vgod_bench::seed_from_env(),
+        vgod_bench::runs_from_env(),
+    );
+}

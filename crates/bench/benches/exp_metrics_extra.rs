@@ -1,0 +1,11 @@
+//! Extended metrics (AUC + average precision + precision@k), BOND-style.
+fn main() {
+    vgod_bench::banner(
+        "Extended metrics",
+        "BOND-style AP report (engineering extension)",
+    );
+    vgod_bench::experiments::metrics_extra::run(
+        vgod_bench::scale_from_env(),
+        vgod_bench::seed_from_env(),
+    );
+}

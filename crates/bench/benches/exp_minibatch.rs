@@ -1,0 +1,11 @@
+//! Mini-batch training ablation (the §V-D extensibility claim).
+fn main() {
+    vgod_bench::banner(
+        "Mini-batch VBM ablation",
+        "§V-D of the VGOD paper (engineering extension)",
+    );
+    vgod_bench::experiments::minibatch::run(
+        vgod_bench::scale_from_env(),
+        vgod_bench::seed_from_env(),
+    );
+}

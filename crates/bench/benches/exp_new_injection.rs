@@ -1,0 +1,9 @@
+//! Regenerates Table VI (the degree-preserving injection approach).
+fn main() {
+    vgod_bench::banner("New injection approach", "Table VI of the VGOD paper");
+    vgod_bench::experiments::new_injection::run(
+        vgod_bench::scale_from_env(),
+        vgod_bench::seed_from_env(),
+        vgod_bench::runs_from_env(),
+    );
+}

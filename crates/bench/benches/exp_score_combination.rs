@@ -1,0 +1,12 @@
+//! Regenerates Tables XIII & XIV — the score-combination ablation (Appendix A).
+fn main() {
+    vgod_bench::banner(
+        "Score combination ablation",
+        "Tables XIII & XIV of the VGOD paper",
+    );
+    vgod_bench::experiments::score_combination::run(
+        vgod_bench::scale_from_env(),
+        vgod_bench::seed_from_env(),
+        vgod_bench::runs_from_env(),
+    );
+}

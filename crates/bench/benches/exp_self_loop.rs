@@ -1,0 +1,12 @@
+//! Regenerates Tables XI & XII — the self-loop-edge ablation.
+fn main() {
+    vgod_bench::banner(
+        "Self-loop edge ablation",
+        "Tables XI & XII of the VGOD paper",
+    );
+    vgod_bench::experiments::self_loop::run(
+        vgod_bench::scale_from_env(),
+        vgod_bench::seed_from_env(),
+        vgod_bench::runs_from_env(),
+    );
+}

@@ -1,0 +1,11 @@
+//! Hyperparameter sensitivity sweep (engineering extension).
+fn main() {
+    vgod_bench::banner(
+        "VBM hyperparameter sensitivity",
+        "backs §VI-B2's fixed hyperparameters",
+    );
+    vgod_bench::experiments::sensitivity::run(
+        vgod_bench::scale_from_env(),
+        vgod_bench::seed_from_env(),
+    );
+}

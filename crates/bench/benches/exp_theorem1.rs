@@ -1,0 +1,9 @@
+//! Empirically verifies Theorem 1 (the norm-bias of max-distance candidate
+//! selection) on the replica attribute populations.
+fn main() {
+    vgod_bench::banner("Theorem 1 verification", "§IV-B2 of the VGOD paper");
+    vgod_bench::experiments::theorem1::run(
+        vgod_bench::scale_from_env(),
+        vgod_bench::seed_from_env(),
+    );
+}

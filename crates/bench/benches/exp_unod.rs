@@ -1,0 +1,9 @@
+//! Regenerates Table IV (AUC) and Table III (AucGap) — the main UNOD experiment.
+fn main() {
+    vgod_bench::banner("UNOD experiment", "Tables III & IV of the VGOD paper");
+    vgod_bench::experiments::unod::run(
+        vgod_bench::scale_from_env(),
+        vgod_bench::seed_from_env(),
+        vgod_bench::runs_from_env(),
+    );
+}

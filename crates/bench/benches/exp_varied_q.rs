@@ -1,0 +1,12 @@
+//! Regenerates Table V and Fig. 6 (structural detection under varied clique sizes).
+fn main() {
+    vgod_bench::banner(
+        "Varied clique-size experiment",
+        "Table V & Fig. 6 of the VGOD paper",
+    );
+    vgod_bench::experiments::varied_q::run(
+        vgod_bench::scale_from_env(),
+        vgod_bench::seed_from_env(),
+        vgod_bench::runs_from_env(),
+    );
+}

@@ -1,0 +1,8 @@
+//! Regenerates Fig. 8 (VBM AUC trend over training epochs per clique size).
+fn main() {
+    vgod_bench::banner("VBM epoch trend", "Fig. 8 of the VGOD paper");
+    vgod_bench::experiments::vbm_epochs::run(
+        vgod_bench::scale_from_env(),
+        vgod_bench::seed_from_env(),
+    );
+}

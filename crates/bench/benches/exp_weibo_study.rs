@@ -1,0 +1,11 @@
+//! Regenerates Table X and the Fig. 9 diagnostics — the labeled-outlier study.
+fn main() {
+    vgod_bench::banner(
+        "Weibo labeled-outlier study",
+        "Table X & Fig. 9 of the VGOD paper",
+    );
+    vgod_bench::experiments::weibo_study::run(
+        vgod_bench::scale_from_env(),
+        vgod_bench::seed_from_env(),
+    );
+}

@@ -1,0 +1,175 @@
+//! Criterion microbenchmarks for the hot kernels behind the experiments:
+//! dense GEMM, sparse message passing, neighbour variance, negative-edge
+//! sampling and AUC computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::rc::Rc;
+
+use vgod_autograd::Tape;
+use vgod_gnn::{neighbor_variance_matrix, neighbor_variance_scores};
+use vgod_graph::{community_graph, seeded_rng, CommunityGraphConfig};
+use vgod_tensor::Matrix;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[64usize, 256] {
+        let a = Matrix::from_fn(n, n, |r, cc| ((r * 31 + cc * 17) % 13) as f32 - 6.0);
+        let b = Matrix::from_fn(n, n, |r, cc| ((r * 7 + cc * 3) % 11) as f32 - 5.0);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| std::hint::black_box(a.matmul(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let mut rng = seeded_rng(0);
+    let g = community_graph(
+        &CommunityGraphConfig::homogeneous(2000, 5, 8.0, 0.9),
+        &mut rng,
+    );
+    let adj = g.mean_adjacency(false);
+    let h = Matrix::from_fn(2000, 64, |r, cc| ((r + cc) % 7) as f32 * 0.3 - 1.0);
+    c.bench_function("spmm_2000x64", |b| {
+        b.iter(|| std::hint::black_box(adj.spmm(&h)));
+    });
+}
+
+fn bench_neighbor_variance(c: &mut Criterion) {
+    let mut rng = seeded_rng(1);
+    let g = community_graph(
+        &CommunityGraphConfig::homogeneous(2000, 5, 8.0, 0.9),
+        &mut rng,
+    );
+    let adj = g.mean_adjacency(true);
+    let h = Matrix::from_fn(2000, 64, |r, cc| ((r * 3 + cc) % 9) as f32 * 0.2 - 0.8);
+    c.bench_function("neighbor_variance_matrix_2000x64", |b| {
+        b.iter(|| std::hint::black_box(neighbor_variance_matrix(&h, &adj)));
+    });
+    let adj_rc = Rc::new(adj);
+    c.bench_function("neighbor_variance_backward_2000x64", |b| {
+        b.iter(|| {
+            let tape = Tape::new();
+            let hv = tape.constant(h.clone());
+            let loss = neighbor_variance_scores(&hv, &adj_rc).mean_all();
+            loss.backward();
+        });
+    });
+}
+
+fn bench_negative_sampling(c: &mut Criterion) {
+    let mut rng = seeded_rng(2);
+    let g = community_graph(
+        &CommunityGraphConfig::homogeneous(2000, 5, 8.0, 0.9),
+        &mut rng,
+    );
+    c.bench_function("negative_edges_2000", |b| {
+        let mut rng = seeded_rng(3);
+        b.iter(|| std::hint::black_box(g.negative_edges(&mut rng)));
+    });
+}
+
+fn bench_auc(c: &mut Criterion) {
+    let mut rng = seeded_rng(4);
+    let scores: Vec<f32> = (0..20_000)
+        .map(|_| rand::Rng::gen_range(&mut rng, 0.0..1.0))
+        .collect();
+    let labels: Vec<bool> = (0..20_000).map(|i| i % 17 == 0).collect();
+    c.bench_function("auc_20000", |b| {
+        b.iter(|| std::hint::black_box(vgod_eval::auc(&scores, &labels)));
+    });
+}
+
+fn bench_gat_layer(c: &mut Criterion) {
+    use vgod_autograd::ParamStore;
+    use vgod_gnn::{GatLayer, GraphContext};
+    let mut rng = seeded_rng(5);
+    let g = {
+        let mut g = community_graph(
+            &CommunityGraphConfig::homogeneous(2000, 5, 8.0, 0.9),
+            &mut rng,
+        );
+        g.set_attrs(Matrix::from_fn(2000, 64, |r, cc| {
+            ((r + cc * 3) % 9) as f32 * 0.2 - 0.8
+        }));
+        g
+    };
+    let ctx = GraphContext::from_graph(&g);
+    let mut store = ParamStore::new();
+    let layer = GatLayer::new(&mut store, 64, 64, &mut rng);
+    c.bench_function("gat_forward_2000x64", |b| {
+        b.iter(|| {
+            let tape = Tape::new();
+            let x = tape.constant(g.attrs().clone());
+            std::hint::black_box(layer.forward(&tape, &store, &x, &ctx).value())
+        });
+    });
+    c.bench_function("gat_forward_backward_2000x64", |b| {
+        b.iter(|| {
+            let mut s = store.clone();
+            let tape = Tape::new();
+            let x = tape.constant(g.attrs().clone());
+            let loss = layer.forward(&tape, &s, &x, &ctx).square().mean_all();
+            loss.backward_into(&mut s);
+        });
+    });
+}
+
+fn bench_adam_step(c: &mut Criterion) {
+    use vgod_autograd::ParamStore;
+    use vgod_nn::{Adam, Optimizer};
+    let mut store = ParamStore::new();
+    for _ in 0..4 {
+        store.insert(Matrix::from_fn(256, 256, |r, cc| {
+            ((r * cc) % 7) as f32 * 0.1
+        }));
+    }
+    // Seed gradients once; step() zeroes them, so re-seed per iteration.
+    c.bench_function("adam_step_4x256x256", |b| {
+        let mut opt = Adam::new(1e-3);
+        b.iter(|| {
+            for (_, p) in store.iter_mut() {
+                p.grad.map_inplace(|_| 0.01);
+            }
+            opt.step(&mut store);
+        });
+    });
+}
+
+fn bench_vbm_epoch(c: &mut Criterion) {
+    use vgod::{Vbm, VbmConfig};
+    use vgod_eval::OutlierDetector;
+    let mut rng = seeded_rng(6);
+    let mut g = community_graph(
+        &CommunityGraphConfig::homogeneous(2000, 5, 8.0, 0.9),
+        &mut rng,
+    );
+    g.set_attrs(Matrix::from_fn(2000, 64, |r, cc| {
+        ((r * 5 + cc) % 11) as f32 * 0.15 - 0.7
+    }));
+    c.bench_function("vbm_train_one_epoch_2000x64", |b| {
+        b.iter(|| {
+            let mut vbm = Vbm::new(VbmConfig {
+                hidden_dim: 64,
+                epochs: 1,
+                lr: 0.005,
+                self_loops: true,
+                seed: 0,
+            });
+            OutlierDetector::fit(&mut vbm, &g);
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_spmm,
+    bench_neighbor_variance,
+    bench_negative_sampling,
+    bench_auc,
+    bench_gat_layer,
+    bench_adam_step,
+    bench_vbm_epoch
+);
+criterion_main!(benches);

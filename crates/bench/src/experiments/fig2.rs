@@ -1,0 +1,77 @@
+//! **Fig. 2** — the data-leakage demonstration: after standard injection,
+//! plain node degree detects structural outliers and plain attribute
+//! L2-norm detects contextual outliers at near-perfect AUC, while a random
+//! detector sits at 0.5.
+
+use vgod_baselines::{Deg, L2Norm, RandomDetector};
+use vgod_datasets::{Dataset, Scale};
+use vgod_eval::{auc, OutlierDetector};
+
+use super::{injected_replica, mean_over_runs};
+use crate::Table;
+
+/// Run the leakage demo and print/return the table (rows = probe, columns
+/// = datasets).
+pub fn run(scale: Scale, seed: u64, runs: usize) -> Table {
+    let datasets = Dataset::INJECTED;
+    let mut headers = vec!["probe"];
+    let names: Vec<String> = datasets.iter().map(|d| d.to_string()).collect();
+    headers.extend(names.iter().map(String::as_str));
+    let mut table = Table::new(&headers);
+
+    let mut deg_row = Vec::new();
+    let mut norm_row = Vec::new();
+    let mut rand_row = Vec::new();
+    for &ds in &datasets {
+        let deg = mean_over_runs(runs, |r| {
+            let (g, truth) = injected_replica(ds, scale, seed + r as u64);
+            auc(&Deg.score(&g).combined, &truth.structural_mask())
+        });
+        let norm = mean_over_runs(runs, |r| {
+            let (g, truth) = injected_replica(ds, scale, seed + r as u64);
+            auc(&L2Norm.score(&g).combined, &truth.contextual_mask())
+        });
+        let random = mean_over_runs(runs, |r| {
+            let (g, truth) = injected_replica(ds, scale, seed + r as u64);
+            auc(
+                &RandomDetector::new(seed + r as u64).score(&g).combined,
+                &truth.outlier_mask(),
+            )
+        });
+        deg_row.push(deg);
+        norm_row.push(norm);
+        rand_row.push(random);
+    }
+    table.metric_row("degree → structural", &deg_row);
+    table.metric_row("L2-norm → contextual", &norm_row);
+    table.metric_row("random → all", &rand_row);
+    table.print();
+    super::print_paper_reference(
+        "Fig. 2 (approximate bar heights)",
+        &["probe", "cora", "citeseer", "pubmed", "flickr"],
+        &[
+            ("degree → structural", &[0.98, 0.99, 0.95, 0.60]),
+            ("L2-norm → contextual", &[0.98, 0.98, 0.98, 0.98]),
+            ("random → all", &[0.50, 0.50, 0.50, 0.50]),
+        ],
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leakage_probes_beat_random() {
+        let t = run(Scale::Tiny, 13, 1);
+        for ds in ["cora", "citeseer", "pubmed"] {
+            let deg: f32 = t.cell("degree → structural", ds).unwrap().parse().unwrap();
+            assert!(deg > 0.85, "{ds}: degree probe {deg}");
+            let norm: f32 = t.cell("L2-norm → contextual", ds).unwrap().parse().unwrap();
+            assert!(norm > 0.7, "{ds}: norm probe {norm}");
+            let rand: f32 = t.cell("random → all", ds).unwrap().parse().unwrap();
+            assert!((0.3..0.7).contains(&rand), "{ds}: random {rand}");
+        }
+    }
+}

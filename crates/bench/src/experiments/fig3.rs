@@ -1,0 +1,106 @@
+//! **Fig. 3** — mitigation study for contextual-injection leakage: AUC of
+//! the L2-norm probe as the candidate-set size `k` shrinks, and with cosine
+//! distance replacing Euclidean distance.
+
+use vgod_baselines::L2Norm;
+use vgod_datasets::{injection_params, replica, Dataset, Scale};
+use vgod_eval::{auc, OutlierDetector};
+use vgod_graph::seeded_rng;
+use vgod_inject::{inject_contextual, ContextualParams, DistanceMetric, GroundTruth};
+
+use super::mean_over_runs;
+use crate::Table;
+
+/// Candidate-set sizes swept (the paper varies k from small to 50).
+pub const K_VALUES: [usize; 5] = [1, 5, 10, 25, 50];
+
+/// AUC of the L2-norm probe after contextual-only injection with the given
+/// `k` and metric.
+fn probe_auc(ds: Dataset, scale: Scale, k: usize, metric: DistanceMetric, seed: u64) -> f32 {
+    let mut rng = seeded_rng(seed);
+    let mut r = replica(ds, scale, &mut rng);
+    let (_, cp) = injection_params(ds, scale);
+    let params = ContextualParams {
+        count: cp.count * 2,
+        candidates: k,
+        metric,
+    };
+    let mut truth = GroundTruth::new(r.graph.num_nodes());
+    inject_contextual(&mut r.graph, &mut truth, &params, &mut rng);
+    auc(&L2Norm.score(&r.graph).combined, &truth.outlier_mask())
+}
+
+/// Run the sweep and print/return the table (rows = dataset × metric,
+/// columns = k).
+pub fn run(scale: Scale, seed: u64, runs: usize) -> Table {
+    let mut headers: Vec<String> = vec!["dataset/metric".into()];
+    headers.extend(K_VALUES.iter().map(|k| format!("k={k}")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(&header_refs);
+
+    for ds in Dataset::INJECTED {
+        for metric in [DistanceMetric::Euclidean, DistanceMetric::Cosine] {
+            let row: Vec<f32> = K_VALUES
+                .iter()
+                .map(|&k| {
+                    mean_over_runs(runs, |r| probe_auc(ds, scale, k, metric, seed + r as u64))
+                })
+                .collect();
+            table.metric_row(&format!("{ds}/{metric}"), &row);
+        }
+    }
+    table.print();
+    println!(
+        "paper finding: with Euclidean distance the AUC of the L2-norm probe rises toward ~0.98 \
+         as k grows; with cosine distance the rise is absent or much weaker on most datasets."
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_leakage_grows_with_k() {
+        let t = run(Scale::Tiny, 5, 1);
+        for ds in ["cora", "citeseer"] {
+            let small: f32 = t
+                .cell(&format!("{ds}/euclidean"), "k=1")
+                .unwrap()
+                .parse()
+                .unwrap();
+            let large: f32 = t
+                .cell(&format!("{ds}/euclidean"), "k=50")
+                .unwrap()
+                .parse()
+                .unwrap();
+            assert!(
+                large > small + 0.1,
+                "{ds}: leakage should grow with k (k=1 → {small}, k=50 → {large})"
+            );
+            assert!(large > 0.8, "{ds}: k=50 Euclidean AUC {large}");
+        }
+    }
+
+    #[test]
+    fn cosine_mitigates_leakage() {
+        let t = run(Scale::Tiny, 6, 1);
+        for ds in ["cora", "citeseer", "pubmed"] {
+            let euc: f32 = t
+                .cell(&format!("{ds}/euclidean"), "k=50")
+                .unwrap()
+                .parse()
+                .unwrap();
+            let cos: f32 = t
+                .cell(&format!("{ds}/cosine"), "k=50")
+                .unwrap()
+                .parse()
+                .unwrap();
+            assert!(
+                cos < euc,
+                "{ds}: cosine ({cos}) should leak less than Euclidean ({euc})"
+            );
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! One module per paper table/figure. Every `run` function takes the
+//! replica scale and a base seed, prints its tables, and returns the main
+//! one so bench targets and tests can inspect cells.
+
+pub mod efficiency;
+pub mod fig2;
+pub mod fig3;
+pub mod gnn_ablation;
+pub mod inductive;
+pub mod metrics_extra;
+pub mod minibatch;
+pub mod new_injection;
+pub mod score_combination;
+pub mod self_loop;
+pub mod sensitivity;
+pub mod theorem1;
+pub mod unod;
+pub mod varied_q;
+pub mod vbm_epochs;
+pub mod weibo_study;
+
+use vgod_datasets::{injection_params, replica, Dataset, Scale};
+use vgod_eval::Scores;
+use vgod_graph::{seeded_rng, AttributedGraph};
+use vgod_inject::{inject_standard, GroundTruth};
+
+/// Build a replica of `ds` and apply the standard injection protocol
+/// (§VI-B1). For Weibo the organic labels are returned instead.
+pub(crate) fn injected_replica(
+    ds: Dataset,
+    scale: Scale,
+    seed: u64,
+) -> (AttributedGraph, GroundTruth) {
+    let mut rng = seeded_rng(seed);
+    let mut r = replica(ds, scale, &mut rng);
+    if let Some(truth) = r.labeled_truth {
+        return (r.graph, truth);
+    }
+    let (sp, cp) = injection_params(ds, scale);
+    let truth = inject_standard(&mut r.graph, &sp, &cp, &mut rng);
+    (r.graph, truth)
+}
+
+/// The paper's rule for models with several output scores (§VI-C2): "we
+/// adopt the score with the highest AUC as its structural score". Returns
+/// the score vector whose AUC against `mask` is highest.
+pub(crate) fn best_scores_vector(scores: &Scores, mask: &[bool]) -> Vec<f32> {
+    let mut best = (&scores.combined, vgod_eval::auc(&scores.combined, mask));
+    for candidate in [scores.structural.as_ref(), scores.contextual.as_ref()]
+        .into_iter()
+        .flatten()
+    {
+        let a = vgod_eval::auc(candidate, mask);
+        if a > best.1 {
+            best = (candidate, a);
+        }
+    }
+    best.0.clone()
+}
+
+/// Mean of `runs` evaluations of `f(run_index)`.
+pub(crate) fn mean_over_runs(runs: usize, mut f: impl FnMut(usize) -> f32) -> f32 {
+    (0..runs).map(&mut f).sum::<f32>() / runs as f32
+}
+
+/// Print a static table of the paper's reported numbers for side-by-side
+/// comparison.
+pub(crate) fn print_paper_reference(title: &str, headers: &[&str], rows: &[(&str, &[f32])]) {
+    println!("--- paper-reported reference: {title} ---");
+    let mut t = crate::Table::new(headers);
+    for (label, values) in rows {
+        t.metric_row(label, values);
+    }
+    t.print();
+}

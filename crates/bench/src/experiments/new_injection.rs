@@ -1,0 +1,123 @@
+//! **Table VI** — structural outlier detection under the paper's new
+//! degree-preserving injection approach (§VI-D): neighbours replaced by
+//! uniform samples from other communities, 10 % of nodes injected.
+
+use vgod_datasets::{replica, Dataset, Scale};
+use vgod_eval::{auc, OutlierDetector};
+use vgod_graph::seeded_rng;
+use vgod_inject::{inject_community_replacement, GroundTruth};
+
+use super::mean_over_runs;
+use crate::{detector_zoo, DetectorKind, Table};
+
+/// Outlier fraction of §VI-D1.
+pub const OUTLIER_FRACTION: f32 = 0.10;
+
+const MODELS: [DetectorKind; 5] = [
+    DetectorKind::Dominant,
+    DetectorKind::AnomalyDae,
+    DetectorKind::Done,
+    DetectorKind::Cola,
+    DetectorKind::Conad,
+];
+
+/// Run the experiment; prints and returns the AUC table.
+pub fn run(scale: Scale, seed: u64, runs: usize) -> Table {
+    let datasets = Dataset::INJECTED;
+    let mut headers = vec!["model".to_string()];
+    headers.extend(datasets.iter().map(|d| d.to_string()));
+    let refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(&refs);
+
+    let injected = |ds, run_seed: u64| {
+        let mut rng = seeded_rng(run_seed);
+        let mut r = replica(ds, scale, &mut rng);
+        let mut truth = GroundTruth::new(r.graph.num_nodes());
+        inject_community_replacement(&mut r.graph, &mut truth, OUTLIER_FRACTION, &mut rng);
+        (r.graph, truth)
+    };
+
+    for kind in MODELS {
+        let row: Vec<f32> = datasets
+            .iter()
+            .map(|&ds| {
+                mean_over_runs(runs, |r| {
+                    let run_seed = seed + r as u64;
+                    let (g, truth) = injected(ds, run_seed);
+                    let mut det = detector_zoo(kind, ds, scale, run_seed);
+                    det.fit(&g);
+                    let scores = det.score(&g);
+                    // Same §VI-C2 rule as the varied-q experiment: adopt
+                    // the model's best-AUC score vector.
+                    let mask = truth.outlier_mask();
+                    auc(&super::best_scores_vector(&scores, &mask), &mask)
+                })
+            })
+            .collect();
+        table.metric_row(&kind.to_string(), &row);
+        eprintln!("[new_injection] finished {kind}");
+    }
+    // VBM (trained exactly as in the varied-q experiment).
+    let row: Vec<f32> = datasets
+        .iter()
+        .map(|&ds| {
+            mean_over_runs(runs, |r| {
+                let run_seed = seed + r as u64;
+                let (g, truth) = injected(ds, run_seed);
+                let mut vbm = super::varied_q::vbm_for(ds, scale, run_seed);
+                OutlierDetector::fit(&mut vbm, &g);
+                auc(&vbm.scores(&g), &truth.outlier_mask())
+            })
+        })
+        .collect();
+    table.metric_row("VBM", &row);
+
+    println!("--- measured: AUC under the new injection approach (Table VI) ---");
+    table.print();
+    super::print_paper_reference(
+        "Table VI",
+        &["model", "cora", "citeseer", "pubmed", "flickr"],
+        &[
+            ("Dominant", &[0.838, 0.770, 0.853, 0.917]),
+            ("AnomalyDAE", &[0.770, 0.673, 0.566, 0.898]),
+            ("DONE", &[0.762, 0.664, 0.659, 0.541]),
+            ("CoLA", &[0.658, 0.743, 0.752, 0.632]),
+            ("CONAD", &[0.793, 0.770, 0.779, 0.495]),
+            ("VBM", &[0.935, 0.907, 0.858, 0.958]),
+        ],
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vbm_beats_baselines_without_degree_leakage() {
+        let t = run(Scale::Tiny, 55, 1);
+        let datasets = ["cora", "citeseer", "pubmed", "flickr"];
+        let mean = |model: &str| -> f32 {
+            datasets
+                .iter()
+                .map(|ds| t.cell(model, ds).unwrap().parse::<f32>().unwrap())
+                .sum::<f32>()
+                / datasets.len() as f32
+        };
+        for ds in datasets {
+            let vbm: f32 = t.cell("VBM", ds).unwrap().parse().unwrap();
+            assert!(vbm > 0.6, "{ds}: VBM AUC {vbm} should be well above random");
+        }
+        // At tiny scale single-dataset ordering is noisy; the robust claim
+        // is the aggregate one (the bench target at larger scales shows
+        // the per-dataset wins of Table VI).
+        let vbm_mean = mean("VBM");
+        for model in ["Dominant", "AnomalyDAE", "DONE", "CoLA", "CONAD"] {
+            let other = mean(model);
+            assert!(
+                vbm_mean > other,
+                "VBM mean {vbm_mean} should beat {model}'s {other}"
+            );
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Hyperparameter-sensitivity ablation (engineering extension, called out
+//! in DESIGN.md §4): how VBM's detection quality responds to the embedding
+//! dimension and the learning rate, and how VGOD responds to the ARM epoch
+//! budget. The paper fixes `d_h = 128`, `lr = 0.005`, `Epoch_ARM = 100`
+//! (§VI-B2) without reporting a sweep; this experiment backs those choices.
+
+use vgod::{Vbm, VbmConfig};
+use vgod_datasets::{Dataset, Scale};
+use vgod_eval::{auc, OutlierDetector};
+
+use super::injected_replica;
+use crate::Table;
+
+/// Embedding dimensions swept.
+pub const HIDDEN_DIMS: [usize; 4] = [8, 32, 64, 128];
+
+/// Learning rates swept.
+pub const LEARNING_RATES: [f32; 3] = [0.001, 0.005, 0.05];
+
+/// Run the sweep on one dataset; rows = learning rate, columns = hidden
+/// dim; cells = VBM AUC on the standard injection's structural outliers.
+pub fn run_dataset(ds: Dataset, scale: Scale, seed: u64) -> Table {
+    let mut headers = vec!["lr \\ d_h".to_string()];
+    headers.extend(HIDDEN_DIMS.iter().map(|d| d.to_string()));
+    let refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(&refs);
+
+    let (g, truth) = injected_replica(ds, scale, seed);
+    let mask = truth.structural_mask();
+    for lr in LEARNING_RATES {
+        let row: Vec<f32> = HIDDEN_DIMS
+            .iter()
+            .map(|&hidden_dim| {
+                let mut vbm = Vbm::new(VbmConfig {
+                    hidden_dim,
+                    epochs: 10,
+                    lr,
+                    self_loops: false,
+                    seed,
+                });
+                OutlierDetector::fit(&mut vbm, &g);
+                auc(&vbm.scores(&g), &mask)
+            })
+            .collect();
+        table.metric_row(&format!("{lr}"), &row);
+    }
+    println!("--- measured: VBM sensitivity on {ds} (AUC on structural outliers) ---");
+    table.print();
+    table
+}
+
+/// Run on Cora-like (the sweep is qualitative; one dataset suffices).
+pub fn run(scale: Scale, seed: u64) -> Table {
+    let t = run_dataset(Dataset::CoraLike, scale, seed);
+    println!(
+        "expected shape: flat in d_h beyond ~32 (the variance signal is low-rank), tolerant of \
+         lr within an order of magnitude — supporting the paper's fixed d_h = 128, lr = 0.005."
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quality_is_insensitive_to_hidden_dim_beyond_small() {
+        let t = run_dataset(Dataset::CoraLike, Scale::Tiny, 19);
+        // At the paper's lr, going from 32 to 128 dims barely matters.
+        let a32: f32 = t.cell("0.005", "32").unwrap().parse().unwrap();
+        let a128: f32 = t.cell("0.005", "128").unwrap().parse().unwrap();
+        assert!(a32 > 0.75, "d_h=32 AUC {a32}");
+        assert!((a32 - a128).abs() < 0.12, "32 vs 128 dims: {a32} vs {a128}");
+    }
+}

@@ -1,0 +1,171 @@
+//! **Table V** and **Fig. 6** — structural outlier detection under varied
+//! clique sizes `q ∈ {3, 5, 10, 15}`: overall `AUC(V⁻, O^str)` per model
+//! (Table V) and the per-group AUC curves (Fig. 6).
+
+use vgod::{Vbm, VbmConfig};
+use vgod_baselines::Deg;
+use vgod_datasets::{replica, Dataset, Scale};
+use vgod_eval::{auc, auc_group_vs_normal, OutlierDetector};
+use vgod_graph::{seeded_rng, AttributedGraph};
+use vgod_inject::{inject_structural_groups, GroundTruth, StructuralGroup};
+
+use crate::{detector_zoo, DetectorKind, Table};
+
+/// The clique sizes of §VI-C1.
+pub const CLIQUE_SIZES: [usize; 4] = [3, 5, 10, 15];
+
+/// Fraction of nodes injected per group (2 % each, §VI-C1).
+pub const GROUP_FRACTION: f32 = 0.02;
+
+/// Models compared (the paper drops CONAD here — "we fail to get a
+/// reasonable result for CONAD" — and adds the plain `Deg` probe).
+const MODELS: [DetectorKind; 4] = [
+    DetectorKind::Dominant,
+    DetectorKind::AnomalyDae,
+    DetectorKind::Done,
+    DetectorKind::Cola,
+];
+
+/// Build a structural-only multi-group injection of `ds`.
+pub(crate) fn injected_groups(
+    ds: Dataset,
+    scale: Scale,
+    seed: u64,
+) -> (AttributedGraph, GroundTruth, Vec<StructuralGroup>) {
+    let mut rng = seeded_rng(seed);
+    let mut r = replica(ds, scale, &mut rng);
+    let mut truth = GroundTruth::new(r.graph.num_nodes());
+    let groups = inject_structural_groups(
+        &mut r.graph,
+        &mut truth,
+        &CLIQUE_SIZES,
+        GROUP_FRACTION,
+        &mut rng,
+    );
+    (r.graph, truth, groups)
+}
+
+/// VBM configured as in the UNOD experiment (self-loops per dataset rule).
+pub(crate) fn vbm_for(ds: Dataset, scale: Scale, seed: u64) -> Vbm {
+    let base = crate::vgod_config_for(ds, scale, seed);
+    Vbm::new(VbmConfig {
+        epochs: 20,
+        ..base.vbm
+    })
+}
+
+/// Run the experiment. Prints Table V (overall structural AUC) and the
+/// Fig. 6 per-clique-size series; returns (Table V, Fig 6 table).
+pub fn run(scale: Scale, seed: u64, runs: usize) -> (Table, Table) {
+    let datasets = Dataset::INJECTED;
+    let mut headers = vec!["model".to_string()];
+    headers.extend(datasets.iter().map(|d| d.to_string()));
+    let refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut overall = Table::new(&refs);
+
+    let mut fig6_headers = vec!["model/dataset".to_string()];
+    fig6_headers.extend(CLIQUE_SIZES.iter().map(|q| format!("q={q}")));
+    let refs: Vec<&str> = fig6_headers.iter().map(String::as_str).collect();
+    let mut fig6 = Table::new(&refs);
+
+    /// Trains/scores one model on one run's graph.
+    type ScoreFn = Box<dyn FnMut(Dataset, u64, &AttributedGraph) -> vgod_eval::Scores>;
+    // model → per-dataset overall AUC; model×dataset → per-q AUCs. Deep
+    // models return full `Scores`; §VI-C2's rule ("adopt the score with the
+    // highest AUC as its structural score") picks the best vector.
+    let mut eval_model = |name: &str, mut score_fn: ScoreFn| {
+        let mut overall_row = Vec::new();
+        for &ds in &datasets {
+            let mut sum_overall = 0.0f32;
+            let mut sum_groups = vec![0.0f32; CLIQUE_SIZES.len()];
+            for r in 0..runs {
+                let run_seed = seed + r as u64;
+                let (g, truth, groups) = injected_groups(ds, scale, run_seed);
+                let any = truth.outlier_mask();
+                let scores = score_fn(ds, run_seed, &g);
+                let s = super::best_scores_vector(&scores, &any);
+                sum_overall += auc(&s, &any);
+                for (i, gr) in groups.iter().enumerate() {
+                    sum_groups[i] += auc_group_vs_normal(&s, &gr.members, &any);
+                }
+            }
+            overall_row.push(sum_overall / runs as f32);
+            let per_q: Vec<f32> = sum_groups.iter().map(|v| v / runs as f32).collect();
+            fig6.metric_row(&format!("{name}/{ds}"), &per_q);
+        }
+        overall.metric_row(name, &overall_row);
+        eprintln!("[varied_q] finished {name}");
+    };
+
+    for kind in MODELS {
+        eval_model(
+            &kind.to_string(),
+            Box::new(move |ds, run_seed, g| {
+                let mut det = detector_zoo(kind, ds, scale, run_seed);
+                det.fit(g);
+                det.score(g)
+            }),
+        );
+    }
+    eval_model("Deg", Box::new(|_, _, g| Deg.score(g)));
+    eval_model(
+        "VBM",
+        Box::new(move |ds, run_seed, g| {
+            let mut vbm = vbm_for(ds, scale, run_seed);
+            OutlierDetector::fit(&mut vbm, g);
+            OutlierDetector::score(&vbm, g)
+        }),
+    );
+
+    println!("--- measured: overall AUC(V⁻, O^str) (Table V) ---");
+    overall.print();
+    super::print_paper_reference(
+        "Table V",
+        &["model", "cora", "citeseer", "pubmed", "flickr"],
+        &[
+            ("Dominant", &[0.9227, 0.9467, 0.8878, 0.5715]),
+            ("AnomalyDAE", &[0.9127, 0.9219, 0.8968, 0.6253]),
+            ("DONE", &[0.9034, 0.8985, 0.8868, 0.5516]),
+            ("CoLA", &[0.8073, 0.8919, 0.8698, 0.5712]),
+            ("Deg", &[0.9467, 0.9541, 0.9333, 0.5671]),
+            ("VBM", &[0.9815, 0.9816, 0.9893, 0.8003]),
+        ],
+    );
+    println!("--- measured: per-clique-size AUC series (Fig. 6) ---");
+    fig6.print();
+    println!(
+        "paper finding: every model degrades as q shrinks; VBM declines the least and wins at \
+         every q."
+    );
+    (overall, fig6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vbm_wins_and_degrades_least() {
+        let (overall, fig6) = run(Scale::Tiny, 91, 1);
+        // VBM beats Deg and the deep baselines on at least 3 of 4 datasets.
+        let mut wins = 0;
+        for ds in ["cora", "citeseer", "pubmed", "flickr"] {
+            let vbm: f32 = overall.cell("VBM", ds).unwrap().parse().unwrap();
+            let best_other = ["Dominant", "AnomalyDAE", "DONE", "CoLA", "Deg"]
+                .iter()
+                .map(|m| overall.cell(m, ds).unwrap().parse::<f32>().unwrap())
+                .fold(0.0f32, f32::max);
+            if vbm >= best_other {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 3, "VBM should lead on most datasets (won {wins}/4)");
+        // Fig 6 shape: VBM's q=15 AUC ≥ its q=3 AUC (bigger cliques easier).
+        let q3: f32 = fig6.cell("VBM/cora", "q=3").unwrap().parse().unwrap();
+        let q15: f32 = fig6.cell("VBM/cora", "q=15").unwrap().parse().unwrap();
+        assert!(
+            q15 >= q3 - 0.05,
+            "q=15 ({q15}) should not be easier than q=3 ({q3})"
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! **Table X** and **Fig. 9** — the labeled-outlier study on the
+//! Weibo-like dataset: VGOD vs the runner-up AnomalyDAE, with the dataset
+//! diagnostics the paper uses to explain the win (outlier degree
+//! distribution, attribute variance, homophily).
+
+use vgod_datasets::{replica, Dataset, Scale};
+use vgod_eval::auc;
+use vgod_graph::{adjusted_homophily, attribute_variance, degree_stats, seeded_rng};
+
+use crate::{detector_zoo, DetectorKind, Table};
+
+/// Run the study; returns the Table X analogue (rows = model, columns =
+/// AUC / AUC(O^str) / AUC(O^attr)).
+pub fn run(scale: Scale, seed: u64) -> Table {
+    let mut rng = seeded_rng(seed);
+    let r = replica(Dataset::WeiboLike, scale, &mut rng);
+    let truth = r.labeled_truth.expect("weibo replica carries labels");
+    let g = r.graph;
+    let mask = truth.outlier_mask();
+
+    let mut table = Table::new(&["model", "AUC", "AUC(V⁻,O^str)", "AUC(V⁻,O^attr)"]);
+    for kind in [DetectorKind::Vgod, DetectorKind::AnomalyDae] {
+        let mut det = detector_zoo(kind, Dataset::WeiboLike, scale, seed);
+        let scores = det.fit_score(&g);
+        let overall = auc(&scores.combined, &mask);
+        let s = auc(scores.structural_or_combined(), &mask);
+        let c = auc(scores.contextual_or_combined(), &mask);
+        table.metric_row(&kind.to_string(), &[overall, s, c]);
+        eprintln!("[weibo_study] finished {kind}");
+    }
+    println!("--- measured: labeled-outlier study (Table X) ---");
+    table.print();
+    super::print_paper_reference(
+        "Table X",
+        &["model", "AUC", "AUC(V⁻,O^str)", "AUC(V⁻,O^attr)"],
+        &[
+            ("VGOD", &[0.977, 0.922, 0.926]),
+            ("AnomalyDAE", &[0.925, 0.796, 0.925]),
+        ],
+    );
+
+    // Fig. 9 diagnostics.
+    let outliers = truth.structural_nodes();
+    let inliers = truth.normal_nodes();
+    let out_deg = degree_stats(&g, Some(&outliers));
+    let in_deg = degree_stats(&g, Some(&inliers));
+    let out_var = attribute_variance(&g, &outliers);
+    let in_var = attribute_variance(&g, &inliers);
+    let homophily = adjusted_homophily(&g);
+    println!("--- measured: dataset diagnostics (Fig. 9 / §VI-E4) ---");
+    let mut diag = Table::new(&["statistic", "measured", "paper"]);
+    diag.row(vec![
+        "outlier degree mean".into(),
+        format!("{:.2}", out_deg.mean),
+        "≈ inlier mean (Fig. 9b)".into(),
+    ]);
+    diag.row(vec![
+        "inlier degree mean".into(),
+        format!("{:.2}", in_deg.mean),
+        "—".into(),
+    ]);
+    diag.row(vec![
+        "outlier attr variance".into(),
+        format!("{out_var:.1}"),
+        "425.0".into(),
+    ]);
+    diag.row(vec![
+        "inlier attr variance".into(),
+        format!("{in_var:.2}"),
+        "11.95".into(),
+    ]);
+    diag.row(vec![
+        "adjusted homophily".into(),
+        format!("{homophily:.2}"),
+        "0.75".into(),
+    ]);
+    diag.print();
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vgod_wins_via_structural_detection() {
+        let t = run(Scale::Tiny, 29);
+        let vgod: f32 = t.cell("VGOD", "AUC").unwrap().parse().unwrap();
+        let dae: f32 = t.cell("AnomalyDAE", "AUC").unwrap().parse().unwrap();
+        assert!(vgod > 0.8, "VGOD AUC on weibo-like = {vgod}");
+        // At tiny scale both models can saturate; allow a hairline tie on
+        // the combined AUC — the structural-channel gap below is the
+        // discriminating claim.
+        assert!(
+            vgod > dae - 0.01,
+            "VGOD ({vgod}) should match/beat AnomalyDAE ({dae})"
+        );
+        // The paper's explanation: VGOD's edge comes from the structural
+        // (neighbour variance) channel.
+        let vgod_str: f32 = t.cell("VGOD", "AUC(V⁻,O^str)").unwrap().parse().unwrap();
+        let dae_str: f32 = t
+            .cell("AnomalyDAE", "AUC(V⁻,O^str)")
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(
+            vgod_str > dae_str,
+            "VGOD str {vgod_str} vs AnomalyDAE str {dae_str}"
+        );
+    }
+}

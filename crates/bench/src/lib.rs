@@ -1,0 +1,69 @@
+//! # vgod-bench
+//!
+//! The experiment harness that regenerates **every table and figure** of
+//! the VGOD paper's evaluation (§VI and Appendix A/B). Each `benches/exp_*`
+//! target is a thin `main` around one of the [`experiments`] runners; run
+//! them all with `cargo bench`, or one with e.g.
+//! `cargo bench --bench exp_unod`.
+//!
+//! Environment knobs (all optional):
+//!
+//! * `VGOD_SCALE` — `tiny | small | medium | paper` (default `small`):
+//!   dataset replica scale; see `vgod-datasets`.
+//! * `VGOD_SEED` — base RNG seed (default 42).
+//! * `VGOD_RUNS` — repetitions averaged per cell (default 1; the paper
+//!   averages 5).
+//!
+//! Each runner prints aligned text tables with the paper's reported
+//! numbers alongside the measured ones where applicable; EXPERIMENTS.md
+//! records a full paper-vs-measured comparison.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+mod table;
+mod zoo;
+
+pub use table::Table;
+pub use zoo::{deep_config_for, detector_zoo, vgod_config_for, DetectorKind};
+
+use vgod_datasets::Scale;
+
+/// Replica scale from `VGOD_SCALE` (default [`Scale::Small`]).
+pub fn scale_from_env() -> Scale {
+    std::env::var("VGOD_SCALE")
+        .ok()
+        .and_then(|s| Scale::from_env_str(&s))
+        .unwrap_or(Scale::Small)
+}
+
+/// Base seed from `VGOD_SEED` (default 42).
+pub fn seed_from_env() -> u64 {
+    std::env::var("VGOD_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+/// Repetitions per cell from `VGOD_RUNS` (default 1).
+pub fn runs_from_env() -> usize {
+    std::env::var("VGOD_RUNS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+        .max(1)
+}
+
+/// Standard banner printed by every bench target.
+pub fn banner(title: &str, paper_ref: &str) {
+    println!();
+    println!("=== {title} ===");
+    println!("reproduces: {paper_ref}");
+    println!(
+        "scale = {}, seed = {}, runs = {}",
+        scale_from_env(),
+        seed_from_env(),
+        runs_from_env()
+    );
+    println!();
+}

@@ -1,0 +1,492 @@
+//! Subcommand implementations.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+use vgod::{MiniBatchConfig, Vbm, Vgod, VgodConfig};
+use vgod_baselines::{
+    AnomalyDae, Cola, Conad, DeepConfig, Deg, DegNorm, Dominant, Done, L2Norm, Radar,
+    RandomDetector,
+};
+use vgod_datasets::{replica, Dataset, Scale};
+use vgod_eval::{auc, average_precision, precision_at_k, recall_at_k, OutlierDetector};
+use vgod_graph::{
+    adjusted_homophily, degree_stats, edge_homophily, load_graph, save_graph, seeded_rng,
+    AttributedGraph,
+};
+use vgod_inject::{
+    inject_community_replacement, inject_contextual, inject_standard, inject_structural,
+    ContextualParams, DistanceMetric, GroundTruth, StructuralParams,
+};
+
+use crate::args::Args;
+use crate::files;
+
+type CmdResult = Result<(), String>;
+
+fn parse_dataset(s: &str) -> Result<Dataset, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "cora" => Ok(Dataset::CoraLike),
+        "citeseer" => Ok(Dataset::CiteseerLike),
+        "pubmed" => Ok(Dataset::PubmedLike),
+        "flickr" => Ok(Dataset::FlickrLike),
+        "weibo" => Ok(Dataset::WeiboLike),
+        other => Err(format!("unknown dataset {other:?}")),
+    }
+}
+
+fn load(path: &str) -> Result<AttributedGraph, String> {
+    load_graph(path).map_err(|e| format!("{path}: {e}"))
+}
+
+/// `vgod generate`
+pub fn generate(args: &Args) -> CmdResult {
+    let dataset = parse_dataset(args.required("dataset").map_err(|e| e.to_string())?)?;
+    let scale = args
+        .get("scale")
+        .map(|s| Scale::from_env_str(s).ok_or_else(|| format!("unknown scale {s:?}")))
+        .transpose()?
+        .unwrap_or(Scale::Small);
+    let seed: u64 = args.get_parsed_or("seed", 42).map_err(|e| e.to_string())?;
+    let out = args.required("out").map_err(|e| e.to_string())?;
+
+    let mut rng = seeded_rng(seed);
+    let r = replica(dataset, scale, &mut rng);
+    save_graph(&r.graph, out).map_err(|e| format!("{out}: {e}"))?;
+    println!(
+        "wrote {out}: {} nodes, {} edges, {} attrs",
+        r.graph.num_nodes(),
+        r.graph.num_edges(),
+        r.graph.num_attrs()
+    );
+    if let Some(truth) = r.labeled_truth {
+        let path = args
+            .get("truth")
+            .ok_or("weibo carries labeled outliers: pass --truth FILE to keep them")?;
+        let mut w = BufWriter::new(File::create(path).map_err(|e| format!("{path}: {e}"))?);
+        files::write_truth(&truth, &mut w).map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "wrote {path}: {} labeled outliers",
+            truth.structural_nodes().len()
+        );
+    }
+    Ok(())
+}
+
+/// `vgod inject`
+pub fn inject(args: &Args) -> CmdResult {
+    let input = args.required("in").map_err(|e| e.to_string())?;
+    let out = args.required("out").map_err(|e| e.to_string())?;
+    let truth_path = args.required("truth").map_err(|e| e.to_string())?;
+    let seed: u64 = args.get_parsed_or("seed", 1).map_err(|e| e.to_string())?;
+    let mode = args.get("mode").unwrap_or("standard");
+
+    let mut g = load(input)?;
+    let mut rng = seeded_rng(seed);
+
+    let p: usize = args.get_parsed_or("p", 5).map_err(|e| e.to_string())?;
+    let q: usize = args.get_parsed_or("q", 15).map_err(|e| e.to_string())?;
+    let k: usize = args.get_parsed_or("k", 50).map_err(|e| e.to_string())?;
+    let fraction: f32 = args
+        .get_parsed_or("fraction", 0.1)
+        .map_err(|e| e.to_string())?;
+    let metric = match args.get("metric").unwrap_or("euclidean") {
+        "euclidean" => DistanceMetric::Euclidean,
+        "cosine" => DistanceMetric::Cosine,
+        other => return Err(format!("unknown metric {other:?}")),
+    };
+    let sp = StructuralParams {
+        num_cliques: p,
+        clique_size: q,
+    };
+    let cp = ContextualParams {
+        count: p * q,
+        candidates: k,
+        metric,
+    };
+
+    let truth = match mode {
+        "standard" => inject_standard(&mut g, &sp, &cp, &mut rng),
+        "structural" => {
+            let mut truth = GroundTruth::new(g.num_nodes());
+            inject_structural(&mut g, &mut truth, &sp, &mut rng);
+            truth
+        }
+        "contextual" => {
+            let mut truth = GroundTruth::new(g.num_nodes());
+            inject_contextual(&mut g, &mut truth, &cp, &mut rng);
+            truth
+        }
+        "replacement" => {
+            let mut truth = GroundTruth::new(g.num_nodes());
+            inject_community_replacement(&mut g, &mut truth, fraction, &mut rng);
+            truth
+        }
+        other => return Err(format!("unknown injection mode {other:?}")),
+    };
+
+    save_graph(&g, out).map_err(|e| format!("{out}: {e}"))?;
+    let mut w = BufWriter::new(File::create(truth_path).map_err(|e| format!("{truth_path}: {e}"))?);
+    files::write_truth(&truth, &mut w).map_err(|e| format!("{truth_path}: {e}"))?;
+    println!(
+        "wrote {out} (+{truth_path}): {} structural, {} contextual outliers",
+        truth.structural_nodes().len(),
+        truth.contextual_nodes().len()
+    );
+    Ok(())
+}
+
+/// `vgod detect`
+pub fn detect(args: &Args) -> CmdResult {
+    let input = args.required("in").map_err(|e| e.to_string())?;
+    let scores_path = args.required("scores").map_err(|e| e.to_string())?;
+    let model = args.get("model").unwrap_or("vgod").to_ascii_lowercase();
+    let seed: u64 = args.get_parsed_or("seed", 0).map_err(|e| e.to_string())?;
+    let hidden: usize = args
+        .get_parsed_or("hidden", 64)
+        .map_err(|e| e.to_string())?;
+    let epochs: usize = args
+        .get_parsed_or("epochs", 50)
+        .map_err(|e| e.to_string())?;
+    let lr: f32 = args.get_parsed_or("lr", 0.005).map_err(|e| e.to_string())?;
+    let self_loops: bool = args
+        .get_parsed_or("self-loops", true)
+        .map_err(|e| e.to_string())?;
+    let batch: usize = args.get_parsed_or("batch", 0).map_err(|e| e.to_string())?;
+
+    let g = load(input)?;
+    let deep = DeepConfig {
+        hidden,
+        epochs,
+        lr,
+        seed,
+    };
+    let mut vgod_cfg = VgodConfig::default();
+    vgod_cfg.vbm.hidden_dim = hidden;
+    vgod_cfg.vbm.lr = lr;
+    vgod_cfg.vbm.self_loops = self_loops;
+    vgod_cfg.vbm.seed = seed;
+    vgod_cfg.arm.hidden_dim = hidden;
+    vgod_cfg.arm.lr = lr;
+    vgod_cfg.arm.epochs = epochs.max(1);
+    vgod_cfg.arm.seed = seed.wrapping_add(1);
+
+    let save_model = args.get("save-model");
+    let load_model = args.get("load-model");
+    if load_model.is_some() && !matches!(model.as_str(), "vbm" | "arm") {
+        return Err("--load-model supports vbm and arm checkpoints only".into());
+    }
+
+    let scores = match model.as_str() {
+        "vgod" => Vgod::new(vgod_cfg).fit_score(&g).combined,
+        "vbm" => {
+            let vbm = match load_model {
+                Some(path) => {
+                    let mut r =
+                        BufReader::new(File::open(path).map_err(|e| format!("{path}: {e}"))?);
+                    Vbm::load(&mut r)?
+                }
+                None => {
+                    let mut vbm = Vbm::new(vgod_cfg.vbm);
+                    if batch > 0 {
+                        vbm.fit_minibatch(
+                            &g,
+                            &MiniBatchConfig {
+                                batch_size: batch,
+                                neighbor_cap: 16,
+                            },
+                        );
+                    } else {
+                        OutlierDetector::fit(&mut vbm, &g);
+                    }
+                    vbm
+                }
+            };
+            if let Some(path) = save_model {
+                let mut w = BufWriter::new(File::create(path).map_err(|e| format!("{path}: {e}"))?);
+                vbm.save(&mut w).map_err(|e| format!("{path}: {e}"))?;
+                println!("saved VBM checkpoint to {path}");
+            }
+            vbm.scores(&g)
+        }
+        "arm" => {
+            let arm = match load_model {
+                Some(path) => {
+                    let mut r =
+                        BufReader::new(File::open(path).map_err(|e| format!("{path}: {e}"))?);
+                    vgod::Arm::load(&mut r)?
+                }
+                None => {
+                    let mut arm = vgod::Arm::new(vgod_cfg.arm);
+                    if batch > 0 {
+                        arm.fit_minibatch(
+                            &g,
+                            &MiniBatchConfig {
+                                batch_size: batch,
+                                neighbor_cap: 16,
+                            },
+                        );
+                    } else {
+                        OutlierDetector::fit(&mut arm, &g);
+                    }
+                    arm
+                }
+            };
+            if let Some(path) = save_model {
+                let mut w = BufWriter::new(File::create(path).map_err(|e| format!("{path}: {e}"))?);
+                arm.save(&mut w).map_err(|e| format!("{path}: {e}"))?;
+                println!("saved ARM checkpoint to {path}");
+            }
+            arm.scores(&g)
+        }
+        "dominant" => Dominant::new(deep).fit_score(&g).combined,
+        "anomalydae" => AnomalyDae::new(deep).fit_score(&g).combined,
+        "done" => Done::new(deep).fit_score(&g).combined,
+        "cola" => Cola::new(deep).fit_score(&g).combined,
+        "conad" => Conad::new(deep).fit_score(&g).combined,
+        "radar" => Radar::new(deep).fit_score(&g).combined,
+        "degnorm" => DegNorm.fit_score(&g).combined,
+        "deg" => Deg.fit_score(&g).combined,
+        "l2norm" => L2Norm.fit_score(&g).combined,
+        "random" => RandomDetector::new(seed).fit_score(&g).combined,
+        other => return Err(format!("unknown model {other:?}")),
+    };
+    let mut w =
+        BufWriter::new(File::create(scores_path).map_err(|e| format!("{scores_path}: {e}"))?);
+    files::write_scores(&scores, &mut w).map_err(|e| format!("{scores_path}: {e}"))?;
+    println!("wrote {scores_path}: {} scores from {model}", scores.len());
+    Ok(())
+}
+
+/// `vgod eval`
+pub fn eval(args: &Args) -> CmdResult {
+    let scores_path = args.required("scores").map_err(|e| e.to_string())?;
+    let truth_path = args.required("truth").map_err(|e| e.to_string())?;
+
+    let mut r = BufReader::new(File::open(scores_path).map_err(|e| format!("{scores_path}: {e}"))?);
+    let scores = files::read_scores(&mut r)?;
+    let mut r = BufReader::new(File::open(truth_path).map_err(|e| format!("{truth_path}: {e}"))?);
+    let truth = files::read_truth(&mut r)?;
+    if truth.len() != scores.len() {
+        return Err(format!(
+            "score/truth size mismatch: {} scores vs {} nodes",
+            scores.len(),
+            truth.len()
+        ));
+    }
+    let mask = truth.outlier_mask();
+    let n_out = mask.iter().filter(|&&o| o).count();
+    let at: usize = args
+        .get_parsed_or("at", n_out.max(1))
+        .map_err(|e| e.to_string())?;
+
+    println!("nodes: {}, outliers: {n_out}", scores.len());
+    println!("AUC               = {:.4}", auc(&scores, &mask));
+    println!(
+        "average precision = {:.4}",
+        average_precision(&scores, &mask)
+    );
+    println!(
+        "precision@{at:<5}    = {:.4}",
+        precision_at_k(&scores, &mask, at)
+    );
+    println!(
+        "recall@{at:<5}       = {:.4}",
+        recall_at_k(&scores, &mask, at)
+    );
+    let s_mask = truth.structural_mask();
+    let c_mask = truth.contextual_mask();
+    if s_mask.iter().any(|&m| m) && c_mask.iter().any(|&m| m) {
+        let a_s = vgod_eval::auc_subset(&scores, &s_mask);
+        let a_c = vgod_eval::auc_subset(&scores, &c_mask);
+        println!("AUC structural    = {a_s:.4}");
+        println!("AUC contextual    = {a_c:.4}");
+        println!("AucGap            = {:.4}", vgod_eval::auc_gap(a_s, a_c));
+    }
+    Ok(())
+}
+
+/// `vgod stats`
+pub fn stats(args: &Args) -> CmdResult {
+    let input = args.required("in").map_err(|e| e.to_string())?;
+    let g = load(input)?;
+    let deg = degree_stats(&g, None);
+    println!("nodes      : {}", g.num_nodes());
+    println!("edges      : {}", g.num_edges());
+    println!("attributes : {}", g.num_attrs());
+    println!("avg degree : {:.2}", g.avg_degree());
+    println!("max degree : {}", deg.max);
+    println!("median deg : {}", deg.median);
+    if g.labels().is_some() {
+        println!(
+            "homophily  : {:.3} (edge), {:.3} (adjusted)",
+            edge_homophily(&g),
+            adjusted_homophily(&g)
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("vgod_cli_{name}_{}", std::process::id()))
+            .display()
+            .to_string()
+    }
+
+    fn args_of(words: &[&str]) -> Args {
+        Args::parse(&words.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn full_cli_pipeline_via_library() {
+        let graph_path = tmp("graph.txt");
+        let injected_path = tmp("injected.txt");
+        let truth_path = tmp("truth.txt");
+        let scores_path = tmp("scores.tsv");
+
+        generate(&args_of(&[
+            "--dataset",
+            "cora",
+            "--scale",
+            "tiny",
+            "--seed",
+            "3",
+            "--out",
+            &graph_path,
+        ]))
+        .unwrap();
+        inject(&args_of(&[
+            "--in",
+            &graph_path,
+            "--out",
+            &injected_path,
+            "--truth",
+            &truth_path,
+            "--mode",
+            "standard",
+            "--p",
+            "2",
+            "--q",
+            "8",
+            "--k",
+            "20",
+            "--seed",
+            "4",
+        ]))
+        .unwrap();
+        detect(&args_of(&[
+            "--in",
+            &injected_path,
+            "--scores",
+            &scores_path,
+            "--model",
+            "degnorm",
+        ]))
+        .unwrap();
+        eval(&args_of(&[
+            "--scores",
+            &scores_path,
+            "--truth",
+            &truth_path,
+        ]))
+        .unwrap();
+
+        for p in [&graph_path, &injected_path, &truth_path, &scores_path] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn vbm_checkpoint_roundtrip_via_cli() {
+        let graph_path = tmp("ck_graph.txt");
+        let model_path = tmp("ck_model.txt");
+        let s1 = tmp("ck_s1.tsv");
+        let s2 = tmp("ck_s2.tsv");
+        generate(&args_of(&[
+            "--dataset",
+            "citeseer",
+            "--scale",
+            "tiny",
+            "--seed",
+            "5",
+            "--out",
+            &graph_path,
+        ]))
+        .unwrap();
+        detect(&args_of(&[
+            "--in",
+            &graph_path,
+            "--scores",
+            &s1,
+            "--model",
+            "vbm",
+            "--epochs",
+            "3",
+            "--hidden",
+            "8",
+            "--save-model",
+            &model_path,
+        ]))
+        .unwrap();
+        detect(&args_of(&[
+            "--in",
+            &graph_path,
+            "--scores",
+            &s2,
+            "--model",
+            "vbm",
+            "--load-model",
+            &model_path,
+        ]))
+        .unwrap();
+        let read = |p: &str| -> Vec<f32> {
+            let mut r = std::io::BufReader::new(File::open(p).unwrap());
+            crate::files::read_scores(&mut r).unwrap()
+        };
+        assert_eq!(
+            read(&s1),
+            read(&s2),
+            "loaded checkpoint must reproduce scores"
+        );
+        for p in [&graph_path, &model_path, &s1, &s2] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn unknown_inputs_are_rejected() {
+        assert!(parse_dataset("imdb").is_err());
+        assert!(generate(&args_of(&[
+            "--dataset",
+            "cora",
+            "--out",
+            "/nonexistent-dir/x"
+        ]))
+        .is_err());
+        assert!(detect(&args_of(&[
+            "--in",
+            "/no/such/file",
+            "--scores",
+            "/tmp/x",
+            "--model",
+            "vgod"
+        ]))
+        .is_err());
+        assert!(inject(&args_of(&[
+            "--in",
+            "/no/such/file",
+            "--out",
+            "/tmp/a",
+            "--truth",
+            "/tmp/b",
+            "--mode",
+            "bogus"
+        ]))
+        .is_err());
+    }
+}

@@ -1,0 +1,132 @@
+//! Ground-truth and score files (one record per line, whitespace-separated).
+
+use std::io::{BufRead, Write};
+
+use vgod_inject::{GroundTruth, OutlierKind};
+
+/// Write ground truth as `node kind` lines (`normal|structural|contextual`).
+pub fn write_truth(truth: &GroundTruth, out: &mut impl Write) -> std::io::Result<()> {
+    for u in 0..truth.len() as u32 {
+        let kind = match truth.kind(u) {
+            OutlierKind::Normal => "normal",
+            OutlierKind::Structural => "structural",
+            OutlierKind::Contextual => "contextual",
+        };
+        writeln!(out, "{u} {kind}")?;
+    }
+    Ok(())
+}
+
+/// Read a truth file written by [`write_truth`].
+pub fn read_truth(input: &mut impl BufRead) -> Result<GroundTruth, String> {
+    let mut entries: Vec<(u32, OutlierKind)> = Vec::new();
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line.map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let node: u32 = parts
+            .next()
+            .ok_or_else(|| format!("line {}: missing node id", lineno + 1))?
+            .parse()
+            .map_err(|e| format!("line {}: bad node id ({e})", lineno + 1))?;
+        let kind = match parts.next() {
+            Some("normal") => OutlierKind::Normal,
+            Some("structural") => OutlierKind::Structural,
+            Some("contextual") => OutlierKind::Contextual,
+            other => return Err(format!("line {}: bad kind {other:?}", lineno + 1)),
+        };
+        entries.push((node, kind));
+    }
+    let n = entries
+        .iter()
+        .map(|&(u, _)| u as usize + 1)
+        .max()
+        .unwrap_or(0);
+    let mut truth = GroundTruth::new(n);
+    for (u, kind) in entries {
+        truth.mark(u, kind);
+    }
+    Ok(truth)
+}
+
+/// Write scores as `node score` lines.
+pub fn write_scores(scores: &[f32], out: &mut impl Write) -> std::io::Result<()> {
+    for (u, s) in scores.iter().enumerate() {
+        writeln!(out, "{u} {s}")?;
+    }
+    Ok(())
+}
+
+/// Read a score file written by [`write_scores`].
+pub fn read_scores(input: &mut impl BufRead) -> Result<Vec<f32>, String> {
+    let mut pairs: Vec<(usize, f32)> = Vec::new();
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line.map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let node: usize = parts
+            .next()
+            .ok_or_else(|| format!("line {}: missing node id", lineno + 1))?
+            .parse()
+            .map_err(|e| format!("line {}: bad node id ({e})", lineno + 1))?;
+        let score: f32 = parts
+            .next()
+            .ok_or_else(|| format!("line {}: missing score", lineno + 1))?
+            .parse()
+            .map_err(|e| format!("line {}: bad score ({e})", lineno + 1))?;
+        pairs.push((node, score));
+    }
+    let n = pairs.iter().map(|&(u, _)| u + 1).max().unwrap_or(0);
+    let mut scores = vec![f32::NAN; n];
+    for (u, s) in pairs {
+        scores[u] = s;
+    }
+    if let Some(hole) = scores.iter().position(|s| s.is_nan()) {
+        return Err(format!("node {hole} has no score line"));
+    }
+    Ok(scores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truth_roundtrip() {
+        let mut t = GroundTruth::new(4);
+        t.mark(1, OutlierKind::Structural);
+        t.mark(3, OutlierKind::Contextual);
+        let mut buf = Vec::new();
+        write_truth(&t, &mut buf).unwrap();
+        let back = read_truth(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.len(), 4);
+        for u in 0..4u32 {
+            assert_eq!(back.kind(u), t.kind(u));
+        }
+    }
+
+    #[test]
+    fn scores_roundtrip_and_holes_detected() {
+        let scores = vec![0.5, -1.25, 3.0];
+        let mut buf = Vec::new();
+        write_scores(&scores, &mut buf).unwrap();
+        assert_eq!(read_scores(&mut buf.as_slice()).unwrap(), scores);
+
+        let partial = b"0 1.0\n2 2.0\n";
+        assert!(read_scores(&mut partial.as_slice())
+            .unwrap_err()
+            .contains("node 1"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_truth(&mut b"0 goblin\n".as_slice()).is_err());
+        assert!(read_scores(&mut b"zero 1.0\n".as_slice()).is_err());
+    }
+}

@@ -1,0 +1,79 @@
+//! `vgod` — command-line interface for the vgod-rs workspace.
+//!
+//! ```text
+//! vgod generate --dataset cora --scale small --seed 42 --out graph.txt
+//! vgod inject   --in graph.txt --mode standard --p 5 --q 15 --k 50 \
+//!               --out injected.txt --truth truth.txt --seed 1
+//! vgod detect   --in injected.txt --model vgod --scores scores.tsv
+//! vgod eval     --scores scores.tsv --truth truth.txt --at 50
+//! vgod stats    --in graph.txt
+//! ```
+
+mod args;
+mod commands;
+mod files;
+
+use args::Args;
+
+const USAGE: &str = "\
+vgod — unsupervised graph outlier detection (VGOD, ICDE 2023 reproduction)
+
+USAGE:
+  vgod <command> [--flag value]...
+
+COMMANDS:
+  generate   create a synthetic dataset replica
+             --dataset cora|citeseer|pubmed|flickr|weibo  --scale tiny|small|medium|paper
+             --seed N  --out FILE  [--truth FILE: weibo only]
+  inject     plant outliers into a graph
+             --in FILE  --out FILE  --truth FILE  --seed N
+             --mode standard|structural|contextual|replacement
+             [--p N --q N --k N --metric euclidean|cosine --fraction F]
+  detect     train a detector and write per-node outlier scores
+             --in FILE  --scores FILE  --model vgod|vbm|arm|dominant|anomalydae|done|cola|conad|radar|degnorm|deg|l2norm|random
+             [--epochs N --hidden N --lr F --seed N --self-loops true|false]
+             [--batch N: mini-batch training for vbm/arm]
+             [--save-model FILE | --load-model FILE: vbm/arm checkpoints]
+  eval       score a ranking against ground truth
+             --scores FILE  --truth FILE  [--at K]
+  stats      print graph statistics
+             --in FILE
+";
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = argv.split_first() else {
+        eprint!("{USAGE}");
+        std::process::exit(2);
+    };
+    let args = match Args::parse(rest) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    // Every input is a named flag; stray words are most likely typos.
+    if let Some(stray) = args.positional().first() {
+        eprintln!("error: unexpected argument {stray:?} (all inputs are --flag value pairs)\n");
+        eprint!("{USAGE}");
+        std::process::exit(2);
+    }
+    let result = match command.as_str() {
+        "generate" => commands::generate(&args),
+        "inject" => commands::inject(&args),
+        "detect" => commands::detect(&args),
+        "eval" => commands::eval(&args),
+        "stats" => commands::stats(&args),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,296 @@
+//! The VGOD framework (§V-C, Algorithm 1).
+
+use vgod_eval::{combine_mean_std, combine_sum_to_unit, OutlierDetector, Scores};
+use vgod_graph::AttributedGraph;
+
+use crate::{Arm, CombineStrategy, Vbm, VgodConfig};
+
+/// Variance-based Graph Outlier Detection: the paper's full framework.
+///
+/// Trains the [`Vbm`] and [`Arm`] *separately* (different epoch budgets, no
+/// shared loss — §V-C argues joint training with a fixed weight causes
+/// unbalanced optimisation), then combines their scores with mean-std
+/// normalisation (Eq. 19) at inference time.
+///
+/// Implements [`OutlierDetector`], supporting both the transductive UNOD
+/// protocol and the inductive protocol of Appendix B (every hyperparameter
+/// is decoupled from the graph size, so a trained model scores any graph
+/// with the same attribute schema).
+#[derive(Clone, Debug)]
+pub struct Vgod {
+    cfg: VgodConfig,
+    vbm: Vbm,
+    arm: Arm,
+}
+
+impl Vgod {
+    /// An untrained framework.
+    pub fn new(cfg: VgodConfig) -> Self {
+        let vbm = Vbm::new(cfg.vbm.clone());
+        let arm = Arm::new(cfg.arm.clone());
+        Self { cfg, vbm, arm }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &VgodConfig {
+        &self.cfg
+    }
+
+    /// The variance-based component (after `fit`).
+    pub fn vbm(&self) -> &Vbm {
+        &self.vbm
+    }
+
+    /// The attribute-reconstruction component (after `fit`).
+    pub fn arm(&self) -> &Arm {
+        &self.arm
+    }
+
+    /// Write the trained framework (both models and the combine strategy)
+    /// as a plain-text checkpoint.
+    ///
+    /// # Panics
+    /// Panics if either model is untrained.
+    pub fn save(&self, out: &mut impl std::io::Write) -> std::io::Result<()> {
+        writeln!(out, "# vgod-framework v1")?;
+        let combine = match self.cfg.combine {
+            CombineStrategy::MeanStd => "mean-std".to_string(),
+            CombineStrategy::SumToUnit => "sum-to-unit".to_string(),
+            CombineStrategy::Weighted(a) => format!("weighted:{a}"),
+        };
+        writeln!(out, "combine {combine}")?;
+        self.vbm.save(out)?;
+        self.arm.save(out)
+    }
+
+    /// Read a checkpoint written by [`Vgod::save`].
+    pub fn load(input: &mut impl std::io::BufRead) -> Result<Vgod, String> {
+        let mut magic = String::new();
+        input.read_line(&mut magic).map_err(|e| e.to_string())?;
+        if magic.trim() != "# vgod-framework v1" {
+            return Err(format!("not a vgod-framework checkpoint: {magic:?}"));
+        }
+        let mut line = String::new();
+        input.read_line(&mut line).map_err(|e| e.to_string())?;
+        let combine = match line.trim().strip_prefix("combine ") {
+            Some("mean-std") => CombineStrategy::MeanStd,
+            Some("sum-to-unit") => CombineStrategy::SumToUnit,
+            Some(other) => match other.strip_prefix("weighted:") {
+                Some(alpha) => CombineStrategy::Weighted(
+                    alpha.parse().map_err(|e| format!("bad weight: {e}"))?,
+                ),
+                None => return Err(format!("unknown combine strategy {other:?}")),
+            },
+            None => return Err(format!("bad combine line: {line:?}")),
+        };
+        let vbm = Vbm::load(input)?;
+        let arm = Arm::load(input)?;
+        let cfg = VgodConfig {
+            vbm: vbm.config().clone(),
+            arm: arm.config().clone(),
+            combine,
+        };
+        Ok(Vgod { cfg, vbm, arm })
+    }
+
+    /// Combine structural and contextual scores per the configured strategy.
+    pub fn combine(&self, structural: &[f32], contextual: &[f32]) -> Vec<f32> {
+        match self.cfg.combine {
+            CombineStrategy::MeanStd => combine_mean_std(structural, contextual),
+            CombineStrategy::SumToUnit => combine_sum_to_unit(structural, contextual),
+            CombineStrategy::Weighted(alpha) => structural
+                .iter()
+                .zip(contextual)
+                .map(|(&s, &c)| alpha * s + (1.0 - alpha) * c)
+                .collect(),
+        }
+    }
+}
+
+impl OutlierDetector for Vgod {
+    fn name(&self) -> &'static str {
+        "VGOD"
+    }
+
+    fn fit(&mut self, g: &AttributedGraph) {
+        // Algorithm 1: train VBM for Epoch_VBM, then ARM for Epoch_ARM.
+        self.vbm.fit(g);
+        self.arm.fit(g);
+    }
+
+    fn score(&self, g: &AttributedGraph) -> Scores {
+        let structural = self.vbm.scores(g);
+        let contextual = self.arm.scores(g);
+        let combined = self.combine(&structural, &contextual);
+        Scores {
+            combined,
+            structural: Some(structural),
+            contextual: Some(contextual),
+        }
+    }
+}
+
+impl OutlierDetector for Vbm {
+    fn name(&self) -> &'static str {
+        "VBM"
+    }
+
+    fn fit(&mut self, g: &AttributedGraph) {
+        Vbm::fit(self, g);
+    }
+
+    fn score(&self, g: &AttributedGraph) -> Scores {
+        let s = self.scores(g);
+        Scores {
+            combined: s.clone(),
+            structural: Some(s),
+            contextual: None,
+        }
+    }
+}
+
+impl OutlierDetector for Arm {
+    fn name(&self) -> &'static str {
+        "ARM"
+    }
+
+    fn fit(&mut self, g: &AttributedGraph) {
+        Arm::fit(self, g);
+    }
+
+    fn score(&self, g: &AttributedGraph) -> Scores {
+        let s = self.scores(g);
+        Scores {
+            combined: s.clone(),
+            structural: None,
+            contextual: Some(s),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vgod_eval::{auc, auc_gap, auc_subset};
+    use vgod_graph::{
+        community_graph, gaussian_mixture_attributes, seeded_rng, CommunityGraphConfig,
+    };
+    use vgod_inject::{inject_standard, ContextualParams, DistanceMetric, StructuralParams};
+
+    fn injected_case(seed: u64) -> (AttributedGraph, vgod_inject::GroundTruth) {
+        let mut rng = seeded_rng(seed);
+        let mut g = community_graph(
+            &CommunityGraphConfig::homogeneous(260, 4, 5.0, 0.92),
+            &mut rng,
+        );
+        let x = gaussian_mixture_attributes(g.labels().unwrap(), 16, 4.0, 0.5, &mut rng);
+        g.set_attrs(x);
+        let sp = StructuralParams {
+            num_cliques: 2,
+            clique_size: 7,
+        };
+        let cp = ContextualParams {
+            count: 14,
+            candidates: 40,
+            metric: DistanceMetric::Euclidean,
+        };
+        let truth = inject_standard(&mut g, &sp, &cp, &mut rng);
+        (g, truth)
+    }
+
+    fn fast() -> VgodConfig {
+        let mut cfg = VgodConfig::fast();
+        cfg.vbm.hidden_dim = 16;
+        cfg.arm.hidden_dim = 16;
+        cfg.arm.backbone = crate::GnnBackbone::Gcn;
+        cfg
+    }
+
+    #[test]
+    fn detects_both_outlier_types_with_balance() {
+        let (g, truth) = injected_case(31);
+        let mut model = Vgod::new(fast());
+        let scores = model.fit_score(&g);
+        let overall = auc(&scores.combined, &truth.outlier_mask());
+        assert!(overall > 0.8, "overall AUC {overall}");
+        let a_str = auc_subset(&scores.combined, &truth.structural_mask());
+        let a_ctx = auc_subset(&scores.combined, &truth.contextual_mask());
+        let gap = auc_gap(a_str, a_ctx);
+        assert!(gap < 1.4, "AucGap {gap} (str {a_str}, ctx {a_ctx})");
+    }
+
+    #[test]
+    fn component_scores_specialise() {
+        let (g, truth) = injected_case(32);
+        let mut model = Vgod::new(fast());
+        let scores = model.fit_score(&g);
+        let vbm_on_str = auc(
+            scores.structural.as_ref().unwrap(),
+            &truth.structural_mask(),
+        );
+        let arm_on_ctx = auc(
+            scores.contextual.as_ref().unwrap(),
+            &truth.contextual_mask(),
+        );
+        assert!(vbm_on_str > 0.75, "VBM on structural: {vbm_on_str}");
+        assert!(arm_on_ctx > 0.75, "ARM on contextual: {arm_on_ctx}");
+    }
+
+    #[test]
+    fn combine_strategies_differ_but_stay_monotone() {
+        let model = Vgod::new(VgodConfig::default());
+        let s = vec![10.0, 0.0, 5.0];
+        let c = vec![0.0, 2.0, 1.0];
+        let mean_std = model.combine(&s, &c);
+        assert_eq!(mean_std.len(), 3);
+        let mut weighted_model = Vgod::new(VgodConfig {
+            combine: CombineStrategy::Weighted(0.5),
+            ..VgodConfig::default()
+        });
+        let weighted = weighted_model.combine(&s, &c);
+        assert_eq!(weighted, vec![5.0, 1.0, 3.0]);
+        weighted_model.cfg.combine = CombineStrategy::SumToUnit;
+        let unit = weighted_model.combine(&s, &c);
+        assert!((unit.iter().sum::<f32>() - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn inductive_inference_matches_protocol() {
+        let (g_train, _) = injected_case(33);
+        let (g_test, truth_test) = injected_case(34);
+        let mut model = Vgod::new(fast());
+        model.fit(&g_train);
+        let scores = model.score(&g_test);
+        let a = auc(&scores.combined, &truth_test.outlier_mask());
+        assert!(a > 0.7, "inductive AUC {a}");
+    }
+
+    #[test]
+    fn framework_checkpoint_roundtrip() {
+        let (g, _) = injected_case(35);
+        let mut model = Vgod::new(VgodConfig {
+            combine: CombineStrategy::Weighted(0.3),
+            ..fast()
+        });
+        model.fit(&g);
+        let original = model.score(&g);
+        let mut buf = Vec::new();
+        model.save(&mut buf).unwrap();
+        let restored = Vgod::load(&mut buf.as_slice()).unwrap();
+        assert_eq!(restored.config().combine, CombineStrategy::Weighted(0.3));
+        let reloaded = restored.score(&g);
+        assert_eq!(original.combined, reloaded.combined);
+        assert_eq!(original.structural, reloaded.structural);
+    }
+
+    #[test]
+    fn framework_load_rejects_component_checkpoints() {
+        assert!(Vgod::load(&mut b"# vgod-vbm v1\n".as_slice()).is_err());
+        assert!(Vgod::load(&mut b"# vgod-framework v1\ncombine bogus\n".as_slice()).is_err());
+    }
+
+    #[test]
+    fn detector_name_is_stable() {
+        assert_eq!(Vgod::new(VgodConfig::default()).name(), "VGOD");
+    }
+}

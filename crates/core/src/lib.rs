@@ -1,0 +1,51 @@
+//! # vgod — Variance-based Graph Outlier Detection
+//!
+//! The primary contribution of *"Unsupervised Graph Outlier Detection:
+//! Problem Revisit, New Insight, and Superior Method"* (ICDE 2023),
+//! implemented from scratch in Rust:
+//!
+//! * [`Vbm`] — the **Variance-Based Model** (§V-A): a linear +
+//!   row-L2-normalised feature transform (Eq. 5–6) whose neighbour variance
+//!   (Eq. 7–9, the MeanConv/MinusConv layers) scores structural outliers,
+//!   trained contrastively against per-epoch negative-sampled neighbourhoods
+//!   (Eq. 10–12), with the optional self-loop-edge technique (Eq. 13);
+//! * [`Arm`] — the **Attribute Reconstruction Model** (§V-B): feature
+//!   transform → `L` GNN layers (GCN/GAT/GIN/SAGE pluggable) → feature
+//!   retransform, trained to minimise attribute reconstruction error
+//!   (Eq. 14–18), scoring contextual outliers;
+//! * [`Vgod`] — the full framework (§V-C, Algorithm 1): the two models are
+//!   trained *separately* (avoiding unbalanced optimisation) and their
+//!   scores combined after mean-std normalisation (Eq. 19).
+//!
+//! ```no_run
+//! use vgod::{Vgod, VgodConfig};
+//! use vgod_datasets::{replica, Dataset, Scale};
+//! use vgod_eval::{auc, OutlierDetector};
+//! use vgod_graph::seeded_rng;
+//! use vgod_inject::{inject_standard, ContextualParams, StructuralParams};
+//!
+//! let mut rng = seeded_rng(0);
+//! let mut r = replica(Dataset::CoraLike, Scale::Tiny, &mut rng);
+//! let sp = StructuralParams { num_cliques: 2, clique_size: 8 };
+//! let cp = ContextualParams::standard(&sp);
+//! let truth = inject_standard(&mut r.graph, &sp, &cp, &mut rng);
+//!
+//! let mut model = Vgod::new(VgodConfig::default());
+//! let scores = model.fit_score(&r.graph);
+//! println!("AUC = {}", auc(&scores.combined, &truth.outlier_mask()));
+//! ```
+
+#![warn(missing_docs)]
+
+mod arm;
+mod config;
+mod framework;
+mod minibatch;
+mod persist;
+mod vbm;
+
+pub use arm::Arm;
+pub use config::{ArmConfig, CombineStrategy, GnnBackbone, VbmConfig, VgodConfig};
+pub use framework::Vgod;
+pub use minibatch::MiniBatchConfig;
+pub use vbm::{Vbm, VbmEpochSnapshot};

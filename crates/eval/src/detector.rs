@@ -1,0 +1,125 @@
+//! The common interface every outlier detector implements.
+
+use vgod_graph::AttributedGraph;
+
+use crate::combine_mean_std;
+
+/// Outlier scores produced by a detector for every node of a graph.
+///
+/// All detectors produce a `combined` score (higher = more anomalous); the
+/// ones with score combination (Table II) additionally expose the
+/// structural and contextual components so per-type AUCs
+/// (`AUC(V⁻, O^str)` etc.) can be computed.
+#[derive(Clone, Debug, Default)]
+pub struct Scores {
+    /// The final per-node outlier score `o_i`.
+    pub combined: Vec<f32>,
+    /// Structural component `o_i^str`, when the model separates it.
+    pub structural: Option<Vec<f32>>,
+    /// Contextual component `o_i^attr`, when the model separates it.
+    pub contextual: Option<Vec<f32>>,
+}
+
+impl Scores {
+    /// A score bundle with only a combined score.
+    pub fn combined_only(combined: Vec<f32>) -> Self {
+        Self {
+            combined,
+            structural: None,
+            contextual: None,
+        }
+    }
+
+    /// Build from separate structural/contextual scores using the paper's
+    /// mean-std combination (Eq. 19).
+    pub fn from_components(structural: Vec<f32>, contextual: Vec<f32>) -> Self {
+        let combined = combine_mean_std(&structural, &contextual);
+        Self {
+            combined,
+            structural: Some(structural),
+            contextual: Some(contextual),
+        }
+    }
+
+    /// The structural component if present, else the combined score — the
+    /// paper's rule for evaluating structural detection of models with
+    /// multiple outputs (§VI-C2).
+    pub fn structural_or_combined(&self) -> &[f32] {
+        self.structural.as_deref().unwrap_or(&self.combined)
+    }
+
+    /// The contextual component if present, else the combined score.
+    pub fn contextual_or_combined(&self) -> &[f32] {
+        self.contextual.as_deref().unwrap_or(&self.combined)
+    }
+}
+
+/// An unsupervised node outlier detector (Definition 2): fit on a graph
+/// without labels, then score every node.
+///
+/// The `fit`/`score` split supports both the transductive UNOD protocol
+/// (fit and score the same graph) and the inductive protocol of
+/// Appendix B (fit on one graph, score another with the same attribute
+/// schema).
+pub trait OutlierDetector {
+    /// Short display name used in result tables.
+    fn name(&self) -> &'static str;
+
+    /// Train on `g` (no outlier labels available).
+    fn fit(&mut self, g: &AttributedGraph);
+
+    /// Score every node of `g` (higher = more likely outlier).
+    ///
+    /// For trainable detectors this requires `fit` to have been called;
+    /// implementations panic otherwise.
+    fn score(&self, g: &AttributedGraph) -> Scores;
+
+    /// Convenience: `fit` then `score` on the same graph (transductive).
+    fn fit_score(&mut self, g: &AttributedGraph) -> Scores {
+        self.fit(g);
+        self.score(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vgod_tensor::Matrix;
+
+    struct DegreeToy;
+
+    impl OutlierDetector for DegreeToy {
+        fn name(&self) -> &'static str {
+            "toy"
+        }
+
+        fn fit(&mut self, _g: &AttributedGraph) {}
+
+        fn score(&self, g: &AttributedGraph) -> Scores {
+            Scores::combined_only(
+                (0..g.num_nodes() as u32)
+                    .map(|u| g.degree(u) as f32)
+                    .collect(),
+            )
+        }
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let mut g = AttributedGraph::new(Matrix::zeros(3, 1));
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        let mut det: Box<dyn OutlierDetector> = Box::new(DegreeToy);
+        let scores = det.fit_score(&g);
+        assert_eq!(scores.combined, vec![2.0, 1.0, 1.0]);
+        assert_eq!(scores.structural_or_combined(), &[2.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn from_components_combines_with_mean_std() {
+        let s = Scores::from_components(vec![1.0, 0.0], vec![0.0, 1.0]);
+        // Symmetric inputs ⇒ symmetric combination.
+        assert!((s.combined[0] - s.combined[1]).abs() < 1e-6);
+        assert!(s.structural.is_some() && s.contextual.is_some());
+    }
+}

@@ -1,0 +1,197 @@
+//! AUC-family metrics (Eq. 21–22 of the VGOD paper).
+
+/// Tie-corrected AUC: the probability that a uniformly random outlier is
+/// scored above a uniformly random normal node, with ties counting ½
+/// (equivalently, the normalised Mann–Whitney U statistic).
+///
+/// Returns 0.5 when either class is empty.
+///
+/// # Panics
+/// Panics if `scores` and `is_outlier` lengths differ or any score is NaN.
+pub fn auc(scores: &[f32], is_outlier: &[bool]) -> f32 {
+    assert_eq!(scores.len(), is_outlier.len(), "auc: length mismatch");
+    assert!(scores.iter().all(|s| !s.is_nan()), "auc: NaN score");
+    let n_pos = is_outlier.iter().filter(|&&o| o).count();
+    let n_neg = is_outlier.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    // Rank-based computation with average ranks for ties: O(n log n).
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_unstable_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("no NaN"));
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        // Average 1-based rank of the tie group [i, j].
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            if is_outlier[idx] {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    let u = rank_sum_pos - (n_pos as f64 * (n_pos as f64 + 1.0)) / 2.0;
+    (u / (n_pos as f64 * n_neg as f64)) as f32
+}
+
+/// `AUC(V_L, O)` (paper notation): AUC using `subset_is_outlier` as the
+/// positive labels over *all* scored nodes.
+pub fn auc_subset(scores: &[f32], subset_is_outlier: &[bool]) -> f32 {
+    auc(scores, subset_is_outlier)
+}
+
+/// AUC of one outlier *group* against the normal nodes only (used for the
+/// per-clique-size curves of Fig. 6 / Fig. 8): positives are `group`
+/// members, negatives are nodes that are normal under the full ground truth
+/// `is_any_outlier`, and other outliers are excluded from the comparison.
+pub fn auc_group_vs_normal(scores: &[f32], group: &[u32], is_any_outlier: &[bool]) -> f32 {
+    let mut in_group = vec![false; scores.len()];
+    for &u in group {
+        in_group[u as usize] = true;
+    }
+    let mut sub_scores = Vec::with_capacity(scores.len());
+    let mut sub_labels = Vec::with_capacity(scores.len());
+    for i in 0..scores.len() {
+        if in_group[i] {
+            sub_scores.push(scores[i]);
+            sub_labels.push(true);
+        } else if !is_any_outlier[i] {
+            sub_scores.push(scores[i]);
+            sub_labels.push(false);
+        }
+    }
+    auc(&sub_scores, &sub_labels)
+}
+
+/// `AucGap` (Eq. 22): `max(a/b, b/a)` for the structural-outlier AUC `a`
+/// and the contextual-outlier AUC `b` of one model. 1.0 is perfectly
+/// balanced; larger is worse.
+pub fn auc_gap(auc_structural: f32, auc_contextual: f32) -> f32 {
+    let (a, b) = (auc_structural.max(1e-9), auc_contextual.max(1e-9));
+    (a / b).max(b / a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_is_one() {
+        let scores = [0.1, 0.2, 0.9, 0.8];
+        let labels = [false, false, true, true];
+        assert_eq!(auc(&scores, &labels), 1.0);
+    }
+
+    #[test]
+    fn inverted_ranking_is_zero() {
+        let scores = [0.9, 0.8, 0.1, 0.2];
+        let labels = [false, false, true, true];
+        assert_eq!(auc(&scores, &labels), 0.0);
+    }
+
+    #[test]
+    fn all_ties_is_half() {
+        let scores = [0.5; 6];
+        let labels = [true, false, true, false, false, false];
+        assert!((auc(&scores, &labels) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn known_mixed_case() {
+        // outlier scores {3, 1}, normal {2, 0}: pairs (3>2),(3>0),(1<2),(1>0) → 3/4.
+        let scores = [3.0, 1.0, 2.0, 0.0];
+        let labels = [true, true, false, false];
+        assert!((auc(&scores, &labels) - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_classes_give_half() {
+        assert_eq!(auc(&[1.0, 2.0], &[false, false]), 0.5);
+        assert_eq!(auc(&[1.0, 2.0], &[true, true]), 0.5);
+        assert_eq!(auc(&[], &[]), 0.5);
+    }
+
+    #[test]
+    fn group_vs_normal_excludes_other_outliers() {
+        // Nodes: 0 (group A outlier, score 5), 1 (group B outlier, score 9),
+        // 2..4 normals with scores 1, 2, 3.
+        let scores = [5.0, 9.0, 1.0, 2.0, 3.0];
+        let any = [true, true, false, false, false];
+        // Group A vs normals: 5 beats all three normals → 1.0 even though
+        // group B scored higher.
+        assert_eq!(auc_group_vs_normal(&scores, &[0], &any), 1.0);
+        // A weak group: score below every normal → 0.0.
+        let scores2 = [0.5, 9.0, 1.0, 2.0, 3.0];
+        assert_eq!(auc_group_vs_normal(&scores2, &[0], &any), 0.0);
+    }
+
+    #[test]
+    fn auc_gap_is_symmetric_and_at_least_one() {
+        assert!((auc_gap(0.9, 0.6) - 1.5).abs() < 1e-6);
+        assert!((auc_gap(0.6, 0.9) - 1.5).abs() < 1e-6);
+        assert_eq!(auc_gap(0.8, 0.8), 1.0);
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn case() -> impl Strategy<Value = (Vec<f32>, Vec<bool>)> {
+            (2usize..40).prop_flat_map(|n| {
+                (
+                    proptest::collection::vec(-100.0f32..100.0, n),
+                    proptest::collection::vec(any::<bool>(), n),
+                )
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn auc_in_unit_interval((scores, labels) in case()) {
+                let a = auc(&scores, &labels);
+                prop_assert!((0.0..=1.0).contains(&a));
+            }
+
+            #[test]
+            fn auc_invariant_under_monotone_transform((scores, labels) in case()) {
+                let a = auc(&scores, &labels);
+                let transformed: Vec<f32> = scores.iter().map(|&s| (s * 0.01).exp() * 3.0 + 7.0).collect();
+                let b = auc(&transformed, &labels);
+                prop_assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+            }
+
+            #[test]
+            fn negated_scores_mirror_auc((scores, labels) in case()) {
+                let a = auc(&scores, &labels);
+                let neg: Vec<f32> = scores.iter().map(|&s| -s).collect();
+                let b = auc(&neg, &labels);
+                // With ties the mirror is exact too (ties contribute ½ both ways).
+                prop_assert!((a + b - 1.0).abs() < 1e-4, "{a} + {b} != 1");
+            }
+
+            #[test]
+            fn matches_quadratic_reference((scores, labels) in case()) {
+                let fast = auc(&scores, &labels);
+                // O(n²) direct definition (Eq. 21 with ties counted ½).
+                let mut wins = 0.0f64;
+                let mut pairs = 0.0f64;
+                for i in 0..scores.len() {
+                    if !labels[i] { continue; }
+                    for j in 0..scores.len() {
+                        if labels[j] { continue; }
+                        pairs += 1.0;
+                        if scores[i] > scores[j] { wins += 1.0; }
+                        else if scores[i] == scores[j] { wins += 0.5; }
+                    }
+                }
+                let slow = if pairs == 0.0 { 0.5 } else { (wins / pairs) as f32 };
+                prop_assert!((fast - slow).abs() < 1e-4, "fast {fast} slow {slow}");
+            }
+        }
+    }
+}

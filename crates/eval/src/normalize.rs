@@ -1,0 +1,137 @@
+//! Score normalisation and combination strategies (Eq. 19 & 23).
+
+/// Mean-std (z-score) normalisation: `(o_i − μ(O)) / std(O)` (Eq. 19).
+/// A constant score vector normalises to all-zeros.
+pub fn mean_std_normalize(scores: &[f32]) -> Vec<f32> {
+    let n = scores.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mean = scores.iter().sum::<f32>() / n as f32;
+    let var = scores.iter().map(|s| (s - mean) * (s - mean)).sum::<f32>() / n as f32;
+    let std = var.sqrt();
+    if std <= f32::MIN_POSITIVE {
+        return vec![0.0; n];
+    }
+    scores.iter().map(|s| (s - mean) / std).collect()
+}
+
+/// Sum-to-unit normalisation (Eq. 23): `o_i / Σ_j o_j`. Scores are first
+/// shifted so the minimum is zero (the paper requires positive scores).
+/// A constant score vector normalises to the uniform vector `1/n`.
+pub fn sum_to_unit_normalize(scores: &[f32]) -> Vec<f32> {
+    let n = scores.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let min = scores.iter().copied().fold(f32::INFINITY, f32::min);
+    let shifted: Vec<f32> = scores.iter().map(|s| s - min.min(0.0)).collect();
+    let total: f32 = shifted.iter().sum();
+    if total <= f32::MIN_POSITIVE {
+        return vec![1.0 / n as f32; n];
+    }
+    shifted.iter().map(|s| s / total).collect()
+}
+
+/// The paper's final score combination (Eq. 19): mean-std normalise each
+/// score vector independently, then sum elementwise.
+pub fn combine_mean_std(structural: &[f32], contextual: &[f32]) -> Vec<f32> {
+    assert_eq!(
+        structural.len(),
+        contextual.len(),
+        "combine: length mismatch"
+    );
+    let a = mean_std_normalize(structural);
+    let b = mean_std_normalize(contextual);
+    a.iter().zip(&b).map(|(x, y)| x + y).collect()
+}
+
+/// The "sum-to-unit" combination ablated in Appendix A (Eq. 23).
+pub fn combine_sum_to_unit(structural: &[f32], contextual: &[f32]) -> Vec<f32> {
+    assert_eq!(
+        structural.len(),
+        contextual.len(),
+        "combine: length mismatch"
+    );
+    let a = sum_to_unit_normalize(structural);
+    let b = sum_to_unit_normalize(contextual);
+    a.iter().zip(&b).map(|(x, y)| x + y).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_std_yields_zero_mean_unit_std() {
+        let s = [1.0, 2.0, 3.0, 4.0, 10.0];
+        let z = mean_std_normalize(&s);
+        let mean: f32 = z.iter().sum::<f32>() / z.len() as f32;
+        let var: f32 = z.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / z.len() as f32;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn constant_scores_do_not_blow_up() {
+        assert_eq!(mean_std_normalize(&[3.0, 3.0, 3.0]), vec![0.0, 0.0, 0.0]);
+        let u = sum_to_unit_normalize(&[3.0, 3.0, 3.0]);
+        assert!(u.iter().all(|&v| (v - 1.0 / 3.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn sum_to_unit_sums_to_one() {
+        let s = [0.5, 1.5, 3.0];
+        let u = sum_to_unit_normalize(&s);
+        assert!((u.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        // Order preserved.
+        assert!(u[0] < u[1] && u[1] < u[2]);
+    }
+
+    #[test]
+    fn sum_to_unit_handles_negative_scores() {
+        let u = sum_to_unit_normalize(&[-2.0, 0.0, 2.0]);
+        assert!(u.iter().all(|&v| v >= 0.0));
+        assert!((u.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn combination_balances_scales() {
+        // Structural scores on a huge scale, contextual tiny: after mean-std
+        // combination, a node leading either ranking should lead the sum.
+        let structural = [1000.0, 0.0, 0.0, 0.0];
+        let contextual = [0.0, 0.001, 0.0, 0.0];
+        let combined = combine_mean_std(&structural, &contextual);
+        assert!(combined[0] > combined[2]);
+        assert!(combined[1] > combined[2]);
+        // The two outliers sit well above the two normals.
+        assert!(combined[0] > 0.0 && combined[1] > 0.0);
+        assert!(combined[2] < 0.0 && combined[3] < 0.0);
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn mean_std_preserves_ranking(s in proptest::collection::vec(-50.0f32..50.0, 2..30)) {
+                let z = mean_std_normalize(&s);
+                for i in 0..s.len() {
+                    for j in 0..s.len() {
+                        if s[i] < s[j] {
+                            prop_assert!(z[i] <= z[j]);
+                        }
+                    }
+                }
+            }
+
+            #[test]
+            fn sum_to_unit_is_distribution(s in proptest::collection::vec(-50.0f32..50.0, 1..30)) {
+                let u = sum_to_unit_normalize(&s);
+                prop_assert!(u.iter().all(|&v| (0.0..=1.0 + 1e-5).contains(&v)));
+                prop_assert!((u.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+            }
+        }
+    }
+}

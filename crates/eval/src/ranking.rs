@@ -1,0 +1,174 @@
+//! Ranking metrics beyond AUC.
+//!
+//! The BOND benchmark (the paper's reference [9]) reports average precision
+//! alongside AUC; practitioners triaging an alarm list care about
+//! precision/recall at a cutoff. These complement Eq. 21 for the same
+//! score-vector interface.
+
+/// Indices of the `k` highest-scoring nodes (ties broken by index for
+/// determinism).
+pub fn top_k(scores: &[f32], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
+    idx.truncate(k);
+    idx
+}
+
+/// Precision@k: the fraction of the top-`k` scored nodes that are true
+/// outliers. Returns 0.0 when `k == 0`.
+pub fn precision_at_k(scores: &[f32], is_outlier: &[bool], k: usize) -> f32 {
+    assert_eq!(
+        scores.len(),
+        is_outlier.len(),
+        "precision_at_k: length mismatch"
+    );
+    if k == 0 {
+        return 0.0;
+    }
+    let k = k.min(scores.len());
+    let hits = top_k(scores, k)
+        .into_iter()
+        .filter(|&i| is_outlier[i])
+        .count();
+    hits as f32 / k as f32
+}
+
+/// Recall@k: the fraction of all true outliers found in the top-`k`.
+/// Returns 0.0 when there are no outliers.
+pub fn recall_at_k(scores: &[f32], is_outlier: &[bool], k: usize) -> f32 {
+    assert_eq!(
+        scores.len(),
+        is_outlier.len(),
+        "recall_at_k: length mismatch"
+    );
+    let total = is_outlier.iter().filter(|&&o| o).count();
+    if total == 0 {
+        return 0.0;
+    }
+    let k = k.min(scores.len());
+    let hits = top_k(scores, k)
+        .into_iter()
+        .filter(|&i| is_outlier[i])
+        .count();
+    hits as f32 / total as f32
+}
+
+/// Average precision (area under the precision–recall curve, computed by
+/// the standard rank-walk): the BOND benchmark's second headline metric.
+///
+/// Ties are handled by deterministic index order (matching [`top_k`]).
+/// Returns 0.0 when there are no outliers.
+pub fn average_precision(scores: &[f32], is_outlier: &[bool]) -> f32 {
+    assert_eq!(
+        scores.len(),
+        is_outlier.len(),
+        "average_precision: length mismatch"
+    );
+    let total = is_outlier.iter().filter(|&&o| o).count();
+    if total == 0 {
+        return 0.0;
+    }
+    let order = top_k(scores, scores.len());
+    let mut hits = 0usize;
+    let mut ap = 0.0f64;
+    for (rank0, &i) in order.iter().enumerate() {
+        if is_outlier[i] {
+            hits += 1;
+            ap += hits as f64 / (rank0 + 1) as f64;
+        }
+    }
+    (ap / total as f64) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_k_orders_descending() {
+        let scores = [0.1, 0.9, 0.5, 0.9];
+        assert_eq!(top_k(&scores, 3), vec![1, 3, 2]);
+        assert_eq!(top_k(&scores, 0), Vec::<usize>::new());
+        assert_eq!(top_k(&scores, 10).len(), 4);
+    }
+
+    #[test]
+    fn precision_and_recall_on_perfect_ranking() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [true, true, false, false];
+        assert_eq!(precision_at_k(&scores, &labels, 2), 1.0);
+        assert_eq!(recall_at_k(&scores, &labels, 2), 1.0);
+        assert_eq!(precision_at_k(&scores, &labels, 4), 0.5);
+        assert_eq!(recall_at_k(&scores, &labels, 1), 0.5);
+    }
+
+    #[test]
+    fn average_precision_extremes() {
+        let labels = [true, true, false, false];
+        assert_eq!(average_precision(&[0.9, 0.8, 0.2, 0.1], &labels), 1.0);
+        // Worst ranking: outliers last → AP = (1/3 + 2/4)/2.
+        let ap = average_precision(&[0.1, 0.2, 0.8, 0.9], &labels);
+        assert!((ap - (1.0 / 3.0 + 2.0 / 4.0) / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(average_precision(&[1.0, 2.0], &[false, false]), 0.0);
+        assert_eq!(precision_at_k(&[1.0], &[true], 0), 0.0);
+        assert_eq!(recall_at_k(&[1.0, 2.0], &[false, false], 1), 0.0);
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn case() -> impl Strategy<Value = (Vec<f32>, Vec<bool>)> {
+            (1usize..40).prop_flat_map(|n| {
+                (
+                    proptest::collection::vec(-10.0f32..10.0, n),
+                    proptest::collection::vec(any::<bool>(), n),
+                )
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn metrics_stay_in_unit_interval((scores, labels) in case(), k in 0usize..50) {
+                for v in [
+                    precision_at_k(&scores, &labels, k),
+                    recall_at_k(&scores, &labels, k),
+                    average_precision(&scores, &labels),
+                ] {
+                    prop_assert!((0.0..=1.0).contains(&v), "{v}");
+                }
+            }
+
+            #[test]
+            fn recall_is_monotone_in_k((scores, labels) in case()) {
+                let mut last = 0.0f32;
+                for k in 0..=scores.len() {
+                    let r = recall_at_k(&scores, &labels, k);
+                    prop_assert!(r + 1e-6 >= last, "recall dropped at k={k}");
+                    last = r;
+                }
+            }
+
+            #[test]
+            fn full_k_recall_is_one_when_outliers_exist((scores, labels) in case()) {
+                if labels.iter().any(|&o| o) {
+                    prop_assert!((recall_at_k(&scores, &labels, scores.len()) - 1.0).abs() < 1e-6);
+                }
+            }
+
+            #[test]
+            fn ap_no_worse_than_random_baseline_for_perfect((scores, labels) in case()) {
+                // AP of scores equal to the labels themselves is 1.0.
+                let perfect: Vec<f32> = labels.iter().map(|&o| if o { 1.0 } else { 0.0 }).collect();
+                if labels.iter().any(|&o| o) {
+                    prop_assert!((average_precision(&perfect, &labels) - 1.0).abs() < 1e-6);
+                }
+                let _ = scores;
+            }
+        }
+    }
+}

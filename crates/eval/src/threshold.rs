@@ -1,0 +1,229 @@
+//! Turning scores into decisions: contamination thresholding, confusion
+//! counts, F1 — and bootstrap confidence intervals for AUC.
+//!
+//! The paper evaluates with threshold-free AUC; deployments need a cutoff.
+//! The standard unsupervised choice (as in PyOD/PyGOD) flags the top
+//! `contamination` fraction of scores.
+
+use rand::Rng;
+
+/// Binary predictions flagging the `contamination` fraction of
+/// highest-scoring nodes (ties broken by index, matching
+/// [`crate::top_k`]).
+pub fn predict_by_contamination(scores: &[f32], contamination: f32) -> Vec<bool> {
+    assert!(
+        (0.0..=1.0).contains(&contamination),
+        "contamination must be a fraction, got {contamination}"
+    );
+    let k = ((scores.len() as f32 * contamination).round() as usize).min(scores.len());
+    let mut out = vec![false; scores.len()];
+    for i in crate::top_k(scores, k) {
+        out[i] = true;
+    }
+    out
+}
+
+/// Confusion-matrix counts for binary outlier predictions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Confusion {
+    /// Flagged and truly outlier.
+    pub true_positives: usize,
+    /// Flagged but normal.
+    pub false_positives: usize,
+    /// Missed outlier.
+    pub false_negatives: usize,
+    /// Correctly unflagged.
+    pub true_negatives: usize,
+}
+
+impl Confusion {
+    /// Tally predictions against ground truth.
+    pub fn from_predictions(predicted: &[bool], actual: &[bool]) -> Self {
+        assert_eq!(predicted.len(), actual.len(), "confusion: length mismatch");
+        let mut c = Confusion {
+            true_positives: 0,
+            false_positives: 0,
+            false_negatives: 0,
+            true_negatives: 0,
+        };
+        for (&p, &a) in predicted.iter().zip(actual) {
+            match (p, a) {
+                (true, true) => c.true_positives += 1,
+                (true, false) => c.false_positives += 1,
+                (false, true) => c.false_negatives += 1,
+                (false, false) => c.true_negatives += 1,
+            }
+        }
+        c
+    }
+
+    /// Precision `TP / (TP + FP)` (0.0 when nothing was flagged).
+    pub fn precision(&self) -> f32 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            0.0
+        } else {
+            self.true_positives as f32 / denom as f32
+        }
+    }
+
+    /// Recall `TP / (TP + FN)` (0.0 when there are no outliers).
+    pub fn recall(&self) -> f32 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            0.0
+        } else {
+            self.true_positives as f32 / denom as f32
+        }
+    }
+
+    /// F1 score (harmonic mean of precision and recall; 0.0 when both are 0).
+    pub fn f1(&self) -> f32 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Percentile-bootstrap confidence interval for the AUC: resample nodes
+/// with replacement `resamples` times and take the `(α/2, 1 − α/2)`
+/// percentiles of the resampled AUCs. Returns `(low, high)`.
+pub fn auc_bootstrap_ci(
+    scores: &[f32],
+    is_outlier: &[bool],
+    resamples: usize,
+    alpha: f32,
+    rng: &mut impl Rng,
+) -> (f32, f32) {
+    assert_eq!(scores.len(), is_outlier.len(), "bootstrap: length mismatch");
+    assert!(resamples >= 2 && (0.0..1.0).contains(&alpha));
+    let n = scores.len();
+    let mut aucs = Vec::with_capacity(resamples);
+    let mut s = Vec::with_capacity(n);
+    let mut l = Vec::with_capacity(n);
+    for _ in 0..resamples {
+        s.clear();
+        l.clear();
+        for _ in 0..n {
+            let i = rng.gen_range(0..n);
+            s.push(scores[i]);
+            l.push(is_outlier[i]);
+        }
+        aucs.push(crate::auc(&s, &l));
+    }
+    aucs.sort_by(f32::total_cmp);
+    let lo_idx = ((alpha / 2.0) * resamples as f32) as usize;
+    let hi_idx = (((1.0 - alpha / 2.0) * resamples as f32) as usize).min(resamples - 1);
+    (aucs[lo_idx], aucs[hi_idx])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn contamination_flags_top_fraction() {
+        let scores = [0.1, 0.9, 0.5, 0.8];
+        let pred = predict_by_contamination(&scores, 0.5);
+        assert_eq!(pred, vec![false, true, false, true]);
+        assert!(predict_by_contamination(&scores, 0.0).iter().all(|&p| !p));
+        assert!(predict_by_contamination(&scores, 1.0).iter().all(|&p| p));
+    }
+
+    #[test]
+    fn confusion_and_f1_on_known_case() {
+        let pred = [true, true, false, false];
+        let actual = [true, false, true, false];
+        let c = Confusion::from_predictions(&pred, &actual);
+        assert_eq!(
+            c,
+            Confusion {
+                true_positives: 1,
+                false_positives: 1,
+                false_negatives: 1,
+                true_negatives: 1
+            }
+        );
+        assert_eq!(c.precision(), 0.5);
+        assert_eq!(c.recall(), 0.5);
+        assert_eq!(c.f1(), 0.5);
+    }
+
+    #[test]
+    fn degenerate_confusions() {
+        let c = Confusion::from_predictions(&[false, false], &[false, false]);
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+    }
+
+    #[test]
+    fn bootstrap_ci_brackets_point_estimate() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let n = 300;
+        let scores: Vec<f32> = (0..n)
+            .map(|i| i as f32 + if i % 7 == 0 { 50.0 } else { 0.0 })
+            .collect();
+        let labels: Vec<bool> = (0..n).map(|i| i % 7 == 0).collect();
+        let point = crate::auc(&scores, &labels);
+        let (lo, hi) = auc_bootstrap_ci(&scores, &labels, 200, 0.05, &mut rng);
+        assert!(
+            lo <= point && point <= hi,
+            "CI [{lo}, {hi}] should bracket {point}"
+        );
+        assert!(hi - lo < 0.25, "CI [{lo}, {hi}] suspiciously wide");
+    }
+
+    #[test]
+    fn bootstrap_ci_is_tighter_with_more_data() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let make = |n: usize| -> (Vec<f32>, Vec<bool>) {
+            (
+                (0..n)
+                    .map(|i| (i % 13) as f32 + if i % 5 == 0 { 6.0 } else { 0.0 })
+                    .collect(),
+                (0..n).map(|i| i % 5 == 0).collect(),
+            )
+        };
+        let (s1, l1) = make(60);
+        let (s2, l2) = make(1200);
+        let (lo1, hi1) = auc_bootstrap_ci(&s1, &l1, 150, 0.05, &mut rng);
+        let (lo2, hi2) = auc_bootstrap_ci(&s2, &l2, 150, 0.05, &mut rng);
+        assert!(hi2 - lo2 < hi1 - lo1, "more data should tighten the CI");
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn f1_in_unit_interval(
+                pred in proptest::collection::vec(any::<bool>(), 1..50),
+                seed in 0u64..100
+            ) {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                let actual: Vec<bool> = (0..pred.len()).map(|_| rand::Rng::gen_bool(&mut rng, 0.3)).collect();
+                let c = Confusion::from_predictions(&pred, &actual);
+                prop_assert!((0.0..=1.0).contains(&c.f1()));
+                let total = c.true_positives + c.false_positives + c.false_negatives + c.true_negatives;
+                prop_assert_eq!(total, pred.len());
+            }
+
+            #[test]
+            fn contamination_count_is_exact(
+                scores in proptest::collection::vec(-5.0f32..5.0, 1..60),
+                contamination in 0.0f32..1.0
+            ) {
+                let pred = predict_by_contamination(&scores, contamination);
+                let expected = ((scores.len() as f32 * contamination).round() as usize).min(scores.len());
+                prop_assert_eq!(pred.iter().filter(|&&p| p).count(), expected);
+            }
+        }
+    }
+}

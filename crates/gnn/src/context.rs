@@ -1,0 +1,127 @@
+//! Precomputed per-graph state shared by all layers.
+
+use std::rc::Rc;
+
+use vgod_graph::AttributedGraph;
+use vgod_tensor::Csr;
+
+/// A directed edge list in structure-of-arrays form, as consumed by the
+/// gather / segment-softmax / edge-aggregate ops behind [`crate::GatLayer`].
+#[derive(Clone, Debug)]
+pub struct EdgeIndex {
+    /// Source node of each directed edge.
+    pub src: Rc<Vec<u32>>,
+    /// Destination node of each directed edge.
+    pub dst: Rc<Vec<u32>>,
+    /// Number of nodes.
+    pub n: usize,
+}
+
+impl EdgeIndex {
+    /// Build from a graph, optionally appending a self-loop edge per node
+    /// (GAT conventionally attends over `N(v) ∪ {v}`).
+    pub fn from_graph(g: &AttributedGraph, self_loops: bool) -> Self {
+        let mut src = Vec::new();
+        let mut dst = Vec::new();
+        for (u, v) in g.directed_edges() {
+            src.push(u);
+            dst.push(v);
+        }
+        if self_loops {
+            for u in 0..g.num_nodes() as u32 {
+                src.push(u);
+                dst.push(u);
+            }
+        }
+        Self {
+            src: Rc::new(src),
+            dst: Rc::new(dst),
+            n: g.num_nodes(),
+        }
+    }
+
+    /// Number of directed edges.
+    pub fn len(&self) -> usize {
+        self.src.len()
+    }
+
+    /// Whether the edge list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.src.is_empty()
+    }
+}
+
+/// Every adjacency view a model might need for one graph, computed once.
+///
+/// `Rc`-shared so it can be captured by tape ops without copying.
+#[derive(Clone, Debug)]
+pub struct GraphContext {
+    /// Number of nodes.
+    pub n: usize,
+    /// Plain binary adjacency `A`.
+    pub adjacency: Rc<Csr>,
+    /// GCN-normalised `D^{-1/2}(A + I)D^{-1/2}`.
+    pub gcn: Rc<Csr>,
+    /// Mean aggregation `D⁻¹A` (no self-loops) — MeanConv over `N(v)`.
+    pub mean: Rc<Csr>,
+    /// Mean aggregation with self-loops — MeanConv over `N(v) ∪ {v}`
+    /// (the self-loop-edge technique, Eq. 13).
+    pub mean_self_loops: Rc<Csr>,
+    /// Directed edges including self-loops (for GAT).
+    pub edges: EdgeIndex,
+}
+
+impl GraphContext {
+    /// Precompute every view for `g`.
+    pub fn from_graph(g: &AttributedGraph) -> Self {
+        Self {
+            n: g.num_nodes(),
+            adjacency: Rc::new(g.adjacency()),
+            gcn: Rc::new(g.gcn_adjacency()),
+            mean: Rc::new(g.mean_adjacency(false)),
+            mean_self_loops: Rc::new(g.mean_adjacency(true)),
+            edges: EdgeIndex::from_graph(g, true),
+        }
+    }
+
+    /// The MeanConv operator with or without the self-loop-edge technique.
+    pub fn mean_adjacency(&self, self_loops: bool) -> &Rc<Csr> {
+        if self_loops {
+            &self.mean_self_loops
+        } else {
+            &self.mean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vgod_tensor::Matrix;
+
+    #[test]
+    fn edge_index_counts() {
+        let mut g = AttributedGraph::new(Matrix::zeros(4, 1));
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        let plain = EdgeIndex::from_graph(&g, false);
+        assert_eq!(plain.len(), 4);
+        let with_loops = EdgeIndex::from_graph(&g, true);
+        assert_eq!(with_loops.len(), 8);
+        assert_eq!(with_loops.n, 4);
+    }
+
+    #[test]
+    fn context_views_are_consistent() {
+        let mut g = AttributedGraph::new(Matrix::zeros(3, 1));
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        let ctx = GraphContext::from_graph(&g);
+        assert_eq!(ctx.n, 3);
+        assert_eq!(ctx.adjacency.nnz(), 4);
+        assert_eq!(ctx.gcn.nnz(), 7); // A + I entries
+        assert_eq!(ctx.mean.nnz(), 4);
+        assert_eq!(ctx.mean_self_loops.nnz(), 7);
+        assert_eq!(ctx.edges.len(), 7);
+    }
+}

@@ -1,0 +1,185 @@
+//! Synthetic community-structured graph generators.
+
+use rand::Rng;
+
+use crate::AttributedGraph;
+use vgod_tensor::Matrix;
+
+/// Configuration for [`community_graph`], a planted-partition generator with
+/// optional degree heterogeneity.
+///
+/// Edges are drawn one at a time: a source endpoint is sampled proportional
+/// to node weight; with probability `intra_fraction` the target is sampled
+/// (by weight) from the same community, otherwise from a different one.
+/// With `degree_exponent = None` all weights are 1 (Poisson-like degrees, as
+/// in citation networks); with `Some(γ)` node weights follow a truncated
+/// power law, yielding the heavy-tailed degree distributions of the
+/// social-network replicas (Flickr, Weibo).
+#[derive(Clone, Debug)]
+pub struct CommunityGraphConfig {
+    /// Number of nodes.
+    pub n: usize,
+    /// Number of equal-size communities.
+    pub communities: usize,
+    /// Target average degree (`2|E| / |V|`).
+    pub avg_degree: f32,
+    /// Fraction of edges whose endpoints share a community (structural
+    /// homophily knob).
+    pub intra_fraction: f64,
+    /// Power-law exponent for node weights (`w ∝ u^{-1/(γ-1)}`); `None`
+    /// for homogeneous weights.
+    pub degree_exponent: Option<f32>,
+}
+
+impl CommunityGraphConfig {
+    /// A homogeneous planted-partition configuration.
+    pub fn homogeneous(n: usize, communities: usize, avg_degree: f32, intra_fraction: f64) -> Self {
+        Self {
+            n,
+            communities,
+            avg_degree,
+            intra_fraction,
+            degree_exponent: None,
+        }
+    }
+}
+
+/// Generate an undirected community-structured graph. Node `i` belongs to
+/// community `i % communities`; labels are attached to the returned graph.
+/// Attributes are left zero-dimensional callers attach them afterwards via
+/// [`AttributedGraph::set_attrs`].
+pub fn community_graph(cfg: &CommunityGraphConfig, rng: &mut impl Rng) -> AttributedGraph {
+    assert!(
+        cfg.communities >= 1 && cfg.n >= cfg.communities * 2,
+        "need ≥2 nodes per community"
+    );
+    let n = cfg.n;
+    let labels: Vec<u32> = (0..n).map(|i| (i % cfg.communities) as u32).collect();
+
+    // Node weights (degree propensities).
+    let weights: Vec<f32> = match cfg.degree_exponent {
+        None => vec![1.0; n],
+        Some(gamma) => {
+            let alpha = 1.0 / (gamma - 1.0);
+            (0..n)
+                .map(|_| {
+                    let u: f32 = rng.gen_range(0.01f32..1.0);
+                    u.powf(-alpha).min(1_000.0)
+                })
+                .collect()
+        }
+    };
+
+    // Per-community cumulative weight tables for O(log n) sampling.
+    let mut members: Vec<Vec<u32>> = vec![Vec::new(); cfg.communities];
+    for (i, &c) in labels.iter().enumerate() {
+        members[c as usize].push(i as u32);
+    }
+    let cumw: Vec<Vec<f32>> = members
+        .iter()
+        .map(|ms| {
+            let mut acc = 0.0;
+            ms.iter()
+                .map(|&i| {
+                    acc += weights[i as usize];
+                    acc
+                })
+                .collect()
+        })
+        .collect();
+
+    let sample_from = |c: usize, rng: &mut dyn rand::RngCore| -> u32 {
+        let table = &cumw[c];
+        let total = *table.last().expect("non-empty community");
+        let t = rand::Rng::gen_range(rng, 0.0..total);
+        let pos = table.partition_point(|&w| w < t);
+        members[c][pos.min(table.len() - 1)]
+    };
+
+    let target_edges = ((cfg.avg_degree as f64) * n as f64 / 2.0).round() as usize;
+    let mut g = AttributedGraph::new(Matrix::zeros(n, 0));
+    let mut added = 0usize;
+    let mut attempts = 0usize;
+    let max_attempts = target_edges * 30 + 1000;
+    while added < target_edges && attempts < max_attempts {
+        attempts += 1;
+        let cu = rng.gen_range(0..cfg.communities);
+        let u = sample_from(cu, rng);
+        let cv = if rng.gen_bool(cfg.intra_fraction) || cfg.communities == 1 {
+            cu
+        } else {
+            let mut c = rng.gen_range(0..cfg.communities - 1);
+            if c >= cu {
+                c += 1;
+            }
+            c
+        };
+        let v = sample_from(cv, rng);
+        if g.add_edge(u, v) {
+            added += 1;
+        }
+    }
+    g.set_labels(labels);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{edge_homophily, seeded_rng};
+
+    #[test]
+    fn hits_target_density() {
+        let mut rng = seeded_rng(0);
+        let cfg = CommunityGraphConfig::homogeneous(500, 5, 4.0, 0.9);
+        let g = community_graph(&cfg, &mut rng);
+        assert!(g.check_invariants());
+        let avg = g.avg_degree();
+        assert!((avg - 4.0).abs() < 0.5, "avg degree {avg}");
+    }
+
+    #[test]
+    fn intra_fraction_controls_homophily() {
+        let mut rng = seeded_rng(1);
+        let tight = community_graph(
+            &CommunityGraphConfig::homogeneous(400, 4, 6.0, 0.95),
+            &mut rng,
+        );
+        let loose = community_graph(
+            &CommunityGraphConfig::homogeneous(400, 4, 6.0, 0.4),
+            &mut rng,
+        );
+        let h_tight = edge_homophily(&tight);
+        let h_loose = edge_homophily(&loose);
+        assert!(h_tight > 0.85, "tight homophily {h_tight}");
+        assert!(h_loose < 0.6, "loose homophily {h_loose}");
+    }
+
+    #[test]
+    fn power_law_weights_give_skewed_degrees() {
+        let mut rng = seeded_rng(2);
+        let mut cfg = CommunityGraphConfig::homogeneous(800, 4, 10.0, 0.8);
+        cfg.degree_exponent = Some(2.5);
+        let g = community_graph(&cfg, &mut rng);
+        let max_deg = (0..800u32).map(|u| g.degree(u)).max().unwrap();
+        // Heavy tail: max degree far above the mean.
+        assert!(
+            max_deg as f32 > 4.0 * g.avg_degree(),
+            "max {max_deg}, avg {}",
+            g.avg_degree()
+        );
+    }
+
+    #[test]
+    fn labels_partition_nodes_evenly() {
+        let mut rng = seeded_rng(3);
+        let g = community_graph(
+            &CommunityGraphConfig::homogeneous(100, 4, 3.0, 0.8),
+            &mut rng,
+        );
+        let labels = g.labels().unwrap();
+        for c in 0..4u32 {
+            assert_eq!(labels.iter().filter(|&&l| l == c).count(), 25);
+        }
+    }
+}

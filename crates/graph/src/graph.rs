@@ -1,0 +1,548 @@
+//! The attributed-network type.
+
+use std::rc::Rc;
+
+use rand::Rng;
+use vgod_tensor::{Csr, Matrix};
+
+/// An undirected attributed network `G = (V, E, X)` (Definition 1 of the
+/// VGOD paper), optionally carrying per-node community labels (used by the
+/// label-aware injection approach of §VI-D and by the synthetic generators).
+///
+/// Adjacency is kept as sorted neighbour lists so that injection can edit
+/// the structure cheaply; message-passing code converts to [`Csr`] views on
+/// demand via [`AttributedGraph::mean_adjacency`] and friends.
+#[derive(Clone, Debug)]
+pub struct AttributedGraph {
+    /// Sorted neighbour list per node; `adj[u]` contains `v` iff `adj[v]`
+    /// contains `u` (undirected invariant).
+    adj: Vec<Vec<u32>>,
+    /// `n × d` attribute matrix.
+    x: Matrix,
+    /// Optional community label per node.
+    labels: Option<Vec<u32>>,
+}
+
+impl AttributedGraph {
+    /// An edgeless graph over the rows of `x`.
+    pub fn new(x: Matrix) -> Self {
+        let n = x.rows();
+        Self {
+            adj: vec![Vec::new(); n],
+            x,
+            labels: None,
+        }
+    }
+
+    /// Build from undirected edges (each pair stored in both directions;
+    /// duplicates and self-loops are ignored).
+    pub fn from_edges(x: Matrix, edges: &[(u32, u32)]) -> Self {
+        let mut g = Self::new(x);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Attach community labels (must cover every node).
+    ///
+    /// # Panics
+    /// Panics if `labels.len() != n`.
+    pub fn set_labels(&mut self, labels: Vec<u32>) {
+        assert_eq!(
+            labels.len(),
+            self.num_nodes(),
+            "labels must cover every node"
+        );
+        self.labels = Some(labels);
+    }
+
+    /// Community labels, if attached.
+    pub fn labels(&self) -> Option<&[u32]> {
+        self.labels.as_deref()
+    }
+
+    /// Number of nodes `|V|`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges `|E|`.
+    pub fn num_edges(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Average node degree `2|E| / |V|`.
+    pub fn avg_degree(&self) -> f32 {
+        if self.adj.is_empty() {
+            0.0
+        } else {
+            self.adj.iter().map(Vec::len).sum::<usize>() as f32 / self.adj.len() as f32
+        }
+    }
+
+    /// Attribute dimension `d`.
+    #[inline]
+    pub fn num_attrs(&self) -> usize {
+        self.x.cols()
+    }
+
+    /// The `n × d` attribute matrix.
+    #[inline]
+    pub fn attrs(&self) -> &Matrix {
+        &self.x
+    }
+
+    /// Mutable attribute matrix (used by contextual-outlier injection).
+    #[inline]
+    pub fn attrs_mut(&mut self) -> &mut Matrix {
+        &mut self.x
+    }
+
+    /// Replace the whole attribute matrix (must keep the node count).
+    ///
+    /// # Panics
+    /// Panics if the row count changes.
+    pub fn set_attrs(&mut self, x: Matrix) {
+        assert_eq!(
+            x.rows(),
+            self.num_nodes(),
+            "attribute matrix must keep the node count"
+        );
+        self.x = x;
+    }
+
+    /// Sorted neighbours of `u`.
+    #[inline]
+    pub fn neighbors(&self, u: u32) -> &[u32] {
+        &self.adj[u as usize]
+    }
+
+    /// Degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: u32) -> usize {
+        self.adj[u as usize].len()
+    }
+
+    /// Whether the undirected edge `{u, v}` exists.
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.adj[u as usize].binary_search(&v).is_ok()
+    }
+
+    /// Insert the undirected edge `{u, v}`. Self-loops and duplicates are
+    /// ignored. Returns whether the edge was inserted.
+    pub fn add_edge(&mut self, u: u32, v: u32) -> bool {
+        assert!((u as usize) < self.adj.len() && (v as usize) < self.adj.len());
+        if u == v {
+            return false;
+        }
+        match self.adj[u as usize].binary_search(&v) {
+            Ok(_) => false,
+            Err(pos_u) => {
+                self.adj[u as usize].insert(pos_u, v);
+                let pos_v = self.adj[v as usize]
+                    .binary_search(&u)
+                    .expect_err("undirected invariant violated");
+                self.adj[v as usize].insert(pos_v, u);
+                true
+            }
+        }
+    }
+
+    /// Remove the undirected edge `{u, v}`. Returns whether it existed.
+    pub fn remove_edge(&mut self, u: u32, v: u32) -> bool {
+        match self.adj[u as usize].binary_search(&v) {
+            Err(_) => false,
+            Ok(pos_u) => {
+                self.adj[u as usize].remove(pos_u);
+                let pos_v = self.adj[v as usize]
+                    .binary_search(&u)
+                    .expect("undirected invariant violated");
+                self.adj[v as usize].remove(pos_v);
+                true
+            }
+        }
+    }
+
+    /// Remove every edge incident to `u`, returning its former neighbours.
+    pub fn detach_node(&mut self, u: u32) -> Vec<u32> {
+        let old = std::mem::take(&mut self.adj[u as usize]);
+        for &v in &old {
+            if let Ok(pos) = self.adj[v as usize].binary_search(&u) {
+                self.adj[v as usize].remove(pos);
+            }
+        }
+        old
+    }
+
+    /// Fully connect the given nodes (clique injection, §IV-A1).
+    pub fn make_clique(&mut self, nodes: &[u32]) {
+        for (i, &u) in nodes.iter().enumerate() {
+            for &v in &nodes[i + 1..] {
+                self.add_edge(u, v);
+            }
+        }
+    }
+
+    /// Directed edge list with both orientations (for edge-wise message
+    /// passing such as GAT); sorted by source.
+    pub fn directed_edges(&self) -> Vec<(u32, u32)> {
+        let mut out = Vec::with_capacity(2 * self.num_edges());
+        for (u, nbrs) in self.adj.iter().enumerate() {
+            for &v in nbrs {
+                out.push((u as u32, v));
+            }
+        }
+        out
+    }
+
+    /// Unique undirected edges as `(u, v)` with `u < v`.
+    pub fn undirected_edges(&self) -> Vec<(u32, u32)> {
+        let mut out = Vec::with_capacity(self.num_edges());
+        for (u, nbrs) in self.adj.iter().enumerate() {
+            let u = u as u32;
+            for &v in nbrs {
+                if u < v {
+                    out.push((u, v));
+                }
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // CSR views
+    // ------------------------------------------------------------------
+
+    /// Binary adjacency matrix as CSR.
+    pub fn adjacency(&self) -> Csr {
+        self.build_csr(|_| 1.0, false)
+    }
+
+    /// Mean-aggregation adjacency `D⁻¹A` — the MeanConv operator (Eq. 7).
+    /// With `self_loops`, each node is included in its own neighbourhood
+    /// first (Eq. 13, the self-loop-edge technique).
+    pub fn mean_adjacency(&self, self_loops: bool) -> Csr {
+        self.build_csr(|deg| 1.0 / deg as f32, self_loops)
+    }
+
+    /// GCN symmetric normalisation `D^{-1/2}(A + I)D^{-1/2}`.
+    pub fn gcn_adjacency(&self) -> Csr {
+        self.adjacency().gcn_normalized()
+    }
+
+    fn build_csr(&self, weight_of_degree: impl Fn(usize) -> f32, self_loops: bool) -> Csr {
+        let n = self.num_nodes();
+        let mut indptr = Vec::with_capacity(n + 1);
+        indptr.push(0usize);
+        let nnz = self.adj.iter().map(Vec::len).sum::<usize>() + if self_loops { n } else { 0 };
+        let mut indices = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        for (u, nbrs) in self.adj.iter().enumerate() {
+            let deg = nbrs.len() + usize::from(self_loops);
+            let w = if deg == 0 { 0.0 } else { weight_of_degree(deg) };
+            let mut inserted_self = !self_loops;
+            for &v in nbrs {
+                if !inserted_self && v as usize > u {
+                    indices.push(u as u32);
+                    values.push(w);
+                    inserted_self = true;
+                }
+                indices.push(v);
+                values.push(w);
+            }
+            if !inserted_self {
+                indices.push(u as u32);
+                values.push(w);
+            }
+            indptr.push(indices.len());
+        }
+        Csr::from_raw(n, n, indptr, indices, values)
+    }
+
+    // ------------------------------------------------------------------
+    // Negative sampling (Definitions 3 & 4)
+    // ------------------------------------------------------------------
+
+    /// Sample a negative edge set `E⁻`: for every node `u`, `degree(u)`
+    /// distinct non-neighbours sampled uniformly (Definition 3). Returned as
+    /// directed `(u, v)` pairs grouped by `u`.
+    pub fn negative_edges(&self, rng: &mut impl Rng) -> Vec<(u32, u32)> {
+        let n = self.num_nodes();
+        let mut out = Vec::with_capacity(2 * self.num_edges());
+        for u in 0..n as u32 {
+            let deg = self.degree(u);
+            if deg == 0 || n <= deg + 1 {
+                continue;
+            }
+            let mut picked: Vec<u32> = Vec::with_capacity(deg);
+            let mut guard = 0usize;
+            while picked.len() < deg && guard < deg * 30 + 100 {
+                guard += 1;
+                let v = rng.gen_range(0..n as u32);
+                if v != u && !self.has_edge(u, v) && !picked.contains(&v) {
+                    picked.push(v);
+                }
+            }
+            for v in picked {
+                out.push((u, v));
+            }
+        }
+        out
+    }
+
+    /// The mean-aggregation operator of a sampled negative network `G⁻`
+    /// (Definition 4): each node aggregates the mean of `degree(u)` sampled
+    /// non-neighbours. With `self_loops`, the node itself is also included,
+    /// mirroring [`AttributedGraph::mean_adjacency`].
+    pub fn negative_mean_adjacency(&self, self_loops: bool, rng: &mut impl Rng) -> Csr {
+        let n = self.num_nodes();
+        let neg = self.negative_edges(rng);
+        let mut per_node: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (u, v) in neg {
+            per_node[u as usize].push(v);
+        }
+        let mut indptr = Vec::with_capacity(n + 1);
+        indptr.push(0usize);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for (u, nbrs) in per_node.iter_mut().enumerate() {
+            if self_loops {
+                nbrs.push(u as u32);
+            }
+            nbrs.sort_unstable();
+            let deg = nbrs.len();
+            if deg > 0 {
+                let w = 1.0 / deg as f32;
+                for &v in nbrs.iter() {
+                    indices.push(v);
+                    values.push(w);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        Csr::from_raw(n, n, indptr, indices, values)
+    }
+
+    /// Convenience: wrap a CSR view in `Rc` for use with the autograd ops.
+    pub fn rc(csr: Csr) -> Rc<Csr> {
+        Rc::new(csr)
+    }
+
+    /// The subgraph induced on `nodes` (in the given order): node `i` of
+    /// the result corresponds to `nodes[i]`, attributes are copied, labels
+    /// (when present) are carried over, and an edge is kept iff both
+    /// endpoints are in `nodes`.
+    ///
+    /// # Panics
+    /// Panics if `nodes` contains duplicates or out-of-range ids.
+    pub fn induced_subgraph(&self, nodes: &[u32]) -> AttributedGraph {
+        let mut local_of: std::collections::HashMap<u32, u32> =
+            std::collections::HashMap::with_capacity(nodes.len());
+        for (i, &u) in nodes.iter().enumerate() {
+            assert!((u as usize) < self.num_nodes(), "node {u} out of range");
+            let prev = local_of.insert(u, i as u32);
+            assert!(prev.is_none(), "duplicate node {u} in induced_subgraph");
+        }
+        let x = self.x.gather_rows(nodes);
+        let mut sub = AttributedGraph::new(x);
+        for (&u, &lu) in &local_of {
+            for &v in self.neighbors(u) {
+                if let Some(&lv) = local_of.get(&v) {
+                    if lu < lv {
+                        sub.add_edge(lu, lv);
+                    }
+                }
+            }
+        }
+        if let Some(labels) = self.labels() {
+            sub.set_labels(nodes.iter().map(|&u| labels[u as usize]).collect());
+        }
+        sub
+    }
+
+    /// Check the undirected-adjacency invariants (sortedness, symmetry, no
+    /// self-loops). Used by tests; cheap enough to call in debug builds.
+    pub fn check_invariants(&self) -> bool {
+        for (u, nbrs) in self.adj.iter().enumerate() {
+            if !nbrs.windows(2).all(|w| w[0] < w[1]) {
+                return false;
+            }
+            for &v in nbrs {
+                if v as usize == u || self.adj[v as usize].binary_search(&(u as u32)).is_err() {
+                    return false;
+                }
+            }
+        }
+        self.x.rows() == self.adj.len()
+            && self
+                .labels
+                .as_ref()
+                .is_none_or(|l| l.len() == self.adj.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded_rng;
+
+    fn path_graph(n: usize) -> AttributedGraph {
+        let mut g = AttributedGraph::new(Matrix::zeros(n, 2));
+        for i in 0..n as u32 - 1 {
+            g.add_edge(i, i + 1);
+        }
+        g
+    }
+
+    #[test]
+    fn edges_are_undirected_and_deduplicated() {
+        let mut g = AttributedGraph::new(Matrix::zeros(3, 1));
+        assert!(g.add_edge(0, 1));
+        assert!(!g.add_edge(1, 0));
+        assert!(!g.add_edge(1, 1));
+        assert_eq!(g.num_edges(), 1);
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
+        assert!(g.check_invariants());
+    }
+
+    #[test]
+    fn remove_and_detach() {
+        let mut g = path_graph(4);
+        assert!(g.remove_edge(1, 2));
+        assert!(!g.remove_edge(1, 2));
+        assert_eq!(g.num_edges(), 2);
+        let old = g.detach_node(0);
+        assert_eq!(old, vec![1]);
+        assert_eq!(g.degree(0), 0);
+        assert!(g.check_invariants());
+    }
+
+    #[test]
+    fn clique_makes_all_pairs() {
+        let mut g = AttributedGraph::new(Matrix::zeros(6, 1));
+        g.make_clique(&[1, 3, 5]);
+        assert!(g.has_edge(1, 3) && g.has_edge(1, 5) && g.has_edge(3, 5));
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degree(1), 2);
+    }
+
+    #[test]
+    fn mean_adjacency_rows_average_neighbors() {
+        let g = path_graph(3);
+        let csr = g.mean_adjacency(false);
+        let h = Matrix::from_rows(&[&[1.0], &[2.0], &[5.0]]);
+        let m = csr.spmm(&h);
+        assert_eq!(m.row(0), &[2.0]); // only neighbour is node 1
+        assert_eq!(m.row(1), &[3.0]); // mean of 1 and 5
+        assert_eq!(m.row(2), &[2.0]);
+    }
+
+    #[test]
+    fn mean_adjacency_with_self_loops_includes_self() {
+        let g = path_graph(3);
+        let csr = g.mean_adjacency(true);
+        let h = Matrix::from_rows(&[&[1.0], &[2.0], &[5.0]]);
+        let m = csr.spmm(&h);
+        assert_eq!(m.row(0), &[1.5]); // mean of {1, 2}
+        assert!((m.row(1)[0] - 8.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_adjacency_self_loop_ordering_is_sorted() {
+        // Node 2 has neighbours {0, 1}; with a self-loop the CSR row must be
+        // {0, 1, 2} in sorted order for from_raw's invariants.
+        let mut g = AttributedGraph::new(Matrix::zeros(3, 1));
+        g.add_edge(2, 0);
+        g.add_edge(2, 1);
+        let csr = g.mean_adjacency(true);
+        assert_eq!(csr.row_indices(2), &[0, 1, 2]);
+        assert_eq!(csr.row_indices(0), &[0, 2]);
+    }
+
+    #[test]
+    fn isolated_nodes_produce_zero_rows() {
+        let mut g = AttributedGraph::new(Matrix::zeros(3, 1));
+        g.add_edge(0, 1);
+        let csr = g.mean_adjacency(false);
+        assert_eq!(csr.row_nnz(2), 0);
+    }
+
+    #[test]
+    fn negative_edges_avoid_real_edges() {
+        let mut rng = seeded_rng(3);
+        let g = path_graph(30);
+        let neg = g.negative_edges(&mut rng);
+        assert!(!neg.is_empty());
+        for &(u, v) in &neg {
+            assert!(u != v);
+            assert!(!g.has_edge(u, v), "negative edge {u}-{v} exists in G");
+        }
+        // Each node got (about) degree-many negatives.
+        let mut counts = vec![0usize; 30];
+        for &(u, _) in &neg {
+            counts[u as usize] += 1;
+        }
+        for u in 0..30u32 {
+            assert_eq!(counts[u as usize], g.degree(u));
+        }
+    }
+
+    #[test]
+    fn negative_mean_adjacency_rows_sum_to_one() {
+        let mut rng = seeded_rng(9);
+        let g = path_graph(20);
+        let neg = g.negative_mean_adjacency(false, &mut rng);
+        for r in 0..20 {
+            let s: f32 = neg.row_values(r).iter().sum();
+            if neg.row_nnz(r) > 0 {
+                assert!((s - 1.0).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn directed_edges_double_undirected() {
+        let g = path_graph(5);
+        assert_eq!(g.directed_edges().len(), 2 * g.num_edges());
+        assert_eq!(g.undirected_edges().len(), g.num_edges());
+        for (u, v) in g.undirected_edges() {
+            assert!(u < v);
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let mut g = AttributedGraph::new(Matrix::from_fn(5, 2, |r, c| (r * 2 + c) as f32));
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g.add_edge(3, 4);
+        g.set_labels(vec![0, 0, 1, 1, 1]);
+        let sub = g.induced_subgraph(&[3, 1, 2]);
+        assert_eq!(sub.num_nodes(), 3);
+        // Local ids: 0↦3, 1↦1, 2↦2. Edges kept: (1,2)→(1,2), (2,3)→(2,0).
+        assert_eq!(sub.num_edges(), 2);
+        assert!(sub.has_edge(1, 2));
+        assert!(sub.has_edge(2, 0));
+        assert!(!sub.has_edge(0, 1)); // 3–1 was not an edge
+        assert_eq!(sub.attrs().row(0), g.attrs().row(3));
+        assert_eq!(sub.labels().unwrap(), &[1, 0, 1]);
+        assert!(sub.check_invariants());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node")]
+    fn induced_subgraph_rejects_duplicates() {
+        let g = path_graph(4);
+        let _ = g.induced_subgraph(&[1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "labels must cover every node")]
+    fn wrong_label_length_panics() {
+        let mut g = path_graph(3);
+        g.set_labels(vec![0, 1]);
+    }
+}

@@ -1,0 +1,249 @@
+//! Plain-text serialisation of attributed graphs.
+//!
+//! A deliberately boring format so replicas and detection results can move
+//! between this library, notebooks and spreadsheet tools without adding a
+//! serde dependency:
+//!
+//! ```text
+//! # vgod-graph v1
+//! nodes <n> attrs <d>
+//! labels <l_0> <l_1> … <l_{n-1}>        (optional line)
+//! node <id> <x_0> <x_1> … <x_{d-1}>     (n lines)
+//! edge <u> <v>                          (one per undirected edge, u < v)
+//! ```
+
+use std::io::{BufRead, Write};
+
+use crate::AttributedGraph;
+use vgod_tensor::Matrix;
+
+/// Errors produced when parsing a serialised graph.
+#[derive(Debug)]
+pub enum GraphIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structurally invalid content, with a human-readable reason.
+    Parse(String),
+}
+
+impl std::fmt::Display for GraphIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphIoError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphIoError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphIoError {}
+
+impl From<std::io::Error> for GraphIoError {
+    fn from(e: std::io::Error) -> Self {
+        GraphIoError::Io(e)
+    }
+}
+
+fn parse_err(msg: impl Into<String>) -> GraphIoError {
+    GraphIoError::Parse(msg.into())
+}
+
+/// Write `g` in the v1 text format.
+pub fn write_graph(g: &AttributedGraph, out: &mut impl Write) -> Result<(), GraphIoError> {
+    writeln!(out, "# vgod-graph v1")?;
+    writeln!(out, "nodes {} attrs {}", g.num_nodes(), g.num_attrs())?;
+    if let Some(labels) = g.labels() {
+        write!(out, "labels")?;
+        for l in labels {
+            write!(out, " {l}")?;
+        }
+        writeln!(out)?;
+    }
+    for i in 0..g.num_nodes() {
+        write!(out, "node {i}")?;
+        for v in g.attrs().row(i) {
+            write!(out, " {v}")?;
+        }
+        writeln!(out)?;
+    }
+    for (u, v) in g.undirected_edges() {
+        writeln!(out, "edge {u} {v}")?;
+    }
+    Ok(())
+}
+
+/// Read a graph written by [`write_graph`].
+pub fn read_graph(input: &mut impl BufRead) -> Result<AttributedGraph, GraphIoError> {
+    let mut lines = input.lines();
+    let header = lines.next().ok_or_else(|| parse_err("empty input"))??;
+    if header.trim() != "# vgod-graph v1" {
+        return Err(parse_err(format!("unexpected header: {header:?}")));
+    }
+    let size_line = lines
+        .next()
+        .ok_or_else(|| parse_err("missing size line"))??;
+    let parts: Vec<&str> = size_line.split_whitespace().collect();
+    let (n, d) = match parts.as_slice() {
+        ["nodes", n, "attrs", d] => (
+            n.parse::<usize>()
+                .map_err(|e| parse_err(format!("bad node count: {e}")))?,
+            d.parse::<usize>()
+                .map_err(|e| parse_err(format!("bad attr count: {e}")))?,
+        ),
+        _ => return Err(parse_err(format!("bad size line: {size_line:?}"))),
+    };
+
+    let mut x = Matrix::zeros(n, d);
+    let mut labels: Option<Vec<u32>> = None;
+    let mut seen_nodes = vec![false; n];
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+
+    for line in lines {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        match tokens.next() {
+            Some("labels") => {
+                let parsed: Result<Vec<u32>, _> = tokens.map(str::parse).collect();
+                let parsed = parsed.map_err(|e| parse_err(format!("bad label: {e}")))?;
+                if parsed.len() != n {
+                    return Err(parse_err(format!(
+                        "expected {n} labels, got {}",
+                        parsed.len()
+                    )));
+                }
+                labels = Some(parsed);
+            }
+            Some("node") => {
+                let id: usize = tokens
+                    .next()
+                    .ok_or_else(|| parse_err("node line missing id"))?
+                    .parse()
+                    .map_err(|e| parse_err(format!("bad node id: {e}")))?;
+                if id >= n {
+                    return Err(parse_err(format!("node id {id} out of range")));
+                }
+                let values: Result<Vec<f32>, _> = tokens.map(str::parse).collect();
+                let values = values.map_err(|e| parse_err(format!("bad attribute: {e}")))?;
+                if values.len() != d {
+                    return Err(parse_err(format!(
+                        "node {id}: expected {d} attributes, got {}",
+                        values.len()
+                    )));
+                }
+                x.row_mut(id).copy_from_slice(&values);
+                seen_nodes[id] = true;
+            }
+            Some("edge") => {
+                let u: u32 = tokens
+                    .next()
+                    .ok_or_else(|| parse_err("edge line missing endpoint"))?
+                    .parse()
+                    .map_err(|e| parse_err(format!("bad edge endpoint: {e}")))?;
+                let v: u32 = tokens
+                    .next()
+                    .ok_or_else(|| parse_err("edge line missing endpoint"))?
+                    .parse()
+                    .map_err(|e| parse_err(format!("bad edge endpoint: {e}")))?;
+                if u as usize >= n || v as usize >= n {
+                    return Err(parse_err(format!("edge {u}-{v} out of range")));
+                }
+                edges.push((u, v));
+            }
+            Some(other) => return Err(parse_err(format!("unknown record {other:?}"))),
+            None => continue,
+        }
+    }
+    if let Some(missing) = seen_nodes.iter().position(|&s| !s) {
+        if d > 0 {
+            return Err(parse_err(format!("node {missing} has no attribute line")));
+        }
+    }
+    let mut g = AttributedGraph::from_edges(x, &edges);
+    if let Some(labels) = labels {
+        g.set_labels(labels);
+    }
+    Ok(g)
+}
+
+/// Convenience: write to a file path.
+pub fn save_graph(
+    g: &AttributedGraph,
+    path: impl AsRef<std::path::Path>,
+) -> Result<(), GraphIoError> {
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write_graph(g, &mut file)
+}
+
+/// Convenience: read from a file path.
+pub fn load_graph(path: impl AsRef<std::path::Path>) -> Result<AttributedGraph, GraphIoError> {
+    let mut file = std::io::BufReader::new(std::fs::File::open(path)?);
+    read_graph(&mut file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded_rng;
+
+    fn sample_graph() -> AttributedGraph {
+        let mut rng = seeded_rng(4);
+        let mut g = crate::community_graph(
+            &crate::CommunityGraphConfig::homogeneous(40, 4, 3.0, 0.9),
+            &mut rng,
+        );
+        let x = crate::gaussian_mixture_attributes(g.labels().unwrap(), 5, 2.0, 0.5, &mut rng);
+        g.set_attrs(x);
+        g
+    }
+
+    #[test]
+    fn roundtrip_preserves_graph() {
+        let g = sample_graph();
+        let mut buf = Vec::new();
+        write_graph(&g, &mut buf).unwrap();
+        let g2 = read_graph(&mut buf.as_slice()).unwrap();
+        assert_eq!(g2.num_nodes(), g.num_nodes());
+        assert_eq!(g2.num_edges(), g.num_edges());
+        assert_eq!(g2.labels(), g.labels());
+        assert!(g2.attrs().approx_eq(g.attrs(), 1e-5));
+        for u in 0..g.num_nodes() as u32 {
+            assert_eq!(g2.neighbors(u), g.neighbors(u));
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        let cases: [&str; 5] = [
+            "",
+            "# wrong header\nnodes 1 attrs 1\n",
+            "# vgod-graph v1\nnodes x attrs 1\n",
+            "# vgod-graph v1\nnodes 2 attrs 1\nnode 0 1.0\nnode 1 2.0\nedge 0 5\n",
+            "# vgod-graph v1\nnodes 2 attrs 2\nnode 0 1.0\nnode 1 2.0 3.0\n",
+        ];
+        for case in cases {
+            assert!(
+                read_graph(&mut case.as_bytes()).is_err(),
+                "should reject: {case:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_attribute_line_is_detected() {
+        let text = "# vgod-graph v1\nnodes 2 attrs 1\nnode 0 1.0\n";
+        assert!(read_graph(&mut text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = sample_graph();
+        let path = std::env::temp_dir().join("vgod_graph_io_test.txt");
+        save_graph(&g, &path).unwrap();
+        let g2 = load_graph(&path).unwrap();
+        assert_eq!(g2.num_edges(), g.num_edges());
+        let _ = std::fs::remove_file(&path);
+    }
+}

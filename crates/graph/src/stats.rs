@@ -1,0 +1,301 @@
+//! Graph statistics used in the paper's analyses (Table I, Fig 9, §VI-E4).
+
+use crate::AttributedGraph;
+
+/// Summary of a graph's degree distribution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Mean degree.
+    pub mean: f32,
+    /// Maximum degree.
+    pub max: usize,
+    /// Minimum degree.
+    pub min: usize,
+    /// Median degree.
+    pub median: usize,
+}
+
+/// Degree statistics over all nodes (or over `subset` when given).
+pub fn degree_stats(g: &AttributedGraph, subset: Option<&[u32]>) -> DegreeStats {
+    let degrees: Vec<usize> = match subset {
+        Some(ids) => ids.iter().map(|&u| g.degree(u)).collect(),
+        None => (0..g.num_nodes() as u32).map(|u| g.degree(u)).collect(),
+    };
+    if degrees.is_empty() {
+        return DegreeStats {
+            mean: 0.0,
+            max: 0,
+            min: 0,
+            median: 0,
+        };
+    }
+    let mut sorted = degrees.clone();
+    sorted.sort_unstable();
+    DegreeStats {
+        mean: degrees.iter().sum::<usize>() as f32 / degrees.len() as f32,
+        max: *sorted.last().expect("non-empty"),
+        min: sorted[0],
+        median: sorted[sorted.len() / 2],
+    }
+}
+
+/// Edge homophily: the fraction of edges whose endpoints share a community
+/// label. 1.0 for perfectly assortative graphs.
+///
+/// # Panics
+/// Panics if the graph has no labels.
+pub fn edge_homophily(g: &AttributedGraph) -> f32 {
+    let labels = g
+        .labels()
+        .expect("edge_homophily requires community labels");
+    let mut same = 0usize;
+    let mut total = 0usize;
+    for (u, v) in g.undirected_edges() {
+        total += 1;
+        if labels[u as usize] == labels[v as usize] {
+            same += 1;
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        same as f32 / total as f32
+    }
+}
+
+/// Class-balance-adjusted homophily (Lim et al., the measure the VGOD paper
+/// cites for Weibo): `(h_edge − Σ_c p_c²) / (1 − Σ_c p_c²)`, which is ≈ 0
+/// for a random graph regardless of class balance.
+pub fn adjusted_homophily(g: &AttributedGraph) -> f32 {
+    let labels = g
+        .labels()
+        .expect("adjusted_homophily requires community labels");
+    let n = labels.len().max(1);
+    let n_comm = labels.iter().map(|&c| c as usize + 1).max().unwrap_or(1);
+    let mut counts = vec![0usize; n_comm];
+    for &c in labels {
+        counts[c as usize] += 1;
+    }
+    let chance: f32 = counts.iter().map(|&c| (c as f32 / n as f32).powi(2)).sum();
+    let h = edge_homophily(g);
+    if chance >= 1.0 {
+        0.0
+    } else {
+        (h - chance) / (1.0 - chance)
+    }
+}
+
+/// Total attribute variance of a node subset: `Σ_d Var_{i∈S}(x_{i,d})` —
+/// the statistic the paper reports for Weibo outliers (425.0) vs inliers
+/// (11.95).
+pub fn attribute_variance(g: &AttributedGraph, subset: &[u32]) -> f32 {
+    if subset.len() < 2 {
+        return 0.0;
+    }
+    let x = g.attrs();
+    let d = x.cols();
+    let m = subset.len() as f32;
+    let mut total = 0.0f32;
+    for col in 0..d {
+        let mut sum = 0.0f32;
+        let mut sq = 0.0f32;
+        for &u in subset {
+            let v = x[(u as usize, col)];
+            sum += v;
+            sq += v * v;
+        }
+        let mean = sum / m;
+        total += (sq / m - mean * mean).max(0.0);
+    }
+    total
+}
+
+/// Connected-component id per node (BFS labelling; ids are dense from 0 in
+/// discovery order). The second element is the number of components.
+pub fn connected_components(g: &AttributedGraph) -> (Vec<u32>, usize) {
+    let n = g.num_nodes();
+    let mut comp = vec![u32::MAX; n];
+    let mut next = 0u32;
+    let mut queue = std::collections::VecDeque::new();
+    for start in 0..n as u32 {
+        if comp[start as usize] != u32::MAX {
+            continue;
+        }
+        comp[start as usize] = next;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if comp[v as usize] == u32::MAX {
+                    comp[v as usize] = next;
+                    queue.push_back(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    (comp, next as usize)
+}
+
+/// Size of the largest connected component.
+pub fn largest_component_size(g: &AttributedGraph) -> usize {
+    let (comp, k) = connected_components(g);
+    let mut sizes = vec![0usize; k];
+    for c in comp {
+        sizes[c as usize] += 1;
+    }
+    sizes.into_iter().max().unwrap_or(0)
+}
+
+/// Number of triangles each node participates in, by sorted-adjacency
+/// intersection: `O(Σ_u deg(u) · avg_deg)`.
+pub fn triangle_counts(g: &AttributedGraph) -> Vec<usize> {
+    let n = g.num_nodes();
+    let mut counts = vec![0usize; n];
+    for u in 0..n as u32 {
+        let nbrs_u = g.neighbors(u);
+        for &v in nbrs_u {
+            if v <= u {
+                continue;
+            }
+            // Intersect sorted neighbour lists of u and v; count w > v so
+            // each triangle {u, v, w} is found exactly once.
+            let nbrs_v = g.neighbors(v);
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < nbrs_u.len() && j < nbrs_v.len() {
+                match nbrs_u[i].cmp(&nbrs_v[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        let w = nbrs_u[i];
+                        if w > v {
+                            counts[u as usize] += 1;
+                            counts[v as usize] += 1;
+                            counts[w as usize] += 1;
+                        }
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+    }
+    counts
+}
+
+/// Local clustering coefficient per node: `2·T(u) / (deg(u)·(deg(u)−1))`,
+/// 0.0 for degree < 2. Injected cliques push this toward 1.0 — one of the
+/// higher-order structure signals GUIDE-style detectors exploit.
+pub fn clustering_coefficients(g: &AttributedGraph) -> Vec<f32> {
+    let triangles = triangle_counts(g);
+    (0..g.num_nodes())
+        .map(|u| {
+            let d = g.degree(u as u32);
+            if d < 2 {
+                0.0
+            } else {
+                2.0 * triangles[u] as f32 / (d * (d - 1)) as f32
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vgod_tensor::Matrix;
+
+    fn labeled_graph() -> AttributedGraph {
+        // Two triangles joined by one edge; labels 0 and 1.
+        let mut g = AttributedGraph::new(Matrix::from_rows(&[
+            &[0.0, 0.0],
+            &[0.0, 0.1],
+            &[0.1, 0.0],
+            &[5.0, 5.0],
+            &[5.0, 5.1],
+            &[5.1, 5.0],
+        ]));
+        g.make_clique(&[0, 1, 2]);
+        g.make_clique(&[3, 4, 5]);
+        g.add_edge(2, 3);
+        g.set_labels(vec![0, 0, 0, 1, 1, 1]);
+        g
+    }
+
+    #[test]
+    fn degree_stats_basics() {
+        let g = labeled_graph();
+        let s = degree_stats(&g, None);
+        assert_eq!(s.max, 3);
+        assert_eq!(s.min, 2);
+        assert!((s.mean - 14.0 / 6.0).abs() < 1e-6);
+        let sub = degree_stats(&g, Some(&[2, 3]));
+        assert_eq!(sub.min, 3);
+    }
+
+    #[test]
+    fn homophily_of_two_cliques() {
+        let g = labeled_graph();
+        // 6 intra edges, 1 inter edge.
+        assert!((edge_homophily(&g) - 6.0 / 7.0).abs() < 1e-6);
+        let adj = adjusted_homophily(&g);
+        // chance = 0.5 ⇒ adjusted = (6/7 − 1/2) / (1/2) ≈ 0.714.
+        assert!((adj - ((6.0 / 7.0 - 0.5) / 0.5)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn components_of_disjoint_cliques() {
+        let mut g = AttributedGraph::new(Matrix::zeros(7, 1));
+        g.make_clique(&[0, 1, 2]);
+        g.make_clique(&[3, 4]);
+        // node 5, 6 isolated
+        let (comp, k) = connected_components(&g);
+        assert_eq!(k, 4);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[0], comp[2]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[3]);
+        assert_ne!(comp[5], comp[6]);
+        assert_eq!(largest_component_size(&g), 3);
+    }
+
+    #[test]
+    fn triangle_counts_on_known_graphs() {
+        // A triangle: every node in exactly one triangle, clustering 1.0.
+        let mut tri = AttributedGraph::new(Matrix::zeros(3, 1));
+        tri.make_clique(&[0, 1, 2]);
+        assert_eq!(triangle_counts(&tri), vec![1, 1, 1]);
+        assert_eq!(clustering_coefficients(&tri), vec![1.0, 1.0, 1.0]);
+
+        // A path: no triangles, clustering 0.
+        let mut path = AttributedGraph::new(Matrix::zeros(4, 1));
+        for i in 0..3u32 {
+            path.add_edge(i, i + 1);
+        }
+        assert_eq!(triangle_counts(&path), vec![0, 0, 0, 0]);
+        assert!(clustering_coefficients(&path).iter().all(|&c| c == 0.0));
+
+        // K4: each node is in C(3,2) = 3 triangles.
+        let mut k4 = AttributedGraph::new(Matrix::zeros(4, 1));
+        k4.make_clique(&[0, 1, 2, 3]);
+        assert_eq!(triangle_counts(&k4), vec![3; 4]);
+        assert_eq!(clustering_coefficients(&k4), vec![1.0; 4]);
+    }
+
+    #[test]
+    fn injected_cliques_raise_clustering() {
+        let g = labeled_graph(); // two triangles + bridge
+        let cc = clustering_coefficients(&g);
+        assert_eq!(cc[0], 1.0);
+        // Bridge endpoints have an extra non-triangle edge.
+        assert!(cc[2] < 1.0 && cc[2] > 0.0);
+    }
+
+    #[test]
+    fn attribute_variance_separates_spread_sets() {
+        let g = labeled_graph();
+        let tight = attribute_variance(&g, &[0, 1, 2]);
+        let spread = attribute_variance(&g, &[0, 3]);
+        assert!(spread > tight * 10.0, "spread {spread} vs tight {tight}");
+        assert_eq!(attribute_variance(&g, &[0]), 0.0);
+    }
+}

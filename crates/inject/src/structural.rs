@@ -1,0 +1,341 @@
+//! Structural outlier injection: the standard clique approach (§IV-A1), the
+//! varied-clique-size protocol (§VI-C1), and the paper's new
+//! degree-preserving approach (§VI-D1).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use vgod_graph::AttributedGraph;
+
+use crate::{GroundTruth, OutlierKind};
+
+/// Parameters of the standard clique injection.
+#[derive(Clone, Copy, Debug)]
+pub struct StructuralParams {
+    /// Number of cliques `p`.
+    pub num_cliques: usize,
+    /// Clique size `q` (the paper's default is 15; Table V varies it).
+    pub clique_size: usize,
+}
+
+/// One injected group of structural outliers (all cliques of one size).
+#[derive(Clone, Debug)]
+pub struct StructuralGroup {
+    /// Clique size `q` of this group.
+    pub clique_size: usize,
+    /// The nodes injected in this group.
+    pub members: Vec<u32>,
+}
+
+/// Draw `count` distinct currently-normal nodes.
+fn draw_normal_nodes(truth: &GroundTruth, count: usize, rng: &mut impl Rng) -> Vec<u32> {
+    let mut pool = truth.normal_nodes();
+    assert!(
+        pool.len() >= count,
+        "not enough normal nodes to inject {count} outliers"
+    );
+    pool.shuffle(rng);
+    pool.truncate(count);
+    pool
+}
+
+/// Standard structural injection (§IV-A1): choose `p·q` random normal
+/// nodes, partition them into `p` groups of `q`, and make each group a
+/// clique. Marks the chosen nodes in `truth`.
+///
+/// Returns the injected node ids.
+pub fn inject_structural(
+    g: &mut AttributedGraph,
+    truth: &mut GroundTruth,
+    params: &StructuralParams,
+    rng: &mut impl Rng,
+) -> Vec<u32> {
+    let total = params.num_cliques * params.clique_size;
+    let chosen = draw_normal_nodes(truth, total, rng);
+    for clique in chosen.chunks(params.clique_size) {
+        g.make_clique(clique);
+    }
+    for &u in &chosen {
+        truth.mark(u, OutlierKind::Structural);
+    }
+    chosen
+}
+
+/// Varied-clique-size injection (§VI-C1): for each `q` in `clique_sizes`,
+/// inject a group of `⌊fraction_per_group · n⌋` structural outliers as
+/// cliques of size `q` (the last clique of a group may be smaller when the
+/// group size is not a multiple of `q`).
+pub fn inject_structural_groups(
+    g: &mut AttributedGraph,
+    truth: &mut GroundTruth,
+    clique_sizes: &[usize],
+    fraction_per_group: f32,
+    rng: &mut impl Rng,
+) -> Vec<StructuralGroup> {
+    let per_group = ((g.num_nodes() as f32 * fraction_per_group).round() as usize).max(1);
+    clique_sizes
+        .iter()
+        .map(|&q| {
+            assert!(q >= 2, "clique size must be at least 2");
+            let members = draw_normal_nodes(truth, per_group, rng);
+            for clique in members.chunks(q) {
+                g.make_clique(clique);
+            }
+            for &u in &members {
+                truth.mark(u, OutlierKind::Structural);
+            }
+            StructuralGroup {
+                clique_size: q,
+                members,
+            }
+        })
+        .collect()
+}
+
+/// The paper's new degree-preserving injection (§VI-D1): each chosen node
+/// keeps its degree but every neighbour is replaced by a node sampled
+/// uniformly from *other* communities. Requires community labels.
+///
+/// Returns the injected node ids.
+///
+/// # Panics
+/// Panics if the graph has no community labels or only one community.
+pub fn inject_community_replacement(
+    g: &mut AttributedGraph,
+    truth: &mut GroundTruth,
+    fraction: f32,
+    rng: &mut impl Rng,
+) -> Vec<u32> {
+    let labels: Vec<u32> = g
+        .labels()
+        .expect("community-replacement injection needs labels")
+        .to_vec();
+    let n_comm = labels.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
+    assert!(
+        n_comm >= 2,
+        "community-replacement injection needs ≥2 communities"
+    );
+
+    // Bucket nodes by community for uniform sampling from "other" ones.
+    let mut by_comm: Vec<Vec<u32>> = vec![Vec::new(); n_comm];
+    for (i, &c) in labels.iter().enumerate() {
+        by_comm[c as usize].push(i as u32);
+    }
+
+    let count = ((g.num_nodes() as f32 * fraction).round() as usize).max(1);
+    let chosen = draw_normal_nodes(truth, count, rng);
+    let is_chosen: std::collections::HashSet<u32> = chosen.iter().copied().collect();
+    // Degrees to preserve, measured before any rewiring.
+    let target_degree: Vec<usize> = chosen.iter().map(|&u| g.degree(u)).collect();
+
+    // Replacement targets are sampled uniformly from *non-chosen* nodes of
+    // other communities, so that no injected node's preserved degree is
+    // perturbed by another injection.
+    for (&u, &needed) in chosen.iter().zip(&target_degree) {
+        let cu = labels[u as usize] as usize;
+        g.detach_node(u);
+        let total_other: usize = by_comm
+            .iter()
+            .enumerate()
+            .filter(|&(c, _)| c != cu)
+            .map(|(_, m)| m.iter().filter(|v| !is_chosen.contains(v)).count())
+            .sum();
+        let mut replaced = 0usize;
+        let mut guard = 0usize;
+        while replaced < needed && guard < needed * 80 + 200 && total_other > replaced {
+            guard += 1;
+            let mut t = rng.gen_range(0..total_other);
+            let mut v = None;
+            'outer: for (c, members) in by_comm.iter().enumerate() {
+                if c == cu {
+                    continue;
+                }
+                for &m in members {
+                    if is_chosen.contains(&m) {
+                        continue;
+                    }
+                    if t == 0 {
+                        v = Some(m);
+                        break 'outer;
+                    }
+                    t -= 1;
+                }
+            }
+            let v = v.expect("weighted pick lands in some community");
+            if v != u && g.add_edge(u, v) {
+                replaced += 1;
+            }
+        }
+        truth.mark(u, OutlierKind::Structural);
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vgod_graph::{community_graph, seeded_rng, CommunityGraphConfig};
+    use vgod_tensor::Matrix;
+
+    fn base_graph(n: usize, rng: &mut impl Rng) -> AttributedGraph {
+        let mut g = community_graph(&CommunityGraphConfig::homogeneous(n, 4, 4.0, 0.9), rng);
+        g.set_attrs(Matrix::zeros(n, 4));
+        g
+    }
+
+    #[test]
+    fn clique_injection_marks_and_connects() {
+        let mut rng = seeded_rng(1);
+        let mut g = base_graph(200, &mut rng);
+        let mut truth = GroundTruth::new(200);
+        let chosen = inject_structural(
+            &mut g,
+            &mut truth,
+            &StructuralParams {
+                num_cliques: 2,
+                clique_size: 6,
+            },
+            &mut rng,
+        );
+        assert_eq!(chosen.len(), 12);
+        // Every injected node has degree ≥ q−1.
+        for &u in &chosen {
+            assert!(g.degree(u) >= 5, "node {u} degree {}", g.degree(u));
+            assert_eq!(truth.kind(u), OutlierKind::Structural);
+        }
+        assert!(g.check_invariants());
+    }
+
+    #[test]
+    fn groups_do_not_overlap() {
+        let mut rng = seeded_rng(2);
+        let mut g = base_graph(400, &mut rng);
+        let mut truth = GroundTruth::new(400);
+        let groups = inject_structural_groups(&mut g, &mut truth, &[3, 5, 10, 15], 0.02, &mut rng);
+        assert_eq!(groups.len(), 4);
+        let mut seen = std::collections::HashSet::new();
+        for gr in &groups {
+            assert_eq!(gr.members.len(), 8); // 2% of 400
+            for &u in &gr.members {
+                assert!(seen.insert(u), "node {u} in two groups");
+            }
+        }
+        assert_eq!(truth.structural_nodes().len(), 32);
+    }
+
+    #[test]
+    fn clique_members_are_fully_connected() {
+        let mut rng = seeded_rng(3);
+        let mut g = base_graph(100, &mut rng);
+        let mut truth = GroundTruth::new(100);
+        let chosen = inject_structural(
+            &mut g,
+            &mut truth,
+            &StructuralParams {
+                num_cliques: 1,
+                clique_size: 8,
+            },
+            &mut rng,
+        );
+        for i in 0..chosen.len() {
+            for j in i + 1..chosen.len() {
+                assert!(g.has_edge(chosen[i], chosen[j]));
+            }
+        }
+    }
+
+    #[test]
+    fn community_replacement_preserves_degree() {
+        let mut rng = seeded_rng(4);
+        let mut g = base_graph(300, &mut rng);
+        let degrees_before: Vec<usize> = (0..300u32).map(|u| g.degree(u)).collect();
+        let mut truth = GroundTruth::new(300);
+        let chosen = inject_community_replacement(&mut g, &mut truth, 0.1, &mut rng);
+        assert_eq!(chosen.len(), 30);
+        for &u in &chosen {
+            assert_eq!(
+                g.degree(u),
+                degrees_before[u as usize],
+                "degree of injected node {u} changed"
+            );
+        }
+        assert!(g.check_invariants());
+    }
+
+    #[test]
+    fn community_replacement_links_only_other_communities() {
+        let mut rng = seeded_rng(5);
+        let mut g = base_graph(300, &mut rng);
+        let labels = g.labels().unwrap().to_vec();
+        let mut truth = GroundTruth::new(300);
+        let chosen = inject_community_replacement(&mut g, &mut truth, 0.05, &mut rng);
+        for &u in &chosen {
+            for &v in g.neighbors(u) {
+                // A neighbour could itself be an injected outlier that later
+                // linked to u; only check edges u initiated: all of u's
+                // neighbours must be from other communities unless v was
+                // injected after u.
+                if truth.kind(v) == OutlierKind::Normal {
+                    assert_ne!(
+                        labels[u as usize], labels[v as usize],
+                        "outlier {u} kept an intra-community neighbour {v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not enough normal nodes")]
+    fn over_injection_panics() {
+        let mut rng = seeded_rng(6);
+        let mut g = base_graph(40, &mut rng);
+        let mut truth = GroundTruth::new(40);
+        let _ = inject_structural(
+            &mut g,
+            &mut truth,
+            &StructuralParams {
+                num_cliques: 5,
+                clique_size: 15,
+            },
+            &mut rng,
+        );
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+            #[test]
+            fn injection_never_breaks_invariants(seed in 0u64..500, p in 1usize..4, q in 2usize..8) {
+                let mut rng = seeded_rng(seed);
+                let mut g = base_graph(150, &mut rng);
+                let mut truth = GroundTruth::new(150);
+                inject_structural(&mut g, &mut truth, &StructuralParams { num_cliques: p, clique_size: q }, &mut rng);
+                prop_assert!(g.check_invariants());
+                prop_assert_eq!(truth.structural_nodes().len(), p * q);
+            }
+
+            #[test]
+            fn replacement_injection_preserves_outlier_degrees(seed in 0u64..200) {
+                let mut rng = seeded_rng(seed);
+                let mut g = base_graph(200, &mut rng);
+                let degrees_before: Vec<usize> = (0..200u32).map(|u| g.degree(u)).collect();
+                let edges_before = g.num_edges();
+                let mut truth = GroundTruth::new(200);
+                let chosen = inject_community_replacement(&mut g, &mut truth, 0.1, &mut rng);
+                prop_assert!(g.check_invariants());
+                // Every injected node keeps its exact pre-injection degree.
+                for &u in &chosen {
+                    prop_assert_eq!(g.degree(u), degrees_before[u as usize]);
+                }
+                // Total edge count stays close (chosen–chosen edges may be
+                // split into two replacements; collisions may lose a few).
+                let edges_after = g.num_edges() as f32;
+                prop_assert!(edges_after >= 0.85 * edges_before as f32);
+                prop_assert!(edges_after <= 1.15 * edges_before as f32);
+            }
+        }
+    }
+}

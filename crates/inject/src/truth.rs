@@ -1,0 +1,144 @@
+//! Ground-truth bookkeeping for injected outliers.
+
+/// The planted type of each node after injection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OutlierKind {
+    /// Not an outlier.
+    Normal,
+    /// Structural outlier (abnormal links, §IV-A).
+    Structural,
+    /// Contextual outlier (corrupted attributes, §IV-B).
+    Contextual,
+}
+
+/// Per-node outlier labels recorded during injection. Only used for
+/// *evaluation* — detectors never see it.
+#[derive(Clone, Debug)]
+pub struct GroundTruth {
+    kinds: Vec<OutlierKind>,
+}
+
+impl GroundTruth {
+    /// All-normal ground truth over `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Self {
+            kinds: vec![OutlierKind::Normal; n],
+        }
+    }
+
+    /// Build directly from per-node kinds (used by the labeled Weibo-like
+    /// dataset, whose outliers are generated rather than injected).
+    pub fn from_kinds(kinds: Vec<OutlierKind>) -> Self {
+        Self { kinds }
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Whether the ground truth covers zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// The planted kind of node `u`.
+    pub fn kind(&self, u: u32) -> OutlierKind {
+        self.kinds[u as usize]
+    }
+
+    /// Mark node `u` (used by the injection routines).
+    pub fn mark(&mut self, u: u32, kind: OutlierKind) {
+        self.kinds[u as usize] = kind;
+    }
+
+    /// Whether node `u` is currently normal.
+    pub fn is_normal(&self, u: u32) -> bool {
+        self.kinds[u as usize] == OutlierKind::Normal
+    }
+
+    /// Boolean mask over all nodes: `true` for any outlier (`V⁻`).
+    pub fn outlier_mask(&self) -> Vec<bool> {
+        self.kinds
+            .iter()
+            .map(|&k| k != OutlierKind::Normal)
+            .collect()
+    }
+
+    /// Boolean mask selecting only structural outliers (`V^str`).
+    pub fn structural_mask(&self) -> Vec<bool> {
+        self.kinds
+            .iter()
+            .map(|&k| k == OutlierKind::Structural)
+            .collect()
+    }
+
+    /// Boolean mask selecting only contextual outliers (`V^attr`).
+    pub fn contextual_mask(&self) -> Vec<bool> {
+        self.kinds
+            .iter()
+            .map(|&k| k == OutlierKind::Contextual)
+            .collect()
+    }
+
+    /// Ids of structural outliers.
+    pub fn structural_nodes(&self) -> Vec<u32> {
+        self.nodes_of(OutlierKind::Structural)
+    }
+
+    /// Ids of contextual outliers.
+    pub fn contextual_nodes(&self) -> Vec<u32> {
+        self.nodes_of(OutlierKind::Contextual)
+    }
+
+    /// Ids of normal nodes.
+    pub fn normal_nodes(&self) -> Vec<u32> {
+        self.nodes_of(OutlierKind::Normal)
+    }
+
+    fn nodes_of(&self, kind: OutlierKind) -> Vec<u32> {
+        self.kinds
+            .iter()
+            .enumerate()
+            .filter(|(_, &k)| k == kind)
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    /// Fraction of nodes that are outliers.
+    pub fn outlier_ratio(&self) -> f32 {
+        if self.kinds.is_empty() {
+            0.0
+        } else {
+            self.kinds
+                .iter()
+                .filter(|&&k| k != OutlierKind::Normal)
+                .count() as f32
+                / self.kinds.len() as f32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_partition_nodes() {
+        let mut t = GroundTruth::new(5);
+        t.mark(1, OutlierKind::Structural);
+        t.mark(3, OutlierKind::Contextual);
+        assert_eq!(t.outlier_mask(), vec![false, true, false, true, false]);
+        assert_eq!(t.structural_nodes(), vec![1]);
+        assert_eq!(t.contextual_nodes(), vec![3]);
+        assert_eq!(t.normal_nodes(), vec![0, 2, 4]);
+        assert!((t.outlier_ratio() - 0.4).abs() < 1e-6);
+        for u in 0..5u32 {
+            let in_any = t.outlier_mask()[u as usize];
+            let in_s = t.structural_mask()[u as usize];
+            let in_c = t.contextual_mask()[u as usize];
+            assert_eq!(in_any, in_s || in_c);
+            assert!(!(in_s && in_c));
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Early stopping on a plateauing (or rising) objective.
+//!
+//! The paper's experimental protocol stops each *baseline* "as long as
+//! their AUC score reaches its peak" (§VI-B2) — a labelled criterion that
+//! an unsupervised deployment cannot use. This utility provides the
+//! unsupervised analogue: stop when the training loss has not improved by
+//! at least `min_delta` for `patience` consecutive epochs.
+
+/// Loss-plateau early stopping.
+#[derive(Clone, Debug)]
+pub struct EarlyStopper {
+    patience: usize,
+    min_delta: f32,
+    best: f32,
+    best_epoch: usize,
+    epochs_seen: usize,
+}
+
+impl EarlyStopper {
+    /// Stop after `patience` epochs without an improvement of at least
+    /// `min_delta`.
+    pub fn new(patience: usize, min_delta: f32) -> Self {
+        Self {
+            patience,
+            min_delta,
+            best: f32::INFINITY,
+            best_epoch: 0,
+            epochs_seen: 0,
+        }
+    }
+
+    /// Record this epoch's loss; returns `true` when training should stop.
+    pub fn should_stop(&mut self, loss: f32) -> bool {
+        self.epochs_seen += 1;
+        if loss < self.best - self.min_delta {
+            self.best = loss;
+            self.best_epoch = self.epochs_seen;
+        }
+        self.epochs_seen - self.best_epoch >= self.patience
+    }
+
+    /// The best loss observed so far.
+    pub fn best_loss(&self) -> f32 {
+        self.best
+    }
+
+    /// The (1-based) epoch that achieved the best loss; 0 before any epoch.
+    pub fn best_epoch(&self) -> usize {
+        self.best_epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stops_on_plateau() {
+        let mut es = EarlyStopper::new(3, 1e-3);
+        let losses = [1.0, 0.8, 0.7, 0.7, 0.7, 0.7];
+        let mut stopped_at = None;
+        for (i, &l) in losses.iter().enumerate() {
+            if es.should_stop(l) {
+                stopped_at = Some(i + 1);
+                break;
+            }
+        }
+        // Best at epoch 3 (0.7); plateau epochs 4,5,6 → stop at epoch 6.
+        assert_eq!(stopped_at, Some(6));
+        assert_eq!(es.best_epoch(), 3);
+        assert!((es.best_loss() - 0.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn keeps_going_while_improving() {
+        let mut es = EarlyStopper::new(2, 0.0);
+        for epoch in 0..100 {
+            let loss = 1.0 / (epoch + 1) as f32;
+            assert!(
+                !es.should_stop(loss),
+                "stopped during steady improvement at {epoch}"
+            );
+        }
+    }
+
+    #[test]
+    fn rising_loss_counts_as_plateau() {
+        let mut es = EarlyStopper::new(2, 0.0);
+        assert!(!es.should_stop(0.5));
+        assert!(!es.should_stop(0.6));
+        assert!(es.should_stop(0.7));
+    }
+
+    #[test]
+    fn min_delta_filters_noise() {
+        let mut es = EarlyStopper::new(2, 0.1);
+        // Tiny improvements below min_delta do not reset patience.
+        assert!(!es.should_stop(1.0));
+        assert!(!es.should_stop(0.99));
+        assert!(es.should_stop(0.98));
+    }
+}

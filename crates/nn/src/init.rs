@@ -1,0 +1,58 @@
+//! Weight initialisation schemes.
+
+use rand::Rng;
+use vgod_tensor::Matrix;
+
+/// Uniform initialisation in `[-limit, limit]`.
+pub fn uniform_init(rows: usize, cols: usize, limit: f32, rng: &mut impl Rng) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-limit..=limit))
+}
+
+/// Glorot/Xavier uniform initialisation: `limit = sqrt(6 / (fan_in + fan_out))`.
+///
+/// The default for the linear transforms in the VGOD paper's models (it is
+/// PyTorch Geometric's default for GCN/GAT weights).
+pub fn glorot_uniform(fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Matrix {
+    let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform_init(fan_in, fan_out, limit, rng)
+}
+
+/// He/Kaiming uniform initialisation: `limit = sqrt(6 / fan_in)`.
+/// Preferred in front of ReLU nonlinearities.
+pub fn he_uniform(fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Matrix {
+    let limit = (6.0 / fan_in as f32).sqrt();
+    uniform_init(fan_in, fan_out, limit, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn glorot_respects_limit() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let w = glorot_uniform(100, 50, &mut rng);
+        let limit = (6.0f32 / 150.0).sqrt();
+        assert!(w.as_slice().iter().all(|v| v.abs() <= limit + 1e-6));
+        // Not all identical / zero.
+        assert!(w.max_abs() > limit * 0.5);
+    }
+
+    #[test]
+    fn init_is_deterministic_per_seed() {
+        let mut a = rand::rngs::StdRng::seed_from_u64(7);
+        let mut b = rand::rngs::StdRng::seed_from_u64(7);
+        assert_eq!(glorot_uniform(4, 4, &mut a), glorot_uniform(4, 4, &mut b));
+    }
+
+    #[test]
+    fn he_has_wider_limit_than_glorot_for_same_fan_in() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let h = he_uniform(10, 10, &mut rng);
+        let limit_glorot = (6.0f32 / 20.0).sqrt();
+        // He limit is sqrt(6/10) > glorot's sqrt(6/20); sampled values may
+        // exceed the glorot bound.
+        assert!(h.as_slice().iter().any(|v| v.abs() > limit_glorot));
+    }
+}

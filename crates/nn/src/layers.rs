@@ -1,0 +1,196 @@
+//! Dense layers.
+
+use rand::Rng;
+use vgod_autograd::{ParamId, ParamStore, Tape, Var};
+
+use crate::init::glorot_uniform;
+
+/// Elementwise activation functions usable between layers.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Activation {
+    /// Identity (no nonlinearity).
+    Identity,
+    /// Rectified linear unit.
+    Relu,
+    /// Leaky ReLU with the given negative slope.
+    LeakyRelu(f32),
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl Activation {
+    /// Apply the activation to a variable.
+    pub fn apply(self, x: &Var) -> Var {
+        match self {
+            Activation::Identity => x.clone(),
+            Activation::Relu => x.relu(),
+            Activation::LeakyRelu(slope) => x.leaky_relu(slope),
+            Activation::Sigmoid => x.sigmoid(),
+            Activation::Tanh => x.tanh(),
+        }
+    }
+}
+
+/// A fully-connected layer `y = xW (+ b)`.
+#[derive(Clone, Debug)]
+pub struct Linear {
+    w: ParamId,
+    b: Option<ParamId>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Create a layer with Glorot-uniform weights (and zero bias when
+    /// `bias` is set), registering the parameters in `store`.
+    pub fn new(
+        store: &mut ParamStore,
+        in_dim: usize,
+        out_dim: usize,
+        bias: bool,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let w = store.insert(glorot_uniform(in_dim, out_dim, rng));
+        let b = bias.then(|| store.insert(vgod_tensor::Matrix::zeros(1, out_dim)));
+        Self {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Parameter id of the weight matrix.
+    pub fn weight_id(&self) -> ParamId {
+        self.w
+    }
+
+    /// Parameter id of the bias vector, if the layer has one.
+    pub fn bias_id(&self) -> Option<ParamId> {
+        self.b
+    }
+
+    /// Forward pass: `x · W (+ b)`.
+    pub fn forward(&self, tape: &Tape, store: &ParamStore, x: &Var) -> Var {
+        let w = tape.param(store, self.w);
+        let y = x.matmul(&w);
+        match self.b {
+            Some(b) => y.add_row_broadcast(&tape.param(store, b)),
+            None => y,
+        }
+    }
+}
+
+/// A stack of [`Linear`] layers with a shared activation between them (no
+/// activation after the last layer).
+#[derive(Clone, Debug)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    activation: Activation,
+}
+
+impl Mlp {
+    /// Build an MLP through the given layer dimensions, e.g. `&[64, 32, 8]`
+    /// creates two layers 64→32→8.
+    ///
+    /// # Panics
+    /// Panics if fewer than two dimensions are given.
+    pub fn new(
+        store: &mut ParamStore,
+        dims: &[usize],
+        activation: Activation,
+        bias: bool,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(
+            dims.len() >= 2,
+            "Mlp needs at least input and output dimensions"
+        );
+        let layers = dims
+            .windows(2)
+            .map(|w| Linear::new(store, w[0], w[1], bias, rng))
+            .collect();
+        Self { layers, activation }
+    }
+
+    /// The layers of the stack.
+    pub fn layers(&self) -> &[Linear] {
+        &self.layers
+    }
+
+    /// Forward pass with the configured activation between layers.
+    pub fn forward(&self, tape: &Tape, store: &ParamStore, x: &Var) -> Var {
+        let mut h = x.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(tape, store, &h);
+            if i + 1 < self.layers.len() {
+                h = self.activation.apply(&h);
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use vgod_tensor::Matrix;
+
+    #[test]
+    fn linear_shapes_and_bias() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let l = Linear::new(&mut store, 3, 5, true, &mut rng);
+        assert_eq!(store.len(), 2);
+        assert_eq!(l.in_dim(), 3);
+        assert_eq!(l.out_dim(), 5);
+        let tape = Tape::new();
+        let x = tape.constant(Matrix::zeros(4, 3));
+        let y = l.forward(&tape, &store, &x);
+        assert_eq!(y.shape(), (4, 5));
+        // Zero input + zero bias ⇒ zero output.
+        assert!(y.value().max_abs() == 0.0);
+    }
+
+    #[test]
+    fn mlp_composes_layers() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(&mut store, &[4, 8, 2], Activation::Relu, true, &mut rng);
+        assert_eq!(mlp.layers().len(), 2);
+        let tape = Tape::new();
+        let x = tape.constant(Matrix::filled(3, 4, 0.5));
+        let y = mlp.forward(&tape, &store, &x);
+        assert_eq!(y.shape(), (3, 2));
+    }
+
+    #[test]
+    fn gradients_reach_all_parameters() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(&mut store, &[2, 3, 1], Activation::Tanh, true, &mut rng);
+        let tape = Tape::new();
+        let x = tape.constant(Matrix::from_rows(&[&[1.0, -1.0], &[0.5, 2.0]]));
+        let loss = mlp.forward(&tape, &store, &x).square().sum_all();
+        loss.backward_into(&mut store);
+        for (id, p) in store.iter() {
+            assert!(
+                p.grad.max_abs() > 0.0 || p.value.max_abs() == 0.0,
+                "parameter {id:?} received no gradient"
+            );
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! # vgod-nn
+//!
+//! Neural-network building blocks on top of the `vgod-autograd` engine:
+//! weight initialisers, the [`Linear`] layer and [`Mlp`] stacks, loss
+//! helpers, and the [`Adam`] / [`Sgd`] optimizers that consume gradients
+//! accumulated in a [`vgod_autograd::ParamStore`].
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use vgod_autograd::{ParamStore, Tape};
+//! use vgod_nn::{Adam, Linear};
+//! use vgod_tensor::Matrix;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut store = ParamStore::new();
+//! let layer = Linear::new(&mut store, 4, 2, true, &mut rng);
+//! let mut opt = Adam::new(1e-2);
+//!
+//! let x = Matrix::zeros(3, 4);
+//! let tape = Tape::new();
+//! let y = layer.forward(&tape, &store, &tape.constant(x));
+//! assert_eq!(y.shape(), (3, 2));
+//! # let _ = &mut opt;
+//! ```
+
+#![warn(missing_docs)]
+
+mod early_stop;
+mod init;
+mod layers;
+mod loss;
+mod optim;
+
+pub use early_stop::EarlyStopper;
+pub use init::{glorot_uniform, he_uniform, uniform_init};
+pub use layers::{Activation, Linear, Mlp};
+pub use loss::{mse_loss, row_reconstruction_errors};
+pub use optim::{Adam, Optimizer, Sgd};

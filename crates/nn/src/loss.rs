@@ -1,0 +1,59 @@
+//! Loss helpers shared by the reconstruction-style models.
+
+use vgod_autograd::Var;
+use vgod_tensor::Matrix;
+
+/// Mean-squared-error loss `mean((pred − target)²)` as a scalar variable.
+pub fn mse_loss(pred: &Var, target: &Var) -> Var {
+    pred.sub(target).square().mean_all()
+}
+
+/// Per-row squared reconstruction errors `‖x̂_i − x_i‖²` (Eq. 17 of the VGOD
+/// paper), computed on plain matrices for inference-time scoring.
+pub fn row_reconstruction_errors(reconstruction: &Matrix, original: &Matrix) -> Vec<f32> {
+    assert_eq!(
+        reconstruction.shape(),
+        original.shape(),
+        "row_reconstruction_errors: shape mismatch"
+    );
+    (0..original.rows())
+        .map(|r| {
+            reconstruction
+                .row(r)
+                .iter()
+                .zip(original.row(r))
+                .map(|(&a, &b)| (a - b) * (a - b))
+                .sum()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vgod_autograd::Tape;
+
+    #[test]
+    fn mse_of_equal_inputs_is_zero() {
+        let tape = Tape::new();
+        let a = tape.constant(Matrix::filled(2, 3, 1.5));
+        let b = tape.constant(Matrix::filled(2, 3, 1.5));
+        assert_eq!(mse_loss(&a, &b).value().as_slice(), &[0.0]);
+    }
+
+    #[test]
+    fn mse_matches_manual() {
+        let tape = Tape::new();
+        let a = tape.constant(Matrix::from_rows(&[&[1.0, 2.0]]));
+        let b = tape.constant(Matrix::from_rows(&[&[0.0, 4.0]]));
+        // ((1)² + (−2)²) / 2 = 2.5
+        assert!((mse_loss(&a, &b).value().as_slice()[0] - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn row_errors_match_manual() {
+        let x = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 2.0]]);
+        let xh = Matrix::from_rows(&[&[0.0, 0.0], &[0.0, 0.0]]);
+        assert_eq!(row_reconstruction_errors(&xh, &x), vec![1.0, 4.0]);
+    }
+}

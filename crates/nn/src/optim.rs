@@ -1,0 +1,251 @@
+//! First-order optimizers over a [`ParamStore`].
+
+use vgod_autograd::ParamStore;
+use vgod_tensor::Matrix;
+
+/// Shared optimizer interface: consume the gradients currently held in the
+/// store, update parameter values, then zero the gradients.
+pub trait Optimizer {
+    /// Apply one update step and clear gradients.
+    fn step(&mut self, store: &mut ParamStore);
+
+    /// The current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Change the learning rate (for schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Plain stochastic gradient descent, optionally with momentum.
+#[derive(Clone, Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Matrix>,
+}
+
+impl Sgd {
+    /// SGD with the given learning rate and no momentum.
+    pub fn new(lr: f32) -> Self {
+        Self {
+            lr,
+            momentum: 0.0,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// SGD with momentum.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        Self {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+
+    fn ensure_state(&mut self, store: &ParamStore) {
+        while self.velocity.len() < store.len() {
+            let idx = self.velocity.len();
+            let (r, c) = store
+                .iter()
+                .nth(idx)
+                .map(|(_, p)| p.value.shape())
+                .expect("param exists by construction");
+            self.velocity.push(Matrix::zeros(r, c));
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, store: &mut ParamStore) {
+        self.ensure_state(store);
+        for (i, (_, p)) in store.iter_mut().enumerate() {
+            if self.momentum > 0.0 {
+                let v = &mut self.velocity[i];
+                v.scale_inplace(self.momentum);
+                v.add_scaled(1.0, &p.grad);
+                p.value.add_scaled(-self.lr, v);
+            } else {
+                p.value.add_scaled(-self.lr, &p.grad);
+            }
+        }
+        store.zero_grads();
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// The Adam optimizer (Kingma & Ba) with bias-corrected moment estimates —
+/// the optimizer used for every model in the VGOD paper.
+#[derive(Clone, Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u32,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+}
+
+impl Adam {
+    /// Adam with standard hyperparameters (β₁ = 0.9, β₂ = 0.999, ε = 1e-8).
+    pub fn new(lr: f32) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Adam with explicit betas.
+    pub fn with_betas(lr: f32, beta1: f32, beta2: f32) -> Self {
+        Self {
+            lr,
+            beta1,
+            beta2,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    fn ensure_state(&mut self, store: &ParamStore) {
+        while self.m.len() < store.len() {
+            let idx = self.m.len();
+            let (r, c) = store
+                .iter()
+                .nth(idx)
+                .map(|(_, p)| p.value.shape())
+                .expect("param exists by construction");
+            self.m.push(Matrix::zeros(r, c));
+            self.v.push(Matrix::zeros(r, c));
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, store: &mut ParamStore) {
+        self.ensure_state(store);
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, (_, p)) in store.iter_mut().enumerate() {
+            let m = &mut self.m[i];
+            let v = &mut self.v[i];
+            for ((mv, vv), (&g, val)) in m
+                .as_mut_slice()
+                .iter_mut()
+                .zip(v.as_mut_slice())
+                .zip(p.grad.as_slice().iter().zip(p.value.as_mut_slice()))
+            {
+                *mv = self.beta1 * *mv + (1.0 - self.beta1) * g;
+                *vv = self.beta2 * *vv + (1.0 - self.beta2) * g * g;
+                let m_hat = *mv / bc1;
+                let v_hat = *vv / bc2;
+                *val -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+        store.zero_grads();
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use vgod_autograd::Tape;
+
+    /// Minimize f(w) = (w − 3)² and check convergence.
+    fn converges_to_three(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        let mut store = ParamStore::new();
+        let w = store.insert(Matrix::filled(1, 1, 0.0));
+        for _ in 0..steps {
+            let tape = Tape::new();
+            let wv = tape.param(&store, w);
+            let target = tape.constant(Matrix::filled(1, 1, 3.0));
+            let loss = wv.sub(&target).square().sum_all();
+            loss.backward_into(&mut store);
+            opt.step(&mut store);
+        }
+        store.value(w).as_slice()[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        let w = converges_to_three(&mut opt, 100);
+        assert!((w - 3.0).abs() < 1e-3, "SGD ended at {w}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges_on_quadratic() {
+        let mut opt = Sgd::with_momentum(0.05, 0.9);
+        let w = converges_to_three(&mut opt, 200);
+        assert!((w - 3.0).abs() < 1e-2, "SGD+momentum ended at {w}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.1);
+        let w = converges_to_three(&mut opt, 300);
+        assert!((w - 3.0).abs() < 1e-2, "Adam ended at {w}");
+    }
+
+    #[test]
+    fn adam_fits_linear_regression() {
+        // y = x·W* with W* fixed; Adam should recover W* from noiseless data.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let w_star = crate::init::glorot_uniform(3, 2, &mut rng);
+        let x = Matrix::from_fn(20, 3, |r, c| ((r * 3 + c) % 7) as f32 * 0.3 - 0.9);
+        let y = x.matmul(&w_star);
+
+        let mut store = ParamStore::new();
+        let w = store.insert(Matrix::zeros(3, 2));
+        let mut opt = Adam::new(0.05);
+        let mut last_loss = f32::INFINITY;
+        for _ in 0..400 {
+            let tape = Tape::new();
+            let xv = tape.constant(x.clone());
+            let yv = tape.constant(y.clone());
+            let wv = tape.param(&store, w);
+            let loss = xv.matmul(&wv).sub(&yv).square().mean_all();
+            last_loss = loss.value().as_slice()[0];
+            loss.backward_into(&mut store);
+            opt.step(&mut store);
+        }
+        assert!(last_loss < 1e-4, "regression loss stayed at {last_loss}");
+        assert!(store.value(w).approx_eq(&w_star, 0.05));
+    }
+
+    #[test]
+    fn step_clears_gradients() {
+        let mut store = ParamStore::new();
+        let w = store.insert(Matrix::filled(1, 1, 1.0));
+        let tape = Tape::new();
+        let wv = tape.param(&store, w);
+        wv.square().sum_all().backward_into(&mut store);
+        assert!(store.grad(w).max_abs() > 0.0);
+        Adam::new(0.01).step(&mut store);
+        assert_eq!(store.grad(w).max_abs(), 0.0);
+    }
+}

@@ -1,0 +1,66 @@
+//! # vgod-tensor
+//!
+//! Dense row-major `f32` matrices and CSR sparse matrices — the numeric
+//! substrate underneath the `vgod-rs` workspace.
+//!
+//! The crate deliberately implements only the kernels the VGOD paper's
+//! models need (dense GEMM in its three transpose flavours, elementwise
+//! arithmetic, row broadcasts, reductions, row L2-normalisation, and sparse
+//! × dense products for message passing), but implements them carefully:
+//! large matrix products are split across threads with `crossbeam::scope`,
+//! inner loops are written to autovectorise, and every public operation
+//! validates its shape preconditions.
+//!
+//! ```
+//! use vgod_tensor::Matrix;
+//!
+//! let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let b = Matrix::eye(2);
+//! assert_eq!(a.matmul(&b), a);
+//! ```
+
+#![warn(missing_docs)]
+
+mod csr;
+mod matrix;
+mod parallel;
+
+pub use csr::Csr;
+pub use matrix::Matrix;
+
+/// Error type for fallible tensor constructors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Data length does not match the requested shape.
+    ShapeMismatch {
+        /// Expected number of elements (`rows * cols`).
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// An edge endpoint or column index is out of bounds.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The exclusive bound it violated.
+        bound: usize,
+    },
+}
+
+impl std::fmt::Display for TensorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "shape mismatch: expected {expected} elements, got {actual}"
+                )
+            }
+            TensorError::IndexOutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds ({bound})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}

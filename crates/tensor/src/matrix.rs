@@ -1,0 +1,902 @@
+//! Dense row-major `f32` matrix.
+
+use crate::parallel::{for_each_row_chunk, num_threads, row_chunks, PAR_FLOP_THRESHOLD};
+use crate::TensorError;
+
+/// A dense, row-major matrix of `f32` values.
+///
+/// `Matrix` is the workhorse value type of the whole workspace: node
+/// attribute matrices, hidden representations, weights and gradients are all
+/// `Matrix` values. A vector is represented as an `n × 1` (column) or
+/// `1 × d` (row) matrix.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl std::fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let max_rows = 8;
+        for r in 0..self.rows.min(max_rows) {
+            write!(f, "  [")?;
+            for c in 0..self.cols.min(8) {
+                write!(f, "{:>10.4}", self[(r, c)])?;
+                if c + 1 < self.cols.min(8) {
+                    write!(f, ", ")?;
+                }
+            }
+            if self.cols > 8 {
+                write!(f, ", …")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > max_rows {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Matrix {
+    // ------------------------------------------------------------------
+    // Constructors
+    // ------------------------------------------------------------------
+
+    /// An all-zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// A matrix of the given shape with every element set to `value`.
+    pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Build from a flat row-major buffer. Fails if `data.len() != rows*cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self, TensorError> {
+        if data.len() != rows * cols {
+            return Err(TensorError::ShapeMismatch {
+                expected: rows * cols,
+                actual: data.len(),
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Build from row slices (all rows must have equal length).
+    ///
+    /// # Panics
+    /// Panics if rows have differing lengths. Intended for tests and small
+    /// literals; use [`Matrix::from_vec`] for data paths.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows passed to Matrix::from_rows");
+            data.extend_from_slice(row);
+        }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
+    }
+
+    /// The `n × n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build element-by-element from a function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// A `1 × d` row vector.
+    pub fn row_vector(values: &[f32]) -> Self {
+        Self {
+            rows: 1,
+            cols: values.len(),
+            data: values.to_vec(),
+        }
+    }
+
+    /// An `n × 1` column vector.
+    pub fn column_vector(values: &[f32]) -> Self {
+        Self {
+            rows: values.len(),
+            cols: 1,
+            data: values.to_vec(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Shape & access
+    // ------------------------------------------------------------------
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix has zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat row-major view of the data.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Flat row-major mutable view of the data.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume into the flat row-major buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Borrow row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r` as a slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Iterate over rows as slices.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    // ------------------------------------------------------------------
+    // Elementwise arithmetic
+    // ------------------------------------------------------------------
+
+    fn assert_same_shape(&self, other: &Matrix, op: &str) {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "{op}: shape mismatch {:?} vs {:?}",
+            self.shape(),
+            other.shape()
+        );
+    }
+
+    /// Elementwise sum `self + other`.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        self.assert_same_shape(other, "add");
+        self.zip_with(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference `self - other`.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        self.assert_same_shape(other, "sub");
+        self.zip_with(other, |a, b| a - b)
+    }
+
+    /// Hadamard (elementwise) product `self ∘ other`.
+    pub fn mul(&self, other: &Matrix) -> Matrix {
+        self.assert_same_shape(other, "mul");
+        self.zip_with(other, |a, b| a * b)
+    }
+
+    /// In-place `self += other`.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        self.assert_same_shape(other, "add_assign");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place `self += alpha * other` (axpy).
+    pub fn add_scaled(&mut self, alpha: f32, other: &Matrix) {
+        self.assert_same_shape(other, "add_scaled");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Scalar product `alpha * self`.
+    pub fn scale(&self, alpha: f32) -> Matrix {
+        self.map(|v| alpha * v)
+    }
+
+    /// In-place scalar product.
+    pub fn scale_inplace(&mut self, alpha: f32) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
+
+    /// Set every element to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Apply `f` to every element, producing a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Apply `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    fn zip_with(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Broadcasts
+    // ------------------------------------------------------------------
+
+    /// Add a `1 × cols` row vector to every row (bias addition).
+    pub fn add_row_broadcast(&self, row: &Matrix) -> Matrix {
+        assert_eq!(
+            row.rows, 1,
+            "add_row_broadcast: rhs must be a 1×d row vector"
+        );
+        assert_eq!(row.cols, self.cols, "add_row_broadcast: column mismatch");
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let dst = out.row_mut(r);
+            for (d, s) in dst.iter_mut().zip(&row.data) {
+                *d += s;
+            }
+        }
+        out
+    }
+
+    /// Multiply every row elementwise by a `1 × cols` row vector.
+    pub fn mul_row_broadcast(&self, row: &Matrix) -> Matrix {
+        assert_eq!(
+            row.rows, 1,
+            "mul_row_broadcast: rhs must be a 1×d row vector"
+        );
+        assert_eq!(row.cols, self.cols, "mul_row_broadcast: column mismatch");
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let dst = out.row_mut(r);
+            for (d, s) in dst.iter_mut().zip(&row.data) {
+                *d *= s;
+            }
+        }
+        out
+    }
+
+    /// Multiply every element of row `r` by `col[r]`, where `col` is `n × 1`.
+    pub fn mul_col_broadcast(&self, col: &Matrix) -> Matrix {
+        assert_eq!(
+            col.cols, 1,
+            "mul_col_broadcast: rhs must be an n×1 column vector"
+        );
+        assert_eq!(col.rows, self.rows, "mul_col_broadcast: row mismatch");
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let s = col.data[r];
+            for d in out.row_mut(r) {
+                *d *= s;
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Reductions
+    // ------------------------------------------------------------------
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0.0 for an empty matrix).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Per-row sums as an `n × 1` column vector.
+    pub fn row_sums(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, 1);
+        for r in 0..self.rows {
+            out.data[r] = self.row(r).iter().sum();
+        }
+        out
+    }
+
+    /// Per-row means as an `n × 1` column vector.
+    pub fn row_means(&self) -> Matrix {
+        let mut out = self.row_sums();
+        if self.cols > 0 {
+            out.scale_inplace(1.0 / self.cols as f32);
+        }
+        out
+    }
+
+    /// Per-column sums as a `1 × d` row vector.
+    pub fn col_sums(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for (d, s) in out.data.iter_mut().zip(self.row(r)) {
+                *d += s;
+            }
+        }
+        out
+    }
+
+    /// Squared L2 norm of each row, as an `n × 1` column vector.
+    pub fn row_sq_norms(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, 1);
+        for r in 0..self.rows {
+            out.data[r] = self.row(r).iter().map(|v| v * v).sum();
+        }
+        out
+    }
+
+    /// L2 norm of each row, as an `n × 1` column vector.
+    pub fn row_norms(&self) -> Matrix {
+        let mut out = self.row_sq_norms();
+        out.map_inplace(f32::sqrt);
+        out
+    }
+
+    /// Frobenius norm of the whole matrix.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Largest absolute element (0.0 for an empty matrix).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, v| m.max(v.abs()))
+    }
+
+    // ------------------------------------------------------------------
+    // Row normalisation
+    // ------------------------------------------------------------------
+
+    /// L2-normalise every row: `h_i = ĥ_i / (‖ĥ_i‖₂ + eps)`.
+    ///
+    /// Returns the normalised matrix together with the per-row divisors
+    /// (`‖ĥ_i‖₂ + eps`, as an `n × 1` vector) — the autograd layer needs the
+    /// divisors to compute the backward pass.
+    pub fn l2_normalize_rows(&self, eps: f32) -> (Matrix, Matrix) {
+        let mut norms = self.row_norms();
+        norms.map_inplace(|v| v + eps);
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let inv = 1.0 / norms.data[r];
+            for v in out.row_mut(r) {
+                *v *= inv;
+            }
+        }
+        (out, norms)
+    }
+
+    /// Divide every element of row `r` by `row_sums[r]` (for mean
+    /// aggregation); rows with zero divisor are left unchanged.
+    pub fn div_rows_by(&self, divisors: &Matrix) -> Matrix {
+        assert_eq!(divisors.cols, 1, "div_rows_by: divisors must be n×1");
+        assert_eq!(divisors.rows, self.rows, "div_rows_by: row mismatch");
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let d = divisors.data[r];
+            if d != 0.0 {
+                let inv = 1.0 / d;
+                for v in out.row_mut(r) {
+                    *v *= inv;
+                }
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // GEMM
+    // ------------------------------------------------------------------
+
+    /// Dense matrix product `self · other` (`m×k · k×n → m×n`).
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols,
+            other.rows,
+            "matmul: inner dimension mismatch {:?} · {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        let flops = m * k * n;
+        let threads = if flops >= PAR_FLOP_THRESHOLD {
+            num_threads()
+        } else {
+            1
+        };
+        let ranges = row_chunks(m, threads);
+        let a = &self.data;
+        let b = &other.data;
+        for_each_row_chunk(&mut out.data, n, &ranges, |s, e, band| {
+            for (local, i) in (s..e).enumerate() {
+                let out_row = &mut band[local * n..(local + 1) * n];
+                let a_row = &a[i * k..(i + 1) * k];
+                for (kk, &aik) in a_row.iter().enumerate() {
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[kk * n..(kk + 1) * n];
+                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                        *o += aik * bv;
+                    }
+                }
+            }
+        });
+        out
+    }
+
+    /// Transposed-left product `selfᵀ · other` (`(k×m)ᵀ · k×n → m×n`).
+    pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows,
+            other.rows,
+            "matmul_tn: leading dimension mismatch {:?}ᵀ · {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let (k, m, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        let flops = m * k * n;
+        let threads = if flops >= PAR_FLOP_THRESHOLD {
+            num_threads()
+        } else {
+            1
+        };
+        let ranges = row_chunks(m, threads);
+        let a = &self.data;
+        let b = &other.data;
+        for_each_row_chunk(&mut out.data, n, &ranges, |s, e, band| {
+            for kk in 0..k {
+                let b_row = &b[kk * n..(kk + 1) * n];
+                for (local, i) in (s..e).enumerate() {
+                    let aki = a[kk * m + i];
+                    if aki == 0.0 {
+                        continue;
+                    }
+                    let out_row = &mut band[local * n..(local + 1) * n];
+                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                        *o += aki * bv;
+                    }
+                }
+            }
+        });
+        out
+    }
+
+    /// Transposed-right product `self · otherᵀ` (`m×k · (n×k)ᵀ → m×n`).
+    pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols,
+            other.cols,
+            "matmul_nt: trailing dimension mismatch {:?} · {:?}ᵀ",
+            self.shape(),
+            other.shape()
+        );
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        let mut out = Matrix::zeros(m, n);
+        let flops = m * k * n;
+        let threads = if flops >= PAR_FLOP_THRESHOLD {
+            num_threads()
+        } else {
+            1
+        };
+        let ranges = row_chunks(m, threads);
+        let a = &self.data;
+        let b = &other.data;
+        for_each_row_chunk(&mut out.data, n, &ranges, |s, e, band| {
+            for (local, i) in (s..e).enumerate() {
+                let a_row = &a[i * k..(i + 1) * k];
+                let out_row = &mut band[local * n..(local + 1) * n];
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let b_row = &b[j * k..(j + 1) * k];
+                    let mut acc = 0.0f32;
+                    for (&av, &bv) in a_row.iter().zip(b_row) {
+                        acc += av * bv;
+                    }
+                    *o = acc;
+                }
+            }
+        });
+        out
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Row gather / scatter & concatenation
+    // ------------------------------------------------------------------
+
+    /// Gather rows by index: `out[e, :] = self[idx[e], :]`.
+    pub fn gather_rows(&self, idx: &[u32]) -> Matrix {
+        let mut out = Matrix::zeros(idx.len(), self.cols);
+        for (e, &i) in idx.iter().enumerate() {
+            let i = i as usize;
+            debug_assert!(i < self.rows, "gather_rows index out of bounds");
+            out.row_mut(e).copy_from_slice(self.row(i));
+        }
+        out
+    }
+
+    /// Scatter-add rows: `self[idx[e], :] += src[e, :]`.
+    pub fn scatter_add_rows(&mut self, idx: &[u32], src: &Matrix) {
+        assert_eq!(
+            idx.len(),
+            src.rows,
+            "scatter_add_rows: index/source mismatch"
+        );
+        assert_eq!(self.cols, src.cols, "scatter_add_rows: column mismatch");
+        for (e, &i) in idx.iter().enumerate() {
+            let i = i as usize;
+            debug_assert!(i < self.rows, "scatter_add_rows index out of bounds");
+            let cols = self.cols;
+            let dst = &mut self.data[i * cols..(i + 1) * cols];
+            for (d, s) in dst.iter_mut().zip(src.row(e)) {
+                *d += s;
+            }
+        }
+    }
+
+    /// Horizontal concatenation `[self | other]`.
+    pub fn hcat(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "hcat: row mismatch");
+        let cols = self.cols + other.cols;
+        let mut out = Matrix::zeros(self.rows, cols);
+        for r in 0..self.rows {
+            out.data[r * cols..r * cols + self.cols].copy_from_slice(self.row(r));
+            out.data[r * cols + self.cols..(r + 1) * cols].copy_from_slice(other.row(r));
+        }
+        out
+    }
+
+    /// Vertical concatenation `[self; other]`.
+    pub fn vcat(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "vcat: column mismatch");
+        let mut data = Vec::with_capacity(self.data.len() + other.data.len());
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&other.data);
+        Matrix {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Test helpers
+    // ------------------------------------------------------------------
+
+    /// Whether every element differs from `other`'s by at most `tol`.
+    pub fn approx_eq(&self, other: &Matrix, tol: f32) -> bool {
+        self.shape() == other.shape()
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| (a - b).abs() <= tol || (a - b).abs() <= tol * a.abs().max(b.abs()))
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f32;
+
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0;
+                for k in 0..a.cols() {
+                    acc += a[(i, k)] * b[(k, j)];
+                }
+                out[(i, j)] = acc;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.matmul(&Matrix::eye(3)), a);
+        assert_eq!(Matrix::eye(2).matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_matches_hand_example() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_tn_equals_transpose_then_matmul() {
+        let a = Matrix::from_fn(5, 3, |r, c| (r * 3 + c) as f32 * 0.5 - 2.0);
+        let b = Matrix::from_fn(5, 4, |r, c| (r + c) as f32 * 0.25);
+        let expect = naive_matmul(&a.transpose(), &b);
+        assert!(a.matmul_tn(&b).approx_eq(&expect, 1e-5));
+    }
+
+    #[test]
+    fn matmul_nt_equals_matmul_with_transpose() {
+        let a = Matrix::from_fn(4, 3, |r, c| (r as f32 - c as f32) * 0.7);
+        let b = Matrix::from_fn(6, 3, |r, c| (r * c) as f32 * 0.1 + 1.0);
+        let expect = naive_matmul(&a, &b.transpose());
+        assert!(a.matmul_nt(&b).approx_eq(&expect, 1e-5));
+    }
+
+    #[test]
+    fn large_matmul_parallel_path_matches_naive() {
+        // Big enough to cross PAR_FLOP_THRESHOLD (200*200*200 = 8e6).
+        let a = Matrix::from_fn(200, 200, |r, c| ((r * 31 + c * 17) % 13) as f32 - 6.0);
+        let b = Matrix::from_fn(200, 200, |r, c| ((r * 7 + c * 3) % 11) as f32 - 5.0);
+        let got = a.matmul(&b);
+        let expect = naive_matmul(&a, &b);
+        assert!(got.approx_eq(&expect, 1e-3));
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Matrix::from_rows(&[&[1.0, -2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[0.5, 0.5], &[1.0, -1.0]]);
+        assert_eq!(a.add(&b), Matrix::from_rows(&[&[1.5, -1.5], &[4.0, 3.0]]));
+        assert_eq!(a.sub(&b), Matrix::from_rows(&[&[0.5, -2.5], &[2.0, 5.0]]));
+        assert_eq!(a.mul(&b), Matrix::from_rows(&[&[0.5, -1.0], &[3.0, -4.0]]));
+        assert_eq!(
+            a.scale(2.0),
+            Matrix::from_rows(&[&[2.0, -4.0], &[6.0, 8.0]])
+        );
+    }
+
+    #[test]
+    fn broadcasts() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let row = Matrix::row_vector(&[10.0, 20.0]);
+        assert_eq!(
+            a.add_row_broadcast(&row),
+            Matrix::from_rows(&[&[11.0, 22.0], &[13.0, 24.0]])
+        );
+        assert_eq!(
+            a.mul_row_broadcast(&row),
+            Matrix::from_rows(&[&[10.0, 40.0], &[30.0, 80.0]])
+        );
+        let col = Matrix::column_vector(&[2.0, 0.5]);
+        assert_eq!(
+            a.mul_col_broadcast(&col),
+            Matrix::from_rows(&[&[2.0, 4.0], &[1.5, 2.0]])
+        );
+    }
+
+    #[test]
+    fn reductions() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(a.sum(), 10.0);
+        assert_eq!(a.mean(), 2.5);
+        assert_eq!(a.row_sums(), Matrix::column_vector(&[3.0, 7.0]));
+        assert_eq!(a.col_sums(), Matrix::row_vector(&[4.0, 6.0]));
+        assert_eq!(a.row_sq_norms(), Matrix::column_vector(&[5.0, 25.0]));
+        assert!((a.frobenius_norm() - 30.0f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn l2_row_normalisation_yields_unit_rows() {
+        let a = Matrix::from_rows(&[&[3.0, 4.0], &[0.0, 0.0], &[1.0, 0.0]]);
+        let (n, norms) = a.l2_normalize_rows(1e-8);
+        assert!((n.row(0)[0] - 0.6).abs() < 1e-6);
+        assert!((n.row(0)[1] - 0.8).abs() < 1e-6);
+        // Zero row stays (near) zero instead of dividing by zero.
+        assert!(n.row(1).iter().all(|v| v.abs() < 1e-6));
+        assert!((norms.as_slice()[0] - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let idx = [2u32, 0, 2];
+        let g = a.gather_rows(&idx);
+        assert_eq!(
+            g,
+            Matrix::from_rows(&[&[5.0, 6.0], &[1.0, 2.0], &[5.0, 6.0]])
+        );
+        let mut out = Matrix::zeros(3, 2);
+        out.scatter_add_rows(&idx, &g);
+        // Row 2 receives itself twice, row 0 once, row 1 nothing.
+        assert_eq!(
+            out,
+            Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 0.0], &[10.0, 12.0]])
+        );
+    }
+
+    #[test]
+    fn concatenation() {
+        let a = Matrix::from_rows(&[&[1.0], &[2.0]]);
+        let b = Matrix::from_rows(&[&[3.0], &[4.0]]);
+        assert_eq!(a.hcat(&b), Matrix::from_rows(&[&[1.0, 3.0], &[2.0, 4.0]]));
+        assert_eq!(
+            a.vcat(&b),
+            Matrix::from_rows(&[&[1.0], &[2.0], &[3.0], &[4.0]])
+        );
+    }
+
+    #[test]
+    fn from_vec_validates_shape() {
+        assert!(Matrix::from_vec(2, 2, vec![0.0; 4]).is_ok());
+        assert!(Matrix::from_vec(2, 2, vec![0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_fn(3, 5, |r, c| (r * 5 + c) as f32);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn small_matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
+            (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+                proptest::collection::vec(-10.0f32..10.0, r * c)
+                    .prop_map(move |data| Matrix::from_vec(r, c, data).unwrap())
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn matmul_matches_naive(
+                m in 1usize..6, k in 1usize..6, n in 1usize..6,
+                seed in 0u64..1000
+            ) {
+                let a = Matrix::from_fn(m, k, |r, c| ((seed as usize + r * 13 + c * 7) % 17) as f32 - 8.0);
+                let b = Matrix::from_fn(k, n, |r, c| ((seed as usize + r * 5 + c * 11) % 19) as f32 - 9.0);
+                let got = a.matmul(&b);
+                let expect = naive_matmul(&a, &b);
+                prop_assert!(got.approx_eq(&expect, 1e-4));
+            }
+
+            #[test]
+            fn add_commutes(a in small_matrix(5)) {
+                let b = a.map(|v| v * 0.5 - 1.0);
+                prop_assert!(a.add(&b).approx_eq(&b.add(&a), 1e-6));
+            }
+
+            #[test]
+            fn transpose_respects_matmul(m in 1usize..5, k in 1usize..5, n in 1usize..5) {
+                let a = Matrix::from_fn(m, k, |r, c| (r as f32 + 1.0) * (c as f32 - 1.5));
+                let b = Matrix::from_fn(k, n, |r, c| (r as f32 - 2.0) * (c as f32 + 0.5));
+                // (AB)ᵀ = BᵀAᵀ
+                let lhs = a.matmul(&b).transpose();
+                let rhs = b.transpose().matmul(&a.transpose());
+                prop_assert!(lhs.approx_eq(&rhs, 1e-4));
+            }
+
+            #[test]
+            fn row_norms_match_manual(a in small_matrix(6)) {
+                let norms = a.row_norms();
+                for r in 0..a.rows() {
+                    let manual: f32 = a.row(r).iter().map(|v| v * v).sum::<f32>().sqrt();
+                    prop_assert!((norms.as_slice()[r] - manual).abs() < 1e-4);
+                }
+            }
+
+            #[test]
+            fn normalized_rows_are_unit_or_zero(a in small_matrix(6)) {
+                let (n, _) = a.l2_normalize_rows(1e-12);
+                for r in 0..n.rows() {
+                    let norm: f32 = n.row(r).iter().map(|v| v * v).sum::<f32>().sqrt();
+                    prop_assert!(norm < 1.0 + 1e-4);
+                    let orig: f32 = a.row(r).iter().map(|v| v * v).sum::<f32>().sqrt();
+                    if orig > 1e-3 {
+                        prop_assert!((norm - 1.0).abs() < 1e-3);
+                    }
+                }
+            }
+        }
+    }
+}

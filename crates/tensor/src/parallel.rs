@@ -1,0 +1,131 @@
+//! Work partitioning helpers for the parallel kernels.
+//!
+//! Kernels in this crate are embarrassingly row-parallel: the output rows of
+//! a GEMM or SpMM are independent. We split the output row range into chunks
+//! and run each chunk on a `crossbeam::scope` thread. Spawning threads per
+//! call is cheap relative to the kernels we parallelise (we only engage the
+//! parallel path above a FLOP threshold).
+
+/// Minimum number of scalar multiply-adds before a kernel bothers spawning
+/// threads. Below this the sequential loop wins.
+pub(crate) const PAR_FLOP_THRESHOLD: usize = 4_000_000;
+
+/// Number of worker threads to use for parallel kernels.
+///
+/// Defaults to the number of available CPUs, capped at 8 — the kernels here
+/// are memory-bound well before that on typical hardware.
+pub(crate) fn num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// Split `rows` output rows into at most `threads` contiguous chunks of
+/// near-equal size. Returns `(start, end)` half-open ranges; never empty
+/// chunks.
+pub(crate) fn row_chunks(rows: usize, threads: usize) -> Vec<(usize, usize)> {
+    let threads = threads.max(1).min(rows.max(1));
+    let base = rows / threads;
+    let rem = rows % threads;
+    let mut out = Vec::with_capacity(threads);
+    let mut start = 0;
+    for t in 0..threads {
+        let len = base + usize::from(t < rem);
+        if len == 0 {
+            break;
+        }
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
+/// Run `body` over each chunk of `out`, where chunk `i` covers output rows
+/// `ranges[i]` and receives the corresponding mutable slice of `out`
+/// (rows × `row_len` elements). Runs sequentially when only one chunk.
+pub(crate) fn for_each_row_chunk<F>(
+    out: &mut [f32],
+    row_len: usize,
+    ranges: &[(usize, usize)],
+    body: F,
+) where
+    F: Fn(usize, usize, &mut [f32]) + Sync,
+{
+    if ranges.len() <= 1 {
+        if let Some(&(s, e)) = ranges.first() {
+            body(s, e, &mut out[s * row_len..e * row_len]);
+        }
+        return;
+    }
+    // Slice the output into disjoint row bands, one per chunk.
+    let mut bands: Vec<(usize, usize, &mut [f32])> = Vec::with_capacity(ranges.len());
+    let mut rest = out;
+    let mut consumed = 0;
+    for &(s, e) in ranges {
+        let (band, tail) = rest.split_at_mut((e - s) * row_len);
+        debug_assert_eq!(s * row_len, consumed);
+        consumed += band.len();
+        bands.push((s, e, band));
+        rest = tail;
+    }
+    crossbeam::scope(|scope| {
+        for (s, e, band) in bands {
+            let body = &body;
+            scope.spawn(move |_| body(s, e, band));
+        }
+    })
+    .expect("tensor worker thread panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_range_without_overlap() {
+        for rows in [0usize, 1, 2, 7, 8, 100] {
+            for threads in [1usize, 2, 3, 8, 200] {
+                let chunks = row_chunks(rows, threads);
+                let mut next = 0;
+                for (s, e) in &chunks {
+                    assert_eq!(*s, next);
+                    assert!(e > s);
+                    next = *e;
+                }
+                assert_eq!(next, rows.min(next.max(rows)));
+                let total: usize = chunks.iter().map(|(s, e)| e - s).sum();
+                assert_eq!(total, rows);
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_execution_touches_every_row_once() {
+        let rows = 37;
+        let cols = 5;
+        let mut out = vec![0.0f32; rows * cols];
+        let ranges = row_chunks(rows, 4);
+        for_each_row_chunk(&mut out, cols, &ranges, |s, e, band| {
+            for (local, r) in (s..e).enumerate() {
+                for c in 0..cols {
+                    band[local * cols + c] += (r * cols + c) as f32;
+                }
+            }
+        });
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as f32);
+        }
+    }
+
+    #[test]
+    fn single_chunk_runs_inline() {
+        let mut out = vec![0.0f32; 6];
+        for_each_row_chunk(&mut out, 3, &[(0, 2)], |_, _, band| {
+            for v in band.iter_mut() {
+                *v = 1.0;
+            }
+        });
+        assert!(out.iter().all(|&v| v == 1.0));
+    }
+}

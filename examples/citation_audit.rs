@@ -1,0 +1,97 @@
+//! Benchmark-integrity audit on a citation network: demonstrates the
+//! paper's central *insight* — the standard outlier-injection protocol
+//! leaks labels through node degree and attribute L2-norm, and a detector
+//! that merely reads the leak looks state-of-the-art until the leak is
+//! closed.
+//!
+//! ```sh
+//! cargo run --release --example citation_audit
+//! ```
+
+use vgod_suite::baselines::{Deg, DegNorm, L2Norm};
+use vgod_suite::core::{Vbm, VbmConfig};
+use vgod_suite::prelude::*;
+
+fn main() {
+    let mut rng = seeded_rng(3);
+
+    // ------------------------------------------------------------------
+    // Act 1: the standard injection protocol leaks.
+    // ------------------------------------------------------------------
+    let mut data = replica(Dataset::CoraLike, Scale::Small, &mut rng);
+    let sp = StructuralParams {
+        num_cliques: 2,
+        clique_size: 15,
+    };
+    let cp = ContextualParams::standard(&sp); // k = 50, Euclidean
+    let truth = inject_standard(&mut data.graph, &sp, &cp, &mut rng);
+
+    println!("== standard injection (q=15, k=50, Euclidean) ==");
+    let deg = Deg.score(&data.graph);
+    let norm = L2Norm.score(&data.graph);
+    println!(
+        "node degree alone detects structural outliers:   AUC = {:.3}",
+        auc(&deg.combined, &truth.structural_mask())
+    );
+    println!(
+        "attribute L2-norm alone detects contextual ones: AUC = {:.3}",
+        auc(&norm.combined, &truth.contextual_mask())
+    );
+    let mut degnorm = DegNorm;
+    let leak_scores = degnorm.fit_score(&data.graph);
+    println!(
+        "DegNorm (leak only, zero training!) overall:     AUC = {:.3}",
+        auc(&leak_scores.combined, &truth.outlier_mask())
+    );
+
+    // ------------------------------------------------------------------
+    // Act 2: close the leak with the paper's degree-preserving injection.
+    // ------------------------------------------------------------------
+    let mut data2 = replica(Dataset::CoraLike, Scale::Small, &mut rng);
+    let mut truth2 = GroundTruth::new(data2.graph.num_nodes());
+    inject_community_replacement(&mut data2.graph, &mut truth2, 0.10, &mut rng);
+
+    println!("\n== degree-preserving injection (neighbours replaced across communities) ==");
+    let deg2 = Deg.score(&data2.graph);
+    println!(
+        "node degree alone now detects nothing:           AUC = {:.3}",
+        auc(&deg2.combined, &truth2.outlier_mask())
+    );
+
+    // ------------------------------------------------------------------
+    // Act 3: the variance-based model detects the *essence* — inconsistent
+    // neighbourhoods — and survives the protocol change.
+    // ------------------------------------------------------------------
+    let mut vbm = Vbm::new(VbmConfig {
+        hidden_dim: 32,
+        epochs: 10,
+        ..VbmConfig::default()
+    });
+    OutlierDetector::fit(&mut vbm, &data2.graph);
+    let vbm_scores = vbm.scores(&data2.graph);
+    println!(
+        "neighbour-variance model (VBM):                  AUC = {:.3}",
+        auc(&vbm_scores, &truth2.outlier_mask())
+    );
+
+    // Inspect the top alarms with their community context.
+    let labels = data2.graph.labels().unwrap().to_vec();
+    let mut ranked: Vec<usize> = (0..data2.graph.num_nodes()).collect();
+    ranked.sort_by(|&a, &b| vbm_scores[b].total_cmp(&vbm_scores[a]));
+    println!("\ntop alarms (node, score, own community, neighbour communities):");
+    for &n in ranked.iter().take(5) {
+        let nbr_comms: Vec<u32> = data2
+            .graph
+            .neighbors(n as u32)
+            .iter()
+            .map(|&v| labels[v as usize])
+            .collect();
+        println!(
+            "  #{n:<5} {:>7.3}  c{}  nbrs {:?}  [{:?}]",
+            vbm_scores[n],
+            labels[n],
+            &nbr_comms[..nbr_comms.len().min(8)],
+            truth2.kind(n as u32)
+        );
+    }
+}

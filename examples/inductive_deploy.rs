@@ -1,0 +1,52 @@
+//! Inductive deployment (Appendix B of the paper): train VGOD once, then
+//! score *new* graphs with the same attribute schema — e.g. tonight's
+//! snapshot of a network the model was trained on last week. Every VGOD
+//! hyperparameter is decoupled from the graph size, so no retraining is
+//! needed.
+//!
+//! ```sh
+//! cargo run --release --example inductive_deploy
+//! ```
+
+use vgod_suite::prelude::*;
+
+fn build_snapshot(seed: u64) -> (vgod_suite::graph::AttributedGraph, GroundTruth) {
+    let mut rng = seeded_rng(seed);
+    let mut data = replica(Dataset::CiteseerLike, Scale::Tiny, &mut rng);
+    let sp = StructuralParams {
+        num_cliques: 2,
+        clique_size: 8,
+    };
+    let cp = ContextualParams::standard(&sp);
+    let truth = inject_standard(&mut data.graph, &sp, &cp, &mut rng);
+    (data.graph, truth)
+}
+
+fn main() {
+    // Monday: train on the first snapshot.
+    let (train_graph, train_truth) = build_snapshot(100);
+    let mut model = Vgod::new(VgodConfig::fast());
+    model.fit(&train_graph);
+    let transductive = model.score(&train_graph);
+    println!(
+        "transductive AUC on the training snapshot: {:.4}",
+        auc(&transductive.combined, &train_truth.outlier_mask())
+    );
+
+    // Rest of the week: score fresh snapshots without retraining.
+    println!("\ninductive scoring of unseen snapshots:");
+    for (day, seed) in [("tue", 200u64), ("wed", 300), ("thu", 400), ("fri", 500)] {
+        let (snapshot, truth) = build_snapshot(seed);
+        let scores = model.score(&snapshot);
+        println!(
+            "  {day}: {} nodes → AUC {:.4}",
+            snapshot.num_nodes(),
+            auc(&scores.combined, &truth.outlier_mask())
+        );
+    }
+
+    println!(
+        "\n(the paper's Appendix B reports the same effect: inductive VGOD matches or beats \
+         its transductive numbers because the fresh graph removes overfitting)"
+    );
+}

@@ -1,0 +1,72 @@
+//! Large-graph training via neighbour-sampled mini-batches — the paper's
+//! §V-D extensibility claim in action: VBM's peak memory per optimisation
+//! step drops from `O(n·d)` to `O(batch·(cap+1)·d)` while detection quality
+//! tracks full-batch training.
+//!
+//! ```sh
+//! cargo run --release --example minibatch_scaling
+//! ```
+
+use std::time::Instant;
+
+use vgod_suite::core::{MiniBatchConfig, Vbm, VbmConfig};
+use vgod_suite::prelude::*;
+
+fn main() {
+    // A larger replica than the other examples use: PubMed-like at Small
+    // scale (≈ 2 000 nodes).
+    let mut rng = seeded_rng(17);
+    let mut data = replica(Dataset::PubmedLike, Scale::Small, &mut rng);
+    let mut truth = GroundTruth::new(data.graph.num_nodes());
+    inject_structural_groups(&mut data.graph, &mut truth, &[5, 10, 15], 0.02, &mut rng);
+    let mask = truth.outlier_mask();
+    println!(
+        "graph: {} nodes, {} edges; {} structural outliers",
+        data.graph.num_nodes(),
+        data.graph.num_edges(),
+        truth.structural_nodes().len()
+    );
+
+    let cfg = VbmConfig {
+        hidden_dim: 64,
+        epochs: 8,
+        lr: 0.005,
+        self_loops: true,
+        seed: 1,
+    };
+
+    // Full-batch training (the default path).
+    let t0 = Instant::now();
+    let mut full = Vbm::new(cfg.clone());
+    OutlierDetector::fit(&mut full, &data.graph);
+    let full_time = t0.elapsed();
+    let full_auc = auc(&full.scores(&data.graph), &mask);
+
+    // Mini-batch training at several batch sizes.
+    println!("\n{:<18} {:>8} {:>10}", "trainer", "AUC", "fit time");
+    println!("{:-<38}", "");
+    println!("{:<18} {:>8.4} {:>9.2?}", "full batch", full_auc, full_time);
+    for batch in [512usize, 128, 32] {
+        let t0 = Instant::now();
+        let mut mini = Vbm::new(cfg.clone());
+        mini.fit_minibatch(
+            &data.graph,
+            &MiniBatchConfig {
+                batch_size: batch,
+                neighbor_cap: 10,
+            },
+        );
+        let elapsed = t0.elapsed();
+        let a = auc(&mini.scores(&data.graph), &mask);
+        println!(
+            "{:<18} {:>8.4} {:>9.2?}",
+            format!("batch = {batch}"),
+            a,
+            elapsed
+        );
+    }
+    println!(
+        "\nmini-batch AUC tracks full batch; per-step memory is bounded by the batch and \
+         neighbour cap instead of the graph size."
+    );
+}

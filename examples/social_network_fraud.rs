@@ -1,0 +1,82 @@
+//! Fraud-ring detection on a social network with *organic* labeled
+//! outliers — the scenario that motivates the paper's Weibo study (§VI-E4):
+//! spam/fraud accounts form small, densely-connected rings whose member
+//! profiles have nothing in common, inside an otherwise homophilous
+//! network.
+//!
+//! ```sh
+//! cargo run --release --example social_network_fraud
+//! ```
+
+use vgod_suite::graph::{adjusted_homophily, attribute_variance, degree_stats};
+use vgod_suite::prelude::*;
+
+fn main() {
+    // The Weibo-like replica carries labeled outliers; no injection needed.
+    let mut rng = seeded_rng(11);
+    let data = replica(Dataset::WeiboLike, Scale::Tiny, &mut rng);
+    let truth = data.labeled_truth.expect("weibo-like replica has labels");
+    let g = data.graph;
+
+    println!("== network profile ==");
+    println!(
+        "accounts: {}, connections: {}",
+        g.num_nodes(),
+        g.num_edges()
+    );
+    println!(
+        "labeled fraud accounts: {} ({:.1}%)",
+        truth.structural_nodes().len(),
+        100.0 * truth.outlier_ratio()
+    );
+    println!(
+        "adjusted homophily: {:.2} (paper measured 0.75 on the real Weibo)",
+        adjusted_homophily(&g)
+    );
+
+    // Why is this hard? The fraud accounts carry no degree signal…
+    let fraud = truth.structural_nodes();
+    let honest = truth.normal_nodes();
+    let fraud_deg = degree_stats(&g, Some(&fraud));
+    let honest_deg = degree_stats(&g, Some(&honest));
+    println!(
+        "degree means: fraud {:.1} vs honest {:.1} — no exploitable degree gap (Fig. 9b)",
+        fraud_deg.mean, honest_deg.mean
+    );
+    // …but their profiles are mutually diverse:
+    println!(
+        "profile variance: fraud {:.0} vs honest {:.1} (paper: 425.0 vs 11.95)",
+        attribute_variance(&g, &fraud),
+        attribute_variance(&g, &honest)
+    );
+
+    // VGOD: the neighbour-variance model sees that a fraud ring is a dense
+    // cluster of mutually-unrelated profiles.
+    let mut cfg = VgodConfig::fast();
+    cfg.arm.row_normalize = true; // the paper's Weibo preprocessing
+    cfg.vbm.lr = 0.01;
+    let mut model = Vgod::new(cfg);
+    let scores = model.fit_score(&g);
+    let mask = truth.outlier_mask();
+
+    println!("\n== detection ==");
+    println!("VGOD AUC            = {:.4}", auc(&scores.combined, &mask));
+    println!(
+        "  variance channel  = {:.4}",
+        auc(scores.structural.as_ref().unwrap(), &mask)
+    );
+    println!(
+        "  reconstruction ch = {:.4}",
+        auc(scores.contextual.as_ref().unwrap(), &mask)
+    );
+
+    // Precision of the alarm list an analyst would actually read.
+    let k = fraud.len();
+    let mut ranked: Vec<usize> = (0..g.num_nodes()).collect();
+    ranked.sort_by(|&a, &b| scores.combined[b].total_cmp(&scores.combined[a]));
+    let hits = ranked.iter().take(k).filter(|&&n| mask[n]).count();
+    println!(
+        "precision@{k}: {:.2} ({hits}/{k} of the top-{k} alarms are real fraud)",
+        hits as f32 / k as f32
+    );
+}

@@ -1,0 +1,113 @@
+//! The paper's Fig. 1 as runnable code: a tiny two-community network with
+//! one *structural* outlier (normal attributes, abnormal links bridging
+//! the communities) and one *contextual* outlier (normal links, corrupted
+//! attributes), and the two VGOD signals that expose each.
+//!
+//! ```sh
+//! cargo run --release --example toy_figure1
+//! ```
+
+use vgod_suite::core::{Arm, ArmConfig, GnnBackbone, Vbm, VbmConfig};
+use vgod_suite::prelude::*;
+
+fn main() {
+    // Two five-person communities: football players (attribute pattern A)
+    // and music teachers (attribute pattern B).
+    let d = 8;
+    let pattern = |base: f32, i: usize| -> Vec<f32> {
+        (0..d)
+            .map(|k| base + if k % 2 == i % 2 { 0.3 } else { -0.3 })
+            .collect()
+    };
+    let mut rows: Vec<Vec<f32>> = Vec::new();
+    for i in 0..5 {
+        rows.push(pattern(2.0, i)); // community 0: values around +2
+    }
+    for i in 0..5 {
+        rows.push(pattern(-2.0, i)); // community 1: values around −2
+    }
+    // Node 10: the structural outlier — a football player's attributes…
+    rows.push(pattern(2.0, 0));
+    // Node 11: the contextual outlier — attributes from neither community.
+    rows.push(
+        (0..d)
+            .map(|k| if k % 3 == 0 { 9.0 } else { -7.0 })
+            .collect(),
+    );
+
+    let x = Matrix::from_vec(12, d, rows.into_iter().flatten().collect()).unwrap();
+    let mut g = AttributedGraph::new(x);
+    // Dense intra-community wiring.
+    g.make_clique(&[0, 1, 2, 3, 4]);
+    g.make_clique(&[5, 6, 7, 8, 9]);
+    // …but node 10 bridges *both* communities (Fig. 1a).
+    for v in [0, 2, 5, 7, 9] {
+        g.add_edge(10, v);
+    }
+    // Node 11 sits normally inside community 0 (Fig. 1b).
+    for v in [1, 3, 4] {
+        g.add_edge(11, v);
+    }
+
+    println!("Fig. 1 toy network: 12 nodes, {} edges", g.num_edges());
+    println!("  node 10 = structural outlier (links span both communities)");
+    println!("  node 11 = contextual outlier (attributes match neither community)\n");
+
+    // The variance-based model: node 10's neighbours disagree with each
+    // other, so its neighbour variance dwarfs everyone else's.
+    let mut vbm = Vbm::new(VbmConfig {
+        hidden_dim: 8,
+        epochs: 5,
+        self_loops: true,
+        ..VbmConfig::default()
+    });
+    OutlierDetector::fit(&mut vbm, &g);
+    let str_scores = vbm.scores(&g);
+
+    // The attribute reconstruction model: node 11's attributes cannot be
+    // predicted from its context, so its reconstruction error stands out.
+    let mut arm = Arm::new(ArmConfig {
+        hidden_dim: 8,
+        epochs: 60,
+        backbone: GnnBackbone::Gcn,
+        ..ArmConfig::default()
+    });
+    OutlierDetector::fit(&mut arm, &g);
+    let ctx_scores = arm.scores(&g);
+
+    let combined = vgod_suite::eval::combine_mean_std(&str_scores, &ctx_scores);
+    println!(
+        "{:<6} {:>12} {:>12} {:>10}",
+        "node", "variance", "recon_err", "combined"
+    );
+    println!("{:-<44}", "");
+    for i in 0..12 {
+        let marker = match i {
+            10 => "  ← structural",
+            11 => "  ← contextual",
+            _ => "",
+        };
+        println!(
+            "{:<6} {:>12.4} {:>12.4} {:>10.3}{marker}",
+            i, str_scores[i], ctx_scores[i], combined[i]
+        );
+    }
+
+    let top_variance = (0..12)
+        .max_by(|&a, &b| str_scores[a].total_cmp(&str_scores[b]))
+        .unwrap();
+    let top_recon = (0..12)
+        .max_by(|&a, &b| ctx_scores[a].total_cmp(&ctx_scores[b]))
+        .unwrap();
+    println!("\nhighest neighbour variance: node {top_variance} (expect 10)");
+    println!("highest reconstruction error: node {top_recon} (expect 11)");
+    assert_eq!(
+        top_variance, 10,
+        "the structural outlier should top the variance ranking"
+    );
+    assert_eq!(
+        top_recon, 11,
+        "the contextual outlier should top the reconstruction ranking"
+    );
+    println!("\nboth outlier types identified — Fig. 1 reproduced.");
+}

@@ -1,0 +1,55 @@
+//! # vgod-suite
+//!
+//! Facade crate for the `vgod-rs` workspace: a from-scratch Rust
+//! reproduction of *"Unsupervised Graph Outlier Detection: Problem Revisit,
+//! New Insight, and Superior Method"* (ICDE 2023), including the VGOD
+//! framework, every baseline the paper compares against, and all of the
+//! substrates (tensor library, autodiff engine, GNN layers, synthetic
+//! datasets, outlier-injection machinery) those systems depend on.
+//!
+//! This crate simply re-exports the public API of every workspace member so
+//! that downstream users can depend on a single crate:
+//!
+//! ```
+//! use vgod_suite::prelude::*;
+//!
+//! // Build a tiny community-structured graph, inject outliers, detect them.
+//! let mut rng = seeded_rng(7);
+//! let graph = vgod_suite::datasets::replica(Dataset::CoraLike, Scale::Tiny, &mut rng);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use vgod as core;
+pub use vgod_autograd as autograd;
+pub use vgod_baselines as baselines;
+pub use vgod_datasets as datasets;
+pub use vgod_eval as eval;
+pub use vgod_gnn as gnn;
+pub use vgod_graph as graph;
+pub use vgod_inject as inject;
+pub use vgod_nn as nn;
+pub use vgod_tensor as tensor;
+
+/// Everything most applications need, in one import.
+pub mod prelude {
+    pub use vgod::{
+        Arm, ArmConfig, CombineStrategy, GnnBackbone, MiniBatchConfig, Vbm, VbmConfig, Vgod,
+        VgodConfig,
+    };
+    pub use vgod_baselines::{
+        AnomalyDae, Cola, Conad, Deg, DegNorm, Dominant, Done, L2Norm, Radar, RandomDetector,
+    };
+    pub use vgod_datasets::{replica, Dataset, Scale};
+    pub use vgod_eval::{
+        auc, auc_gap, auc_subset, average_precision, mean_std_normalize, precision_at_k,
+        recall_at_k, OutlierDetector,
+    };
+    pub use vgod_graph::{load_graph, save_graph, seeded_rng, AttributedGraph};
+    pub use vgod_inject::{
+        inject_community_replacement, inject_contextual, inject_standard, inject_structural,
+        inject_structural_groups, ContextualParams, DistanceMetric, GroundTruth, OutlierKind,
+        StructuralParams,
+    };
+    pub use vgod_tensor::{Csr, Matrix};
+}

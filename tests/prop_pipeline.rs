@@ -1,0 +1,75 @@
+//! Property-based end-to-end checks: for randomly shaped community graphs
+//! and injection parameters, the full pipeline neither panics nor produces
+//! malformed scores.
+
+use proptest::prelude::*;
+use vgod_suite::prelude::*;
+
+fn tiny_vgod() -> Vgod {
+    let mut cfg = VgodConfig::fast();
+    cfg.vbm.hidden_dim = 8;
+    cfg.vbm.epochs = 2;
+    cfg.arm.hidden_dim = 8;
+    cfg.arm.epochs = 3;
+    cfg.arm.backbone = GnnBackbone::Gcn;
+    Vgod::new(cfg)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn pipeline_is_total_over_random_graphs(
+        seed in 0u64..1_000,
+        n in 60usize..140,
+        communities in 2usize..5,
+        avg_degree in 2.0f32..8.0,
+        clique in 3usize..8,
+    ) {
+        let mut rng = seeded_rng(seed);
+        let mut g = vgod_suite::graph::community_graph(
+            &vgod_suite::graph::CommunityGraphConfig::homogeneous(n, communities, avg_degree, 0.85),
+            &mut rng,
+        );
+        let x = vgod_suite::graph::gaussian_mixture_attributes(
+            g.labels().unwrap(), 6, 3.0, 0.5, &mut rng,
+        );
+        g.set_attrs(x);
+        let sp = StructuralParams { num_cliques: 1, clique_size: clique };
+        let cp = ContextualParams { count: clique, candidates: 5, metric: DistanceMetric::Euclidean };
+        let truth = inject_standard(&mut g, &sp, &cp, &mut rng);
+        prop_assert!(g.check_invariants());
+
+        let mut model = tiny_vgod();
+        let scores = model.fit_score(&g);
+        prop_assert_eq!(scores.combined.len(), n);
+        prop_assert!(scores.combined.iter().all(|s| s.is_finite()));
+        let a = auc(&scores.combined, &truth.outlier_mask());
+        prop_assert!((0.0..=1.0).contains(&a));
+        // Even a barely-trained model should not be strongly anti-predictive.
+        prop_assert!(a > 0.2, "strongly inverted ranking (AUC {a}) suggests a sign bug");
+    }
+
+    #[test]
+    fn injection_respects_requested_counts(
+        seed in 0u64..1_000,
+        p in 1usize..4,
+        q in 2usize..7,
+    ) {
+        let mut rng = seeded_rng(seed);
+        let mut g = vgod_suite::graph::community_graph(
+            &vgod_suite::graph::CommunityGraphConfig::homogeneous(150, 3, 4.0, 0.9),
+            &mut rng,
+        );
+        g.set_attrs(Matrix::from_fn(150, 4, |r, c| ((r + c * 31) % 11) as f32));
+        let sp = StructuralParams { num_cliques: p, clique_size: q };
+        let cp = ContextualParams::standard(&sp);
+        let truth = inject_standard(&mut g, &sp, &cp, &mut rng);
+        prop_assert_eq!(truth.structural_nodes().len(), p * q);
+        prop_assert_eq!(truth.contextual_nodes().len(), p * q);
+        // No node carries both labels.
+        let s = truth.structural_mask();
+        let c = truth.contextual_mask();
+        prop_assert!(s.iter().zip(&c).all(|(&a, &b)| !(a && b)));
+    }
+}
