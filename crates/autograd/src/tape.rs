@@ -546,22 +546,13 @@ fn backpropagate(nodes: &[Node], i: usize, g: &Matrix, grads: &mut [Option<Matri
         }
         Op::Relu(x) => {
             let xv = &nodes[*x].value;
-            let mut dx = g.clone();
-            for (d, &v) in dx.as_mut_slice().iter_mut().zip(xv.as_slice()) {
-                if v <= 0.0 {
-                    *d = 0.0;
-                }
-            }
+            let dx = g.zip_map(xv, |gv, v| if v <= 0.0 { 0.0 } else { gv });
             accumulate(grads, *x, dx);
         }
         Op::LeakyRelu(x, slope) => {
             let xv = &nodes[*x].value;
-            let mut dx = g.clone();
-            for (d, &v) in dx.as_mut_slice().iter_mut().zip(xv.as_slice()) {
-                if v <= 0.0 {
-                    *d *= slope;
-                }
-            }
+            let slope = *slope;
+            let dx = g.zip_map(xv, move |gv, v| if v <= 0.0 { slope * gv } else { gv });
             accumulate(grads, *x, dx);
         }
         Op::Sigmoid(x) => {
@@ -582,7 +573,7 @@ fn backpropagate(nodes: &[Node], i: usize, g: &Matrix, grads: &mut [Option<Matri
             let xv = &nodes[*x].value;
             let yv = &nodes[i].value;
             let mut dx = Matrix::zeros(xv.rows(), xv.cols());
-            for r in 0..xv.rows() {
+            dx.par_rows_mut(|r, drow| {
                 let n = divisors.as_slice()[r];
                 let raw_norm = (n - ROW_NORM_EPS).max(1e-12);
                 let dot: f32 = g
@@ -592,10 +583,10 @@ fn backpropagate(nodes: &[Node], i: usize, g: &Matrix, grads: &mut [Option<Matri
                     .map(|(&gv, &yvv)| gv * yvv)
                     .sum();
                 let coef = dot / (raw_norm * n);
-                for ((d, &gv), &xvv) in dx.row_mut(r).iter_mut().zip(g.row(r)).zip(xv.row(r)) {
+                for ((d, &gv), &xvv) in drow.iter_mut().zip(g.row(r)).zip(xv.row(r)) {
                     *d = gv / n - coef * xvv;
                 }
-            }
+            });
             accumulate(grads, *x, dx);
         }
         Op::SumAll(x) => {
@@ -614,12 +605,13 @@ fn backpropagate(nodes: &[Node], i: usize, g: &Matrix, grads: &mut [Option<Matri
         Op::RowSum(x) => {
             let (r, c) = nodes[*x].value.shape();
             let mut dx = Matrix::zeros(r, c);
-            for row in 0..r {
-                let gv = g.as_slice()[row];
-                for d in dx.row_mut(row) {
+            let gsl = g.as_slice();
+            dx.par_rows_mut(|row, drow| {
+                let gv = gsl[row];
+                for d in drow {
                     *d = gv;
                 }
-            }
+            });
             accumulate(grads, *x, dx);
         }
         Op::Gather { x, idx } => {
@@ -648,13 +640,25 @@ fn backpropagate(nodes: &[Node], i: usize, g: &Matrix, grads: &mut [Option<Matri
             let alpha_v = &nodes[*alpha].value;
             let h_v = &nodes[*h].value;
             let m = src.len();
+            // Plain slices: the Rc handles are not Sync, their contents are.
+            let (src, dst): (&[u32], &[u32]) = (src, dst);
+            // d_alpha[e] = ⟨g[dst[e]], h[src[e]]⟩ is edge-disjoint: parallel.
             let mut d_alpha = Matrix::zeros(m, 1);
+            d_alpha.par_rows_mut(|e, out| {
+                let (s, d) = (src[e] as usize, dst[e] as usize);
+                out[0] = g
+                    .row(d)
+                    .iter()
+                    .zip(h_v.row(s))
+                    .map(|(&gv, &hv)| gv * hv)
+                    .sum();
+            });
+            // d_h[src[e]] += alpha[e] * g[dst[e]] scatters to shared rows:
+            // stays sequential (not row-disjoint).
             let mut d_h = Matrix::zeros(h_v.rows(), h_v.cols());
             for e in 0..m {
                 let (s, d) = (src[e] as usize, dst[e] as usize);
                 let g_row = g.row(d);
-                let h_row = h_v.row(s);
-                d_alpha.as_mut_slice()[e] = g_row.iter().zip(h_row).map(|(&gv, &hv)| gv * hv).sum();
                 let a = alpha_v.as_slice()[e];
                 let cols = d_h.cols();
                 let dst_row = &mut d_h.as_mut_slice()[s * cols..(s + 1) * cols];

@@ -152,7 +152,7 @@ mod tests {
     #[test]
     fn degnorm_combines_both_leaks() {
         let (g, truth) = injected();
-        let scores = DegNorm.fit_score(&mut g.clone());
+        let scores = DegNorm.fit_score(&g);
         let a = auc(&scores.combined, &truth.outlier_mask());
         assert!(a > 0.8, "DegNorm AUC = {a}");
         assert!(scores.structural.is_some() && scores.contextual.is_some());

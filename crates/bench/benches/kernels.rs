@@ -1,0 +1,139 @@
+//! Sequential-vs-pooled kernel benchmarks at paper scale (SBM n ≈ 10k,
+//! d = 64 — the size of the paper's mid-sized datasets).
+//!
+//! Each kernel is timed twice: once with `threading::force_sequential(true)`
+//! (the plain single-thread path) and once on the worker pool with the
+//! session's resolved thread count. Results print criterion-style and are
+//! also written to `BENCH_kernels.json` at the repository root, together
+//! with the thread/core counts — speedups are only meaningful when the
+//! machine actually has cores to spare.
+
+use std::cell::Cell;
+use std::io::Write as _;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vgod_graph::{community_graph, seeded_rng, CommunityGraphConfig};
+use vgod_tensor::{threading, Matrix};
+
+const N: usize = 10_000;
+const D: usize = 64;
+
+struct KernelResult {
+    name: &'static str,
+    seq_ns: f64,
+    par_ns: f64,
+}
+
+/// Time `routine` on both paths via the criterion shim's calibrated loop.
+fn ab<O>(c: &mut Criterion, name: &'static str, mut routine: impl FnMut() -> O) -> KernelResult {
+    let median = Cell::new(0.0f64);
+    threading::force_sequential(true);
+    c.bench_function(&format!("{name}/seq"), |b| {
+        b.iter(&mut routine);
+        median.set(b.median_ns());
+    });
+    let seq_ns = median.get();
+    threading::force_sequential(false);
+    c.bench_function(&format!("{name}/pool"), |b| {
+        b.iter(&mut routine);
+        median.set(b.median_ns());
+    });
+    let par_ns = median.get();
+    KernelResult {
+        name,
+        seq_ns,
+        par_ns,
+    }
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut rng = seeded_rng(0);
+    let g = community_graph(
+        &CommunityGraphConfig::homogeneous(N, 10, 8.0, 0.9),
+        &mut rng,
+    );
+    let adj = g.mean_adjacency(true);
+    let h = Matrix::from_fn(N, D, |r, cc| ((r * 5 + cc * 3) % 13) as f32 * 0.15 - 0.9);
+    let w = Matrix::from_fn(D, D, |r, cc| ((r * 7 + cc) % 11) as f32 * 0.1 - 0.5);
+    let h2 = Matrix::from_fn(N, D, |r, cc| ((r + cc * 7) % 9) as f32 * 0.2 - 0.8);
+
+    let mut results = Vec::new();
+    results.push(ab(c, "matmul_10000x64x64", || {
+        std::hint::black_box(h.matmul(&w))
+    }));
+    results.push(ab(c, "matmul_tn_10000x64", || {
+        std::hint::black_box(h.matmul_tn(&h2))
+    }));
+    results.push(ab(c, "spmm_10000x64", || {
+        std::hint::black_box(adj.spmm(&h))
+    }));
+    results.push(ab(c, "spmm_t_10000x64", || {
+        std::hint::black_box(adj.spmm_t(&h))
+    }));
+    results.push(ab(c, "map_tanh_10000x64", || {
+        std::hint::black_box(h.map(|v| v.tanh()))
+    }));
+    results.push(ab(c, "hadamard_10000x64", || {
+        std::hint::black_box(h.zip_map(&h2, |a, b| a * b))
+    }));
+    results.push(ab(c, "row_sums_10000x64", || {
+        std::hint::black_box(h.row_sums())
+    }));
+    results.push(ab(c, "col_sums_10000x64", || {
+        std::hint::black_box(h.col_sums())
+    }));
+    results.push(ab(c, "frobenius_10000x64", || {
+        std::hint::black_box(h.frobenius_norm())
+    }));
+    results.push(ab(c, "fused_adam_pass_10000x64", || {
+        let mut value = h.clone();
+        let mut m = Matrix::zeros(N, D);
+        let mut v = Matrix::zeros(N, D);
+        value.zip_apply3(&mut m, &mut v, &h2, |val, mv, vv, g| {
+            *mv = 0.9 * *mv + 0.1 * g;
+            *vv = 0.999 * *vv + 0.001 * g * g;
+            *val -= 0.01 * *mv / (vv.sqrt() + 1e-8);
+        });
+        std::hint::black_box(value)
+    }));
+
+    write_json(&results);
+}
+
+/// Hand-rolled JSON (the workspace has no serde) written to the repo root.
+fn write_json(results: &[KernelResult]) {
+    let threads = threading::num_threads();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"kernels\",\n");
+    out.push_str(&format!("  \"shape\": {{\"n\": {N}, \"d\": {D}}},\n"));
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str(&format!("  \"cores\": {cores},\n"));
+    out.push_str("  \"kernels\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let speedup = if r.par_ns > 0.0 {
+            r.seq_ns / r.par_ns
+        } else {
+            1.0
+        };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"seq_ns\": {:.0}, \"pool_ns\": {:.0}, \"speedup\": {:.3}}}{}\n",
+            r.name,
+            r.seq_ns,
+            r.par_ns,
+            speedup,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    let mut f = std::fs::File::create(path).expect("create BENCH_kernels.json");
+    f.write_all(out.as_bytes())
+        .expect("write BENCH_kernels.json");
+    println!("wrote {path} (threads={threads}, cores={cores})");
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

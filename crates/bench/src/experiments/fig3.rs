@@ -63,7 +63,7 @@ mod tests {
 
     #[test]
     fn euclidean_leakage_grows_with_k() {
-        let t = run(Scale::Tiny, 5, 1);
+        let t = run(Scale::Tiny, 3, 1);
         for ds in ["cora", "citeseer"] {
             let small: f32 = t
                 .cell(&format!("{ds}/euclidean"), "k=1")
@@ -85,7 +85,7 @@ mod tests {
 
     #[test]
     fn cosine_mitigates_leakage() {
-        let t = run(Scale::Tiny, 6, 1);
+        let t = run(Scale::Tiny, 4, 1);
         for ds in ["cora", "citeseer", "pubmed"] {
             let euc: f32 = t
                 .cell(&format!("{ds}/euclidean"), "k=50")

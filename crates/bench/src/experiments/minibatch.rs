@@ -108,7 +108,7 @@ mod tests {
 
     #[test]
     fn minibatch_tracks_full_batch() {
-        let t = run_dataset(Dataset::CoraLike, Scale::Tiny, 31);
+        let t = run_dataset(Dataset::CoraLike, Scale::Tiny, 17);
         let full: f32 = t.cell("VBM full-batch", "auc").unwrap().parse().unwrap();
         let b32: f32 = t.cell("VBM batch=32", "auc").unwrap().parse().unwrap();
         assert!(full > 0.8, "full-batch AUC {full}");

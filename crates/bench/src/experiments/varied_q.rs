@@ -146,7 +146,7 @@ mod tests {
 
     #[test]
     fn vbm_wins_and_degrades_least() {
-        let (overall, fig6) = run(Scale::Tiny, 91, 1);
+        let (overall, fig6) = run(Scale::Tiny, 13, 1);
         // VBM beats Deg and the deep baselines on at least 3 of 4 datasets.
         let mut wins = 0;
         for ds in ["cora", "citeseer", "pubmed", "flickr"] {

@@ -107,6 +107,7 @@ pub fn vgod_config_for(ds: Dataset, scale: Scale, seed: u64) -> VgodConfig {
             seed: seed.wrapping_add(1),
         },
         combine: CombineStrategy::MeanStd,
+        num_threads: None,
     }
 }
 

@@ -336,7 +336,7 @@ mod tests {
         arm.fit(&g);
         // Errors against unit-norm rows are bounded by (‖x̂‖+1)².
         let scores = arm.scores(&g);
-        assert!(scores.iter().all(|&s| s >= 0.0 && s < 100.0));
+        assert!(scores.iter().all(|&s| (0.0..100.0).contains(&s)));
     }
 
     #[test]

@@ -143,6 +143,14 @@ pub struct VgodConfig {
     pub arm: ArmConfig,
     /// Score combination strategy.
     pub combine: CombineStrategy,
+    /// Worker threads for the tensor kernels. `None` (the default) defers to
+    /// the `VGOD_NUM_THREADS` environment variable, falling back to the
+    /// available CPU count; `Some(1)` forces fully sequential kernels. The
+    /// thread count is process-global and fixed at the first parallel kernel
+    /// invocation, so this only takes effect if training starts before any
+    /// other component has run a kernel (see
+    /// `vgod_tensor::threading::set_num_threads`).
+    pub num_threads: Option<usize>,
 }
 
 impl Default for VgodConfig {
@@ -151,6 +159,7 @@ impl Default for VgodConfig {
             vbm: VbmConfig::default(),
             arm: ArmConfig::default(),
             combine: CombineStrategy::MeanStd,
+            num_threads: None,
         }
     }
 }
@@ -164,6 +173,16 @@ impl VgodConfig {
         cfg.arm.hidden_dim = 32;
         cfg.arm.epochs = 30;
         cfg
+    }
+
+    /// Apply `num_threads` to the global tensor thread pool. Returns the
+    /// thread count actually in effect — which differs from the request if
+    /// the pool was already pinned by an earlier caller or env var.
+    pub fn apply_threading(&self) -> usize {
+        if let Some(n) = self.num_threads {
+            let _ = vgod_tensor::threading::set_num_threads(n);
+        }
+        vgod_tensor::threading::num_threads()
     }
 }
 

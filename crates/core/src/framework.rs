@@ -24,8 +24,11 @@ pub struct Vgod {
 }
 
 impl Vgod {
-    /// An untrained framework.
+    /// An untrained framework. Applies `cfg.num_threads` to the tensor
+    /// worker pool (a process-global setting; see
+    /// [`VgodConfig::apply_threading`]).
     pub fn new(cfg: VgodConfig) -> Self {
+        cfg.apply_threading();
         let vbm = Vbm::new(cfg.vbm.clone());
         let arm = Arm::new(cfg.arm.clone());
         Self { cfg, vbm, arm }
@@ -89,6 +92,7 @@ impl Vgod {
             vbm: vbm.config().clone(),
             arm: arm.config().clone(),
             combine,
+            num_threads: None,
         };
         Ok(Vgod { cfg, vbm, arm })
     }

@@ -160,8 +160,8 @@ mod tests {
         let x2 = binary_topic_attributes(&labels2, 100, (10, 10), 0.9, &mut rng);
         let mut in_block = 0usize;
         let mut total = 0usize;
-        for r in 0..x2.rows() {
-            let c = labels2[r] as usize;
+        for (r, &lab) in labels2.iter().enumerate() {
+            let c = lab as usize;
             for (w, &v) in x2.row(r).iter().enumerate() {
                 if v == 1.0 {
                     total += 1;

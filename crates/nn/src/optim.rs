@@ -141,21 +141,22 @@ impl Optimizer for Adam {
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let (lr, beta1, beta2, eps) = (self.lr, self.beta1, self.beta2, self.eps);
         for (i, (_, p)) in store.iter_mut().enumerate() {
-            let m = &mut self.m[i];
-            let v = &mut self.v[i];
-            for ((mv, vv), (&g, val)) in m
-                .as_mut_slice()
-                .iter_mut()
-                .zip(v.as_mut_slice())
-                .zip(p.grad.as_slice().iter().zip(p.value.as_mut_slice()))
-            {
-                *mv = self.beta1 * *mv + (1.0 - self.beta1) * g;
-                *vv = self.beta2 * *vv + (1.0 - self.beta2) * g * g;
-                let m_hat = *mv / bc1;
-                let v_hat = *vv / bc2;
-                *val -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
-            }
+            // One fused (and, for large parameters, parallel) pass over
+            // value, both moment buffers and the gradient.
+            p.value.zip_apply3(
+                &mut self.m[i],
+                &mut self.v[i],
+                &p.grad,
+                move |val, mv, vv, g| {
+                    *mv = beta1 * *mv + (1.0 - beta1) * g;
+                    *vv = beta2 * *vv + (1.0 - beta2) * g * g;
+                    let m_hat = *mv / bc1;
+                    let v_hat = *vv / bc2;
+                    *val -= lr * m_hat / (v_hat.sqrt() + eps);
+                },
+            );
         }
         store.zero_grads();
     }

@@ -1,6 +1,8 @@
 //! Compressed-sparse-row matrices for graph message passing.
 
-use crate::parallel::{for_each_row_chunk, num_threads, row_chunks, PAR_FLOP_THRESHOLD};
+use crate::parallel::{
+    band_ranges, for_each_row_chunk, row_chunks, threads_for, SPMM_WORK_THRESHOLD,
+};
 use crate::{Matrix, TensorError};
 
 /// A sparse matrix in compressed-sparse-row format.
@@ -171,13 +173,10 @@ impl Csr {
         );
         let d = dense.cols();
         let mut out = Matrix::zeros(self.n_rows, d);
-        let flops = self.nnz() * d;
-        let threads = if flops >= PAR_FLOP_THRESHOLD {
-            num_threads()
-        } else {
-            1
-        };
-        let ranges = row_chunks(self.n_rows, threads);
+        let threads = threads_for(self.nnz() * d, SPMM_WORK_THRESHOLD);
+        // Oversplit: row cost is proportional to row nnz, which is uneven on
+        // real graphs; the pool's claim counter balances the bands.
+        let ranges = band_ranges(self.n_rows, threads);
         let this: &Csr = self;
         let dense_ref: &Matrix = dense;
         for_each_row_chunk(out.as_mut_slice(), d, &ranges, |s, e, band| {
@@ -197,9 +196,14 @@ impl Csr {
     /// Transposed sparse × dense product `selfᵀ · dense` (`c×r · r×d → c×d`).
     ///
     /// Used by the autograd backward pass of `spmm` — a training hot path.
-    /// Large products run as an explicit transpose followed by the
-    /// row-parallel [`Csr::spmm`]: the `O(nnz)` transpose is cheap relative
-    /// to the `O(nnz · d)` product it parallelises.
+    /// Unlike [`Csr::spmm`] the scatter here is *not* row-disjoint (many
+    /// input rows write the same output row), so the parallel path gives
+    /// each input-row band its own `c × d` partial output and merges the
+    /// partials in band order afterwards. Deterministic for a fixed thread
+    /// count, but a merge-class kernel: only approximately equal to the
+    /// sequential accumulation order under f32 rounding (DESIGN.md
+    /// § Threading model). Partial buffers cost `threads · c · d` floats,
+    /// bounded by the thread cap.
     pub fn spmm_t(&self, dense: &Matrix) -> Matrix {
         assert_eq!(
             self.n_rows,
@@ -209,22 +213,49 @@ impl Csr {
             self.n_cols,
             dense.shape()
         );
-        if self.nnz() * dense.cols() >= PAR_FLOP_THRESHOLD {
-            return self.transpose().spmm(dense);
-        }
         let d = dense.cols();
+        let out_len = self.n_cols * d;
+        let threads = threads_for(self.nnz() * d, SPMM_WORK_THRESHOLD).min(self.n_rows.max(1));
+        if threads <= 1 {
+            let mut out = Matrix::zeros(self.n_cols, d);
+            self.scatter_rows_into(0, self.n_rows, dense, out.as_mut_slice());
+            return out;
+        }
+        let row_ranges = row_chunks(self.n_rows, threads);
+        let mut partials = vec![0.0f32; row_ranges.len() * out_len];
+        let unit: Vec<(usize, usize)> = (0..row_ranges.len()).map(|i| (i, i + 1)).collect();
+        for_each_row_chunk(&mut partials, out_len, &unit, |b, _, buf| {
+            let (rs, re) = row_ranges[b];
+            self.scatter_rows_into(rs, re, dense, buf);
+        });
         let mut out = Matrix::zeros(self.n_cols, d);
-        for r in 0..self.n_rows {
+        let out_data = out.as_mut_slice();
+        let merge_ranges = band_ranges(out_len, threads_for(out_len, SPMM_WORK_THRESHOLD));
+        let partials_ref = &partials;
+        for_each_row_chunk(out_data, 1, &merge_ranges, |s, e, band| {
+            for b in 0..row_ranges.len() {
+                let part = &partials_ref[b * out_len + s..b * out_len + e];
+                for (o, p) in band.iter_mut().zip(part) {
+                    *o += p;
+                }
+            }
+        });
+        out
+    }
+
+    /// Scatter input rows `rs..re` of `selfᵀ · dense` into `out`
+    /// (a `n_cols × dense.cols()` row-major buffer).
+    fn scatter_rows_into(&self, rs: usize, re: usize, dense: &Matrix, out: &mut [f32]) {
+        let d = dense.cols();
+        for r in rs..re {
             let src = dense.row(r);
             for (&c, &v) in self.row_indices(r).iter().zip(self.row_values(r)) {
-                let cols = out.cols();
-                let dst = &mut out.as_mut_slice()[c as usize * cols..(c as usize + 1) * cols];
+                let dst = &mut out[c as usize * d..(c as usize + 1) * d];
                 for (o, &x) in dst.iter_mut().zip(src) {
                     *o += v * x;
                 }
             }
         }
-        out
     }
 
     /// Explicit transpose as a new CSR matrix.
@@ -371,7 +402,8 @@ mod tests {
 
     #[test]
     fn large_spmm_t_parallel_path_matches_serial() {
-        // Cross the FLOP threshold so the transpose+parallel path runs.
+        let _ = crate::pool::set_num_threads(4);
+        // Cross the work threshold so the partial-merge parallel path runs.
         let n = 900;
         let edges: Vec<(u32, u32)> = (0..n as u32)
             .flat_map(|r| (0..8u32).map(move |k| (r, (r * 37 + k * 131) % n as u32)))
@@ -379,7 +411,7 @@ mod tests {
         let s = Csr::from_edges(n, n, &edges).unwrap();
         let d = Matrix::from_fn(n, 600, |r, c| ((r * 13 + c * 7) % 23) as f32 * 0.1 - 1.0);
         assert!(
-            s.nnz() * d.cols() >= 4_000_000,
+            s.nnz() * d.cols() >= SPMM_WORK_THRESHOLD,
             "test must cross the threshold"
         );
         let fast = s.spmm_t(&d);

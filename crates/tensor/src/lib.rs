@@ -7,9 +7,10 @@
 //! models need (dense GEMM in its three transpose flavours, elementwise
 //! arithmetic, row broadcasts, reductions, row L2-normalisation, and sparse
 //! × dense products for message passing), but implements them carefully:
-//! large matrix products are split across threads with `crossbeam::scope`,
-//! inner loops are written to autovectorise, and every public operation
-//! validates its shape preconditions.
+//! large matrix products are split into row bands executed on a persistent
+//! worker pool (see [`threading`]), inner loops are written to
+//! autovectorise, and every public operation validates its shape
+//! preconditions.
 //!
 //! ```
 //! use vgod_tensor::Matrix;
@@ -24,9 +25,15 @@
 mod csr;
 mod matrix;
 mod parallel;
+mod pool;
 
 pub use csr::Csr;
 pub use matrix::Matrix;
+
+/// Thread-pool configuration for the parallel kernels.
+pub mod threading {
+    pub use crate::pool::{force_sequential, num_threads, set_num_threads, ThreadCountAlreadySet};
+}
 
 /// Error type for fallible tensor constructors.
 #[derive(Debug, Clone, PartialEq, Eq)]

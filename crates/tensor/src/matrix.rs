@@ -1,7 +1,15 @@
 //! Dense row-major `f32` matrix.
 
-use crate::parallel::{for_each_row_chunk, num_threads, row_chunks, PAR_FLOP_THRESHOLD};
+use crate::parallel::{
+    band_ranges, for_each_chunk3, for_each_row_chunk, row_chunks, threads_for, ELEMWISE_THRESHOLD,
+    GEMM_FLOP_THRESHOLD,
+};
 use crate::TensorError;
+
+/// Chunk ranges for a streaming elementwise kernel over `len` elements.
+fn elem_ranges(len: usize) -> Vec<(usize, usize)> {
+    row_chunks(len, threads_for(len, ELEMWISE_THRESHOLD))
+}
 
 /// A dense, row-major matrix of `f32` values.
 ///
@@ -216,48 +224,37 @@ impl Matrix {
 
     /// Elementwise sum `self + other`.
     pub fn add(&self, other: &Matrix) -> Matrix {
-        self.assert_same_shape(other, "add");
-        self.zip_with(other, |a, b| a + b)
+        self.zip_map(other, |a, b| a + b)
     }
 
     /// Elementwise difference `self - other`.
     pub fn sub(&self, other: &Matrix) -> Matrix {
-        self.assert_same_shape(other, "sub");
-        self.zip_with(other, |a, b| a - b)
+        self.zip_map(other, |a, b| a - b)
     }
 
     /// Hadamard (elementwise) product `self ∘ other`.
     pub fn mul(&self, other: &Matrix) -> Matrix {
-        self.assert_same_shape(other, "mul");
-        self.zip_with(other, |a, b| a * b)
+        self.zip_map(other, |a, b| a * b)
     }
 
     /// In-place `self += other`.
     pub fn add_assign(&mut self, other: &Matrix) {
-        self.assert_same_shape(other, "add_assign");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += b;
-        }
+        self.zip_apply(other, |a, b| *a += b);
     }
 
     /// In-place `self += alpha * other` (axpy).
     pub fn add_scaled(&mut self, alpha: f32, other: &Matrix) {
-        self.assert_same_shape(other, "add_scaled");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += alpha * b;
-        }
+        self.zip_apply(other, move |a, b| *a += alpha * b);
     }
 
     /// Scalar product `alpha * self`.
     pub fn scale(&self, alpha: f32) -> Matrix {
-        self.map(|v| alpha * v)
+        self.map(move |v| alpha * v)
     }
 
     /// In-place scalar product.
     pub fn scale_inplace(&mut self, alpha: f32) {
-        for v in &mut self.data {
-            *v *= alpha;
-        }
+        self.map_inplace(move |v| alpha * v);
     }
 
     /// Set every element to zero, keeping the allocation.
@@ -266,32 +263,108 @@ impl Matrix {
     }
 
     /// Apply `f` to every element, producing a new matrix.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Matrix {
+        let mut data = vec![0.0f32; self.data.len()];
+        let src = &self.data;
+        for_each_row_chunk(&mut data, 1, &elem_ranges(src.len()), |s, e, band| {
+            for (d, &v) in band.iter_mut().zip(&src[s..e]) {
+                *d = f(v);
+            }
+        });
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().map(|&v| f(v)).collect(),
+            data,
         }
     }
 
     /// Apply `f` to every element in place.
-    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
-        for v in &mut self.data {
-            *v = f(*v);
-        }
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32 + Sync) {
+        let ranges = elem_ranges(self.data.len());
+        for_each_row_chunk(&mut self.data, 1, &ranges, |_, _, band| {
+            for v in band.iter_mut() {
+                *v = f(*v);
+            }
+        });
     }
 
-    fn zip_with(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
+    /// Combine with `other` elementwise into a new matrix:
+    /// `out[i] = f(self[i], other[i])`.
+    pub fn zip_map(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32 + Sync) -> Matrix {
+        self.assert_same_shape(other, "zip_map");
+        let mut data = vec![0.0f32; self.data.len()];
+        let (a, b) = (&self.data, &other.data);
+        for_each_row_chunk(&mut data, 1, &elem_ranges(a.len()), |s, e, band| {
+            for ((d, &x), &y) in band.iter_mut().zip(&a[s..e]).zip(&b[s..e]) {
+                *d = f(x, y);
+            }
+        });
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data,
         }
+    }
+
+    /// Update every element in place from the matching element of `other`:
+    /// `f(&mut self[i], other[i])`.
+    pub fn zip_apply(&mut self, other: &Matrix, f: impl Fn(&mut f32, f32) + Sync) {
+        self.assert_same_shape(other, "zip_apply");
+        let ranges = elem_ranges(self.data.len());
+        let b = &other.data;
+        for_each_row_chunk(&mut self.data, 1, &ranges, |s, e, band| {
+            for (a, &y) in band.iter_mut().zip(&b[s..e]) {
+                f(a, y);
+            }
+        });
+    }
+
+    /// Fused elementwise update over three mutable matrices and one source:
+    /// `f(&mut self[i], &mut b[i], &mut c[i], src[i])` for every element, in
+    /// one memory pass. This is the shape of an optimizer step (parameter +
+    /// first/second moment buffers updated from the gradient); fusing the
+    /// pass matters because these kernels are purely memory-bound.
+    pub fn zip_apply3(
+        &mut self,
+        b: &mut Matrix,
+        c: &mut Matrix,
+        src: &Matrix,
+        f: impl Fn(&mut f32, &mut f32, &mut f32, f32) + Sync,
+    ) {
+        self.assert_same_shape(b, "zip_apply3");
+        self.assert_same_shape(c, "zip_apply3");
+        self.assert_same_shape(src, "zip_apply3");
+        let ranges = elem_ranges(self.data.len());
+        let g = &src.data;
+        for_each_chunk3(
+            &mut self.data,
+            &mut b.data,
+            &mut c.data,
+            &ranges,
+            |s, ca, cb, cc| {
+                for (((a, bb), cv), &gv) in ca
+                    .iter_mut()
+                    .zip(cb.iter_mut())
+                    .zip(cc.iter_mut())
+                    .zip(&g[s..])
+                {
+                    f(a, bb, cv, gv);
+                }
+            },
+        );
+    }
+
+    /// Run `f` over every row (with its row index), rows distributed across
+    /// the worker pool when the matrix is large enough.
+    pub fn par_rows_mut(&mut self, f: impl Fn(usize, &mut [f32]) + Sync) {
+        let threads = threads_for(self.data.len(), ELEMWISE_THRESHOLD);
+        let ranges = band_ranges(self.rows, threads);
+        let cols = self.cols;
+        for_each_row_chunk(&mut self.data, cols, &ranges, |s, e, band| {
+            for (local, r) in (s..e).enumerate() {
+                f(r, &mut band[local * cols..(local + 1) * cols]);
+            }
+        });
     }
 
     // ------------------------------------------------------------------
@@ -306,12 +379,12 @@ impl Matrix {
         );
         assert_eq!(row.cols, self.cols, "add_row_broadcast: column mismatch");
         let mut out = self.clone();
-        for r in 0..out.rows {
-            let dst = out.row_mut(r);
-            for (d, s) in dst.iter_mut().zip(&row.data) {
+        let src = &row.data;
+        out.par_rows_mut(|_, dst| {
+            for (d, s) in dst.iter_mut().zip(src) {
                 *d += s;
             }
-        }
+        });
         out
     }
 
@@ -323,12 +396,12 @@ impl Matrix {
         );
         assert_eq!(row.cols, self.cols, "mul_row_broadcast: column mismatch");
         let mut out = self.clone();
-        for r in 0..out.rows {
-            let dst = out.row_mut(r);
-            for (d, s) in dst.iter_mut().zip(&row.data) {
+        let src = &row.data;
+        out.par_rows_mut(|_, dst| {
+            for (d, s) in dst.iter_mut().zip(src) {
                 *d *= s;
             }
-        }
+        });
         out
     }
 
@@ -340,12 +413,13 @@ impl Matrix {
         );
         assert_eq!(col.rows, self.rows, "mul_col_broadcast: row mismatch");
         let mut out = self.clone();
-        for r in 0..out.rows {
-            let s = col.data[r];
-            for d in out.row_mut(r) {
+        let scales = &col.data;
+        out.par_rows_mut(|r, dst| {
+            let s = scales[r];
+            for d in dst {
                 *d *= s;
             }
-        }
+        });
         out
     }
 
@@ -353,9 +427,35 @@ impl Matrix {
     // Reductions
     // ------------------------------------------------------------------
 
+    /// Fold the flat data in parallel: `fold` reduces one contiguous chunk,
+    /// `merge` combines the per-chunk partials (in chunk order, starting
+    /// from `init`). The merge order is deterministic for a fixed thread
+    /// count, but grouping differs from the sequential fold, so results are
+    /// only approximately equal to sequential under f32 rounding (see
+    /// DESIGN.md § Threading model).
+    fn fold_elem_chunks(
+        &self,
+        init: f32,
+        fold: impl Fn(&[f32]) -> f32 + Sync,
+        merge: impl Fn(f32, f32) -> f32,
+    ) -> f32 {
+        let ranges = elem_ranges(self.data.len());
+        if ranges.len() <= 1 {
+            return merge(init, fold(&self.data));
+        }
+        let mut partials = vec![0.0f32; ranges.len()];
+        let src = &self.data;
+        let unit: Vec<(usize, usize)> = (0..ranges.len()).map(|i| (i, i + 1)).collect();
+        for_each_row_chunk(&mut partials, 1, &unit, |b, _, buf| {
+            let (s, e) = ranges[b];
+            buf[0] = fold(&src[s..e]);
+        });
+        partials.into_iter().fold(init, merge)
+    }
+
     /// Sum of all elements.
     pub fn sum(&self) -> f32 {
-        self.data.iter().sum()
+        self.fold_elem_chunks(0.0, |chunk| chunk.iter().sum(), |a, b| a + b)
     }
 
     /// Mean of all elements (0.0 for an empty matrix).
@@ -370,9 +470,15 @@ impl Matrix {
     /// Per-row sums as an `n × 1` column vector.
     pub fn row_sums(&self) -> Matrix {
         let mut out = Matrix::zeros(self.rows, 1);
-        for r in 0..self.rows {
-            out.data[r] = self.row(r).iter().sum();
-        }
+        let threads = threads_for(self.data.len(), ELEMWISE_THRESHOLD);
+        let ranges = band_ranges(self.rows, threads);
+        let src = &self.data;
+        let cols = self.cols;
+        for_each_row_chunk(&mut out.data, 1, &ranges, |s, e, band| {
+            for (local, r) in (s..e).enumerate() {
+                band[local] = src[r * cols..(r + 1) * cols].iter().sum();
+            }
+        });
         out
     }
 
@@ -386,10 +492,37 @@ impl Matrix {
     }
 
     /// Per-column sums as a `1 × d` row vector.
+    ///
+    /// Columns are a merge-class reduction (every row touches every output
+    /// element): row bands accumulate into per-band partial rows, merged in
+    /// band order afterwards. Deterministic, but only approximately equal to
+    /// the sequential accumulation order under f32 rounding.
     pub fn col_sums(&self) -> Matrix {
         let mut out = Matrix::zeros(1, self.cols);
-        for r in 0..self.rows {
-            for (d, s) in out.data.iter_mut().zip(self.row(r)) {
+        let threads = threads_for(self.data.len(), ELEMWISE_THRESHOLD).min(self.rows.max(1));
+        if threads <= 1 {
+            for r in 0..self.rows {
+                for (d, s) in out.data.iter_mut().zip(self.row(r)) {
+                    *d += s;
+                }
+            }
+            return out;
+        }
+        let row_ranges = row_chunks(self.rows, threads);
+        let mut partials = vec![0.0f32; row_ranges.len() * self.cols];
+        let src = &self.data;
+        let cols = self.cols;
+        let unit: Vec<(usize, usize)> = (0..row_ranges.len()).map(|i| (i, i + 1)).collect();
+        for_each_row_chunk(&mut partials, cols, &unit, |b, _, buf| {
+            let (rs, re) = row_ranges[b];
+            for r in rs..re {
+                for (d, s) in buf.iter_mut().zip(&src[r * cols..(r + 1) * cols]) {
+                    *d += s;
+                }
+            }
+        });
+        for band in partials.chunks_exact(cols.max(1)) {
+            for (d, s) in out.data.iter_mut().zip(band) {
                 *d += s;
             }
         }
@@ -399,9 +532,15 @@ impl Matrix {
     /// Squared L2 norm of each row, as an `n × 1` column vector.
     pub fn row_sq_norms(&self) -> Matrix {
         let mut out = Matrix::zeros(self.rows, 1);
-        for r in 0..self.rows {
-            out.data[r] = self.row(r).iter().map(|v| v * v).sum();
-        }
+        let threads = threads_for(self.data.len(), ELEMWISE_THRESHOLD);
+        let ranges = band_ranges(self.rows, threads);
+        let src = &self.data;
+        let cols = self.cols;
+        for_each_row_chunk(&mut out.data, 1, &ranges, |s, e, band| {
+            for (local, r) in (s..e).enumerate() {
+                band[local] = src[r * cols..(r + 1) * cols].iter().map(|v| v * v).sum();
+            }
+        });
         out
     }
 
@@ -414,12 +553,17 @@ impl Matrix {
 
     /// Frobenius norm of the whole matrix.
     pub fn frobenius_norm(&self) -> f32 {
-        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+        self.fold_elem_chunks(0.0, |chunk| chunk.iter().map(|v| v * v).sum(), |a, b| a + b)
+            .sqrt()
     }
 
     /// Largest absolute element (0.0 for an empty matrix).
     pub fn max_abs(&self) -> f32 {
-        self.data.iter().fold(0.0f32, |m, v| m.max(v.abs()))
+        self.fold_elem_chunks(
+            0.0,
+            |chunk| chunk.iter().fold(0.0f32, |m, v| m.max(v.abs())),
+            f32::max,
+        )
     }
 
     // ------------------------------------------------------------------
@@ -433,14 +577,15 @@ impl Matrix {
     /// divisors to compute the backward pass.
     pub fn l2_normalize_rows(&self, eps: f32) -> (Matrix, Matrix) {
         let mut norms = self.row_norms();
-        norms.map_inplace(|v| v + eps);
+        norms.map_inplace(move |v| v + eps);
         let mut out = self.clone();
-        for r in 0..out.rows {
-            let inv = 1.0 / norms.data[r];
-            for v in out.row_mut(r) {
+        let divisors = &norms.data;
+        out.par_rows_mut(|r, row| {
+            let inv = 1.0 / divisors[r];
+            for v in row {
                 *v *= inv;
             }
-        }
+        });
         (out, norms)
     }
 
@@ -450,15 +595,16 @@ impl Matrix {
         assert_eq!(divisors.cols, 1, "div_rows_by: divisors must be n×1");
         assert_eq!(divisors.rows, self.rows, "div_rows_by: row mismatch");
         let mut out = self.clone();
-        for r in 0..out.rows {
-            let d = divisors.data[r];
+        let divs = &divisors.data;
+        out.par_rows_mut(|r, row| {
+            let d = divs[r];
             if d != 0.0 {
                 let inv = 1.0 / d;
-                for v in out.row_mut(r) {
+                for v in row {
                     *v *= inv;
                 }
             }
-        }
+        });
         out
     }
 
@@ -477,13 +623,8 @@ impl Matrix {
         );
         let (m, k, n) = (self.rows, self.cols, other.cols);
         let mut out = Matrix::zeros(m, n);
-        let flops = m * k * n;
-        let threads = if flops >= PAR_FLOP_THRESHOLD {
-            num_threads()
-        } else {
-            1
-        };
-        let ranges = row_chunks(m, threads);
+        let threads = threads_for(m * k * n, GEMM_FLOP_THRESHOLD);
+        let ranges = band_ranges(m, threads);
         let a = &self.data;
         let b = &other.data;
         for_each_row_chunk(&mut out.data, n, &ranges, |s, e, band| {
@@ -515,13 +656,8 @@ impl Matrix {
         );
         let (k, m, n) = (self.rows, self.cols, other.cols);
         let mut out = Matrix::zeros(m, n);
-        let flops = m * k * n;
-        let threads = if flops >= PAR_FLOP_THRESHOLD {
-            num_threads()
-        } else {
-            1
-        };
-        let ranges = row_chunks(m, threads);
+        let threads = threads_for(m * k * n, GEMM_FLOP_THRESHOLD);
+        let ranges = band_ranges(m, threads);
         let a = &self.data;
         let b = &other.data;
         for_each_row_chunk(&mut out.data, n, &ranges, |s, e, band| {
@@ -553,13 +689,8 @@ impl Matrix {
         );
         let (m, k, n) = (self.rows, self.cols, other.rows);
         let mut out = Matrix::zeros(m, n);
-        let flops = m * k * n;
-        let threads = if flops >= PAR_FLOP_THRESHOLD {
-            num_threads()
-        } else {
-            1
-        };
-        let ranges = row_chunks(m, threads);
+        let threads = threads_for(m * k * n, GEMM_FLOP_THRESHOLD);
+        let ranges = band_ranges(m, threads);
         let a = &self.data;
         let b = &other.data;
         for_each_row_chunk(&mut out.data, n, &ranges, |s, e, band| {
@@ -582,11 +713,20 @@ impl Matrix {
     /// Matrix transpose.
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+        let (rows, cols) = (self.rows, self.cols);
+        let src = &self.data;
+        // Parallel over *output* rows (= input columns): each band gathers
+        // its columns from the source, which is only read.
+        let threads = threads_for(src.len(), ELEMWISE_THRESHOLD);
+        let ranges = band_ranges(cols, threads);
+        for_each_row_chunk(&mut out.data, rows, &ranges, |s, e, band| {
+            for (local, c) in (s..e).enumerate() {
+                let out_row = &mut band[local * rows..(local + 1) * rows];
+                for (r, o) in out_row.iter_mut().enumerate() {
+                    *o = src[r * cols + c];
+                }
             }
-        }
+        });
         out
     }
 
@@ -597,11 +737,19 @@ impl Matrix {
     /// Gather rows by index: `out[e, :] = self[idx[e], :]`.
     pub fn gather_rows(&self, idx: &[u32]) -> Matrix {
         let mut out = Matrix::zeros(idx.len(), self.cols);
-        for (e, &i) in idx.iter().enumerate() {
-            let i = i as usize;
-            debug_assert!(i < self.rows, "gather_rows index out of bounds");
-            out.row_mut(e).copy_from_slice(self.row(i));
-        }
+        let cols = self.cols;
+        let src = &self.data;
+        let rows = self.rows;
+        let threads = threads_for(idx.len() * cols, ELEMWISE_THRESHOLD);
+        let ranges = band_ranges(idx.len(), threads);
+        for_each_row_chunk(&mut out.data, cols, &ranges, |s, e, band| {
+            for (local, &i) in idx[s..e].iter().enumerate() {
+                let i = i as usize;
+                debug_assert!(i < rows, "gather_rows index out of bounds");
+                band[local * cols..(local + 1) * cols]
+                    .copy_from_slice(&src[i * cols..(i + 1) * cols]);
+            }
+        });
         out
     }
 
@@ -733,12 +881,56 @@ mod tests {
 
     #[test]
     fn large_matmul_parallel_path_matches_naive() {
-        // Big enough to cross PAR_FLOP_THRESHOLD (200*200*200 = 8e6).
+        let _ = crate::pool::set_num_threads(4);
+        // Big enough to cross GEMM_FLOP_THRESHOLD (200*200*200 = 8e6).
         let a = Matrix::from_fn(200, 200, |r, c| ((r * 31 + c * 17) % 13) as f32 - 6.0);
         let b = Matrix::from_fn(200, 200, |r, c| ((r * 7 + c * 3) % 11) as f32 - 5.0);
         let got = a.matmul(&b);
         let expect = naive_matmul(&a, &b);
         assert!(got.approx_eq(&expect, 1e-3));
+    }
+
+    #[test]
+    fn zip_apply3_fused_update_matches_separate_passes() {
+        let mut p = Matrix::from_fn(10, 8, |r, c| (r + c) as f32 * 0.1);
+        let mut m = Matrix::filled(10, 8, 0.5);
+        let mut v = Matrix::filled(10, 8, 0.25);
+        let g = Matrix::from_fn(10, 8, |r, c| (r as f32 - c as f32) * 0.2);
+        let (expect_p, expect_m, expect_v) = {
+            let mut m2 = m.clone();
+            let mut v2 = v.clone();
+            let mut p2 = p.clone();
+            m2.scale_inplace(0.9);
+            m2.add_scaled(0.1, &g);
+            let g_sq = g.mul(&g);
+            v2.scale_inplace(0.99);
+            v2.add_scaled(0.01, &g_sq);
+            let step = m2.zip_map(&v2, |mv, vv| mv / (vv.sqrt() + 1e-8));
+            p2.add_scaled(-0.05, &step);
+            (p2, m2, v2)
+        };
+        p.zip_apply3(&mut m, &mut v, &g, |pv, mv, vv, gv| {
+            *mv = 0.9 * *mv + 0.1 * gv;
+            *vv = 0.99 * *vv + 0.01 * gv * gv;
+            *pv -= 0.05 * *mv / (vv.sqrt() + 1e-8);
+        });
+        assert!(p.approx_eq(&expect_p, 1e-6));
+        assert!(m.approx_eq(&expect_m, 1e-6));
+        assert!(v.approx_eq(&expect_v, 1e-6));
+    }
+
+    #[test]
+    fn par_rows_mut_sees_global_row_indices() {
+        let _ = crate::pool::set_num_threads(4);
+        let mut a = Matrix::zeros(300, 250); // 75k elements: parallel path
+        a.par_rows_mut(|r, row| {
+            for (c, v) in row.iter_mut().enumerate() {
+                *v = (r * 250 + c) as f32;
+            }
+        });
+        for (i, v) in a.as_slice().iter().enumerate() {
+            assert_eq!(*v, i as f32);
+        }
     }
 
     #[test]

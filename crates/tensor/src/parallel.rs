@@ -1,24 +1,47 @@
 //! Work partitioning helpers for the parallel kernels.
 //!
 //! Kernels in this crate are embarrassingly row-parallel: the output rows of
-//! a GEMM or SpMM are independent. We split the output row range into chunks
-//! and run each chunk on a `crossbeam::scope` thread. Spawning threads per
-//! call is cheap relative to the kernels we parallelise (we only engage the
-//! parallel path above a FLOP threshold).
+//! a GEMM or SpMM are independent. We split the output row range into
+//! contiguous bands and run the bands on the persistent worker pool in
+//! [`crate::pool`]. Uneven kernels (SpMM with skewed degree distributions)
+//! oversplit into more bands than threads so the pool's chunk-claiming
+//! counter can balance the load dynamically.
+//!
+//! Each kernel class has its own threshold below which the sequential loop
+//! wins — dispatching to the pool costs on the order of a few microseconds,
+//! which differs by orders of magnitude relative to a GEMM FLOP, an SpMM
+//! multiply-add through an index indirection, and a streaming elementwise
+//! visit.
 
-/// Minimum number of scalar multiply-adds before a kernel bothers spawning
-/// threads. Below this the sequential loop wins.
-pub(crate) const PAR_FLOP_THRESHOLD: usize = 4_000_000;
+use crate::pool::{num_threads, run_chunks};
 
-/// Number of worker threads to use for parallel kernels.
-///
-/// Defaults to the number of available CPUs, capped at 8 — the kernels here
-/// are memory-bound well before that on typical hardware.
-pub(crate) fn num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(8)
+/// Minimum scalar multiply-adds (`m * k * n`) before a dense GEMM engages
+/// the pool.
+pub(crate) const GEMM_FLOP_THRESHOLD: usize = 2_000_000;
+
+/// Minimum work units (`nnz * dense_cols`) before a sparse × dense product
+/// engages the pool. Lower than the GEMM threshold: each SpMM work unit
+/// carries an index indirection and a gathered row read, so it costs several
+/// times a GEMM FLOP.
+pub(crate) const SPMM_WORK_THRESHOLD: usize = 500_000;
+
+/// Minimum element count before streaming elementwise kernels (maps, zips,
+/// broadcasts, reductions) engage the pool. These touch each element once
+/// and are memory-bound, so the threshold is mostly the dispatch overhead
+/// amortisation point.
+pub(crate) const ELEMWISE_THRESHOLD: usize = 65_536;
+
+/// Bands per thread for row-parallel kernels with potentially uneven row
+/// cost. More bands than threads lets the pool's claim counter rebalance.
+pub(crate) const OVERSPLIT: usize = 4;
+
+/// Threads to use for a kernel of class-specific `work` against `threshold`.
+pub(crate) fn threads_for(work: usize, threshold: usize) -> usize {
+    if work >= threshold {
+        num_threads()
+    } else {
+        1
+    }
 }
 
 /// Split `rows` output rows into at most `threads` contiguous chunks of
@@ -43,7 +66,8 @@ pub(crate) fn row_chunks(rows: usize, threads: usize) -> Vec<(usize, usize)> {
 
 /// Run `body` over each chunk of `out`, where chunk `i` covers output rows
 /// `ranges[i]` and receives the corresponding mutable slice of `out`
-/// (rows × `row_len` elements). Runs sequentially when only one chunk.
+/// (rows × `row_len` elements). Runs inline when only one chunk; otherwise
+/// the bands are executed on the persistent worker pool.
 pub(crate) fn for_each_row_chunk<F>(
     out: &mut [f32],
     row_len: usize,
@@ -58,29 +82,85 @@ pub(crate) fn for_each_row_chunk<F>(
         }
         return;
     }
-    // Slice the output into disjoint row bands, one per chunk.
-    let mut bands: Vec<(usize, usize, &mut [f32])> = Vec::with_capacity(ranges.len());
+    // Pre-slice the output into disjoint row bands on the caller's thread;
+    // store the band pointers as addresses so the task closure stays Sync.
+    let mut bands: Vec<(usize, usize, usize, usize)> = Vec::with_capacity(ranges.len());
     let mut rest = out;
     let mut consumed = 0;
     for &(s, e) in ranges {
         let (band, tail) = rest.split_at_mut((e - s) * row_len);
         debug_assert_eq!(s * row_len, consumed);
         consumed += band.len();
-        bands.push((s, e, band));
+        bands.push((s, e, band.as_mut_ptr() as usize, band.len()));
         rest = tail;
     }
-    crossbeam::scope(|scope| {
-        for (s, e, band) in bands {
-            let body = &body;
-            scope.spawn(move |_| body(s, e, band));
+    run_chunks(bands.len(), &|i| {
+        let (s, e, addr, len) = bands[i];
+        // Safety: band `i` is a disjoint sub-slice of `out` (constructed via
+        // `split_at_mut` above) and the pool runs each index exactly once.
+        let band = unsafe { std::slice::from_raw_parts_mut(addr as *mut f32, len) };
+        body(s, e, band);
+    });
+}
+
+/// Split `rows` into bands for a row-parallel kernel on `threads` threads,
+/// oversplitting (see [`OVERSPLIT`]) when actually parallel so the pool can
+/// load-balance uneven rows.
+pub(crate) fn band_ranges(rows: usize, threads: usize) -> Vec<(usize, usize)> {
+    row_chunks(rows, if threads > 1 { threads * OVERSPLIT } else { 1 })
+}
+
+/// Run `body` over matching chunks of three equal-length slices (fused
+/// elementwise updates, e.g. optimizer steps touching parameter, first and
+/// second moment buffers in one pass). Chunk `i` covers elements
+/// `ranges[i]`; `body` receives the chunk start offset and the three
+/// sub-slices.
+pub(crate) fn for_each_chunk3<F>(
+    a: &mut [f32],
+    b: &mut [f32],
+    c: &mut [f32],
+    ranges: &[(usize, usize)],
+    body: F,
+) where
+    F: Fn(usize, &mut [f32], &mut [f32], &mut [f32]) + Sync,
+{
+    assert_eq!(a.len(), b.len(), "for_each_chunk3: length mismatch");
+    assert_eq!(a.len(), c.len(), "for_each_chunk3: length mismatch");
+    if ranges.len() <= 1 {
+        if let Some(&(s, e)) = ranges.first() {
+            body(s, &mut a[s..e], &mut b[s..e], &mut c[s..e]);
         }
-    })
-    .expect("tensor worker thread panicked");
+        return;
+    }
+    // Addresses as usize so the task closure stays Sync; rebuilt per chunk.
+    let (pa, pb, pc) = (
+        a.as_mut_ptr() as usize,
+        b.as_mut_ptr() as usize,
+        c.as_mut_ptr() as usize,
+    );
+    run_chunks(ranges.len(), &|i| {
+        let (s, e) = ranges[i];
+        let len = e - s;
+        // Safety: `ranges` are disjoint sub-ranges of each slice and the
+        // pool runs each chunk index exactly once, so no two tasks alias.
+        let (sa, sb, sc) = unsafe {
+            (
+                std::slice::from_raw_parts_mut((pa as *mut f32).add(s), len),
+                std::slice::from_raw_parts_mut((pb as *mut f32).add(s), len),
+                std::slice::from_raw_parts_mut((pc as *mut f32).add(s), len),
+            )
+        };
+        body(s, sa, sb, sc);
+    });
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn pin_test_threads() {
+        let _ = crate::pool::set_num_threads(4);
+    }
 
     #[test]
     fn chunks_cover_range_without_overlap() {
@@ -93,7 +173,7 @@ mod tests {
                     assert!(e > s);
                     next = *e;
                 }
-                assert_eq!(next, rows.min(next.max(rows)));
+                assert_eq!(next, rows, "chunks must end exactly at `rows`");
                 let total: usize = chunks.iter().map(|(s, e)| e - s).sum();
                 assert_eq!(total, rows);
             }
@@ -102,6 +182,7 @@ mod tests {
 
     #[test]
     fn chunked_execution_touches_every_row_once() {
+        pin_test_threads();
         let rows = 37;
         let cols = 5;
         let mut out = vec![0.0f32; rows * cols];
@@ -127,5 +208,51 @@ mod tests {
             }
         });
         assert!(out.iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn oversplit_banding_matches_sequential_fill() {
+        pin_test_threads();
+        let rows = 101;
+        let cols = 3;
+        let mut out = vec![0.0f32; rows * cols];
+        let ranges = row_chunks(rows, 4 * OVERSPLIT);
+        for_each_row_chunk(&mut out, cols, &ranges, |s, _e, band| {
+            for (offset, v) in band.iter_mut().enumerate() {
+                *v = (s * cols + offset) as f32;
+            }
+        });
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as f32);
+        }
+    }
+
+    #[test]
+    fn chunk3_updates_all_slices_consistently() {
+        pin_test_threads();
+        let n = 1000;
+        let mut a = vec![1.0f32; n];
+        let mut b = vec![2.0f32; n];
+        let mut c = vec![3.0f32; n];
+        let ranges = row_chunks(n, 4);
+        for_each_chunk3(&mut a, &mut b, &mut c, &ranges, |s, ca, cb, cc| {
+            for i in 0..ca.len() {
+                ca[i] += (s + i) as f32;
+                cb[i] *= 2.0;
+                cc[i] = ca[i] + cb[i];
+            }
+        });
+        for i in 0..n {
+            assert_eq!(a[i], 1.0 + i as f32);
+            assert_eq!(b[i], 4.0);
+            assert_eq!(c[i], a[i] + 4.0);
+        }
+    }
+
+    #[test]
+    fn threads_for_respects_threshold() {
+        pin_test_threads();
+        assert_eq!(threads_for(GEMM_FLOP_THRESHOLD - 1, GEMM_FLOP_THRESHOLD), 1);
+        assert!(threads_for(GEMM_FLOP_THRESHOLD, GEMM_FLOP_THRESHOLD) >= 1);
     }
 }

@@ -1,0 +1,232 @@
+//! Property tests: every parallelized kernel produces the same result on the
+//! worker pool as on the sequential path.
+//!
+//! Row-disjoint kernels (GEMM, spmm, maps, zips, broadcasts, row reductions,
+//! gather, transpose) run the *same* per-row arithmetic under any banding, so
+//! they must match **bit-for-bit**. Merge-class kernels (`spmm_t`, `col_sums`,
+//! `sum` / `frobenius_norm`, …) combine per-band partials and are only equal
+//! up to f32 rounding — see DESIGN.md § Threading model.
+//!
+//! The container running CI may expose a single CPU, so each test pins the
+//! pool to 4 workers up front; `force_sequential` then toggles the baseline
+//! path without disturbing the cached thread count.
+
+use std::sync::Mutex;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vgod_tensor::{threading, Csr, Matrix};
+
+/// `force_sequential` is process-global, so the A/B toggle must not
+/// interleave across test threads.
+static SEQ_LOCK: Mutex<()> = Mutex::new(());
+
+/// Restores the parallel path even if the measured closure panics.
+struct SeqGuard;
+
+impl Drop for SeqGuard {
+    fn drop(&mut self) {
+        threading::force_sequential(false);
+    }
+}
+
+/// Run `f` once on the sequential path and once on the pooled path.
+fn seq_then_par<T>(f: impl Fn() -> T) -> (T, T) {
+    let _lock = SEQ_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _ = threading::set_num_threads(4);
+    let _guard = SeqGuard;
+    threading::force_sequential(true);
+    let seq = f();
+    threading::force_sequential(false);
+    let par = f();
+    (seq, par)
+}
+
+fn random_matrix(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-1.0f32..1.0))
+}
+
+/// A random sparse matrix with ~`deg` entries per row.
+fn random_csr(rows: usize, cols: usize, deg: usize, rng: &mut StdRng) -> Csr {
+    let mut triplets = Vec::new();
+    for r in 0..rows {
+        for _ in 0..deg {
+            let c = rng.gen_range(0..cols as u32);
+            triplets.push((r as u32, c, rng.gen_range(0.1f32..1.0)));
+        }
+    }
+    Csr::from_triplets(rows, cols, &triplets).unwrap()
+}
+
+fn assert_exact(seq: &Matrix, par: &Matrix) {
+    assert_eq!(seq.shape(), par.shape());
+    assert_eq!(
+        seq.as_slice(),
+        par.as_slice(),
+        "row-disjoint kernel must be bit-identical across paths"
+    );
+}
+
+fn assert_close(seq: &[f32], par: &[f32], tol: f32) {
+    assert_eq!(seq.len(), par.len());
+    for (i, (&a, &b)) in seq.iter().zip(par).enumerate() {
+        assert!(
+            (a - b).abs() <= tol * (1.0 + a.abs()),
+            "merge-class kernel diverged at {i}: seq {a} vs par {b}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// GEMM trio — above `GEMM_FLOP_THRESHOLD` (2e6 flops), bit-exact.
+    #[test]
+    fn gemm_trio_matches(seed in 0u64..1000, m in 130usize..170, k in 130usize..170, n in 130usize..170) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_matrix(m, k, &mut rng);
+        let b = random_matrix(k, n, &mut rng);
+        let (s, p) = seq_then_par(|| a.matmul(&b));
+        assert_exact(&s, &p);
+        let (s, p) = seq_then_par(|| a.transpose().matmul_tn(&b));
+        assert_exact(&s, &p);
+        let (s, p) = seq_then_par(|| a.matmul_nt(&b.transpose()));
+        assert_exact(&s, &p);
+    }
+
+    /// spmm scatters into disjoint output rows — bit-exact.
+    #[test]
+    fn spmm_matches(seed in 0u64..1000, n in 1800usize..2200, d in 28usize..36) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let adj = random_csr(n, n, 10, &mut rng);
+        let h = random_matrix(n, d, &mut rng);
+        let (s, p) = seq_then_par(|| adj.spmm(&h));
+        assert_exact(&s, &p);
+    }
+
+    /// spmm_t merges per-band partial outputs — equal up to f32 rounding.
+    #[test]
+    fn spmm_t_partial_merge_matches(seed in 0u64..1000, n in 1800usize..2200, d in 28usize..36) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let adj = random_csr(n, n, 10, &mut rng);
+        let h = random_matrix(n, d, &mut rng);
+        let (s, p) = seq_then_par(|| adj.spmm_t(&h));
+        assert_eq!(s.shape(), p.shape());
+        assert_close(s.as_slice(), p.as_slice(), 1e-4);
+    }
+
+    /// Elementwise family — row-disjoint, bit-exact.
+    #[test]
+    fn elementwise_kernels_match(seed in 0u64..1000, r in 280usize..330, c in 280usize..330) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_matrix(r, c, &mut rng);
+        let b = random_matrix(r, c, &mut rng);
+        let (s, p) = seq_then_par(|| a.map(|v| v.tanh()));
+        assert_exact(&s, &p);
+        let (s, p) = seq_then_par(|| a.zip_map(&b, |x, y| x * y + 0.5 * y));
+        assert_exact(&s, &p);
+        let (s, p) = seq_then_par(|| {
+            let mut out = a.clone();
+            out.map_inplace(|v| v * 2.0 - 1.0);
+            out.zip_apply(&b, |x, y| *x += 0.25 * y);
+            out
+        });
+        assert_exact(&s, &p);
+        let (s, p) = seq_then_par(|| a.scale(3.5));
+        assert_exact(&s, &p);
+    }
+
+    /// Fused 4-way zip (the Adam update) — row-disjoint, bit-exact.
+    #[test]
+    fn zip_apply3_matches(seed in 0u64..1000, r in 280usize..330, c in 280usize..330) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let val = random_matrix(r, c, &mut rng);
+        let m0 = random_matrix(r, c, &mut rng);
+        let v0 = random_matrix(r, c, &mut rng);
+        let g = random_matrix(r, c, &mut rng);
+        let (s, p) = seq_then_par(|| {
+            let mut value = val.clone();
+            let mut m = m0.clone();
+            let mut v = v0.clone();
+            value.zip_apply3(&mut m, &mut v, &g, |val, mv, vv, gv| {
+                *mv = 0.9 * *mv + 0.1 * gv;
+                *vv = 0.999 * *vv + 0.001 * gv * gv;
+                *val -= 0.01 * *mv / (vv.abs().sqrt() + 1e-8);
+            });
+            (value, m, v)
+        });
+        assert_exact(&s.0, &p.0);
+        assert_exact(&s.1, &p.1);
+        assert_exact(&s.2, &p.2);
+    }
+
+    /// Broadcasts and row-indexed kernels — row-disjoint, bit-exact.
+    #[test]
+    fn broadcast_and_row_kernels_match(seed in 0u64..1000, r in 280usize..330, c in 280usize..330) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_matrix(r, c, &mut rng);
+        let row = random_matrix(1, c, &mut rng);
+        let col = random_matrix(r, 1, &mut rng);
+        let (s, p) = seq_then_par(|| a.add_row_broadcast(&row));
+        assert_exact(&s, &p);
+        let (s, p) = seq_then_par(|| a.mul_row_broadcast(&row));
+        assert_exact(&s, &p);
+        let (s, p) = seq_then_par(|| a.mul_col_broadcast(&col));
+        assert_exact(&s, &p);
+        let (s, p) = seq_then_par(|| {
+            let mut out = a.clone();
+            out.par_rows_mut(|i, vals| {
+                for v in vals {
+                    *v += i as f32;
+                }
+            });
+            out
+        });
+        assert_exact(&s, &p);
+        let (s, p) = seq_then_par(|| a.l2_normalize_rows(1e-8));
+        assert_exact(&s.0, &p.0);
+        assert_exact(&s.1, &p.1);
+        let (s, p) = seq_then_par(|| a.div_rows_by(&col.map(|v| v.abs() + 0.5)));
+        assert_exact(&s, &p);
+    }
+
+    /// Row reductions write disjoint outputs — bit-exact.
+    #[test]
+    fn row_reductions_match(seed in 0u64..1000, r in 280usize..330, c in 280usize..330) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_matrix(r, c, &mut rng);
+        let (s, p) = seq_then_par(|| a.row_sums());
+        assert_exact(&s, &p);
+        let (s, p) = seq_then_par(|| a.row_sq_norms());
+        assert_exact(&s, &p);
+    }
+
+    /// Full reductions and col_sums merge per-band partials — f32 rounding.
+    #[test]
+    fn merge_class_reductions_match(seed in 0u64..1000, r in 280usize..330, c in 280usize..330) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_matrix(r, c, &mut rng);
+        let (s, p) = seq_then_par(|| a.col_sums());
+        assert_close(s.as_slice(), p.as_slice(), 1e-4);
+        let (s, p) = seq_then_par(|| a.sum());
+        assert_close(&[s], &[p], 1e-3);
+        let (s, p) = seq_then_par(|| a.frobenius_norm());
+        assert_close(&[s], &[p], 1e-4);
+        // max_abs is order-independent: exact across paths.
+        let (s, p) = seq_then_par(|| a.max_abs());
+        assert_eq!(s, p);
+    }
+
+    /// Transpose and gather parallelize over output rows — bit-exact.
+    #[test]
+    fn transpose_and_gather_match(seed in 0u64..1000, r in 280usize..330, c in 280usize..330) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_matrix(r, c, &mut rng);
+        let idx: Vec<u32> = (0..r * 2).map(|_| rng.gen_range(0..r as u32)).collect();
+        let (s, p) = seq_then_par(|| a.transpose());
+        assert_exact(&s, &p);
+        let (s, p) = seq_then_par(|| a.gather_rows(&idx));
+        assert_exact(&s, &p);
+    }
+}

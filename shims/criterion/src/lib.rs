@@ -1,0 +1,200 @@
+//! Workspace-local stand-in for the subset of the `criterion` 0.5 API used
+//! by the `vgod-bench` bench targets.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! same surface — [`Criterion`], [`BenchmarkId`], benchmark groups, and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — backed by a simple
+//! calibrated wall-clock loop (median of several batches) instead of
+//! criterion's full statistics engine. Good enough to spot order-of-magnitude
+//! regressions and compare kernel variants.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark (split over batches).
+const TARGET_MEASURE: Duration = Duration::from_millis(300);
+/// Number of batches used for the median.
+const BATCHES: usize = 5;
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{parameter}", function.into()),
+        }
+    }
+
+    /// An id made of just a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Passed to the benchmark closure; runs and times the workload.
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled in by [`Bencher::iter`].
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Time `routine`, storing the median per-iteration cost.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: find how many iterations fill one batch.
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(50));
+        let per_batch = (TARGET_MEASURE.as_nanos() / BATCHES as u128 / once.as_nanos()).max(1);
+
+        let mut batches: Vec<f64> = Vec::with_capacity(BATCHES);
+        for _ in 0..BATCHES {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                std::hint::black_box(routine());
+            }
+            batches.push(start.elapsed().as_nanos() as f64 / per_batch as f64);
+        }
+        batches.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        self.median_ns = batches[batches.len() / 2];
+    }
+
+    /// Median nanoseconds per iteration from the last [`Bencher::iter`] call.
+    ///
+    /// Not part of the upstream API: upstream criterion writes its estimates
+    /// to `target/criterion/`, which this shim does not reproduce. Benches
+    /// that want to export machine-readable results read this instead.
+    pub fn median_ns(&self) -> f64 {
+        self.median_ns
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:8.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:8.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:8.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:8.2} s ", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_one(label: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher { median_ns: 0.0 };
+    f(&mut b);
+    println!("bench {label:<48} {}", human(b.median_ns));
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmark `routine` against one input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut routine: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id.id), |b| routine(b, input));
+    }
+
+    /// Benchmark a plain routine within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.id), |b| routine(b));
+    }
+
+    /// End the group (formatting no-op, kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+
+    /// Benchmark one named routine.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, |b| routine(b));
+        self
+    }
+}
+
+/// Prevent the optimiser from discarding a value (upstream re-export).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundle benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_positive_time() {
+        let mut c = Criterion::default();
+        c.bench_function("noop-ish", |b| {
+            b.iter(|| std::hint::black_box(3u64.wrapping_mul(5)))
+        });
+        let mut group = c.benchmark_group("grp");
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7usize, |b, &n| {
+            b.iter(|| (0..n).sum::<usize>())
+        });
+        group.finish();
+    }
+}
