@@ -70,15 +70,27 @@ struct Node {
     param: Option<(u64, ParamId)>,
 }
 
+/// The recycled storage behind a [`Tape`]: recorded nodes plus the gradient
+/// scratch table reused by [`Var::backward_into`].
+#[derive(Default)]
+struct TapeBuf {
+    nodes: Vec<Node>,
+    grads: Vec<Option<Matrix>>,
+}
+
 /// A recording of a forward computation, shared by all the [`Var`]s created
 /// on it.
 ///
-/// Cheap to clone (reference-counted). A tape is intended to live for one
-/// forward/backward step: build the loss, call [`Var::backward_into`], drop
-/// the tape, repeat.
+/// Cheap to clone (reference-counted). A tape lives for one forward/backward
+/// step at a time: build the loss, call [`Var::backward_into`], then either
+/// drop the tape or — in an epoch loop — call [`Tape::reset`] and record the
+/// next step into the same storage. Resetting keeps the node and gradient
+/// slot vectors, and (inside a `vgod_tensor::arena::scope`) returns the
+/// value/gradient matrices to the buffer arena for reuse, so steady-state
+/// epochs allocate nothing new.
 #[derive(Clone)]
 pub struct Tape {
-    inner: Rc<RefCell<Vec<Node>>>,
+    inner: Rc<RefCell<TapeBuf>>,
 }
 
 impl Default for Tape {
@@ -91,26 +103,38 @@ impl Tape {
     /// A fresh, empty tape.
     pub fn new() -> Self {
         Self {
-            inner: Rc::new(RefCell::new(Vec::new())),
+            inner: Rc::new(RefCell::new(TapeBuf::default())),
         }
+    }
+
+    /// Clear the recording while keeping the allocated node and gradient
+    /// slots for the next step.
+    ///
+    /// This invalidates every [`Var`] previously created on this tape — drop
+    /// them all before resetting (indices held by surviving `Var`s would
+    /// silently refer to the next recording's nodes).
+    pub fn reset(&self) {
+        let mut buf = self.inner.borrow_mut();
+        buf.nodes.clear();
+        buf.grads.clear();
     }
 
     /// Number of nodes recorded so far.
     pub fn len(&self) -> usize {
-        self.inner.borrow().len()
+        self.inner.borrow().nodes.len()
     }
 
     /// Whether the tape has no nodes.
     pub fn is_empty(&self) -> bool {
-        self.inner.borrow().is_empty()
+        self.inner.borrow().nodes.is_empty()
     }
 
     fn push(&self, value: Matrix, op: Op, param: Option<(u64, ParamId)>) -> Var {
-        let mut nodes = self.inner.borrow_mut();
-        nodes.push(Node { value, op, param });
+        let mut buf = self.inner.borrow_mut();
+        buf.nodes.push(Node { value, op, param });
         Var {
             tape: self.clone(),
-            idx: nodes.len() - 1,
+            idx: buf.nodes.len() - 1,
         }
     }
 
@@ -130,11 +154,11 @@ impl Tape {
     }
 
     fn value_of(&self, idx: usize) -> Matrix {
-        self.inner.borrow()[idx].value.clone()
+        self.inner.borrow().nodes[idx].value.clone()
     }
 
     fn shape_of(&self, idx: usize) -> (usize, usize) {
-        self.inner.borrow()[idx].value.shape()
+        self.inner.borrow().nodes[idx].value.shape()
     }
 }
 
@@ -174,7 +198,7 @@ impl Var {
     }
 
     fn unary(&self, f: impl FnOnce(&Matrix) -> Matrix, op: impl FnOnce(usize) -> Op) -> Var {
-        let value = f(&self.tape.inner.borrow()[self.idx].value);
+        let value = f(&self.tape.inner.borrow().nodes[self.idx].value);
         self.tape.push(value, op(self.idx), None)
     }
 
@@ -186,7 +210,7 @@ impl Var {
     ) -> Var {
         self.same_tape(other);
         let value = {
-            let nodes = self.tape.inner.borrow();
+            let nodes = &self.tape.inner.borrow().nodes;
             f(&nodes[self.idx].value, &nodes[other.idx].value)
         };
         self.tape.push(value, op(self.idx, other.idx), None)
@@ -214,7 +238,7 @@ impl Var {
     /// Sparse message passing `mat · self` (the sparse matrix is constant;
     /// gradients flow only to `self`).
     pub fn spmm(&self, mat: &Rc<Csr>) -> Var {
-        let value = mat.spmm(&self.tape.inner.borrow()[self.idx].value);
+        let value = mat.spmm(&self.tape.inner.borrow().nodes[self.idx].value);
         self.tape.push(
             value,
             Op::SpMm {
@@ -316,7 +340,7 @@ impl Var {
     /// L2-normalise every row (Eq. 6 of the VGOD paper).
     pub fn l2_normalize_rows(&self) -> Var {
         let (value, divisors) = {
-            let nodes = self.tape.inner.borrow();
+            let nodes = &self.tape.inner.borrow().nodes;
             nodes[self.idx].value.l2_normalize_rows(ROW_NORM_EPS)
         };
         self.tape.push(
@@ -350,7 +374,9 @@ impl Var {
 
     /// Gather rows by index: `out[e, :] = self[idx[e], :]`.
     pub fn gather_rows(&self, idx: &Rc<Vec<u32>>) -> Var {
-        let value = self.tape.inner.borrow()[self.idx].value.gather_rows(idx);
+        let value = self.tape.inner.borrow().nodes[self.idx]
+            .value
+            .gather_rows(idx);
         self.tape.push(
             value,
             Op::Gather {
@@ -368,7 +394,7 @@ impl Var {
     /// segment, with the usual max-subtraction for stability.
     pub fn segment_softmax(&self, seg: &Rc<Vec<u32>>) -> Var {
         let value = {
-            let nodes = self.tape.inner.borrow();
+            let nodes = &self.tape.inner.borrow().nodes;
             segment_softmax_forward(&nodes[self.idx].value, seg)
         };
         self.tape.push(
@@ -400,7 +426,7 @@ impl Var {
             "edge_aggregate: src/dst length mismatch"
         );
         let value = {
-            let nodes = self.tape.inner.borrow();
+            let nodes = &self.tape.inner.borrow().nodes;
             let alpha = &nodes[self.idx].value;
             let feats = &nodes[h.idx].value;
             assert_eq!(
@@ -437,7 +463,7 @@ impl Var {
     /// # Panics
     /// Panics if `self` is not `1 × 1`.
     pub fn backward(&self) -> Gradients {
-        let nodes = self.tape.inner.borrow();
+        let nodes = &self.tape.inner.borrow().nodes;
         assert_eq!(
             nodes[self.idx].value.shape(),
             (1, 1),
@@ -445,12 +471,7 @@ impl Var {
         );
         let mut grads: Vec<Option<Matrix>> = (0..nodes.len()).map(|_| None).collect();
         grads[self.idx] = Some(Matrix::filled(1, 1, 1.0));
-
-        for i in (0..=self.idx).rev() {
-            let Some(g) = grads[i].take() else { continue };
-            backpropagate(&nodes, i, &g, &mut grads);
-            grads[i] = Some(g);
-        }
+        run_backward(nodes, self.idx, &mut grads);
         Gradients { grads }
     }
 
@@ -459,17 +480,37 @@ impl Var {
     /// Does *not* zero existing gradients first — call
     /// [`ParamStore::zero_grads`] before the forward pass (or let the
     /// optimizer in `vgod-nn` do it).
+    ///
+    /// Unlike [`Var::backward`], this runs inside the tape's recycled
+    /// gradient scratch table: intermediate gradient matrices are released
+    /// back to the buffer arena as soon as the parameter gradients have been
+    /// routed, so epoch loops using [`Tape::reset`] reach a steady state
+    /// with no new allocations.
     pub fn backward_into(&self, store: &mut ParamStore) {
-        let grads = self.backward();
-        let nodes = self.tape.inner.borrow();
+        let mut buf = self.tape.inner.borrow_mut();
+        let TapeBuf { nodes, grads } = &mut *buf;
+        assert_eq!(
+            nodes[self.idx].value.shape(),
+            (1, 1),
+            "backward must start from a scalar (1×1) loss"
+        );
+        grads.clear();
+        grads.resize_with(nodes.len(), || None);
+        grads[self.idx] = Some(Matrix::filled(1, 1, 1.0));
+        run_backward(nodes, self.idx, grads);
         for (i, node) in nodes.iter().enumerate() {
-            if let (Some((sid, pid)), Some(g)) = (node.param, grads.grads[i].as_ref()) {
+            if let (Some((sid, pid)), Some(g)) = (node.param, grads[i].as_ref()) {
                 // Only leaves created from *this* store receive gradients —
                 // multi-store graphs (e.g. GANs) stay correctly separated.
                 if sid == store.store_id() {
                     store.accumulate_grad(pid, g);
                 }
             }
+        }
+        // Drop the gradient matrices now (into the arena when engaged); the
+        // slot vector itself is retained for the next step.
+        for g in grads.iter_mut() {
+            *g = None;
         }
     }
 }
@@ -484,6 +525,17 @@ impl Gradients {
     /// the computation.
     pub fn wrt(&self, var: &Var) -> Option<&Matrix> {
         self.grads.get(var.idx).and_then(|g| g.as_ref())
+    }
+}
+
+/// Reverse sweep shared by [`Var::backward`] and [`Var::backward_into`]:
+/// propagate from `from` down to the leaves, leaving each node's gradient in
+/// its `grads` slot.
+fn run_backward(nodes: &[Node], from: usize, grads: &mut [Option<Matrix>]) {
+    for i in (0..=from).rev() {
+        let Some(g) = grads[i].take() else { continue };
+        backpropagate(nodes, i, &g, grads);
+        grads[i] = Some(g);
     }
 }
 
@@ -831,6 +883,26 @@ mod tests {
             .wrt(&x)
             .unwrap()
             .approx_eq(&Matrix::from_rows(&[&[1.0], &[5.0]]), 1e-6));
+    }
+
+    #[test]
+    fn reset_reuses_storage_and_keeps_gradients_exact() {
+        let mut store = ParamStore::new();
+        let w = store.insert(Matrix::from_rows(&[&[1.0], &[2.0]]));
+        let tape = Tape::new();
+        let mut grads_seen = Vec::new();
+        for _ in 0..3 {
+            let x = tape.constant(Matrix::from_rows(&[&[3.0, 4.0]]));
+            let wv = tape.param(&store, w);
+            let loss = x.matmul(&wv).sum_all();
+            loss.backward_into(&mut store);
+            grads_seen.push(store.grad(w).clone());
+            store.zero_grads();
+            drop((x, wv, loss));
+            tape.reset();
+            assert!(tape.is_empty());
+        }
+        assert!(grads_seen.iter().all(|g| g == &grads_seen[0]));
     }
 
     #[test]

@@ -6,7 +6,7 @@ use vgod_autograd::{ParamStore, Tape, Var};
 use vgod_eval::{OutlierDetector, Scores};
 use vgod_gnn::{GatLayer, GraphContext};
 use vgod_graph::{seeded_rng, AttributedGraph};
-use vgod_nn::{Activation, Adam, Linear, Optimizer};
+use vgod_nn::{Activation, Linear, Trainer};
 
 use crate::common::{per_node_structure_errors, structure_loss, DeepConfig, EdgeSample};
 
@@ -52,14 +52,37 @@ impl AnomalyDae {
     /// Forward pass: node embeddings `Z_v`, attribute embeddings `Z_a`, and
     /// the cross-modality reconstruction `X̂ = Z_v Z_aᵀ`.
     fn forward(state: &State, tape: &Tape, x: &Var, xt: &Var, ctx: &GraphContext) -> (Var, Var) {
-        let zv = {
-            let h = Activation::Relu.apply(&state.node_proj.forward(tape, &state.store, x));
-            state.node_gat.forward(tape, &state.store, &h, ctx)
-        };
-        let za = Activation::Relu.apply(&state.attr_enc.forward(tape, &state.store, xt));
-        let xhat = zv.matmul_nt(&za);
-        (zv, xhat)
+        forward_parts(
+            &state.node_proj,
+            &state.node_gat,
+            &state.attr_enc,
+            &state.store,
+            tape,
+            x,
+            xt,
+            ctx,
+        )
     }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn forward_parts(
+    node_proj: &Linear,
+    node_gat: &GatLayer,
+    attr_enc: &Linear,
+    store: &ParamStore,
+    tape: &Tape,
+    x: &Var,
+    xt: &Var,
+    ctx: &GraphContext,
+) -> (Var, Var) {
+    let zv = {
+        let h = Activation::Relu.apply(&node_proj.forward(tape, store, x));
+        node_gat.forward(tape, store, &h, ctx)
+    };
+    let za = Activation::Relu.apply(&attr_enc.forward(tape, store, xt));
+    let xhat = zv.matmul_nt(&za);
+    (zv, xhat)
 }
 
 impl Default for AnomalyDae {
@@ -81,34 +104,34 @@ impl OutlierDetector for AnomalyDae {
         let node_proj = Linear::new(&mut store, d, self.cfg.hidden, true, &mut rng);
         let node_gat = GatLayer::new(&mut store, self.cfg.hidden, self.cfg.hidden, &mut rng);
         let attr_enc = Linear::new(&mut store, n, self.cfg.hidden, true, &mut rng);
-        let mut state = State {
+
+        let ctx = GraphContext::of(g);
+        let x = g.attrs().clone();
+        let xt = x.transpose();
+        let alpha = self.alpha;
+        Trainer::new(self.cfg.epochs, self.cfg.lr).run(
+            &mut store,
+            |tape, _, store| {
+                let sample = EdgeSample::from_graph(g, &mut rng);
+                let xv = tape.constant(x.clone());
+                let xtv = tape.constant(xt.clone());
+                let (zv, xhat) = forward_parts(
+                    &node_proj, &node_gat, &attr_enc, store, tape, &xv, &xtv, &ctx,
+                );
+                let attr_loss = xhat.sub(&xv).square().mean_all();
+                let s_loss = structure_loss(&zv, &sample);
+                s_loss.scale(alpha).add(&attr_loss.scale(1.0 - alpha))
+            },
+            |_, _, _| {},
+        );
+        self.state = Some(State {
             store,
             node_proj,
             node_gat,
             attr_enc,
             in_dim: d,
             n_nodes: n,
-        };
-
-        let ctx = GraphContext::from_graph(g);
-        let x = g.attrs().clone();
-        let xt = x.transpose();
-        let mut opt = Adam::new(self.cfg.lr);
-        for _ in 0..self.cfg.epochs {
-            let sample = EdgeSample::from_graph(g, &mut rng);
-            let tape = Tape::new();
-            let xv = tape.constant(x.clone());
-            let xtv = tape.constant(xt.clone());
-            let (zv, xhat) = Self::forward(&state, &tape, &xv, &xtv, &ctx);
-            let attr_loss = xhat.sub(&xv).square().mean_all();
-            let s_loss = structure_loss(&zv, &sample);
-            let loss = s_loss
-                .scale(self.alpha)
-                .add(&attr_loss.scale(1.0 - self.alpha));
-            loss.backward_into(&mut state.store);
-            opt.step(&mut state.store);
-        }
-        self.state = Some(state);
+        });
     }
 
     fn score(&self, g: &AttributedGraph) -> Scores {
@@ -123,7 +146,7 @@ impl OutlierDetector for AnomalyDae {
             "AnomalyDAE is transductive-only: node count must match the training graph"
         );
         let mut rng = seeded_rng(self.cfg.seed.wrapping_add(1));
-        let ctx = GraphContext::from_graph(g);
+        let ctx = GraphContext::of(g);
         let tape = Tape::new();
         let xv = tape.constant(g.attrs().clone());
         let xtv = tape.constant(g.attrs().transpose());

@@ -8,7 +8,7 @@ use vgod_autograd::{ParamId, ParamStore, Tape, Var};
 use vgod_eval::{OutlierDetector, Scores};
 use vgod_gnn::{GcnLayer, GraphContext};
 use vgod_graph::{seeded_rng, AttributedGraph};
-use vgod_nn::{glorot_uniform, Adam, Optimizer};
+use vgod_nn::{glorot_uniform, Trainer};
 use vgod_tensor::Matrix;
 
 use crate::common::DeepConfig;
@@ -64,19 +64,11 @@ impl Cola {
         patches: &Var,
         perm: &Rc<Vec<u32>>,
     ) -> Var {
-        let w = tape.param(&state.store, state.bilinear);
-        // s_i = σ(patch_{perm[i]} · (W z_i))
-        let zw = z.matmul(&w);
-        patches.gather_rows(perm).mul(&zw).row_sum().sigmoid()
+        discriminate_parts(state.bilinear, &state.store, tape, z, patches, perm)
     }
 
     fn embed(state: &State, tape: &Tape, g: &AttributedGraph, ctx: &GraphContext) -> (Var, Var) {
-        let xv = tape.constant(g.attrs().clone());
-        let z = state.gcn.forward(tape, &state.store, &xv, ctx).relu();
-        // Patch readout: neighbourhood mean *excluding* the node itself
-        // (target anonymisation).
-        let patches = z.spmm(&ctx.mean);
-        (z, patches)
+        embed_parts(&state.gcn, &state.store, tape, g, ctx)
     }
 
     fn identity_perm(n: usize) -> Rc<Vec<u32>> {
@@ -96,6 +88,35 @@ impl Default for Cola {
     }
 }
 
+fn discriminate_parts(
+    bilinear: ParamId,
+    store: &ParamStore,
+    tape: &Tape,
+    z: &Var,
+    patches: &Var,
+    perm: &Rc<Vec<u32>>,
+) -> Var {
+    let w = tape.param(store, bilinear);
+    // s_i = σ(patch_{perm[i]} · (W z_i))
+    let zw = z.matmul(&w);
+    patches.gather_rows(perm).mul(&zw).row_sum().sigmoid()
+}
+
+fn embed_parts(
+    gcn: &GcnLayer,
+    store: &ParamStore,
+    tape: &Tape,
+    g: &AttributedGraph,
+    ctx: &GraphContext,
+) -> (Var, Var) {
+    let xv = tape.constant(g.attrs().clone());
+    let z = gcn.forward(tape, store, &xv, ctx).relu();
+    // Patch readout: neighbourhood mean *excluding* the node itself
+    // (target anonymisation).
+    let patches = z.spmm(ctx.mean());
+    (z, patches)
+}
+
 impl OutlierDetector for Cola {
     fn name(&self) -> &'static str {
         "CoLA"
@@ -108,55 +129,70 @@ impl OutlierDetector for Cola {
         let mut store = ParamStore::new();
         let gcn = GcnLayer::new(&mut store, d, h, &mut rng);
         let bilinear = store.insert(glorot_uniform(h, h, &mut rng));
-        let mut state = State {
+
+        let ctx = GraphContext::of(g);
+        let n = g.num_nodes();
+        Trainer::new(self.cfg.epochs, self.cfg.lr).run(
+            &mut store,
+            |tape, _, store| {
+                let (z, patches) = embed_parts(&gcn, store, tape, g, &ctx);
+                let pos = discriminate_parts(
+                    bilinear,
+                    store,
+                    tape,
+                    &z,
+                    &patches,
+                    &Self::identity_perm(n),
+                );
+                let neg = discriminate_parts(
+                    bilinear,
+                    store,
+                    tape,
+                    &z,
+                    &patches,
+                    &Self::random_perm(n, &mut rng),
+                );
+                // BCE-style squared-margin objective: pos → 1, neg → 0.
+                let ones = tape.constant(Matrix::filled(n, 1, 1.0));
+                pos.sub(&ones)
+                    .square()
+                    .mean_all()
+                    .add(&neg.square().mean_all())
+            },
+            |_, _, _| {},
+        );
+        self.state = Some(State {
             store,
             gcn,
             bilinear,
             in_dim: d,
-        };
-
-        let ctx = GraphContext::from_graph(g);
-        let n = g.num_nodes();
-        let mut opt = Adam::new(self.cfg.lr);
-        for _ in 0..self.cfg.epochs {
-            let tape = Tape::new();
-            let (z, patches) = Self::embed(&state, &tape, g, &ctx);
-            let pos = Self::discriminate(&state, &tape, &z, &patches, &Self::identity_perm(n));
-            let neg =
-                Self::discriminate(&state, &tape, &z, &patches, &Self::random_perm(n, &mut rng));
-            // BCE-style squared-margin objective: pos → 1, neg → 0.
-            let ones = tape.constant(Matrix::filled(n, 1, 1.0));
-            let loss = pos
-                .sub(&ones)
-                .square()
-                .mean_all()
-                .add(&neg.square().mean_all());
-            loss.backward_into(&mut state.store);
-            opt.step(&mut state.store);
-        }
-        self.state = Some(state);
+        });
     }
 
     fn score(&self, g: &AttributedGraph) -> Scores {
         let state = self.state.as_ref().expect("Cola::score called before fit");
         assert_eq!(g.num_attrs(), state.in_dim, "attribute dimension mismatch");
         let mut rng = seeded_rng(self.cfg.seed.wrapping_add(1));
-        let ctx = GraphContext::from_graph(g);
+        let ctx = GraphContext::of(g);
         let n = g.num_nodes();
         let mut margin = vec![0.0f32; n];
-        // Multi-round inference: the expensive part of CoLA by design.
-        for _ in 0..self.rounds {
+        // Multi-round inference: the expensive part of CoLA by design. One
+        // recycled tape serves every round; the arena keeps the buffers.
+        vgod_tensor::arena::scope(|| {
             let tape = Tape::new();
-            let (z, patches) = Self::embed(state, &tape, g, &ctx);
-            let pos =
-                Self::discriminate(state, &tape, &z, &patches, &Self::identity_perm(n)).value();
-            let neg =
-                Self::discriminate(state, &tape, &z, &patches, &Self::random_perm(n, &mut rng))
-                    .value();
-            for ((m, &ng), &p) in margin.iter_mut().zip(neg.as_slice()).zip(pos.as_slice()) {
-                *m += ng - p;
+            for _ in 0..self.rounds {
+                tape.reset();
+                let (z, patches) = Self::embed(state, &tape, g, &ctx);
+                let pos =
+                    Self::discriminate(state, &tape, &z, &patches, &Self::identity_perm(n)).value();
+                let neg =
+                    Self::discriminate(state, &tape, &z, &patches, &Self::random_perm(n, &mut rng))
+                        .value();
+                for ((m, &ng), &p) in margin.iter_mut().zip(neg.as_slice()).zip(pos.as_slice()) {
+                    *m += ng - p;
+                }
             }
-        }
+        });
         for m in &mut margin {
             *m /= self.rounds as f32;
         }

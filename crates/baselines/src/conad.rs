@@ -5,7 +5,7 @@ use vgod_autograd::{ParamStore, Tape, Var};
 use vgod_eval::{OutlierDetector, Scores};
 use vgod_gnn::{GcnLayer, GraphContext};
 use vgod_graph::{seeded_rng, AttributedGraph};
-use vgod_nn::{row_reconstruction_errors, Adam, Optimizer};
+use vgod_nn::{row_reconstruction_errors, Trainer};
 use vgod_tensor::Matrix;
 
 use rand::seq::SliceRandom;
@@ -69,8 +69,7 @@ impl Conad {
     }
 
     fn encode(state: &State, tape: &Tape, x: &Var, ctx: &GraphContext) -> Var {
-        let z = state.enc1.forward(tape, &state.store, x, ctx).relu();
-        state.enc2.forward(tape, &state.store, &z, ctx).relu()
+        encode_parts(&state.enc1, &state.enc2, &state.store, tape, x, ctx)
     }
 
     /// Build an augmented copy of `g`, returning it together with the mask
@@ -125,6 +124,18 @@ impl Default for Conad {
     }
 }
 
+fn encode_parts(
+    enc1: &GcnLayer,
+    enc2: &GcnLayer,
+    store: &ParamStore,
+    tape: &Tape,
+    x: &Var,
+    ctx: &GraphContext,
+) -> Var {
+    let z = enc1.forward(tape, store, x, ctx).relu();
+    enc2.forward(tape, store, &z, ctx).relu()
+}
+
 impl OutlierDetector for Conad {
     fn name(&self) -> &'static str {
         "CONAD"
@@ -138,60 +149,63 @@ impl OutlierDetector for Conad {
         let enc1 = GcnLayer::new(&mut store, d, h, &mut rng);
         let enc2 = GcnLayer::new(&mut store, h, h, &mut rng);
         let attr_dec = GcnLayer::new(&mut store, h, d, &mut rng);
-        let mut state = State {
+
+        let ctx = GraphContext::of(g);
+        let x = g.attrs().clone();
+        let eta = self.eta;
+        Trainer::new(self.cfg.epochs, self.cfg.lr).run(
+            &mut store,
+            |tape, _, store| {
+                let (aug_graph, aug_mask) = self.augment(g, &mut rng);
+                // The augmented context is cached on the augmented graph
+                // itself and its views build lazily, so only the GCN view
+                // the encoder actually touches is materialised per view.
+                let aug_ctx = GraphContext::of(&aug_graph);
+                let sample = EdgeSample::from_graph(g, &mut rng);
+
+                let xv = tape.constant(x.clone());
+                let xv_aug = tape.constant(aug_graph.attrs().clone());
+                let z = encode_parts(&enc1, &enc2, store, tape, &xv, &ctx);
+                let z_aug = encode_parts(&enc1, &enc2, store, tape, &xv_aug, &aug_ctx);
+
+                // Siamese contrast: untouched nodes agree across views,
+                // anomalised nodes disagree (margin through sigmoid of the
+                // squared distance).
+                let dist = z.sub(&z_aug).square().row_sum();
+                let sim = dist.neg().exp(); // 1 when identical, → 0 when far
+                let target = tape.constant(Matrix::from_fn(g.num_nodes(), 1, |r, _| {
+                    if aug_mask[r] {
+                        0.0
+                    } else {
+                        1.0
+                    }
+                }));
+                let contrast = sim.sub(&target).square().mean_all();
+
+                // DOMINANT-style reconstruction head on the clean view.
+                let xhat = attr_dec.forward(tape, store, &z, &ctx);
+                let attr_loss = xhat.sub(&xv).square().mean_all();
+                let s_loss = structure_loss(&z, &sample);
+                let recon = attr_loss.scale(0.7).add(&s_loss.scale(0.3));
+
+                recon.add(&contrast.scale(eta))
+            },
+            |_, _, _| {},
+        );
+        self.state = Some(State {
             store,
             enc1,
             enc2,
             attr_dec,
             in_dim: d,
-        };
-
-        let ctx = GraphContext::from_graph(g);
-        let x = g.attrs().clone();
-        let mut opt = Adam::new(self.cfg.lr);
-        for _ in 0..self.cfg.epochs {
-            let (aug_graph, aug_mask) = self.augment(g, &mut rng);
-            let aug_ctx = GraphContext::from_graph(&aug_graph);
-            let sample = EdgeSample::from_graph(g, &mut rng);
-
-            let tape = Tape::new();
-            let xv = tape.constant(x.clone());
-            let xv_aug = tape.constant(aug_graph.attrs().clone());
-            let z = Self::encode(&state, &tape, &xv, &ctx);
-            let z_aug = Self::encode(&state, &tape, &xv_aug, &aug_ctx);
-
-            // Siamese contrast: untouched nodes agree across views,
-            // anomalised nodes disagree (margin through sigmoid of the
-            // squared distance).
-            let dist = z.sub(&z_aug).square().row_sum();
-            let sim = dist.neg().exp(); // 1 when identical, → 0 when far
-            let target = tape.constant(Matrix::from_fn(g.num_nodes(), 1, |r, _| {
-                if aug_mask[r] {
-                    0.0
-                } else {
-                    1.0
-                }
-            }));
-            let contrast = sim.sub(&target).square().mean_all();
-
-            // DOMINANT-style reconstruction head on the clean view.
-            let xhat = state.attr_dec.forward(&tape, &state.store, &z, &ctx);
-            let attr_loss = xhat.sub(&xv).square().mean_all();
-            let s_loss = structure_loss(&z, &sample);
-            let recon = attr_loss.scale(0.7).add(&s_loss.scale(0.3));
-
-            let loss = recon.add(&contrast.scale(self.eta));
-            loss.backward_into(&mut state.store);
-            opt.step(&mut state.store);
-        }
-        self.state = Some(state);
+        });
     }
 
     fn score(&self, g: &AttributedGraph) -> Scores {
         let state = self.state.as_ref().expect("Conad::score called before fit");
         assert_eq!(g.num_attrs(), state.in_dim, "attribute dimension mismatch");
         let mut rng = seeded_rng(self.cfg.seed.wrapping_add(1));
-        let ctx = GraphContext::from_graph(g);
+        let ctx = GraphContext::of(g);
         let tape = Tape::new();
         let xv = tape.constant(g.attrs().clone());
         let z = Self::encode(state, &tape, &xv, &ctx);

@@ -5,7 +5,7 @@ use vgod_autograd::{ParamStore, Tape, Var};
 use vgod_eval::{OutlierDetector, Scores};
 use vgod_gnn::{GcnLayer, GraphContext};
 use vgod_graph::{seeded_rng, AttributedGraph};
-use vgod_nn::{row_reconstruction_errors, Adam, Optimizer};
+use vgod_nn::{row_reconstruction_errors, Trainer};
 
 use crate::common::{per_node_structure_errors, structure_loss, DeepConfig, EdgeSample};
 
@@ -45,11 +45,31 @@ impl Dominant {
     }
 
     fn forward(state: &State, tape: &Tape, x: &Var, ctx: &GraphContext) -> (Var, Var) {
-        let z = state.enc1.forward(tape, &state.store, x, ctx).relu();
-        let z = state.enc2.forward(tape, &state.store, &z, ctx).relu();
-        let xhat = state.attr_dec.forward(tape, &state.store, &z, ctx);
-        (z, xhat)
+        forward_parts(
+            &state.enc1,
+            &state.enc2,
+            &state.attr_dec,
+            &state.store,
+            tape,
+            x,
+            ctx,
+        )
     }
+}
+
+fn forward_parts(
+    enc1: &GcnLayer,
+    enc2: &GcnLayer,
+    attr_dec: &GcnLayer,
+    store: &ParamStore,
+    tape: &Tape,
+    x: &Var,
+    ctx: &GraphContext,
+) -> (Var, Var) {
+    let z = enc1.forward(tape, store, x, ctx).relu();
+    let z = enc2.forward(tape, store, &z, ctx).relu();
+    let xhat = attr_dec.forward(tape, store, &z, ctx);
+    (z, xhat)
 }
 
 impl Default for Dominant {
@@ -70,31 +90,29 @@ impl OutlierDetector for Dominant {
         let enc1 = GcnLayer::new(&mut store, d, self.cfg.hidden, &mut rng);
         let enc2 = GcnLayer::new(&mut store, self.cfg.hidden, self.cfg.hidden, &mut rng);
         let attr_dec = GcnLayer::new(&mut store, self.cfg.hidden, d, &mut rng);
-        let mut state = State {
+
+        let ctx = GraphContext::of(g);
+        let x = g.attrs().clone();
+        let alpha = self.alpha;
+        Trainer::new(self.cfg.epochs, self.cfg.lr).run(
+            &mut store,
+            |tape, _, store| {
+                let sample = EdgeSample::from_graph(g, &mut rng);
+                let xv = tape.constant(x.clone());
+                let (z, xhat) = forward_parts(&enc1, &enc2, &attr_dec, store, tape, &xv, &ctx);
+                let attr_loss = xhat.sub(&xv).square().mean_all();
+                let struct_loss = structure_loss(&z, &sample);
+                attr_loss.scale(alpha).add(&struct_loss.scale(1.0 - alpha))
+            },
+            |_, _, _| {},
+        );
+        self.state = Some(State {
             store,
             enc1,
             enc2,
             attr_dec,
             in_dim: d,
-        };
-
-        let ctx = GraphContext::from_graph(g);
-        let x = g.attrs().clone();
-        let mut opt = Adam::new(self.cfg.lr);
-        for _ in 0..self.cfg.epochs {
-            let sample = EdgeSample::from_graph(g, &mut rng);
-            let tape = Tape::new();
-            let xv = tape.constant(x.clone());
-            let (z, xhat) = Self::forward(&state, &tape, &xv, &ctx);
-            let attr_loss = xhat.sub(&xv).square().mean_all();
-            let struct_loss = structure_loss(&z, &sample);
-            let loss = attr_loss
-                .scale(self.alpha)
-                .add(&struct_loss.scale(1.0 - self.alpha));
-            loss.backward_into(&mut state.store);
-            opt.step(&mut state.store);
-        }
-        self.state = Some(state);
+        });
     }
 
     fn score(&self, g: &AttributedGraph) -> Scores {
@@ -104,7 +122,7 @@ impl OutlierDetector for Dominant {
             .expect("Dominant::score called before fit");
         assert_eq!(g.num_attrs(), state.in_dim, "attribute dimension mismatch");
         let mut rng = seeded_rng(self.cfg.seed.wrapping_add(1));
-        let ctx = GraphContext::from_graph(g);
+        let ctx = GraphContext::of(g);
         let tape = Tape::new();
         let xv = tape.constant(g.attrs().clone());
         let (z, xhat) = Self::forward(state, &tape, &xv, &ctx);

@@ -5,8 +5,9 @@ use std::rc::Rc;
 
 use vgod_autograd::{ParamStore, Tape, Var};
 use vgod_eval::{combine_mean_std, OutlierDetector, Scores};
+use vgod_gnn::GraphContext;
 use vgod_graph::{seeded_rng, AttributedGraph};
-use vgod_nn::{row_reconstruction_errors, Activation, Adam, Mlp, Optimizer};
+use vgod_nn::{row_reconstruction_errors, Activation, Mlp, Trainer};
 use vgod_tensor::{Csr, Matrix};
 
 use crate::common::DeepConfig;
@@ -53,11 +54,16 @@ impl Done {
     }
 
     fn forward(state: &State, tape: &Tape, x: &Var, s: &Var) -> ForwardOut {
-        let za = state.attr_enc.forward(tape, &state.store, x);
-        let xhat = state.attr_dec.forward(tape, &state.store, &za);
-        let zs = state.struct_enc.forward(tape, &state.store, s);
-        let shat = state.struct_dec.forward(tape, &state.store, &zs);
-        ForwardOut { za, xhat, zs, shat }
+        forward_parts(
+            &state.attr_enc,
+            &state.attr_dec,
+            &state.struct_enc,
+            &state.struct_dec,
+            &state.store,
+            tape,
+            x,
+            s,
+        )
     }
 
     /// Homophily penalty: `‖z_u − mean_{v∈N(u)} z_v‖²` per node, summed.
@@ -70,6 +76,24 @@ impl Default for Done {
     fn default() -> Self {
         Self::new(DeepConfig::default())
     }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn forward_parts(
+    attr_enc: &Mlp,
+    attr_dec: &Mlp,
+    struct_enc: &Mlp,
+    struct_dec: &Mlp,
+    store: &ParamStore,
+    tape: &Tape,
+    x: &Var,
+    s: &Var,
+) -> ForwardOut {
+    let za = attr_enc.forward(tape, store, x);
+    let xhat = attr_dec.forward(tape, store, &za);
+    let zs = struct_enc.forward(tape, store, s);
+    let shat = struct_dec.forward(tape, store, &zs);
+    ForwardOut { za, xhat, zs, shat }
 }
 
 impl OutlierDetector for Done {
@@ -89,39 +113,47 @@ impl OutlierDetector for Done {
         let attr_dec = Mlp::new(&mut store, &[h, h, d], Activation::Relu, true, &mut rng);
         let struct_enc = Mlp::new(&mut store, &[d, h, h], Activation::Relu, true, &mut rng);
         let struct_dec = Mlp::new(&mut store, &[h, h, d], Activation::Relu, true, &mut rng);
-        let mut state = State {
+
+        let mean_adj = GraphContext::of(g).mean().clone();
+        let x = g.attrs().clone();
+        let s_profile = mean_adj.spmm(&x); // neighbourhood profile D⁻¹AX
+        Trainer::new(self.cfg.epochs, self.cfg.lr).run(
+            &mut store,
+            |tape, _, store| {
+                let xv = tape.constant(x.clone());
+                let sv = tape.constant(s_profile.clone());
+                let out = forward_parts(
+                    &attr_enc,
+                    &attr_dec,
+                    &struct_enc,
+                    &struct_dec,
+                    store,
+                    tape,
+                    &xv,
+                    &sv,
+                );
+                let l_attr = out.xhat.sub(&xv).square().mean_all();
+                let l_struct = out.shat.sub(&sv).square().mean_all();
+                let l_hom_a = Self::homophily_loss(&out.za, &mean_adj);
+                let l_hom_s = Self::homophily_loss(&out.zs, &mean_adj);
+                l_attr.add(&l_struct).add(&l_hom_a.add(&l_hom_s).scale(0.5))
+            },
+            |_, _, _| {},
+        );
+        self.state = Some(State {
             store,
             attr_enc,
             attr_dec,
             struct_enc,
             struct_dec,
             in_dim: d,
-        };
-
-        let mean_adj = Rc::new(g.mean_adjacency(false));
-        let x = g.attrs().clone();
-        let s_profile = mean_adj.spmm(&x); // neighbourhood profile D⁻¹AX
-        let mut opt = Adam::new(self.cfg.lr);
-        for _ in 0..self.cfg.epochs {
-            let tape = Tape::new();
-            let xv = tape.constant(x.clone());
-            let sv = tape.constant(s_profile.clone());
-            let out = Self::forward(&state, &tape, &xv, &sv);
-            let l_attr = out.xhat.sub(&xv).square().mean_all();
-            let l_struct = out.shat.sub(&sv).square().mean_all();
-            let l_hom_a = Self::homophily_loss(&out.za, &mean_adj);
-            let l_hom_s = Self::homophily_loss(&out.zs, &mean_adj);
-            let loss = l_attr.add(&l_struct).add(&l_hom_a.add(&l_hom_s).scale(0.5));
-            loss.backward_into(&mut state.store);
-            opt.step(&mut state.store);
-        }
-        self.state = Some(state);
+        });
     }
 
     fn score(&self, g: &AttributedGraph) -> Scores {
         let state = self.state.as_ref().expect("Done::score called before fit");
         assert_eq!(g.num_attrs(), state.in_dim, "attribute dimension mismatch");
-        let mean_adj = Rc::new(g.mean_adjacency(false));
+        let mean_adj = GraphContext::of(g).mean().clone();
         let x = g.attrs().clone();
         let s_profile = mean_adj.spmm(&x);
         let tape = Tape::new();

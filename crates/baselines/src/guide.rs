@@ -8,7 +8,7 @@ use vgod_autograd::{ParamStore, Tape, Var};
 use vgod_eval::{combine_mean_std, OutlierDetector, Scores};
 use vgod_gnn::{GcnLayer, GraphContext};
 use vgod_graph::{clustering_coefficients, seeded_rng, triangle_counts, AttributedGraph};
-use vgod_nn::{row_reconstruction_errors, Activation, Adam, Mlp, Optimizer};
+use vgod_nn::{row_reconstruction_errors, Activation, Mlp, Trainer};
 use vgod_tensor::Matrix;
 
 use crate::common::DeepConfig;
@@ -82,11 +82,34 @@ impl Guide {
     }
 
     fn forward(state: &State, tape: &Tape, x: &Var, s: &Var, ctx: &GraphContext) -> (Var, Var) {
-        let z = state.attr_enc.forward(tape, &state.store, x, ctx).relu();
-        let xhat = state.attr_dec.forward(tape, &state.store, &z, ctx);
-        let shat = state.struct_ae.forward(tape, &state.store, s);
-        (xhat, shat)
+        forward_parts(
+            &state.attr_enc,
+            &state.attr_dec,
+            &state.struct_ae,
+            &state.store,
+            tape,
+            x,
+            s,
+            ctx,
+        )
     }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn forward_parts(
+    attr_enc: &GcnLayer,
+    attr_dec: &GcnLayer,
+    struct_ae: &Mlp,
+    store: &ParamStore,
+    tape: &Tape,
+    x: &Var,
+    s: &Var,
+    ctx: &GraphContext,
+) -> (Var, Var) {
+    let z = attr_enc.forward(tape, store, x, ctx).relu();
+    let xhat = attr_dec.forward(tape, store, &z, ctx);
+    let shat = struct_ae.forward(tape, store, s);
+    (xhat, shat)
 }
 
 impl Default for Guide {
@@ -109,36 +132,37 @@ impl OutlierDetector for Guide {
         let attr_dec = GcnLayer::new(&mut store, h, d, &mut rng);
         // 4 → 2 → 4 bottleneck over the structure profile.
         let struct_ae = Mlp::new(&mut store, &[4, 2, 4], Activation::Tanh, true, &mut rng);
-        let mut state = State {
+
+        let ctx = GraphContext::of(g);
+        let x = g.attrs().clone();
+        let s = structure_profile(g);
+        Trainer::new(self.cfg.epochs, self.cfg.lr).run(
+            &mut store,
+            |tape, _, store| {
+                let xv = tape.constant(x.clone());
+                let sv = tape.constant(s.clone());
+                let (xhat, shat) = forward_parts(
+                    &attr_enc, &attr_dec, &struct_ae, store, tape, &xv, &sv, &ctx,
+                );
+                let attr_loss = xhat.sub(&xv).square().mean_all();
+                let struct_loss = shat.sub(&sv).square().mean_all();
+                attr_loss.add(&struct_loss)
+            },
+            |_, _, _| {},
+        );
+        self.state = Some(State {
             store,
             attr_enc,
             attr_dec,
             struct_ae,
             in_dim: d,
-        };
-
-        let ctx = GraphContext::from_graph(g);
-        let x = g.attrs().clone();
-        let s = structure_profile(g);
-        let mut opt = Adam::new(self.cfg.lr);
-        for _ in 0..self.cfg.epochs {
-            let tape = Tape::new();
-            let xv = tape.constant(x.clone());
-            let sv = tape.constant(s.clone());
-            let (xhat, shat) = Self::forward(&state, &tape, &xv, &sv, &ctx);
-            let attr_loss = xhat.sub(&xv).square().mean_all();
-            let struct_loss = shat.sub(&sv).square().mean_all();
-            let loss = attr_loss.add(&struct_loss);
-            loss.backward_into(&mut state.store);
-            opt.step(&mut state.store);
-        }
-        self.state = Some(state);
+        });
     }
 
     fn score(&self, g: &AttributedGraph) -> Scores {
         let state = self.state.as_ref().expect("Guide::score called before fit");
         assert_eq!(g.num_attrs(), state.in_dim, "attribute dimension mismatch");
-        let ctx = GraphContext::from_graph(g);
+        let ctx = GraphContext::of(g);
         let x = g.attrs().clone();
         let s = structure_profile(g);
         let tape = Tape::new();

@@ -3,12 +3,11 @@
 //! discusses (and reports as uniformly weaker than the deep models under
 //! injection).
 
-use std::rc::Rc;
-
-use vgod_autograd::{ParamStore, Tape};
+use vgod_autograd::ParamStore;
 use vgod_eval::{OutlierDetector, Scores};
+use vgod_gnn::GraphContext;
 use vgod_graph::{seeded_rng, AttributedGraph};
-use vgod_nn::{Adam, Optimizer};
+use vgod_nn::Trainer;
 use vgod_tensor::Matrix;
 
 use crate::common::DeepConfig;
@@ -75,30 +74,32 @@ impl OutlierDetector for Radar {
         let r = store.insert(Matrix::zeros(n, d));
 
         let x = g.attrs().clone();
-        let sym = Rc::new(g.gcn_adjacency());
-        let profile = g.mean_adjacency(false).spmm(&x); // Ā X, fixed per graph
-        let mut opt = Adam::new(self.cfg.lr.max(0.01));
-        for _ in 0..self.cfg.epochs {
-            let tape = Tape::new();
-            let xv = tape.constant(x.clone());
-            let pv = tape.constant(profile.clone());
-            let wv = tape.param(&store, w);
-            let rv = tape.param(&store, r);
-            let recon = xv.sub(&pv.matmul(&wv)).sub(&rv).square().sum_all();
-            let w_reg = wv.square().sum_all().scale(self.alpha);
-            let r_reg = rv.square().sum_all().scale(self.beta);
-            // tr(Rᵀ L R) with L = I − Â: penalises residuals that differ
-            // from their neighbours' — genuine outliers stand out, noise
-            // gets smoothed away.
-            let smooth = rv.mul(&rv.sub(&rv.spmm(&sym))).sum_all().scale(self.gamma);
-            let loss = recon
-                .add(&w_reg)
-                .add(&r_reg)
-                .add(&smooth)
-                .scale(1.0 / n as f32);
-            loss.backward_into(&mut store);
-            opt.step(&mut store);
-        }
+        let ctx = GraphContext::of(g);
+        let sym = ctx.gcn().clone();
+        let profile = ctx.mean().spmm(&x); // Ā X, fixed per graph
+        let (alpha, beta, gamma) = (self.alpha, self.beta, self.gamma);
+        Trainer::new(self.cfg.epochs, self.cfg.lr.max(0.01)).run(
+            &mut store,
+            |tape, _, store| {
+                let xv = tape.constant(x.clone());
+                let pv = tape.constant(profile.clone());
+                let wv = tape.param(store, w);
+                let rv = tape.param(store, r);
+                let recon = xv.sub(&pv.matmul(&wv)).sub(&rv).square().sum_all();
+                let w_reg = wv.square().sum_all().scale(alpha);
+                let r_reg = rv.square().sum_all().scale(beta);
+                // tr(Rᵀ L R) with L = I − Â: penalises residuals that differ
+                // from their neighbours' — genuine outliers stand out, noise
+                // gets smoothed away.
+                let smooth = rv.mul(&rv.sub(&rv.spmm(&sym))).sum_all().scale(gamma);
+                recon
+                    .add(&w_reg)
+                    .add(&r_reg)
+                    .add(&smooth)
+                    .scale(1.0 / n as f32)
+            },
+            |_, _, _| {},
+        );
         // Residual norms are the outlier scores (Radar is transductive:
         // the residual matrix is tied to the training graph's nodes).
         self.scores = Some(store.value(r).row_norms().into_vec());

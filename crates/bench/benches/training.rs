@@ -1,0 +1,198 @@
+//! Recycled-vs-fresh training-loop A/B at the paper's epoch counts.
+//!
+//! Two representative training workloads — the VBM objective (10 epochs,
+//! Fig. 8) and an ARM-style GCN autoencoder (100 epochs) — each run twice
+//! on the same replica graph and seed:
+//!
+//! * **fresh** — the pre-runtime world: a brand-new [`Tape`] per epoch,
+//!   arena disengaged, every value/gradient buffer heap-allocated anew;
+//! * **recycled** — the shared-runtime world: one tape reset per epoch
+//!   inside an arena scope, buffers recycled across epochs.
+//!
+//! The first two epochs of each variant are excluded from timing as warm-up;
+//! the arena counters are reset after them, so the reported
+//! `fresh_allocs_after_warmup` proves steady-state recycled epochs allocate
+//! no new value/grad buffers. Two epochs (not one) because Adam lazily
+//! allocates its moment buffers at the end of the first step, consuming the
+//! first epoch's recycled gradient buffers from the free lists; the pool
+//! only reaches its per-epoch steady state after the second step. Results
+//! are written to `BENCH_training.json` at the repository root.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use vgod_autograd::{ParamStore, Tape};
+use vgod_bench::{scale_from_env, seed_from_env};
+use vgod_datasets::{replica, Dataset};
+use vgod_gnn::{neighbor_variance_scores, GcnLayer, GraphContext};
+use vgod_graph::seeded_rng;
+use vgod_nn::{Adam, Linear, Optimizer};
+use vgod_tensor::arena;
+
+const HIDDEN: usize = 64;
+
+struct AbResult {
+    name: &'static str,
+    epochs: usize,
+    fresh_ns_per_epoch: f64,
+    recycled_ns_per_epoch: f64,
+    fresh_allocs_after_warmup: u64,
+    reused_after_warmup: u64,
+}
+
+/// Time `epochs` runs of one freshly-built epoch closure per variant.
+/// `make` must return an identically-seeded model each call so both
+/// variants perform the same arithmetic.
+fn ab<F: FnMut(&Tape)>(name: &'static str, epochs: usize, mut make: impl FnMut() -> F) -> AbResult {
+    const WARMUP: usize = 2;
+    assert!(epochs > WARMUP, "need at least one post-warm-up epoch");
+
+    // Fresh: new tape every epoch, arena disengaged (pass-through).
+    let mut epoch = make();
+    for _ in 0..WARMUP {
+        let tape = Tape::new();
+        epoch(&tape); // warm-up, untimed
+    }
+    let t0 = Instant::now();
+    for _ in WARMUP..epochs {
+        let tape = Tape::new();
+        epoch(&tape);
+    }
+    let fresh_ns_per_epoch = t0.elapsed().as_nanos() as f64 / (epochs - WARMUP) as f64;
+
+    // Recycled: one tape, reset per epoch, arena engaged. Two warm-up
+    // epochs: the first populates the free lists but its released gradient
+    // buffers are consumed by Adam's lazy moment-buffer initialisation, so
+    // the buffer pool only reaches steady state after the second step.
+    let mut epoch = make();
+    let mut recycled_ns_per_epoch = 0.0;
+    let mut stats = arena::ArenaStats::default();
+    arena::scope(|| {
+        let tape = Tape::new();
+        for _ in 0..WARMUP {
+            tape.reset();
+            epoch(&tape);
+        }
+        arena::reset_stats();
+        let t0 = Instant::now();
+        for _ in WARMUP..epochs {
+            tape.reset();
+            epoch(&tape);
+        }
+        recycled_ns_per_epoch = t0.elapsed().as_nanos() as f64 / (epochs - WARMUP) as f64;
+        stats = arena::stats();
+    });
+
+    println!(
+        "{name}: fresh {:.2} ms/epoch, recycled {:.2} ms/epoch ({:.2}x), \
+         post-warm-up allocs fresh={} reused={}",
+        fresh_ns_per_epoch / 1e6,
+        recycled_ns_per_epoch / 1e6,
+        fresh_ns_per_epoch / recycled_ns_per_epoch.max(1.0),
+        stats.fresh,
+        stats.reused,
+    );
+    AbResult {
+        name,
+        epochs,
+        fresh_ns_per_epoch,
+        recycled_ns_per_epoch,
+        fresh_allocs_after_warmup: stats.fresh,
+        reused_after_warmup: stats.reused,
+    }
+}
+
+fn main() {
+    let mut rng = seeded_rng(seed_from_env());
+    let data = replica(Dataset::CoraLike, scale_from_env(), &mut rng);
+    let g = data.graph;
+    let n = g.num_nodes();
+    let d = g.num_attrs();
+    println!("training A/B on CoraLike replica: n={n}, d={d}");
+
+    // One shared context serves both variants of both workloads (the same
+    // memoised instance every `fit` in this process would see).
+    let ctx = GraphContext::of(&g);
+    let mean = ctx.mean().clone();
+    let x = g.attrs().clone();
+
+    let mut results = Vec::new();
+
+    // VBM objective at the paper's 10 epochs: linear embed, row-normalise,
+    // neighbourhood variance loss.
+    results.push(ab("vbm_variance_10", 10, || {
+        let mut mrng = seeded_rng(7);
+        let mut store = ParamStore::new();
+        let linear = Linear::new(&mut store, d, HIDDEN, true, &mut mrng);
+        let mut opt = Adam::new(0.01);
+        let (x, mean) = (x.clone(), mean.clone());
+        move |tape: &Tape| {
+            let xv = tape.constant(x.clone());
+            let h = linear.forward(tape, &store, &xv).l2_normalize_rows();
+            let loss = neighbor_variance_scores(&h, &mean).mean_all();
+            loss.backward_into(&mut store);
+            opt.step(&mut store);
+        }
+    }));
+
+    // ARM-style GCN autoencoder at the paper's 100 epochs.
+    results.push(ab("arm_gcn_autoencoder_100", 100, || {
+        let mut mrng = seeded_rng(3);
+        let mut store = ParamStore::new();
+        let enc = GcnLayer::new(&mut store, d, HIDDEN, &mut mrng);
+        let mid = GcnLayer::new(&mut store, HIDDEN, HIDDEN, &mut mrng);
+        let dec = GcnLayer::new(&mut store, HIDDEN, d, &mut mrng);
+        let mut opt = Adam::new(0.005);
+        let (x, ctx) = (x.clone(), ctx.clone());
+        move |tape: &Tape| {
+            let xv = tape.constant(x.clone());
+            let z = enc.forward(tape, &store, &xv, &ctx).relu();
+            let z = mid.forward(tape, &store, &z, &ctx).relu();
+            let xhat = dec.forward(tape, &store, &z, &ctx);
+            let loss = xhat.sub(&xv).square().mean_all();
+            loss.backward_into(&mut store);
+            opt.step(&mut store);
+        }
+    }));
+
+    write_json(n, d, &results);
+}
+
+/// Hand-rolled JSON (the workspace has no serde) written to the repo root.
+fn write_json(n: usize, d: usize, results: &[AbResult]) {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"training\",\n");
+    out.push_str(&format!(
+        "  \"graph\": {{\"dataset\": \"cora_like\", \"scale\": \"{}\", \"n\": {n}, \"d\": {d}}},\n",
+        scale_from_env()
+    ));
+    out.push_str("  \"workloads\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let speedup = if r.recycled_ns_per_epoch > 0.0 {
+            r.fresh_ns_per_epoch / r.recycled_ns_per_epoch
+        } else {
+            1.0
+        };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"epochs\": {}, \"fresh_ns_per_epoch\": {:.0}, \
+             \"recycled_ns_per_epoch\": {:.0}, \"speedup\": {:.3}, \
+             \"fresh_allocs_after_warmup\": {}, \"reused_after_warmup\": {}}}{}\n",
+            r.name,
+            r.epochs,
+            r.fresh_ns_per_epoch,
+            r.recycled_ns_per_epoch,
+            speedup,
+            r.fresh_allocs_after_warmup,
+            r.reused_after_warmup,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_training.json");
+    let mut f = std::fs::File::create(path).expect("create BENCH_training.json");
+    f.write_all(out.as_bytes())
+        .expect("write BENCH_training.json");
+    println!("wrote {path}");
+}

@@ -3,7 +3,7 @@
 use vgod_autograd::{ParamStore, Tape, Var};
 use vgod_gnn::{GnnLayer, GraphContext};
 use vgod_graph::{seeded_rng, AttributedGraph};
-use vgod_nn::{row_reconstruction_errors, Adam, Linear, Optimizer};
+use vgod_nn::{row_reconstruction_errors, Linear, Trainer};
 use vgod_tensor::Matrix;
 
 use crate::ArmConfig;
@@ -90,22 +90,32 @@ impl Arm {
 
     /// Train on `g` (unsupervised), optionally reporting the loss per epoch.
     pub fn fit_with_callback(&mut self, g: &AttributedGraph, mut callback: impl FnMut(usize, f32)) {
-        let mut state = Self::build_state(&self.cfg, g.num_attrs());
+        let ArmState {
+            mut store,
+            input,
+            gnns,
+            output,
+            in_dim,
+        } = Self::build_state(&self.cfg, g.num_attrs());
 
-        let ctx = GraphContext::from_graph(g);
+        let ctx = GraphContext::of(g);
         let x = self.preprocess(g);
-        let mut opt = Adam::new(self.cfg.lr);
-        for epoch in 1..=self.cfg.epochs {
-            let tape = Tape::new();
-            let xv = tape.constant(x.clone());
-            let xhat = forward(&state, &tape, &xv, &ctx);
-            let loss = xhat.sub(&xv).square().mean_all();
-            let loss_value = loss.value().as_slice()[0];
-            loss.backward_into(&mut state.store);
-            opt.step(&mut state.store);
-            callback(epoch, loss_value);
-        }
-        self.state = Some(state);
+        Trainer::new(self.cfg.epochs, self.cfg.lr).run(
+            &mut store,
+            |tape, _, store| {
+                let xv = tape.constant(x.clone());
+                let xhat = forward_parts(&input, &gnns, &output, store, tape, &xv, &ctx);
+                xhat.sub(&xv).square().mean_all()
+            },
+            |epoch, loss, _| callback(epoch, loss),
+        );
+        self.state = Some(ArmState {
+            store,
+            input,
+            gnns,
+            output,
+            in_dim,
+        });
     }
 
     /// Train on `g` (unsupervised).
@@ -196,7 +206,7 @@ impl Arm {
             "attribute dimension mismatch: model was trained on {}-dimensional attributes",
             state.in_dim
         );
-        let ctx = GraphContext::from_graph(g);
+        let ctx = GraphContext::of(g);
         let x = self.preprocess(g);
         let tape = Tape::new();
         let xv = tape.constant(x.clone());
@@ -210,7 +220,7 @@ impl Arm {
             .state
             .as_ref()
             .expect("Arm::reconstruct called before fit");
-        let ctx = GraphContext::from_graph(g);
+        let ctx = GraphContext::of(g);
         let tape = Tape::new();
         let xv = tape.constant(self.preprocess(g));
         forward(state, &tape, &xv, &ctx).value()
@@ -218,20 +228,37 @@ impl Arm {
 }
 
 fn forward(state: &ArmState, tape: &Tape, x: &Var, ctx: &GraphContext) -> Var {
+    forward_parts(
+        &state.input,
+        &state.gnns,
+        &state.output,
+        &state.store,
+        tape,
+        x,
+        ctx,
+    )
+}
+
+fn forward_parts(
+    input: &Linear,
+    gnns: &[GnnLayer],
+    output: &Linear,
+    store: &ParamStore,
+    tape: &Tape,
+    x: &Var,
+    ctx: &GraphContext,
+) -> Var {
     // Feature transformation (Eq. 14).
-    let mut z = state
-        .input
-        .forward(tape, &state.store, x)
-        .l2_normalize_rows();
+    let mut z = input.forward(tape, store, x).l2_normalize_rows();
     // GNN layers (Eq. 15), ReLU between but not after the stack.
-    for (i, gnn) in state.gnns.iter().enumerate() {
-        z = gnn.forward(tape, &state.store, &z, ctx);
-        if i + 1 < state.gnns.len() {
+    for (i, gnn) in gnns.iter().enumerate() {
+        z = gnn.forward(tape, store, &z, ctx);
+        if i + 1 < gnns.len() {
             z = z.relu();
         }
     }
     // Feature retransformation (Eq. 16).
-    state.output.forward(tape, &state.store, &z)
+    output.forward(tape, store, &z)
 }
 
 #[cfg(test)]

@@ -154,22 +154,25 @@ impl Vbm {
         let mut opt = Adam::new(cfg.lr);
 
         let mut order: Vec<u32> = (0..g.num_nodes() as u32).collect();
-        for _ in 0..cfg.epochs {
-            order.shuffle(&mut rng);
-            for batch in order.chunks(mb.batch_size) {
-                let view = build_batch_view(g, batch, mb, cfg.self_loops, &mut rng);
-                let tape = Tape::new();
-                let xv = tape.constant(view.features);
-                let h = linear.forward(&tape, &store, &xv).l2_normalize_rows();
-                let pos = std::rc::Rc::new(view.pos);
-                let neg = std::rc::Rc::new(view.neg);
-                let loss_pos = neighbor_variance_scores(&h, &pos).mean_all();
-                let loss_neg = neighbor_variance_scores(&h, &neg).mean_all();
-                let loss = loss_pos.sub(&loss_neg);
-                loss.backward_into(&mut store);
-                opt.step(&mut store);
+        vgod_tensor::arena::scope(|| {
+            let tape = Tape::new();
+            for _ in 0..cfg.epochs {
+                order.shuffle(&mut rng);
+                for batch in order.chunks(mb.batch_size) {
+                    let view = build_batch_view(g, batch, mb, cfg.self_loops, &mut rng);
+                    tape.reset();
+                    let xv = tape.constant(view.features);
+                    let h = linear.forward(&tape, &store, &xv).l2_normalize_rows();
+                    let pos = std::rc::Rc::new(view.pos);
+                    let neg = std::rc::Rc::new(view.neg);
+                    let loss_pos = neighbor_variance_scores(&h, &pos).mean_all();
+                    let loss_neg = neighbor_variance_scores(&h, &neg).mean_all();
+                    let loss = loss_pos.sub(&loss_neg);
+                    loss.backward_into(&mut store);
+                    opt.step(&mut store);
+                }
             }
-        }
+        });
         self.install_state(store, linear, g.num_attrs());
     }
 }
@@ -201,31 +204,34 @@ impl crate::Arm {
         let mut opt = Adam::new(cfg.lr);
 
         let mut order: Vec<u32> = (0..g.num_nodes() as u32).collect();
-        for _ in 0..cfg.epochs {
-            order.shuffle(&mut rng);
-            for batch in order.chunks(mb.batch_size) {
-                let (local_graph, batch_local) =
-                    sampled_subgraph(g, batch, cfg.layers, mb.neighbor_cap, &mut rng);
-                let ctx = vgod_gnn::GraphContext::from_graph(&local_graph);
-                let x = if cfg.row_normalize {
-                    local_graph.attrs().l2_normalize_rows(1e-6).0
-                } else {
-                    local_graph.attrs().clone()
-                };
-                let tape = Tape::new();
-                let xv = tape.constant(x);
-                let xhat = crate::Arm::forward_state(&state, &tape, &xv, &ctx);
-                let batch_ids = std::rc::Rc::new(batch_local.clone());
-                let loss = xhat
-                    .sub(&xv)
-                    .square()
-                    .row_sum()
-                    .gather_rows(&batch_ids)
-                    .mean_all();
-                loss.backward_into(state.store_mut());
-                opt.step(state.store_mut());
+        vgod_tensor::arena::scope(|| {
+            let tape = Tape::new();
+            for _ in 0..cfg.epochs {
+                order.shuffle(&mut rng);
+                for batch in order.chunks(mb.batch_size) {
+                    let (local_graph, batch_local) =
+                        sampled_subgraph(g, batch, cfg.layers, mb.neighbor_cap, &mut rng);
+                    let ctx = vgod_gnn::GraphContext::from_graph(&local_graph);
+                    let x = if cfg.row_normalize {
+                        local_graph.attrs().l2_normalize_rows(1e-6).0
+                    } else {
+                        local_graph.attrs().clone()
+                    };
+                    tape.reset();
+                    let xv = tape.constant(x);
+                    let xhat = crate::Arm::forward_state(&state, &tape, &xv, &ctx);
+                    let batch_ids = std::rc::Rc::new(batch_local.clone());
+                    let loss = xhat
+                        .sub(&xv)
+                        .square()
+                        .row_sum()
+                        .gather_rows(&batch_ids)
+                        .mean_all();
+                    loss.backward_into(state.store_mut());
+                    opt.step(state.store_mut());
+                }
             }
-        }
+        });
         self.install_state(state);
     }
 }

@@ -1,9 +1,9 @@
 //! The Variance-Based Model (§V-A).
 
 use vgod_autograd::{ParamStore, Tape};
-use vgod_gnn::{neighbor_variance_matrix, neighbor_variance_scores};
+use vgod_gnn::{neighbor_variance_matrix, neighbor_variance_scores, GraphContext};
 use vgod_graph::{seeded_rng, AttributedGraph};
-use vgod_nn::{Adam, Linear, Optimizer};
+use vgod_nn::{Linear, Trainer};
 use vgod_tensor::Matrix;
 
 use crate::VbmConfig;
@@ -79,46 +79,41 @@ impl Vbm {
             true,
             &mut rng,
         );
-        let mut opt = Adam::new(self.cfg.lr);
-
-        let mean_pos = std::rc::Rc::new(g.mean_adjacency(self.cfg.self_loops));
+        let self_loops = self.cfg.self_loops;
+        let ctx = GraphContext::of(g);
+        let mean_pos = ctx.mean_adjacency(self_loops).clone();
         let x = g.attrs().clone();
 
         // Epoch 0 snapshot (untrained).
-        let mut state = VbmState {
-            store,
-            linear,
-            in_dim: g.num_attrs(),
-        };
         callback(&VbmEpochSnapshot {
             epoch: 0,
             loss: f32::NAN,
-            scores: scores_with(&state, g, self.cfg.self_loops),
+            scores: scores_for(&linear, &store, g, self_loops),
         });
 
-        for epoch in 1..=self.cfg.epochs {
-            let mean_neg =
-                std::rc::Rc::new(g.negative_mean_adjacency(self.cfg.self_loops, &mut rng));
-            let tape = Tape::new();
-            let xv = tape.constant(x.clone());
-            let h = state
-                .linear
-                .forward(&tape, &state.store, &xv)
-                .l2_normalize_rows();
-            let loss_pos = neighbor_variance_scores(&h, &mean_pos).mean_all();
-            let loss_neg = neighbor_variance_scores(&h, &mean_neg).mean_all();
-            let loss = loss_pos.sub(&loss_neg);
-            let loss_value = loss.value().as_slice()[0];
-            loss.backward_into(&mut state.store);
-            opt.step(&mut state.store);
-
-            callback(&VbmEpochSnapshot {
-                epoch,
-                loss: loss_value,
-                scores: scores_with(&state, g, self.cfg.self_loops),
-            });
-        }
-        self.state = Some(state);
+        Trainer::new(self.cfg.epochs, self.cfg.lr).run(
+            &mut store,
+            |tape, _, store| {
+                let mean_neg = std::rc::Rc::new(g.negative_mean_adjacency(self_loops, &mut rng));
+                let xv = tape.constant(x.clone());
+                let h = linear.forward(tape, store, &xv).l2_normalize_rows();
+                let loss_pos = neighbor_variance_scores(&h, &mean_pos).mean_all();
+                let loss_neg = neighbor_variance_scores(&h, &mean_neg).mean_all();
+                loss_pos.sub(&loss_neg)
+            },
+            |epoch, loss, store| {
+                callback(&VbmEpochSnapshot {
+                    epoch,
+                    loss,
+                    scores: scores_for(&linear, store, g, self_loops),
+                });
+            },
+        );
+        self.state = Some(VbmState {
+            store,
+            linear,
+            in_dim: g.num_attrs(),
+        });
     }
 
     /// Structural outlier scores `o^str` for every node of `g`
@@ -213,18 +208,31 @@ impl Vbm {
 }
 
 fn embed(state: &VbmState, g: &AttributedGraph) -> Matrix {
+    embed_with(&state.linear, &state.store, g)
+}
+
+fn embed_with(linear: &Linear, store: &ParamStore, g: &AttributedGraph) -> Matrix {
     let tape = Tape::new();
     let xv = tape.constant(g.attrs().clone());
-    state
-        .linear
-        .forward(&tape, &state.store, &xv)
+    linear
+        .forward(&tape, store, &xv)
         .l2_normalize_rows()
         .value()
 }
 
 fn scores_with(state: &VbmState, g: &AttributedGraph, self_loops: bool) -> Vec<f32> {
-    let h = embed(state, g);
-    let var = neighbor_variance_matrix(&h, &g.mean_adjacency(self_loops));
+    scores_for(&state.linear, &state.store, g, self_loops)
+}
+
+fn scores_for(
+    linear: &Linear,
+    store: &ParamStore,
+    g: &AttributedGraph,
+    self_loops: bool,
+) -> Vec<f32> {
+    let h = embed_with(linear, store, g);
+    let ctx = GraphContext::of(g);
+    let var = neighbor_variance_matrix(&h, ctx.mean_adjacency(self_loops));
     var.row_sums().into_vec()
 }
 

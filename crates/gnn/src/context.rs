@@ -1,5 +1,7 @@
-//! Precomputed per-graph state shared by all layers.
+//! Per-graph adjacency state shared by all layers, built lazily and
+//! memoised on the graph itself.
 
+use std::cell::OnceCell;
 use std::rc::Rc;
 
 use vgod_graph::AttributedGraph;
@@ -21,14 +23,16 @@ impl EdgeIndex {
     /// Build from a graph, optionally appending a self-loop edge per node
     /// (GAT conventionally attends over `N(v) ∪ {v}`).
     pub fn from_graph(g: &AttributedGraph, self_loops: bool) -> Self {
-        let mut src = Vec::new();
-        let mut dst = Vec::new();
+        let n = g.num_nodes();
+        let cap = 2 * g.num_edges() + if self_loops { n } else { 0 };
+        let mut src = Vec::with_capacity(cap);
+        let mut dst = Vec::with_capacity(cap);
         for (u, v) in g.directed_edges() {
             src.push(u);
             dst.push(v);
         }
         if self_loops {
-            for u in 0..g.num_nodes() as u32 {
+            for u in 0..n as u32 {
                 src.push(u);
                 dst.push(u);
             }
@@ -36,7 +40,34 @@ impl EdgeIndex {
         Self {
             src: Rc::new(src),
             dst: Rc::new(dst),
-            n: g.num_nodes(),
+            n,
+        }
+    }
+
+    /// Build from a binary adjacency CSR; row order matches
+    /// [`EdgeIndex::from_graph`] exactly (edges sorted by source, then the
+    /// self-loop block).
+    fn from_csr(adj: &Csr, self_loops: bool) -> Self {
+        let n = adj.n_rows();
+        let cap = adj.nnz() + if self_loops { n } else { 0 };
+        let mut src = Vec::with_capacity(cap);
+        let mut dst = Vec::with_capacity(cap);
+        for u in 0..n {
+            for &v in adj.row_indices(u) {
+                src.push(u as u32);
+                dst.push(v);
+            }
+        }
+        if self_loops {
+            for u in 0..n as u32 {
+                src.push(u);
+                dst.push(u);
+            }
+        }
+        Self {
+            src: Rc::new(src),
+            dst: Rc::new(dst),
+            n,
         }
     }
 
@@ -51,46 +82,86 @@ impl EdgeIndex {
     }
 }
 
-/// Every adjacency view a model might need for one graph, computed once.
+/// Every adjacency view a model might need for one graph.
 ///
-/// `Rc`-shared so it can be captured by tape ops without copying.
+/// Only the plain binary adjacency is built up front; the normalised views
+/// and the edge index are derived from it on first use and memoised. Obtain
+/// a context through [`GraphContext::of`], which caches one `Rc`-shared
+/// instance *on the graph itself* — `fit`, `score` and the bench harness all
+/// see the same views, and any graph mutation invalidates the cache (see
+/// `vgod_graph::ContextCache`).
 #[derive(Clone, Debug)]
 pub struct GraphContext {
-    /// Number of nodes.
-    pub n: usize,
-    /// Plain binary adjacency `A`.
-    pub adjacency: Rc<Csr>,
-    /// GCN-normalised `D^{-1/2}(A + I)D^{-1/2}`.
-    pub gcn: Rc<Csr>,
-    /// Mean aggregation `D⁻¹A` (no self-loops) — MeanConv over `N(v)`.
-    pub mean: Rc<Csr>,
-    /// Mean aggregation with self-loops — MeanConv over `N(v) ∪ {v}`
-    /// (the self-loop-edge technique, Eq. 13).
-    pub mean_self_loops: Rc<Csr>,
-    /// Directed edges including self-loops (for GAT).
-    pub edges: EdgeIndex,
+    n: usize,
+    adjacency: Rc<Csr>,
+    gcn: OnceCell<Rc<Csr>>,
+    mean: OnceCell<Rc<Csr>>,
+    mean_self_loops: OnceCell<Rc<Csr>>,
+    edges: OnceCell<EdgeIndex>,
 }
 
 impl GraphContext {
-    /// Precompute every view for `g`.
+    /// The shared, memoised context for `g`: built on first call, retrieved
+    /// from the graph's cache slot afterwards.
+    pub fn of(g: &AttributedGraph) -> Rc<GraphContext> {
+        g.cached(|g| Rc::new(GraphContext::from_graph(g)))
+    }
+
+    /// A fresh (non-shared) context for `g`. Cheap: only the plain
+    /// adjacency is materialised; every other view is lazy.
     pub fn from_graph(g: &AttributedGraph) -> Self {
         Self {
             n: g.num_nodes(),
             adjacency: Rc::new(g.adjacency()),
-            gcn: Rc::new(g.gcn_adjacency()),
-            mean: Rc::new(g.mean_adjacency(false)),
-            mean_self_loops: Rc::new(g.mean_adjacency(true)),
-            edges: EdgeIndex::from_graph(g, true),
+            gcn: OnceCell::new(),
+            mean: OnceCell::new(),
+            mean_self_loops: OnceCell::new(),
+            edges: OnceCell::new(),
         }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Plain binary adjacency `A`.
+    pub fn adjacency(&self) -> &Rc<Csr> {
+        &self.adjacency
+    }
+
+    /// GCN-normalised `D^{-1/2}(A + I)D^{-1/2}`.
+    pub fn gcn(&self) -> &Rc<Csr> {
+        self.gcn
+            .get_or_init(|| Rc::new(self.adjacency.gcn_normalized()))
+    }
+
+    /// Mean aggregation `D⁻¹A` (no self-loops) — MeanConv over `N(v)`.
+    pub fn mean(&self) -> &Rc<Csr> {
+        self.mean
+            .get_or_init(|| Rc::new(self.adjacency.row_normalized()))
+    }
+
+    /// Mean aggregation with self-loops — MeanConv over `N(v) ∪ {v}`
+    /// (the self-loop-edge technique, Eq. 13).
+    pub fn mean_self_loops(&self) -> &Rc<Csr> {
+        self.mean_self_loops
+            .get_or_init(|| Rc::new(self.adjacency.with_self_loops(1.0).row_normalized()))
     }
 
     /// The MeanConv operator with or without the self-loop-edge technique.
     pub fn mean_adjacency(&self, self_loops: bool) -> &Rc<Csr> {
         if self_loops {
-            &self.mean_self_loops
+            self.mean_self_loops()
         } else {
-            &self.mean
+            self.mean()
         }
+    }
+
+    /// Directed edges including self-loops (for GAT).
+    pub fn edges(&self) -> &EdgeIndex {
+        self.edges
+            .get_or_init(|| EdgeIndex::from_csr(&self.adjacency, true))
     }
 }
 
@@ -117,11 +188,44 @@ mod tests {
         g.add_edge(0, 1);
         g.add_edge(1, 2);
         let ctx = GraphContext::from_graph(&g);
-        assert_eq!(ctx.n, 3);
-        assert_eq!(ctx.adjacency.nnz(), 4);
-        assert_eq!(ctx.gcn.nnz(), 7); // A + I entries
-        assert_eq!(ctx.mean.nnz(), 4);
-        assert_eq!(ctx.mean_self_loops.nnz(), 7);
-        assert_eq!(ctx.edges.len(), 7);
+        assert_eq!(ctx.n(), 3);
+        assert_eq!(ctx.adjacency().nnz(), 4);
+        assert_eq!(ctx.gcn().nnz(), 7); // A + I entries
+        assert_eq!(ctx.mean().nnz(), 4);
+        assert_eq!(ctx.mean_self_loops().nnz(), 7);
+        assert_eq!(ctx.edges().len(), 7);
+    }
+
+    #[test]
+    fn lazy_views_match_eager_graph_views() {
+        let mut g = AttributedGraph::new(Matrix::zeros(5, 1));
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 4);
+        // Node 3 stays isolated: the trickiest case for the mean views.
+        let ctx = GraphContext::from_graph(&g);
+        assert_eq!(ctx.gcn().to_dense(), g.gcn_adjacency().to_dense());
+        assert_eq!(ctx.mean().to_dense(), g.mean_adjacency(false).to_dense());
+        assert_eq!(
+            ctx.mean_self_loops().to_dense(),
+            g.mean_adjacency(true).to_dense()
+        );
+        let eager = EdgeIndex::from_graph(&g, true);
+        assert_eq!(*ctx.edges().src, *eager.src);
+        assert_eq!(*ctx.edges().dst, *eager.dst);
+    }
+
+    #[test]
+    fn of_memoises_on_the_graph() {
+        let mut g = AttributedGraph::new(Matrix::zeros(3, 1));
+        g.add_edge(0, 1);
+        let a = GraphContext::of(&g);
+        let b = GraphContext::of(&g);
+        assert!(Rc::ptr_eq(&a, &b));
+        // Mutation invalidates the cached context.
+        g.add_edge(1, 2);
+        let c = GraphContext::of(&g);
+        assert!(!Rc::ptr_eq(&a, &c));
+        assert_eq!(c.adjacency().nnz(), 4);
     }
 }

@@ -48,7 +48,7 @@ impl GcnLayer {
 
     /// Forward pass (no activation — compose with [`Activation`] outside).
     pub fn forward(&self, tape: &Tape, store: &ParamStore, x: &Var, ctx: &GraphContext) -> Var {
-        self.linear.forward(tape, store, &x.spmm(&ctx.gcn))
+        self.linear.forward(tape, store, &x.spmm(ctx.gcn()))
     }
 }
 
@@ -81,7 +81,7 @@ impl GatHead {
         let a_dst = tape.param(store, self.a_dst);
         let s_src = wh.matmul(&a_src); // n×1 contribution of each node as source
         let s_dst = wh.matmul(&a_dst); // n×1 contribution as destination
-        let edges = &ctx.edges;
+        let edges = ctx.edges();
         let logits = s_src
             .gather_rows(&edges.src)
             .add(&s_dst.gather_rows(&edges.dst))
@@ -170,7 +170,7 @@ impl GinLayer {
 
     /// Forward pass using the plain binary adjacency.
     pub fn forward(&self, tape: &Tape, store: &ParamStore, x: &Var, ctx: &GraphContext) -> Var {
-        let agg = x.spmm(&ctx.adjacency).add(&x.scale(1.0 + self.eps));
+        let agg = x.spmm(ctx.adjacency()).add(&x.scale(1.0 + self.eps));
         self.mlp.forward(tape, store, &agg)
     }
 }
@@ -195,7 +195,7 @@ impl SageLayer {
     /// Forward pass using the mean-aggregation adjacency.
     pub fn forward(&self, tape: &Tape, store: &ParamStore, x: &Var, ctx: &GraphContext) -> Var {
         let own = self.w_self.forward(tape, store, x);
-        let nbr = self.w_nbr.forward(tape, store, &x.spmm(&ctx.mean));
+        let nbr = self.w_nbr.forward(tape, store, &x.spmm(ctx.mean()));
         own.add(&nbr)
     }
 }
@@ -368,7 +368,7 @@ mod tests {
         let (g, ctx) = toy();
         let tape = Tape::new();
         let ones = tape.constant(Matrix::filled(g.num_nodes(), 1, 1.0));
-        let propagated = ones.spmm(&ctx.gcn).value();
+        let propagated = ones.spmm(ctx.gcn()).value();
         // Â row sums of a 4-cycle with self-loops: each row sums to 1.
         for r in 0..4 {
             assert!((propagated[(r, 0)] - 1.0).abs() < 1e-5, "row {r}");

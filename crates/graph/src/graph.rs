@@ -1,9 +1,43 @@
 //! The attributed-network type.
 
+use std::any::Any;
+use std::cell::RefCell;
 use std::rc::Rc;
 
 use rand::Rng;
 use vgod_tensor::{Csr, Matrix};
+
+/// A graph-attached memo slot for a derived per-graph cache (in practice:
+/// `vgod-gnn`'s `GraphContext`), stored type-erased so `vgod-graph` does not
+/// depend on the crates deriving things from it.
+///
+/// The slot is deliberately *not* cloned with the graph (a clone may be
+/// about to be mutated, as in CoNAD's augmentation) and is invalidated by
+/// every structural or attribute mutation.
+pub struct ContextCache(RefCell<Option<Rc<dyn Any>>>);
+
+impl Default for ContextCache {
+    fn default() -> Self {
+        Self(RefCell::new(None))
+    }
+}
+
+impl Clone for ContextCache {
+    fn clone(&self) -> Self {
+        Self::default()
+    }
+}
+
+impl std::fmt::Debug for ContextCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = if self.0.borrow().is_some() {
+            "cached"
+        } else {
+            "empty"
+        };
+        write!(f, "ContextCache({state})")
+    }
+}
 
 /// An undirected attributed network `G = (V, E, X)` (Definition 1 of the
 /// VGOD paper), optionally carrying per-node community labels (used by the
@@ -21,6 +55,8 @@ pub struct AttributedGraph {
     x: Matrix,
     /// Optional community label per node.
     labels: Option<Vec<u32>>,
+    /// Memoised derived views (see [`ContextCache`]).
+    cache: ContextCache,
 }
 
 impl AttributedGraph {
@@ -31,7 +67,31 @@ impl AttributedGraph {
             adj: vec![Vec::new(); n],
             x,
             labels: None,
+            cache: ContextCache::default(),
         }
+    }
+
+    /// Fetch (or build and memoise) the per-graph derived cache of type `T`.
+    ///
+    /// The first call per graph runs `build`; later calls return the shared
+    /// `Rc` for free. Any mutation of the graph (edges, attributes, labels)
+    /// invalidates the slot, so a cached value always describes the current
+    /// topology and attributes. Only one cache type is held at a time — a
+    /// request for a different `T` rebuilds and replaces the slot.
+    pub fn cached<T: 'static>(&self, build: impl FnOnce(&Self) -> Rc<T>) -> Rc<T> {
+        if let Some(any) = self.cache.0.borrow().as_ref() {
+            if let Ok(hit) = Rc::clone(any).downcast::<T>() {
+                return hit;
+            }
+        }
+        let built = build(self);
+        *self.cache.0.borrow_mut() = Some(built.clone() as Rc<dyn Any>);
+        built
+    }
+
+    /// Drop the memoised derived cache (called by every mutator).
+    fn invalidate_cache(&mut self) {
+        *self.cache.0.borrow_mut() = None;
     }
 
     /// Build from undirected edges (each pair stored in both directions;
@@ -54,6 +114,7 @@ impl AttributedGraph {
             self.num_nodes(),
             "labels must cover every node"
         );
+        self.invalidate_cache();
         self.labels = Some(labels);
     }
 
@@ -97,6 +158,7 @@ impl AttributedGraph {
     /// Mutable attribute matrix (used by contextual-outlier injection).
     #[inline]
     pub fn attrs_mut(&mut self) -> &mut Matrix {
+        self.invalidate_cache();
         &mut self.x
     }
 
@@ -110,6 +172,7 @@ impl AttributedGraph {
             self.num_nodes(),
             "attribute matrix must keep the node count"
         );
+        self.invalidate_cache();
         self.x = x;
     }
 
@@ -140,6 +203,7 @@ impl AttributedGraph {
         match self.adj[u as usize].binary_search(&v) {
             Ok(_) => false,
             Err(pos_u) => {
+                self.invalidate_cache();
                 self.adj[u as usize].insert(pos_u, v);
                 let pos_v = self.adj[v as usize]
                     .binary_search(&u)
@@ -155,6 +219,7 @@ impl AttributedGraph {
         match self.adj[u as usize].binary_search(&v) {
             Err(_) => false,
             Ok(pos_u) => {
+                self.invalidate_cache();
                 self.adj[u as usize].remove(pos_u);
                 let pos_v = self.adj[v as usize]
                     .binary_search(&u)
@@ -167,6 +232,7 @@ impl AttributedGraph {
 
     /// Remove every edge incident to `u`, returning its former neighbours.
     pub fn detach_node(&mut self, u: u32) -> Vec<u32> {
+        self.invalidate_cache();
         let old = std::mem::take(&mut self.adj[u as usize]);
         for &v in &old {
             if let Ok(pos) = self.adj[v as usize].binary_search(&u) {
@@ -530,6 +596,35 @@ mod tests {
         assert_eq!(sub.attrs().row(0), g.attrs().row(3));
         assert_eq!(sub.labels().unwrap(), &[1, 0, 1]);
         assert!(sub.check_invariants());
+    }
+
+    #[test]
+    fn cached_memoises_until_mutation() {
+        let mut g = path_graph(4);
+        let a = g.cached(|g| Rc::new(g.num_edges()));
+        let b = g.cached(|_| -> Rc<usize> { unreachable!("must hit the cache") });
+        assert!(Rc::ptr_eq(&a, &b));
+        // A structural mutation invalidates; the rebuild sees the new graph.
+        g.add_edge(0, 3);
+        let c = g.cached(|g| Rc::new(g.num_edges()));
+        assert_eq!(*c, 4);
+        // No-op mutations keep the cache.
+        g.add_edge(0, 3);
+        let d = g.cached(|_| -> Rc<usize> { unreachable!("no-op must not invalidate") });
+        assert!(Rc::ptr_eq(&c, &d));
+        // Attribute edits invalidate too.
+        g.attrs_mut();
+        let e = g.cached(|g| Rc::new(g.num_edges()));
+        assert!(!Rc::ptr_eq(&c, &e));
+    }
+
+    #[test]
+    fn cloned_graph_starts_with_cold_cache() {
+        let g = path_graph(3);
+        let a = g.cached(|g| Rc::new(g.num_edges()));
+        let g2 = g.clone();
+        let b = g2.cached(|g| Rc::new(g.num_edges()));
+        assert!(!Rc::ptr_eq(&a, &b), "clone must not share the memo slot");
     }
 
     #[test]

@@ -30,7 +30,7 @@ mod stats;
 
 pub use attributes::{binary_topic_attributes, gaussian_mixture_attributes, standard_normal};
 pub use generate::{community_graph, CommunityGraphConfig};
-pub use graph::AttributedGraph;
+pub use graph::{AttributedGraph, ContextCache};
 pub use io::{load_graph, read_graph, save_graph, write_graph, GraphIoError};
 pub use stats::{
     adjusted_homophily, attribute_variance, clustering_coefficients, connected_components,

@@ -30,9 +30,11 @@ mod init;
 mod layers;
 mod loss;
 mod optim;
+mod trainer;
 
 pub use early_stop::EarlyStopper;
 pub use init::{glorot_uniform, he_uniform, uniform_init};
 pub use layers::{Activation, Linear, Mlp};
 pub use loss::{mse_loss, row_reconstruction_errors};
 pub use optim::{Adam, Optimizer, Sgd};
+pub use trainer::{TrainSummary, Trainer};

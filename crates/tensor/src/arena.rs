@@ -1,0 +1,220 @@
+//! Shape-keyed buffer arena for recycling `Matrix` storage.
+//!
+//! Training loops allocate and drop the same handful of buffer shapes every
+//! epoch (activations, gradients, optimizer scratch). The arena intercepts
+//! those allocations: inside an [`scope`] every buffer freed by a dropped
+//! [`crate::Matrix`] is stashed on a thread-local free list keyed by its
+//! capacity, and the next allocation of the same size pops it back instead
+//! of going to the global allocator.
+//!
+//! Invariants:
+//!
+//! - Recycled buffers are always fully overwritten before they are handed
+//!   out (zero-fill, constant-fill or copy), so arena reuse can never change
+//!   numeric results — warm and cold runs are bit-identical.
+//! - Outside a scope, allocation and release pass straight through to the
+//!   global allocator; the free lists themselves survive scope exits (so a
+//!   second training run starts warm) but are trimmed to a bounded size.
+//! - The arena is strictly thread-local. Worker-pool threads never construct
+//!   or drop matrices (outputs are allocated on the calling thread), so the
+//!   training thread's free lists see all recycling traffic.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Counters describing arena traffic since the last [`reset_stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Buffers that had to come from the global allocator.
+    pub fresh: u64,
+    /// Buffers served from the free lists.
+    pub reused: u64,
+}
+
+#[derive(Default)]
+struct BufferArena {
+    /// Free lists keyed by buffer capacity.
+    free: HashMap<usize, Vec<Vec<f32>>>,
+    /// Nesting depth of active [`scope`] calls; 0 = disengaged.
+    depth: usize,
+    stats: ArenaStats,
+}
+
+thread_local! {
+    static ARENA: RefCell<BufferArena> = RefCell::new(BufferArena::default());
+}
+
+/// Per-size-class retention cap applied when the outermost scope exits.
+/// While a scope is live the lists are unbounded (an epoch can keep dozens
+/// of same-shaped buffers in flight); between scopes we keep enough to make
+/// the next run warm without pinning a whole training run's worth of memory.
+fn retain_cap() -> usize {
+    8 * crate::pool::num_threads().max(1)
+}
+
+/// Run `f` with the thread-local buffer arena engaged.
+///
+/// While engaged, buffers released by dropped matrices are retained for
+/// reuse instead of being returned to the global allocator. Scopes nest;
+/// the free lists are trimmed when the outermost scope exits.
+pub fn scope<R>(f: impl FnOnce() -> R) -> R {
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            ARENA.with(|a| {
+                let mut a = a.borrow_mut();
+                a.depth -= 1;
+                if a.depth == 0 {
+                    let cap = retain_cap();
+                    for list in a.free.values_mut() {
+                        list.truncate(cap);
+                    }
+                }
+            });
+        }
+    }
+    ARENA.with(|a| a.borrow_mut().depth += 1);
+    let _guard = Guard;
+    f()
+}
+
+/// Drop every retained buffer, returning the memory to the global allocator.
+pub fn clear() {
+    ARENA.with(|a| a.borrow_mut().free.clear());
+}
+
+/// Arena traffic counters since the last [`reset_stats`] on this thread.
+pub fn stats() -> ArenaStats {
+    ARENA.with(|a| a.borrow().stats)
+}
+
+/// Zero the arena traffic counters on this thread.
+pub fn reset_stats() {
+    ARENA.with(|a| a.borrow_mut().stats = ArenaStats::default());
+}
+
+fn take_recycled(len: usize) -> Option<Vec<f32>> {
+    ARENA.with(|a| {
+        let mut a = a.borrow_mut();
+        if a.depth == 0 {
+            a.stats.fresh += 1;
+            return None;
+        }
+        match a.free.get_mut(&len).and_then(Vec::pop) {
+            Some(v) => {
+                a.stats.reused += 1;
+                Some(v)
+            }
+            None => {
+                a.stats.fresh += 1;
+                None
+            }
+        }
+    })
+}
+
+/// Allocate a buffer of `len` zeros, recycling arena storage when engaged.
+pub fn alloc_zeroed(len: usize) -> Vec<f32> {
+    match take_recycled(len) {
+        Some(mut v) => {
+            v.clear();
+            v.resize(len, 0.0);
+            v
+        }
+        None => vec![0.0; len],
+    }
+}
+
+/// Allocate a buffer of `len` copies of `value`, recycling when engaged.
+pub fn alloc_filled(len: usize, value: f32) -> Vec<f32> {
+    match take_recycled(len) {
+        Some(mut v) => {
+            v.clear();
+            v.resize(len, value);
+            v
+        }
+        None => vec![value; len],
+    }
+}
+
+/// Allocate a copy of `src`, recycling arena storage when engaged.
+pub fn alloc_copy(src: &[f32]) -> Vec<f32> {
+    match take_recycled(src.len()) {
+        Some(mut v) => {
+            v.clear();
+            v.extend_from_slice(src);
+            v
+        }
+        None => src.to_vec(),
+    }
+}
+
+/// Return a buffer to the arena. Outside a scope (or for empty buffers)
+/// this simply drops it.
+pub fn release(buf: Vec<f32>) {
+    if buf.capacity() == 0 {
+        return;
+    }
+    // `try_with` so matrices dropped during thread teardown (after the
+    // thread-local arena is destroyed) fall back to a plain drop.
+    let _ = ARENA.try_with(|a| {
+        let mut a = a.borrow_mut();
+        if a.depth > 0 {
+            a.free.entry(buf.capacity()).or_default().push(buf);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disengaged_is_pass_through() {
+        clear();
+        reset_stats();
+        release(vec![1.0; 16]);
+        let v = alloc_zeroed(16);
+        assert_eq!(v, vec![0.0; 16]);
+        // Nothing was stashed, so the alloc was fresh.
+        assert_eq!(stats().reused, 0);
+    }
+
+    #[test]
+    fn engaged_scope_recycles_and_overwrites() {
+        clear();
+        scope(|| {
+            release(vec![7.0; 8]);
+            reset_stats();
+            let z = alloc_zeroed(8);
+            assert_eq!(z, vec![0.0; 8], "recycled buffer must be re-zeroed");
+            assert_eq!(
+                stats(),
+                ArenaStats {
+                    fresh: 0,
+                    reused: 1
+                }
+            );
+            release(z);
+            let f = alloc_filled(8, 3.5);
+            assert_eq!(f, vec![3.5; 8]);
+            release(f);
+            let c = alloc_copy(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+            assert_eq!(c[7], 8.0);
+            assert_eq!(stats().reused, 3);
+        });
+        clear();
+    }
+
+    #[test]
+    fn free_lists_survive_scope_exit() {
+        clear();
+        scope(|| release(vec![1.0; 32]));
+        scope(|| {
+            reset_stats();
+            let _v = alloc_zeroed(32);
+            assert_eq!(stats().reused, 1, "second scope should start warm");
+        });
+        clear();
+    }
+}

@@ -22,6 +22,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 mod csr;
 mod matrix;
 mod parallel;

@@ -17,11 +17,33 @@ fn elem_ranges(len: usize) -> Vec<(usize, usize)> {
 /// attribute matrices, hidden representations, weights and gradients are all
 /// `Matrix` values. A vector is represented as an `n × 1` (column) or
 /// `1 × d` (row) matrix.
-#[derive(Clone, PartialEq)]
+///
+/// Storage is allocated through the thread-local [`crate::arena`]: inside an
+/// [`crate::arena::scope`], dropped matrices donate their buffers to a free
+/// list and new matrices of the same size reuse them. Recycled buffers are
+/// always fully overwritten before reuse, so results never depend on whether
+/// a buffer was fresh or recycled.
+#[derive(PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
+}
+
+impl Clone for Matrix {
+    fn clone(&self) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: crate::arena::alloc_copy(&self.data),
+        }
+    }
+}
+
+impl Drop for Matrix {
+    fn drop(&mut self) {
+        crate::arena::release(std::mem::take(&mut self.data));
+    }
 }
 
 impl std::fmt::Debug for Matrix {
@@ -58,7 +80,7 @@ impl Matrix {
         Self {
             rows,
             cols,
-            data: vec![0.0; rows * cols],
+            data: crate::arena::alloc_zeroed(rows * cols),
         }
     }
 
@@ -67,7 +89,7 @@ impl Matrix {
         Self {
             rows,
             cols,
-            data: vec![value; rows * cols],
+            data: crate::arena::alloc_filled(rows * cols, value),
         }
     }
 
@@ -187,8 +209,8 @@ impl Matrix {
     }
 
     /// Consume into the flat row-major buffer.
-    pub fn into_vec(self) -> Vec<f32> {
-        self.data
+    pub fn into_vec(mut self) -> Vec<f32> {
+        std::mem::take(&mut self.data)
     }
 
     /// Borrow row `r` as a slice.
@@ -264,7 +286,7 @@ impl Matrix {
 
     /// Apply `f` to every element, producing a new matrix.
     pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Matrix {
-        let mut data = vec![0.0f32; self.data.len()];
+        let mut data = crate::arena::alloc_zeroed(self.data.len());
         let src = &self.data;
         for_each_row_chunk(&mut data, 1, &elem_ranges(src.len()), |s, e, band| {
             for (d, &v) in band.iter_mut().zip(&src[s..e]) {
@@ -292,7 +314,7 @@ impl Matrix {
     /// `out[i] = f(self[i], other[i])`.
     pub fn zip_map(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32 + Sync) -> Matrix {
         self.assert_same_shape(other, "zip_map");
-        let mut data = vec![0.0f32; self.data.len()];
+        let mut data = crate::arena::alloc_zeroed(self.data.len());
         let (a, b) = (&self.data, &other.data);
         for_each_row_chunk(&mut data, 1, &elem_ranges(a.len()), |s, e, band| {
             for ((d, &x), &y) in band.iter_mut().zip(&a[s..e]).zip(&b[s..e]) {

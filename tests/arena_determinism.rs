@@ -1,0 +1,95 @@
+//! Buffer recycling must be invisible: training a detector on a cold
+//! arena (first fit in a thread) and again on a warm arena (free lists
+//! populated by the first fit) must produce bit-identical score vectors.
+//! The arena is thread-local, so each test owns its arena state.
+
+use vgod_suite::baselines::DeepConfig;
+use vgod_suite::prelude::*;
+
+fn small_graph() -> AttributedGraph {
+    let mut rng = seeded_rng(42);
+    let data = replica(Dataset::CoraLike, Scale::Tiny, &mut rng);
+    data.graph
+}
+
+/// Run `fit_and_score` twice — once on a cleared (cold) arena, once on the
+/// warm arena the first run left behind — and require bitwise equality.
+fn warm_equals_cold(mut fit_and_score: impl FnMut(&AttributedGraph) -> Vec<f32>) {
+    let g = small_graph();
+    vgod_suite::tensor::arena::clear();
+    let cold = fit_and_score(&g);
+    let warm = fit_and_score(&g);
+    assert_eq!(cold.len(), warm.len());
+    for (i, (a, b)) in cold.iter().zip(&warm).enumerate() {
+        assert_eq!(a, b, "node {i}: cold arena {a} != warm arena {b}");
+    }
+    assert!(cold.iter().all(|s| s.is_finite()));
+}
+
+fn deep_cfg() -> DeepConfig {
+    DeepConfig {
+        epochs: 5,
+        ..DeepConfig::fast()
+    }
+}
+
+#[test]
+fn dominant_is_arena_deterministic() {
+    warm_equals_cold(|g| Dominant::new(deep_cfg()).fit_score(g).combined);
+}
+
+#[test]
+fn anomaly_dae_is_arena_deterministic() {
+    warm_equals_cold(|g| AnomalyDae::new(deep_cfg()).fit_score(g).combined);
+}
+
+#[test]
+fn done_is_arena_deterministic() {
+    warm_equals_cold(|g| Done::new(deep_cfg()).fit_score(g).combined);
+}
+
+#[test]
+fn cola_is_arena_deterministic() {
+    warm_equals_cold(|g| {
+        let mut model = Cola::new(deep_cfg());
+        model.rounds = 4;
+        model.fit_score(g).combined
+    });
+}
+
+#[test]
+fn conad_is_arena_deterministic() {
+    warm_equals_cold(|g| Conad::new(deep_cfg()).fit_score(g).combined);
+}
+
+#[test]
+fn vbm_is_arena_deterministic() {
+    warm_equals_cold(|g| {
+        let mut model = Vbm::new(VbmConfig {
+            hidden_dim: 16,
+            epochs: 5,
+            lr: 0.01,
+            self_loops: false,
+            seed: 7,
+        });
+        model.fit(g);
+        model.scores(g)
+    });
+}
+
+#[test]
+fn arm_is_arena_deterministic() {
+    warm_equals_cold(|g| {
+        let mut model = Arm::new(ArmConfig {
+            hidden_dim: 16,
+            layers: 2,
+            backbone: GnnBackbone::Gcn,
+            epochs: 5,
+            lr: 0.01,
+            row_normalize: false,
+            seed: 3,
+        });
+        model.fit(g);
+        model.scores(g)
+    });
+}
