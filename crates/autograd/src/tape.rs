@@ -608,13 +608,14 @@ fn backpropagate(nodes: &[Node], i: usize, g: &Matrix, grads: &mut [Option<Matri
             accumulate(grads, *x, dx);
         }
         Op::Sigmoid(x) => {
+            // Fused: one pass instead of a map followed by a mul.
             let yv = &nodes[i].value;
-            let dx = g.mul(&yv.map(|y| y * (1.0 - y)));
+            let dx = g.zip_map(yv, |gv, y| gv * (y * (1.0 - y)));
             accumulate(grads, *x, dx);
         }
         Op::Tanh(x) => {
             let yv = &nodes[i].value;
-            let dx = g.mul(&yv.map(|y| 1.0 - y * y));
+            let dx = g.zip_map(yv, |gv, y| gv * (1.0 - y * y));
             accumulate(grads, *x, dx);
         }
         Op::Exp(x) => {

@@ -1,14 +1,17 @@
 //! Criterion microbenchmarks for the hot kernels behind the experiments:
 //! dense GEMM, sparse message passing, neighbour variance, negative-edge
-//! sampling and AUC computation.
+//! sampling and AUC computation — plus a scalar-vs-dispatched SIMD A/B
+//! sweep written to `BENCH_simd.json` at the repository root.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::cell::Cell;
+use std::io::Write as _;
 use std::rc::Rc;
 
 use vgod_autograd::Tape;
 use vgod_gnn::{neighbor_variance_matrix, neighbor_variance_scores};
 use vgod_graph::{community_graph, seeded_rng, CommunityGraphConfig};
-use vgod_tensor::Matrix;
+use vgod_tensor::{simd, threading, AdamStep, Matrix};
 
 fn bench_matmul(c: &mut Criterion) {
     let mut group = c.benchmark_group("matmul");
@@ -161,6 +164,168 @@ fn bench_vbm_epoch(c: &mut Criterion) {
     });
 }
 
+struct SimdResult {
+    name: &'static str,
+    scalar_ns: f64,
+    simd_ns: f64,
+}
+
+/// Time `routine` with the scalar kernels forced and again dispatched.
+/// Both legs run single-threaded so the pool cannot blur the ISA delta.
+fn simd_ab<O>(c: &mut Criterion, name: &'static str, mut routine: impl FnMut() -> O) -> SimdResult {
+    let median = Cell::new(0.0f64);
+    simd::force_scalar(true);
+    c.bench_function(&format!("{name}/scalar"), |b| {
+        b.iter(&mut routine);
+        median.set(b.median_ns());
+    });
+    let scalar_ns = median.get();
+    simd::force_scalar(false);
+    c.bench_function(&format!("{name}/simd"), |b| {
+        b.iter(&mut routine);
+        median.set(b.median_ns());
+    });
+    SimdResult {
+        name,
+        scalar_ns,
+        simd_ns: median.get(),
+    }
+}
+
+/// Scalar-vs-dispatched A/B over every dispatched kernel family, at the
+/// same paper scale as `kernels.rs` (n = 10k, d = 64).
+fn bench_simd_ab(c: &mut Criterion) {
+    const N: usize = 10_000;
+    const D: usize = 64;
+    let mut rng = seeded_rng(0);
+    let g = community_graph(
+        &CommunityGraphConfig::homogeneous(N, 10, 8.0, 0.9),
+        &mut rng,
+    );
+    let adj = g.mean_adjacency(true);
+    let h = Matrix::from_fn(N, D, |r, cc| ((r * 5 + cc * 3) % 13) as f32 * 0.15 - 0.9);
+    let w = Matrix::from_fn(D, D, |r, cc| ((r * 7 + cc) % 11) as f32 * 0.1 - 0.5);
+    let h2 = Matrix::from_fn(N, D, |r, cc| ((r + cc * 7) % 9) as f32 * 0.2 - 0.8);
+
+    threading::force_sequential(true);
+    let mut results = Vec::new();
+    results.push(simd_ab(c, "matmul_10000x64x64", || {
+        std::hint::black_box(h.matmul(&w))
+    }));
+    results.push(simd_ab(c, "matmul_tn_10000x64", || {
+        std::hint::black_box(h.matmul_tn(&h2))
+    }));
+    results.push(simd_ab(c, "matmul_nt_10000x64", || {
+        std::hint::black_box(h.matmul_nt(&h2))
+    }));
+    results.push(simd_ab(c, "spmm_10000x64", || {
+        std::hint::black_box(adj.spmm(&h))
+    }));
+    results.push(simd_ab(c, "spmm_t_10000x64", || {
+        std::hint::black_box(adj.spmm_t(&h))
+    }));
+    results.push(simd_ab(c, "hadamard_10000x64", || {
+        std::hint::black_box(h.mul(&h2))
+    }));
+    results.push(simd_ab(c, "axpy_10000x64", || {
+        let mut out = h.clone();
+        out.add_scaled(0.3, &h2);
+        std::hint::black_box(out)
+    }));
+    results.push(simd_ab(c, "row_sums_10000x64", || {
+        std::hint::black_box(h.row_sums())
+    }));
+    results.push(simd_ab(c, "frobenius_10000x64", || {
+        std::hint::black_box(h.frobenius_norm())
+    }));
+    let step = AdamStep {
+        lr: 0.01,
+        beta1: 0.9,
+        beta2: 0.999,
+        eps: 1e-8,
+        bias1: 0.1,
+        bias2: 0.001,
+    };
+    // The fused-Adam baseline is the pre-dispatch optimizer body: the
+    // per-element `zip_apply3` closure with its three divisions, exactly as
+    // `Adam::step` ran before the kernel layer. The dispatched leg is the
+    // fused kernel. Buffers are hoisted out of the routines so the A/B times
+    // the pass, not a clone and two zero-fills; state evolving across
+    // iterations is fine — the update keeps every buffer finite.
+    let median = Cell::new(0.0f64);
+    simd::force_scalar(true);
+    let mut value = h.clone();
+    let mut m = Matrix::zeros(N, D);
+    let mut v = Matrix::zeros(N, D);
+    c.bench_function("fused_adam_pass_10000x64/scalar", |b| {
+        b.iter(|| {
+            value.zip_apply3(&mut m, &mut v, &h2, |pv, mv, vv, gv| {
+                *mv = step.beta1 * *mv + (1.0 - step.beta1) * gv;
+                *vv = step.beta2 * *vv + (1.0 - step.beta2) * gv * gv;
+                let m_hat = *mv / step.bias1;
+                let v_hat = *vv / step.bias2;
+                *pv -= step.lr * m_hat / (v_hat.sqrt() + step.eps);
+            });
+            std::hint::black_box(value.as_slice()[0])
+        });
+        median.set(b.median_ns());
+    });
+    let scalar_ns = median.get();
+    simd::force_scalar(false);
+    let mut value = h.clone();
+    let mut m = Matrix::zeros(N, D);
+    let mut v = Matrix::zeros(N, D);
+    c.bench_function("fused_adam_pass_10000x64/simd", |b| {
+        b.iter(|| {
+            value.fused_adam_step(&mut m, &mut v, &h2, &step);
+            std::hint::black_box(value.as_slice()[0])
+        });
+        median.set(b.median_ns());
+    });
+    results.push(SimdResult {
+        name: "fused_adam_pass_10000x64",
+        scalar_ns,
+        simd_ns: median.get(),
+    });
+    threading::force_sequential(false);
+
+    write_simd_json(&results, N, D);
+}
+
+/// Hand-rolled JSON (the workspace has no serde) written to the repo root.
+fn write_simd_json(results: &[SimdResult], n: usize, d: usize) {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"simd\",\n");
+    out.push_str(&format!("  \"shape\": {{\"n\": {n}, \"d\": {d}}},\n"));
+    out.push_str(&format!(
+        "  \"isa\": \"{}\",\n",
+        simd::detected_isa().name()
+    ));
+    out.push_str("  \"kernels\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let speedup = if r.simd_ns > 0.0 {
+            r.scalar_ns / r.simd_ns
+        } else {
+            1.0
+        };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"scalar_ns\": {:.0}, \"simd_ns\": {:.0}, \"speedup\": {:.3}}}{}\n",
+            r.name,
+            r.scalar_ns,
+            r.simd_ns,
+            speedup,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_simd.json");
+    let mut f = std::fs::File::create(path).expect("create BENCH_simd.json");
+    f.write_all(out.as_bytes()).expect("write BENCH_simd.json");
+    println!("wrote {path} (isa={})", simd::detected_isa().name());
+}
+
 criterion_group!(
     benches,
     bench_matmul,
@@ -170,6 +335,7 @@ criterion_group!(
     bench_auc,
     bench_gat_layer,
     bench_adam_step,
-    bench_vbm_epoch
+    bench_vbm_epoch,
+    bench_simd_ab
 );
 criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! First-order optimizers over a [`ParamStore`].
 
 use vgod_autograd::ParamStore;
-use vgod_tensor::Matrix;
+use vgod_tensor::{AdamStep, Matrix};
 
 /// Shared optimizer interface: consume the gradients currently held in the
 /// store, update parameter values, then zero the gradients.
@@ -139,24 +139,19 @@ impl Optimizer for Adam {
     fn step(&mut self, store: &mut ParamStore) {
         self.ensure_state(store);
         self.t += 1;
-        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
-        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
-        let (lr, beta1, beta2, eps) = (self.lr, self.beta1, self.beta2, self.eps);
+        let step = AdamStep {
+            lr: self.lr,
+            beta1: self.beta1,
+            beta2: self.beta2,
+            eps: self.eps,
+            bias1: 1.0 - self.beta1.powi(self.t as i32),
+            bias2: 1.0 - self.beta2.powi(self.t as i32),
+        };
         for (i, (_, p)) in store.iter_mut().enumerate() {
-            // One fused (and, for large parameters, parallel) pass over
-            // value, both moment buffers and the gradient.
-            p.value.zip_apply3(
-                &mut self.m[i],
-                &mut self.v[i],
-                &p.grad,
-                move |val, mv, vv, g| {
-                    *mv = beta1 * *mv + (1.0 - beta1) * g;
-                    *vv = beta2 * *vv + (1.0 - beta2) * g * g;
-                    let m_hat = *mv / bc1;
-                    let v_hat = *vv / bc2;
-                    *val -= lr * m_hat / (v_hat.sqrt() + eps);
-                },
-            );
+            // One fused (vectorised and, for large parameters, parallel)
+            // pass over value, both moment buffers and the gradient.
+            p.value
+                .fused_adam_step(&mut self.m[i], &mut self.v[i], &p.grad, &step);
         }
         store.zero_grads();
     }

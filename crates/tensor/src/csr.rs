@@ -1,7 +1,8 @@
 //! Compressed-sparse-row matrices for graph message passing.
 
+use crate::kernels;
 use crate::parallel::{
-    band_ranges, for_each_row_chunk, row_chunks, threads_for, SPMM_WORK_THRESHOLD,
+    for_each_row_band, for_each_row_chunk, row_chunks, threads_for, SPMM_WORK_THRESHOLD,
 };
 use crate::{Matrix, TensorError};
 
@@ -174,21 +175,13 @@ impl Csr {
         let d = dense.cols();
         let mut out = Matrix::zeros(self.n_rows, d);
         let threads = threads_for(self.nnz() * d, SPMM_WORK_THRESHOLD);
-        // Oversplit: row cost is proportional to row nnz, which is uneven on
-        // real graphs; the pool's claim counter balances the bands.
-        let ranges = band_ranges(self.n_rows, threads);
-        let this: &Csr = self;
-        let dense_ref: &Matrix = dense;
-        for_each_row_chunk(out.as_mut_slice(), d, &ranges, |s, e, band| {
-            for (local, r) in (s..e).enumerate() {
-                let out_row = &mut band[local * d..(local + 1) * d];
-                for (&c, &v) in this.row_indices(r).iter().zip(this.row_values(r)) {
-                    let src = dense_ref.row(c as usize);
-                    for (o, &x) in out_row.iter_mut().zip(src) {
-                        *o += v * x;
-                    }
-                }
-            }
+        // Oversplit (inside for_each_row_band): row cost is proportional to
+        // row nnz, which is uneven on real graphs; the pool's claim counter
+        // balances the bands.
+        let (indptr, indices, values) = (&self.indptr, &self.indices, &self.values);
+        let dense_data = dense.as_slice();
+        for_each_row_band(out.as_mut_slice(), d, self.n_rows, threads, |s, e, band| {
+            kernels::spmm_rows(band, s, e, indptr, indices, values, dense_data, d);
         });
         out
     }
@@ -230,14 +223,11 @@ impl Csr {
         });
         let mut out = Matrix::zeros(self.n_cols, d);
         let out_data = out.as_mut_slice();
-        let merge_ranges = band_ranges(out_len, threads_for(out_len, SPMM_WORK_THRESHOLD));
         let partials_ref = &partials;
-        for_each_row_chunk(out_data, 1, &merge_ranges, |s, e, band| {
+        let merge_threads = threads_for(out_len, SPMM_WORK_THRESHOLD);
+        for_each_row_band(out_data, 1, out_len, merge_threads, |s, e, band| {
             for b in 0..row_ranges.len() {
-                let part = &partials_ref[b * out_len + s..b * out_len + e];
-                for (o, p) in band.iter_mut().zip(part) {
-                    *o += p;
-                }
+                kernels::add_inplace(band, &partials_ref[b * out_len + s..b * out_len + e]);
             }
         });
         out
@@ -247,15 +237,16 @@ impl Csr {
     /// (a `n_cols × dense.cols()` row-major buffer).
     fn scatter_rows_into(&self, rs: usize, re: usize, dense: &Matrix, out: &mut [f32]) {
         let d = dense.cols();
-        for r in rs..re {
-            let src = dense.row(r);
-            for (&c, &v) in self.row_indices(r).iter().zip(self.row_values(r)) {
-                let dst = &mut out[c as usize * d..(c as usize + 1) * d];
-                for (o, &x) in dst.iter_mut().zip(src) {
-                    *o += v * x;
-                }
-            }
-        }
+        kernels::scatter_rows(
+            out,
+            rs,
+            re,
+            &self.indptr,
+            &self.indices,
+            &self.values,
+            dense.as_slice(),
+            d,
+        );
     }
 
     /// Explicit transpose as a new CSR matrix.

@@ -8,9 +8,9 @@
 //! arithmetic, row broadcasts, reductions, row L2-normalisation, and sparse
 //! × dense products for message passing), but implements them carefully:
 //! large matrix products are split into row bands executed on a persistent
-//! worker pool (see [`threading`]), inner loops are written to
-//! autovectorise, and every public operation validates its shape
-//! preconditions.
+//! worker pool (see [`threading`]), the band bodies run dispatched SIMD
+//! micro-kernels (AVX2+FMA with a portable unrolled fallback, see [`simd`]),
+//! and every public operation validates its shape preconditions.
 //!
 //! ```
 //! use vgod_tensor::Matrix;
@@ -24,11 +24,14 @@
 
 pub mod arena;
 mod csr;
+mod kernels;
 mod matrix;
 mod parallel;
 mod pool;
+pub mod simd;
 
 pub use csr::Csr;
+pub use kernels::AdamStep;
 pub use matrix::Matrix;
 
 /// Thread-pool configuration for the parallel kernels.

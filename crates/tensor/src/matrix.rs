@@ -1,14 +1,15 @@
 //! Dense row-major `f32` matrix.
 
+use crate::kernels;
 use crate::parallel::{
-    band_ranges, for_each_chunk3, for_each_row_chunk, row_chunks, threads_for, ELEMWISE_THRESHOLD,
-    GEMM_FLOP_THRESHOLD,
+    for_each_chunk3, for_each_row_band, for_each_row_chunk, row_chunks, threads_for,
+    ELEMWISE_THRESHOLD, GEMM_FLOP_THRESHOLD,
 };
-use crate::TensorError;
+use crate::{AdamStep, TensorError};
 
-/// Chunk ranges for a streaming elementwise kernel over `len` elements.
-fn elem_ranges(len: usize) -> Vec<(usize, usize)> {
-    row_chunks(len, threads_for(len, ELEMWISE_THRESHOLD))
+/// Thread count for a streaming elementwise kernel over `len` elements.
+fn elem_threads(len: usize) -> usize {
+    threads_for(len, ELEMWISE_THRESHOLD)
 }
 
 /// A dense, row-major matrix of `f32` values.
@@ -244,39 +245,103 @@ impl Matrix {
         );
     }
 
+    /// Banded elementwise combination through a dispatched SIMD kernel.
+    fn zip_kernel(
+        &self,
+        other: &Matrix,
+        op: &str,
+        kernel: fn(&mut [f32], &[f32], &[f32]),
+    ) -> Matrix {
+        self.assert_same_shape(other, op);
+        let mut data = crate::arena::alloc_zeroed(self.data.len());
+        let (a, b) = (&self.data, &other.data);
+        for_each_row_band(
+            &mut data,
+            1,
+            a.len(),
+            elem_threads(a.len()),
+            |s, e, band| {
+                kernel(band, &a[s..e], &b[s..e]);
+            },
+        );
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
     /// Elementwise sum `self + other`.
     pub fn add(&self, other: &Matrix) -> Matrix {
-        self.zip_map(other, |a, b| a + b)
+        self.zip_kernel(other, "add", kernels::zip_add)
     }
 
     /// Elementwise difference `self - other`.
     pub fn sub(&self, other: &Matrix) -> Matrix {
-        self.zip_map(other, |a, b| a - b)
+        self.zip_kernel(other, "sub", kernels::zip_sub)
     }
 
     /// Hadamard (elementwise) product `self ∘ other`.
     pub fn mul(&self, other: &Matrix) -> Matrix {
-        self.zip_map(other, |a, b| a * b)
+        self.zip_kernel(other, "mul", kernels::zip_mul)
     }
 
     /// In-place `self += other`.
     pub fn add_assign(&mut self, other: &Matrix) {
-        self.zip_apply(other, |a, b| *a += b);
+        self.assert_same_shape(other, "add_assign");
+        let b = &other.data;
+        for_each_row_band(
+            &mut self.data,
+            1,
+            b.len(),
+            elem_threads(b.len()),
+            |s, e, band| {
+                kernels::add_inplace(band, &b[s..e]);
+            },
+        );
     }
 
     /// In-place `self += alpha * other` (axpy).
     pub fn add_scaled(&mut self, alpha: f32, other: &Matrix) {
-        self.zip_apply(other, move |a, b| *a += alpha * b);
+        self.assert_same_shape(other, "add_scaled");
+        let b = &other.data;
+        for_each_row_band(
+            &mut self.data,
+            1,
+            b.len(),
+            elem_threads(b.len()),
+            |s, e, band| {
+                kernels::axpy(band, alpha, &b[s..e]);
+            },
+        );
     }
 
     /// Scalar product `alpha * self`.
     pub fn scale(&self, alpha: f32) -> Matrix {
-        self.map(move |v| alpha * v)
+        let mut data = crate::arena::alloc_zeroed(self.data.len());
+        let src = &self.data;
+        for_each_row_band(
+            &mut data,
+            1,
+            src.len(),
+            elem_threads(src.len()),
+            |s, e, band| {
+                kernels::scale(band, &src[s..e], alpha);
+            },
+        );
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// In-place scalar product.
     pub fn scale_inplace(&mut self, alpha: f32) {
-        self.map_inplace(move |v| alpha * v);
+        let len = self.data.len();
+        for_each_row_band(&mut self.data, 1, len, elem_threads(len), |_, _, band| {
+            kernels::scale_inplace(band, alpha);
+        });
     }
 
     /// Set every element to zero, keeping the allocation.
@@ -288,11 +353,17 @@ impl Matrix {
     pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Matrix {
         let mut data = crate::arena::alloc_zeroed(self.data.len());
         let src = &self.data;
-        for_each_row_chunk(&mut data, 1, &elem_ranges(src.len()), |s, e, band| {
-            for (d, &v) in band.iter_mut().zip(&src[s..e]) {
-                *d = f(v);
-            }
-        });
+        for_each_row_band(
+            &mut data,
+            1,
+            src.len(),
+            elem_threads(src.len()),
+            |s, e, band| {
+                for (d, &v) in band.iter_mut().zip(&src[s..e]) {
+                    *d = f(v);
+                }
+            },
+        );
         Matrix {
             rows: self.rows,
             cols: self.cols,
@@ -302,8 +373,8 @@ impl Matrix {
 
     /// Apply `f` to every element in place.
     pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32 + Sync) {
-        let ranges = elem_ranges(self.data.len());
-        for_each_row_chunk(&mut self.data, 1, &ranges, |_, _, band| {
+        let len = self.data.len();
+        for_each_row_band(&mut self.data, 1, len, elem_threads(len), |_, _, band| {
             for v in band.iter_mut() {
                 *v = f(*v);
             }
@@ -316,11 +387,17 @@ impl Matrix {
         self.assert_same_shape(other, "zip_map");
         let mut data = crate::arena::alloc_zeroed(self.data.len());
         let (a, b) = (&self.data, &other.data);
-        for_each_row_chunk(&mut data, 1, &elem_ranges(a.len()), |s, e, band| {
-            for ((d, &x), &y) in band.iter_mut().zip(&a[s..e]).zip(&b[s..e]) {
-                *d = f(x, y);
-            }
-        });
+        for_each_row_band(
+            &mut data,
+            1,
+            a.len(),
+            elem_threads(a.len()),
+            |s, e, band| {
+                for ((d, &x), &y) in band.iter_mut().zip(&a[s..e]).zip(&b[s..e]) {
+                    *d = f(x, y);
+                }
+            },
+        );
         Matrix {
             rows: self.rows,
             cols: self.cols,
@@ -332,13 +409,18 @@ impl Matrix {
     /// `f(&mut self[i], other[i])`.
     pub fn zip_apply(&mut self, other: &Matrix, f: impl Fn(&mut f32, f32) + Sync) {
         self.assert_same_shape(other, "zip_apply");
-        let ranges = elem_ranges(self.data.len());
         let b = &other.data;
-        for_each_row_chunk(&mut self.data, 1, &ranges, |s, e, band| {
-            for (a, &y) in band.iter_mut().zip(&b[s..e]) {
-                f(a, y);
-            }
-        });
+        for_each_row_band(
+            &mut self.data,
+            1,
+            b.len(),
+            elem_threads(b.len()),
+            |s, e, band| {
+                for (a, &y) in band.iter_mut().zip(&b[s..e]) {
+                    f(a, y);
+                }
+            },
+        );
     }
 
     /// Fused elementwise update over three mutable matrices and one source:
@@ -356,13 +438,13 @@ impl Matrix {
         self.assert_same_shape(b, "zip_apply3");
         self.assert_same_shape(c, "zip_apply3");
         self.assert_same_shape(src, "zip_apply3");
-        let ranges = elem_ranges(self.data.len());
+        let len = self.data.len();
         let g = &src.data;
         for_each_chunk3(
             &mut self.data,
             &mut b.data,
             &mut c.data,
-            &ranges,
+            elem_threads(len),
             |s, ca, cb, cc| {
                 for (((a, bb), cv), &gv) in ca
                     .iter_mut()
@@ -376,13 +458,34 @@ impl Matrix {
         );
     }
 
+    /// Fused Adam update through the dispatched SIMD kernel: `self` is the
+    /// parameter, `m`/`v` the first/second moment buffers, `g` the gradient.
+    /// One memory pass over all four buffers; bitwise identical across ISA
+    /// paths (the kernel deliberately avoids FMA contraction).
+    pub fn fused_adam_step(&mut self, m: &mut Matrix, v: &mut Matrix, g: &Matrix, step: &AdamStep) {
+        self.assert_same_shape(m, "fused_adam_step");
+        self.assert_same_shape(v, "fused_adam_step");
+        self.assert_same_shape(g, "fused_adam_step");
+        let len = self.data.len();
+        let grad = &g.data;
+        let step = *step;
+        for_each_chunk3(
+            &mut self.data,
+            &mut m.data,
+            &mut v.data,
+            elem_threads(len),
+            |s, cp, cm, cv| {
+                kernels::fused_adam(cp, cm, cv, &grad[s..s + cp.len()], &step);
+            },
+        );
+    }
+
     /// Run `f` over every row (with its row index), rows distributed across
     /// the worker pool when the matrix is large enough.
     pub fn par_rows_mut(&mut self, f: impl Fn(usize, &mut [f32]) + Sync) {
         let threads = threads_for(self.data.len(), ELEMWISE_THRESHOLD);
-        let ranges = band_ranges(self.rows, threads);
-        let cols = self.cols;
-        for_each_row_chunk(&mut self.data, cols, &ranges, |s, e, band| {
+        let (rows, cols) = (self.rows, self.cols);
+        for_each_row_band(&mut self.data, cols, rows, threads, |s, e, band| {
             for (local, r) in (s..e).enumerate() {
                 f(r, &mut band[local * cols..(local + 1) * cols]);
             }
@@ -461,10 +564,11 @@ impl Matrix {
         fold: impl Fn(&[f32]) -> f32 + Sync,
         merge: impl Fn(f32, f32) -> f32,
     ) -> f32 {
-        let ranges = elem_ranges(self.data.len());
-        if ranges.len() <= 1 {
+        let threads = elem_threads(self.data.len());
+        if threads <= 1 {
             return merge(init, fold(&self.data));
         }
+        let ranges = row_chunks(self.data.len(), threads);
         let mut partials = vec![0.0f32; ranges.len()];
         let src = &self.data;
         let unit: Vec<(usize, usize)> = (0..ranges.len()).map(|i| (i, i + 1)).collect();
@@ -475,9 +579,9 @@ impl Matrix {
         partials.into_iter().fold(init, merge)
     }
 
-    /// Sum of all elements.
+    /// Sum of all elements (8-lane kernel, fixed reduction tree).
     pub fn sum(&self) -> f32 {
-        self.fold_elem_chunks(0.0, |chunk| chunk.iter().sum(), |a, b| a + b)
+        self.fold_elem_chunks(0.0, kernels::sum, |a, b| a + b)
     }
 
     /// Mean of all elements (0.0 for an empty matrix).
@@ -493,12 +597,11 @@ impl Matrix {
     pub fn row_sums(&self) -> Matrix {
         let mut out = Matrix::zeros(self.rows, 1);
         let threads = threads_for(self.data.len(), ELEMWISE_THRESHOLD);
-        let ranges = band_ranges(self.rows, threads);
         let src = &self.data;
-        let cols = self.cols;
-        for_each_row_chunk(&mut out.data, 1, &ranges, |s, e, band| {
+        let (rows, cols) = (self.rows, self.cols);
+        for_each_row_band(&mut out.data, 1, rows, threads, |s, e, band| {
             for (local, r) in (s..e).enumerate() {
-                band[local] = src[r * cols..(r + 1) * cols].iter().sum();
+                band[local] = kernels::sum(&src[r * cols..(r + 1) * cols]);
             }
         });
         out
@@ -524,9 +627,7 @@ impl Matrix {
         let threads = threads_for(self.data.len(), ELEMWISE_THRESHOLD).min(self.rows.max(1));
         if threads <= 1 {
             for r in 0..self.rows {
-                for (d, s) in out.data.iter_mut().zip(self.row(r)) {
-                    *d += s;
-                }
+                kernels::add_inplace(&mut out.data, self.row(r));
             }
             return out;
         }
@@ -538,15 +639,11 @@ impl Matrix {
         for_each_row_chunk(&mut partials, cols, &unit, |b, _, buf| {
             let (rs, re) = row_ranges[b];
             for r in rs..re {
-                for (d, s) in buf.iter_mut().zip(&src[r * cols..(r + 1) * cols]) {
-                    *d += s;
-                }
+                kernels::add_inplace(buf, &src[r * cols..(r + 1) * cols]);
             }
         });
         for band in partials.chunks_exact(cols.max(1)) {
-            for (d, s) in out.data.iter_mut().zip(band) {
-                *d += s;
-            }
+            kernels::add_inplace(&mut out.data, band);
         }
         out
     }
@@ -555,12 +652,11 @@ impl Matrix {
     pub fn row_sq_norms(&self) -> Matrix {
         let mut out = Matrix::zeros(self.rows, 1);
         let threads = threads_for(self.data.len(), ELEMWISE_THRESHOLD);
-        let ranges = band_ranges(self.rows, threads);
         let src = &self.data;
-        let cols = self.cols;
-        for_each_row_chunk(&mut out.data, 1, &ranges, |s, e, band| {
+        let (rows, cols) = (self.rows, self.cols);
+        for_each_row_band(&mut out.data, 1, rows, threads, |s, e, band| {
             for (local, r) in (s..e).enumerate() {
-                band[local] = src[r * cols..(r + 1) * cols].iter().map(|v| v * v).sum();
+                band[local] = kernels::sum_sq(&src[r * cols..(r + 1) * cols]);
             }
         });
         out
@@ -575,7 +671,7 @@ impl Matrix {
 
     /// Frobenius norm of the whole matrix.
     pub fn frobenius_norm(&self) -> f32 {
-        self.fold_elem_chunks(0.0, |chunk| chunk.iter().map(|v| v * v).sum(), |a, b| a + b)
+        self.fold_elem_chunks(0.0, kernels::sum_sq, |a, b| a + b)
             .sqrt()
     }
 
@@ -635,6 +731,10 @@ impl Matrix {
     // ------------------------------------------------------------------
 
     /// Dense matrix product `self · other` (`m×k · k×n → m×n`).
+    ///
+    /// B is packed once into `NR`-wide column panels (arena-recycled
+    /// buffer); row bands then run the register-tiled, cache-blocked
+    /// micro-kernel against the shared read-only panels.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols,
@@ -646,24 +746,14 @@ impl Matrix {
         let (m, k, n) = (self.rows, self.cols, other.cols);
         let mut out = Matrix::zeros(m, n);
         let threads = threads_for(m * k * n, GEMM_FLOP_THRESHOLD);
-        let ranges = band_ranges(m, threads);
+        let mut bp = crate::arena::alloc_zeroed(kernels::packed_len(k, n));
+        kernels::pack_b(&mut bp, &other.data, k, n);
         let a = &self.data;
-        let b = &other.data;
-        for_each_row_chunk(&mut out.data, n, &ranges, |s, e, band| {
-            for (local, i) in (s..e).enumerate() {
-                let out_row = &mut band[local * n..(local + 1) * n];
-                let a_row = &a[i * k..(i + 1) * k];
-                for (kk, &aik) in a_row.iter().enumerate() {
-                    if aik == 0.0 {
-                        continue;
-                    }
-                    let b_row = &b[kk * n..(kk + 1) * n];
-                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                        *o += aik * bv;
-                    }
-                }
-            }
+        let bp_ref = &bp;
+        for_each_row_band(&mut out.data, n, m, threads, |s, e, band| {
+            kernels::gemm_nn(band, &a[s * k..e * k], bp_ref, e - s, k, n);
         });
+        crate::arena::release(bp);
         out
     }
 
@@ -676,31 +766,17 @@ impl Matrix {
             self.shape(),
             other.shape()
         );
-        let (k, m, n) = (self.rows, self.cols, other.cols);
-        let mut out = Matrix::zeros(m, n);
-        let threads = threads_for(m * k * n, GEMM_FLOP_THRESHOLD);
-        let ranges = band_ranges(m, threads);
-        let a = &self.data;
-        let b = &other.data;
-        for_each_row_chunk(&mut out.data, n, &ranges, |s, e, band| {
-            for kk in 0..k {
-                let b_row = &b[kk * n..(kk + 1) * n];
-                for (local, i) in (s..e).enumerate() {
-                    let aki = a[kk * m + i];
-                    if aki == 0.0 {
-                        continue;
-                    }
-                    let out_row = &mut band[local * n..(local + 1) * n];
-                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                        *o += aki * bv;
-                    }
-                }
-            }
-        });
-        out
+        // Transpose A once (an exact, parallel elementwise copy) and reuse
+        // the packed NN micro-kernel: a k×m transpose is cheap next to the
+        // m·k·n product, and it keeps a single GEMM accumulation order for
+        // both flavours.
+        self.transpose().matmul(other)
     }
 
     /// Transposed-right product `self · otherᵀ` (`m×k · (n×k)ᵀ → m×n`).
+    ///
+    /// Both operands are already row-major over `k`, so this runs the
+    /// dot-product micro-kernel directly — no packing needed.
     pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols,
@@ -712,22 +788,10 @@ impl Matrix {
         let (m, k, n) = (self.rows, self.cols, other.rows);
         let mut out = Matrix::zeros(m, n);
         let threads = threads_for(m * k * n, GEMM_FLOP_THRESHOLD);
-        let ranges = band_ranges(m, threads);
         let a = &self.data;
         let b = &other.data;
-        for_each_row_chunk(&mut out.data, n, &ranges, |s, e, band| {
-            for (local, i) in (s..e).enumerate() {
-                let a_row = &a[i * k..(i + 1) * k];
-                let out_row = &mut band[local * n..(local + 1) * n];
-                for (j, o) in out_row.iter_mut().enumerate() {
-                    let b_row = &b[j * k..(j + 1) * k];
-                    let mut acc = 0.0f32;
-                    for (&av, &bv) in a_row.iter().zip(b_row) {
-                        acc += av * bv;
-                    }
-                    *o = acc;
-                }
-            }
+        for_each_row_band(&mut out.data, n, m, threads, |s, e, band| {
+            kernels::gemm_nt(band, &a[s * k..e * k], b, e - s, k, n);
         });
         out
     }
@@ -740,8 +804,7 @@ impl Matrix {
         // Parallel over *output* rows (= input columns): each band gathers
         // its columns from the source, which is only read.
         let threads = threads_for(src.len(), ELEMWISE_THRESHOLD);
-        let ranges = band_ranges(cols, threads);
-        for_each_row_chunk(&mut out.data, rows, &ranges, |s, e, band| {
+        for_each_row_band(&mut out.data, rows, cols, threads, |s, e, band| {
             for (local, c) in (s..e).enumerate() {
                 let out_row = &mut band[local * rows..(local + 1) * rows];
                 for (r, o) in out_row.iter_mut().enumerate() {
@@ -763,8 +826,7 @@ impl Matrix {
         let src = &self.data;
         let rows = self.rows;
         let threads = threads_for(idx.len() * cols, ELEMWISE_THRESHOLD);
-        let ranges = band_ranges(idx.len(), threads);
-        for_each_row_chunk(&mut out.data, cols, &ranges, |s, e, band| {
+        for_each_row_band(&mut out.data, cols, idx.len(), threads, |s, e, band| {
             for (local, &i) in idx[s..e].iter().enumerate() {
                 let i = i as usize;
                 debug_assert!(i < rows, "gather_rows index out of bounds");
@@ -944,15 +1006,63 @@ mod tests {
     #[test]
     fn par_rows_mut_sees_global_row_indices() {
         let _ = crate::pool::set_num_threads(4);
-        let mut a = Matrix::zeros(300, 250); // 75k elements: parallel path
+        let mut a = Matrix::zeros(400, 350); // 140k elements: above ELEMWISE_THRESHOLD
         a.par_rows_mut(|r, row| {
             for (c, v) in row.iter_mut().enumerate() {
-                *v = (r * 250 + c) as f32;
+                *v = (r * 350 + c) as f32;
             }
         });
         for (i, v) in a.as_slice().iter().enumerate() {
             assert_eq!(*v, i as f32);
         }
+    }
+
+    #[test]
+    fn fused_adam_step_matches_zip_apply3_closure() {
+        let (lr, beta1, beta2, eps) = (0.05f32, 0.9f32, 0.99f32, 1e-8f32);
+        let (bias1, bias2) = (1.0 - beta1 * beta1, 1.0 - beta2 * beta2);
+        let mut p = Matrix::from_fn(17, 9, |r, c| (r + c) as f32 * 0.1 - 1.0);
+        let mut m = Matrix::from_fn(17, 9, |r, c| (r as f32 - c as f32) * 0.05);
+        let mut v = Matrix::from_fn(17, 9, |r, c| ((r * c) % 7) as f32 * 0.02);
+        let g = Matrix::from_fn(17, 9, |r, c| ((r * 3 + c * 5) % 11) as f32 * 0.3 - 1.5);
+        let (mut p2, mut m2, mut v2) = (p.clone(), m.clone(), v.clone());
+        p2.zip_apply3(&mut m2, &mut v2, &g, |pv, mv, vv, gv| {
+            *mv = beta1 * *mv + (1.0 - beta1) * gv;
+            *vv = beta2 * *vv + (1.0 - beta2) * gv * gv;
+            let m_hat = *mv / bias1;
+            let v_hat = *vv / bias2;
+            *pv -= lr * m_hat / (v_hat.sqrt() + eps);
+        });
+        let step = AdamStep {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            bias1,
+            bias2,
+        };
+        let mut legs = Vec::new();
+        for forced in [true, false] {
+            let (mut pk, mut mk, mut vk) = (p.clone(), m.clone(), v.clone());
+            crate::simd::force_scalar(forced);
+            pk.fused_adam_step(&mut mk, &mut vk, &g, &step);
+            crate::simd::force_scalar(false);
+            // The moment recurrences share the closure's operation order
+            // exactly; the parameter update folds the bias-correction
+            // divisions into reciprocal multiplies, so it only agrees with
+            // the closure to a few ulp.
+            assert_eq!(mk.as_slice(), m2.as_slice(), "forced={forced}");
+            assert_eq!(vk.as_slice(), v2.as_slice(), "forced={forced}");
+            for (i, (a, b)) in pk.as_slice().iter().zip(p2.as_slice()).enumerate() {
+                let tol = 1e-5 * b.abs().max(1.0);
+                assert!((a - b).abs() <= tol, "forced={forced} elem {i}: {a} vs {b}");
+            }
+            legs.push(pk);
+        }
+        // …but the scalar and dispatched kernels must agree bitwise.
+        assert_eq!(legs[0].as_slice(), legs[1].as_slice());
+        p.fused_adam_step(&mut m, &mut v, &g, &step);
+        assert_eq!(p.as_slice(), legs[1].as_slice());
     }
 
     #[test]

@@ -16,20 +16,23 @@
 use crate::pool::{num_threads, run_chunks};
 
 /// Minimum scalar multiply-adds (`m * k * n`) before a dense GEMM engages
-/// the pool.
-pub(crate) const GEMM_FLOP_THRESHOLD: usize = 2_000_000;
+/// the pool. Calibrated against the dispatched SIMD micro-kernels: the
+/// vectorised GEMM retires multiply-adds several times faster than the old
+/// scalar loop, so the pool's dispatch overhead only amortises at a
+/// correspondingly larger problem.
+pub(crate) const GEMM_FLOP_THRESHOLD: usize = 8_000_000;
 
 /// Minimum work units (`nnz * dense_cols`) before a sparse × dense product
 /// engages the pool. Lower than the GEMM threshold: each SpMM work unit
 /// carries an index indirection and a gathered row read, so it costs several
-/// times a GEMM FLOP.
-pub(crate) const SPMM_WORK_THRESHOLD: usize = 500_000;
+/// times a GEMM FLOP even vectorised.
+pub(crate) const SPMM_WORK_THRESHOLD: usize = 1_000_000;
 
 /// Minimum element count before streaming elementwise kernels (maps, zips,
 /// broadcasts, reductions) engage the pool. These touch each element once
-/// and are memory-bound, so the threshold is mostly the dispatch overhead
-/// amortisation point.
-pub(crate) const ELEMWISE_THRESHOLD: usize = 65_536;
+/// and are memory-bound; the vectorised kernels halve the per-element cost,
+/// doubling the dispatch-overhead amortisation point.
+pub(crate) const ELEMWISE_THRESHOLD: usize = 131_072;
 
 /// Bands per thread for row-parallel kernels with potentially uneven row
 /// cost. More bands than threads lets the pool's claim counter rebalance.
@@ -110,28 +113,48 @@ pub(crate) fn band_ranges(rows: usize, threads: usize) -> Vec<(usize, usize)> {
     row_chunks(rows, if threads > 1 { threads * OVERSPLIT } else { 1 })
 }
 
+/// Row-parallel kernel driver: run `body` over row bands of `out`
+/// (`rows × row_len`), oversplit across the pool when `threads > 1`. When
+/// `threads_for` resolved to a single thread the body runs inline on the
+/// whole output — no range vector, no band bookkeeping, no pool dispatch.
+pub(crate) fn for_each_row_band<F>(
+    out: &mut [f32],
+    row_len: usize,
+    rows: usize,
+    threads: usize,
+    body: F,
+) where
+    F: Fn(usize, usize, &mut [f32]) + Sync,
+{
+    if threads <= 1 || rows <= 1 {
+        body(0, rows, out);
+        return;
+    }
+    let ranges = band_ranges(rows, threads);
+    for_each_row_chunk(out, row_len, &ranges, body);
+}
+
 /// Run `body` over matching chunks of three equal-length slices (fused
 /// elementwise updates, e.g. optimizer steps touching parameter, first and
-/// second moment buffers in one pass). Chunk `i` covers elements
-/// `ranges[i]`; `body` receives the chunk start offset and the three
-/// sub-slices.
+/// second moment buffers in one pass). Runs inline on the whole slices when
+/// `threads <= 1`; otherwise chunk `i` covers `row_chunks(len, threads)[i]`
+/// and `body` receives the chunk start offset and the three sub-slices.
 pub(crate) fn for_each_chunk3<F>(
     a: &mut [f32],
     b: &mut [f32],
     c: &mut [f32],
-    ranges: &[(usize, usize)],
+    threads: usize,
     body: F,
 ) where
     F: Fn(usize, &mut [f32], &mut [f32], &mut [f32]) + Sync,
 {
     assert_eq!(a.len(), b.len(), "for_each_chunk3: length mismatch");
     assert_eq!(a.len(), c.len(), "for_each_chunk3: length mismatch");
-    if ranges.len() <= 1 {
-        if let Some(&(s, e)) = ranges.first() {
-            body(s, &mut a[s..e], &mut b[s..e], &mut c[s..e]);
-        }
+    if threads <= 1 || a.len() <= 1 {
+        body(0, a, b, c);
         return;
     }
+    let ranges = row_chunks(a.len(), threads);
     // Addresses as usize so the task closure stays Sync; rebuilt per chunk.
     let (pa, pb, pc) = (
         a.as_mut_ptr() as usize,
@@ -211,6 +234,24 @@ mod tests {
     }
 
     #[test]
+    fn row_band_sequential_path_gets_whole_output() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let calls = AtomicUsize::new(0);
+        let mut out = vec![0.0f32; 12];
+        for_each_row_band(&mut out, 3, 4, 1, |s, e, band| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            assert_eq!((s, e), (0, 4));
+            assert_eq!(band.len(), 12);
+            for v in band.iter_mut() {
+                *v = 1.0;
+            }
+        });
+        // One inline call, no banding, no pool dispatch.
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        assert!(out.iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
     fn oversplit_banding_matches_sequential_fill() {
         pin_test_threads();
         let rows = 101;
@@ -234,8 +275,7 @@ mod tests {
         let mut a = vec![1.0f32; n];
         let mut b = vec![2.0f32; n];
         let mut c = vec![3.0f32; n];
-        let ranges = row_chunks(n, 4);
-        for_each_chunk3(&mut a, &mut b, &mut c, &ranges, |s, ca, cb, cc| {
+        for_each_chunk3(&mut a, &mut b, &mut c, 4, |s, ca, cb, cc| {
             for i in 0..ca.len() {
                 ca[i] += (s + i) as f32;
                 cb[i] *= 2.0;

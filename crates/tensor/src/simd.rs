@@ -1,0 +1,107 @@
+//! Runtime CPU-feature dispatch for the SIMD micro-kernels.
+//!
+//! The instruction set used by the kernels in [`crate::kernels`] is resolved
+//! **once** per process, the first time any kernel runs:
+//!
+//! 1. `VGOD_SIMD=scalar` forces the portable 8-wide-unrolled scalar
+//!    fallback everywhere (useful on hosts whose AVX2 support is flaky, and
+//!    in CI to keep the fallback path green).
+//! 2. `VGOD_SIMD=native` (or the variable unset) probes the CPU: on
+//!    `x86_64` with AVX2 + FMA the hand-written `std::arch` kernels are
+//!    selected; everything else gets the scalar fallback.
+//!
+//! [`force_scalar`] additionally routes every kernel through the scalar
+//! fallback at runtime without touching the cached decision — the same
+//! pattern as `threading::force_sequential`, used by the A/B benchmarks
+//! (`benches/micro_kernels.rs` → `BENCH_simd.json`) and the
+//! scalar-vs-SIMD equivalence proptests.
+//!
+//! The determinism contract (see `DESIGN.md` § SIMD micro-kernels): within
+//! one ISA path every kernel fixes its accumulation order, so results are
+//! bit-identical across thread counts, warm/cold arena state and repeated
+//! runs. *Across* ISA paths (scalar vs AVX2) results agree only within
+//! float tolerance — the FMA kernels skip the intermediate rounding of the
+//! scalar multiply-then-add sequence.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+/// Instruction-set back end the kernels dispatch to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Isa {
+    /// Portable 8-wide-unrolled scalar kernels (autovectorised by LLVM).
+    Scalar,
+    /// Hand-written AVX2 + FMA kernels (`x86_64` only).
+    Avx2,
+}
+
+impl Isa {
+    /// Stable lower-case name, as recorded in benchmark JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Isa::Scalar => "scalar",
+            Isa::Avx2 => "avx2",
+        }
+    }
+}
+
+static DETECTED: OnceLock<Isa> = OnceLock::new();
+static FORCE_SCALAR: AtomicBool = AtomicBool::new(false);
+
+fn detect() -> Isa {
+    match std::env::var("VGOD_SIMD").as_deref() {
+        Ok("scalar") => return Isa::Scalar,
+        Ok("native") | Err(_) => {}
+        Ok(other) => {
+            eprintln!("vgod-tensor: ignoring unknown VGOD_SIMD value {other:?} (expected `scalar` or `native`)");
+        }
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            return Isa::Avx2;
+        }
+    }
+    Isa::Scalar
+}
+
+/// The ISA the dispatched kernels are currently using.
+///
+/// Resolved once per process from `VGOD_SIMD` / CPUID (see module docs);
+/// [`force_scalar`] temporarily overrides it to [`Isa::Scalar`].
+#[inline]
+pub fn active_isa() -> Isa {
+    if FORCE_SCALAR.load(Ordering::Relaxed) {
+        return Isa::Scalar;
+    }
+    *DETECTED.get_or_init(detect)
+}
+
+/// The ISA detection result, ignoring any [`force_scalar`] override.
+pub fn detected_isa() -> Isa {
+    *DETECTED.get_or_init(detect)
+}
+
+/// Route every kernel through the portable scalar fallback while `on` is
+/// set, regardless of the detected ISA. Intended for benchmarks (scalar
+/// baselines) and equivalence tests; not a synchronisation point — kernels
+/// already running are unaffected.
+pub fn force_scalar(on: bool) {
+    FORCE_SCALAR.store(on, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn force_scalar_overrides_detection() {
+        force_scalar(true);
+        assert_eq!(active_isa(), Isa::Scalar);
+        force_scalar(false);
+        // Whatever the host supports, the answer must be stable.
+        assert_eq!(active_isa(), active_isa());
+        assert!(!Isa::Avx2.name().is_empty() && !Isa::Scalar.name().is_empty());
+    }
+}
