@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 mod param;
+pub mod persist;
 mod tape;
 
 pub use param::{Param, ParamId, ParamStore};

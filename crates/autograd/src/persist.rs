@@ -1,0 +1,150 @@
+//! Shared plumbing for plain-text model checkpoints.
+//!
+//! A checkpoint is a `# vgod-<kind> v<N>` magic line, a header line of
+//! `key value` pairs, and the parameter store in
+//! [`crate::ParamStore::write_text`] format. Reconstruction replays the
+//! model's deterministic constructor (which fixes the parameter insertion
+//! order) and then overwrites every value with the checkpoint's. These
+//! helpers are shared by every detector's `save`/`load` pair and by the
+//! serving model registry.
+
+use std::collections::BTreeMap;
+
+/// Serialise `key value` pairs on one line.
+pub fn header_line(pairs: &[(&str, String)]) -> String {
+    pairs
+        .iter()
+        .map(|(k, v)| format!("{k} {v}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Parse a header line into a key → value map.
+///
+/// Rejects odd token counts and duplicate keys — a duplicated key would
+/// otherwise silently keep the last value, hiding a corrupted or
+/// hand-mangled checkpoint.
+pub fn parse_header(line: &str) -> Result<BTreeMap<String, String>, String> {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    if !tokens.len().is_multiple_of(2) {
+        return Err(format!("malformed header: {line:?}"));
+    }
+    let mut map = BTreeMap::new();
+    for pair in tokens.chunks(2) {
+        if map
+            .insert(pair[0].to_string(), pair[1].to_string())
+            .is_some()
+        {
+            return Err(format!("duplicate header key {:?}: {line:?}", pair[0]));
+        }
+    }
+    Ok(map)
+}
+
+/// Typed lookup in a parsed header.
+pub fn header_get<T: std::str::FromStr>(
+    map: &BTreeMap<String, String>,
+    key: &str,
+) -> Result<T, String> {
+    map.get(key)
+        .ok_or_else(|| format!("missing header field {key:?}"))?
+        .parse()
+        .map_err(|_| format!("bad header field {key:?}"))
+}
+
+/// Read one line and check it against the expected magic string; the error
+/// names the expectation so mismatched checkpoint kinds are diagnosable.
+pub fn expect_magic(input: &mut impl std::io::BufRead, expected: &str) -> Result<(), String> {
+    let mut magic = String::new();
+    input.read_line(&mut magic).map_err(|e| e.to_string())?;
+    if magic.trim() != expected {
+        return Err(format!("not a {expected:?} checkpoint: {magic:?}"));
+    }
+    Ok(())
+}
+
+/// Read the header line following the magic and parse it.
+pub fn read_header(input: &mut impl std::io::BufRead) -> Result<BTreeMap<String, String>, String> {
+    let mut header = String::new();
+    input.read_line(&mut header).map_err(|e| e.to_string())?;
+    parse_header(header.trim())
+}
+
+/// Copy every parameter value from `src` into `dst`, validating that both
+/// stores have identical layouts.
+pub fn copy_store_values(
+    dst: &mut crate::ParamStore,
+    src: &crate::ParamStore,
+) -> Result<(), String> {
+    if dst.len() != src.len() {
+        return Err(format!(
+            "checkpoint has {} parameters, model expects {}",
+            src.len(),
+            dst.len()
+        ));
+    }
+    let shapes: Vec<_> = src.iter().map(|(_, p)| p.value.clone()).collect();
+    for ((id, p), value) in dst.iter_mut().zip(shapes) {
+        if p.value.shape() != value.shape() {
+            return Err(format!(
+                "checkpoint parameter {id:?} has shape {:?}, model expects {:?}",
+                value.shape(),
+                p.value.shape()
+            ));
+        }
+        p.value = value;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vgod_tensor::Matrix;
+
+    #[test]
+    fn header_roundtrip() {
+        let line = header_line(&[("hidden", "64".into()), ("lr", "0.005".into())]);
+        let map = parse_header(&line).unwrap();
+        assert_eq!(header_get::<usize>(&map, "hidden").unwrap(), 64);
+        assert_eq!(header_get::<f32>(&map, "lr").unwrap(), 0.005);
+        assert!(header_get::<usize>(&map, "missing").is_err());
+        assert!(parse_header("three tokens here").is_err());
+    }
+
+    #[test]
+    fn duplicate_header_keys_are_rejected() {
+        let err = parse_header("hidden 64 hidden 32").unwrap_err();
+        assert!(err.contains("duplicate header key"), "{err}");
+        // A repeated value under distinct keys is fine.
+        assert!(parse_header("a 1 b 1").is_ok());
+    }
+
+    #[test]
+    fn magic_and_header_readers() {
+        let data = b"# vgod-test v1\nhidden 8 seed 3\n";
+        let mut r = &data[..];
+        expect_magic(&mut r, "# vgod-test v1").unwrap();
+        let map = read_header(&mut r).unwrap();
+        assert_eq!(header_get::<u64>(&map, "seed").unwrap(), 3);
+        assert!(expect_magic(&mut b"# other v1\n".as_slice(), "# vgod-test v1").is_err());
+    }
+
+    #[test]
+    fn copy_validates_layout() {
+        let mut a = crate::ParamStore::new();
+        a.insert(Matrix::zeros(2, 2));
+        let mut b = crate::ParamStore::new();
+        b.insert(Matrix::filled(2, 2, 5.0));
+        copy_store_values(&mut a, &b).unwrap();
+        let (id, p) = a.iter().next().unwrap();
+        assert_eq!(p.value.as_slice(), &[5.0; 4]);
+        let _ = id;
+
+        let mut c = crate::ParamStore::new();
+        c.insert(Matrix::zeros(1, 3));
+        assert!(copy_store_values(&mut a, &c).is_err());
+        let empty = crate::ParamStore::new();
+        assert!(copy_store_values(&mut a, &empty).is_err());
+    }
+}

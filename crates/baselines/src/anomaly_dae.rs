@@ -2,7 +2,8 @@
 //! attention-based structure autoencoder and an attribute autoencoder with
 //! cross-modality reconstruction.
 
-use vgod_autograd::{ParamStore, Tape, Var};
+use rand::Rng;
+use vgod_autograd::{persist, ParamStore, Tape, Var};
 use vgod_eval::{OutlierDetector, Scores};
 use vgod_gnn::{GatLayer, GraphContext};
 use vgod_graph::{seeded_rng, AttributedGraph};
@@ -63,6 +64,74 @@ impl AnomalyDae {
             ctx,
         )
     }
+
+    /// Build the architecture for `d` attributes over `n` nodes, consuming
+    /// `rng` draws in the fixed constructor order checkpoint loading replays.
+    fn build_state(cfg: &DeepConfig, d: usize, n: usize, rng: &mut impl Rng) -> State {
+        let mut store = ParamStore::new();
+        let node_proj = Linear::new(&mut store, d, cfg.hidden, true, rng);
+        let node_gat = GatLayer::new(&mut store, cfg.hidden, cfg.hidden, rng);
+        let attr_enc = Linear::new(&mut store, n, cfg.hidden, true, rng);
+        State {
+            store,
+            node_proj,
+            node_gat,
+            attr_enc,
+            in_dim: d,
+            n_nodes: n,
+        }
+    }
+
+    /// Write a trained model as a plain-text checkpoint.
+    ///
+    /// # Panics
+    /// Panics if the model is untrained.
+    pub fn save(&self, out: &mut impl std::io::Write) -> std::io::Result<()> {
+        let state = self
+            .state
+            .as_ref()
+            .expect("AnomalyDae::save called before fit");
+        writeln!(out, "# vgod-anomalydae v1")?;
+        writeln!(
+            out,
+            "{}",
+            persist::header_line(&[
+                ("hidden", self.cfg.hidden.to_string()),
+                ("epochs", self.cfg.epochs.to_string()),
+                ("lr", self.cfg.lr.to_string()),
+                ("seed", self.cfg.seed.to_string()),
+                ("alpha", self.alpha.to_string()),
+                ("in_dim", state.in_dim.to_string()),
+                ("n_nodes", state.n_nodes.to_string()),
+            ])
+        )?;
+        state.store.write_text(out)
+    }
+
+    /// Read a checkpoint written by [`AnomalyDae::save`]. The restored model
+    /// keeps the original's transductive restriction: it only scores graphs
+    /// with the training node count.
+    pub fn load(input: &mut impl std::io::BufRead) -> Result<AnomalyDae, String> {
+        persist::expect_magic(input, "# vgod-anomalydae v1")?;
+        let map = persist::read_header(input)?;
+        let cfg = DeepConfig {
+            hidden: persist::header_get(&map, "hidden")?,
+            epochs: persist::header_get(&map, "epochs")?,
+            lr: persist::header_get(&map, "lr")?,
+            seed: persist::header_get(&map, "seed")?,
+        };
+        let alpha: f32 = persist::header_get(&map, "alpha")?;
+        let in_dim: usize = persist::header_get(&map, "in_dim")?;
+        let n_nodes: usize = persist::header_get(&map, "n_nodes")?;
+        let loaded = ParamStore::read_text(input)?;
+        let mut rng = seeded_rng(cfg.seed);
+        let mut state = Self::build_state(&cfg, in_dim, n_nodes, &mut rng);
+        persist::copy_store_values(&mut state.store, &loaded)?;
+        let mut model = AnomalyDae::new(cfg);
+        model.alpha = alpha;
+        model.state = Some(state);
+        Ok(model)
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -100,10 +169,14 @@ impl OutlierDetector for AnomalyDae {
         let mut rng = seeded_rng(self.cfg.seed);
         let d = g.num_attrs();
         let n = g.num_nodes();
-        let mut store = ParamStore::new();
-        let node_proj = Linear::new(&mut store, d, self.cfg.hidden, true, &mut rng);
-        let node_gat = GatLayer::new(&mut store, self.cfg.hidden, self.cfg.hidden, &mut rng);
-        let attr_enc = Linear::new(&mut store, n, self.cfg.hidden, true, &mut rng);
+        let State {
+            mut store,
+            node_proj,
+            node_gat,
+            attr_enc,
+            in_dim,
+            n_nodes,
+        } = Self::build_state(&self.cfg, d, n, &mut rng);
 
         let ctx = GraphContext::of(g);
         let x = g.attrs().clone();
@@ -129,8 +202,8 @@ impl OutlierDetector for AnomalyDae {
             node_proj,
             node_gat,
             attr_enc,
-            in_dim: d,
-            n_nodes: n,
+            in_dim,
+            n_nodes,
         });
     }
 

@@ -4,7 +4,7 @@
 use std::rc::Rc;
 
 use rand::Rng;
-use vgod_autograd::{ParamId, ParamStore, Tape, Var};
+use vgod_autograd::{persist, ParamId, ParamStore, Tape, Var};
 use vgod_eval::{OutlierDetector, Scores};
 use vgod_gnn::{GcnLayer, GraphContext};
 use vgod_graph::{seeded_rng, AttributedGraph};
@@ -80,6 +80,66 @@ impl Cola {
         rand::seq::SliceRandom::shuffle(p.as_mut_slice(), rng);
         Rc::new(p)
     }
+
+    /// Build the GCN + bilinear discriminator for input dimension `d`,
+    /// consuming `rng` draws in the fixed constructor order checkpoint
+    /// loading replays.
+    fn build_state(cfg: &DeepConfig, d: usize, rng: &mut impl Rng) -> State {
+        let h = cfg.hidden;
+        let mut store = ParamStore::new();
+        let gcn = GcnLayer::new(&mut store, d, h, rng);
+        let bilinear = store.insert(glorot_uniform(h, h, rng));
+        State {
+            store,
+            gcn,
+            bilinear,
+            in_dim: d,
+        }
+    }
+
+    /// Write a trained model as a plain-text checkpoint.
+    ///
+    /// # Panics
+    /// Panics if the model is untrained.
+    pub fn save(&self, out: &mut impl std::io::Write) -> std::io::Result<()> {
+        let state = self.state.as_ref().expect("Cola::save called before fit");
+        writeln!(out, "# vgod-cola v1")?;
+        writeln!(
+            out,
+            "{}",
+            persist::header_line(&[
+                ("hidden", self.cfg.hidden.to_string()),
+                ("epochs", self.cfg.epochs.to_string()),
+                ("lr", self.cfg.lr.to_string()),
+                ("seed", self.cfg.seed.to_string()),
+                ("rounds", self.rounds.to_string()),
+                ("in_dim", state.in_dim.to_string()),
+            ])
+        )?;
+        state.store.write_text(out)
+    }
+
+    /// Read a checkpoint written by [`Cola::save`].
+    pub fn load(input: &mut impl std::io::BufRead) -> Result<Cola, String> {
+        persist::expect_magic(input, "# vgod-cola v1")?;
+        let map = persist::read_header(input)?;
+        let cfg = DeepConfig {
+            hidden: persist::header_get(&map, "hidden")?,
+            epochs: persist::header_get(&map, "epochs")?,
+            lr: persist::header_get(&map, "lr")?,
+            seed: persist::header_get(&map, "seed")?,
+        };
+        let rounds: usize = persist::header_get(&map, "rounds")?;
+        let loaded = ParamStore::read_text(input)?;
+        let in_dim: usize = persist::header_get(&map, "in_dim")?;
+        let mut rng = seeded_rng(cfg.seed);
+        let mut state = Self::build_state(&cfg, in_dim, &mut rng);
+        persist::copy_store_values(&mut state.store, &loaded)?;
+        let mut model = Cola::new(cfg);
+        model.rounds = rounds;
+        model.state = Some(state);
+        Ok(model)
+    }
 }
 
 impl Default for Cola {
@@ -125,10 +185,12 @@ impl OutlierDetector for Cola {
     fn fit(&mut self, g: &AttributedGraph) {
         let mut rng = seeded_rng(self.cfg.seed);
         let d = g.num_attrs();
-        let h = self.cfg.hidden;
-        let mut store = ParamStore::new();
-        let gcn = GcnLayer::new(&mut store, d, h, &mut rng);
-        let bilinear = store.insert(glorot_uniform(h, h, &mut rng));
+        let State {
+            mut store,
+            gcn,
+            bilinear,
+            in_dim,
+        } = Self::build_state(&self.cfg, d, &mut rng);
 
         let ctx = GraphContext::of(g);
         let n = g.num_nodes();
@@ -165,7 +227,7 @@ impl OutlierDetector for Cola {
             store,
             gcn,
             bilinear,
-            in_dim: d,
+            in_dim,
         });
     }
 

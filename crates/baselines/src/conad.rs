@@ -1,7 +1,7 @@
 //! CONAD (Xu et al., PAKDD 2022): contrastive attributed-network anomaly
 //! detection with human-knowledge-modelled data augmentation.
 
-use vgod_autograd::{ParamStore, Tape, Var};
+use vgod_autograd::{persist, ParamStore, Tape, Var};
 use vgod_eval::{OutlierDetector, Scores};
 use vgod_gnn::{GcnLayer, GraphContext};
 use vgod_graph::{seeded_rng, AttributedGraph};
@@ -116,6 +116,71 @@ impl Conad {
         }
         (aug, mask)
     }
+
+    /// Build the siamese encoder + reconstruction head for input dimension
+    /// `d`, consuming `rng` draws in the fixed constructor order checkpoint
+    /// loading replays.
+    fn build_state(cfg: &DeepConfig, d: usize, rng: &mut impl Rng) -> State {
+        let h = cfg.hidden;
+        let mut store = ParamStore::new();
+        let enc1 = GcnLayer::new(&mut store, d, h, rng);
+        let enc2 = GcnLayer::new(&mut store, h, h, rng);
+        let attr_dec = GcnLayer::new(&mut store, h, d, rng);
+        State {
+            store,
+            enc1,
+            enc2,
+            attr_dec,
+            in_dim: d,
+        }
+    }
+
+    /// Write a trained model as a plain-text checkpoint.
+    ///
+    /// # Panics
+    /// Panics if the model is untrained.
+    pub fn save(&self, out: &mut impl std::io::Write) -> std::io::Result<()> {
+        let state = self.state.as_ref().expect("Conad::save called before fit");
+        writeln!(out, "# vgod-conad v1")?;
+        writeln!(
+            out,
+            "{}",
+            persist::header_line(&[
+                ("hidden", self.cfg.hidden.to_string()),
+                ("epochs", self.cfg.epochs.to_string()),
+                ("lr", self.cfg.lr.to_string()),
+                ("seed", self.cfg.seed.to_string()),
+                ("augment_ratio", self.augment_ratio.to_string()),
+                ("eta", self.eta.to_string()),
+                ("in_dim", state.in_dim.to_string()),
+            ])
+        )?;
+        state.store.write_text(out)
+    }
+
+    /// Read a checkpoint written by [`Conad::save`].
+    pub fn load(input: &mut impl std::io::BufRead) -> Result<Conad, String> {
+        persist::expect_magic(input, "# vgod-conad v1")?;
+        let map = persist::read_header(input)?;
+        let cfg = DeepConfig {
+            hidden: persist::header_get(&map, "hidden")?,
+            epochs: persist::header_get(&map, "epochs")?,
+            lr: persist::header_get(&map, "lr")?,
+            seed: persist::header_get(&map, "seed")?,
+        };
+        let augment_ratio: f32 = persist::header_get(&map, "augment_ratio")?;
+        let eta: f32 = persist::header_get(&map, "eta")?;
+        let in_dim: usize = persist::header_get(&map, "in_dim")?;
+        let loaded = ParamStore::read_text(input)?;
+        let mut rng = seeded_rng(cfg.seed);
+        let mut state = Self::build_state(&cfg, in_dim, &mut rng);
+        persist::copy_store_values(&mut state.store, &loaded)?;
+        let mut model = Conad::new(cfg);
+        model.augment_ratio = augment_ratio;
+        model.eta = eta;
+        model.state = Some(state);
+        Ok(model)
+    }
 }
 
 impl Default for Conad {
@@ -144,11 +209,13 @@ impl OutlierDetector for Conad {
     fn fit(&mut self, g: &AttributedGraph) {
         let mut rng = seeded_rng(self.cfg.seed);
         let d = g.num_attrs();
-        let h = self.cfg.hidden;
-        let mut store = ParamStore::new();
-        let enc1 = GcnLayer::new(&mut store, d, h, &mut rng);
-        let enc2 = GcnLayer::new(&mut store, h, h, &mut rng);
-        let attr_dec = GcnLayer::new(&mut store, h, d, &mut rng);
+        let State {
+            mut store,
+            enc1,
+            enc2,
+            attr_dec,
+            in_dim,
+        } = Self::build_state(&self.cfg, d, &mut rng);
 
         let ctx = GraphContext::of(g);
         let x = g.attrs().clone();
@@ -197,7 +264,7 @@ impl OutlierDetector for Conad {
             enc1,
             enc2,
             attr_dec,
-            in_dim: d,
+            in_dim,
         });
     }
 

@@ -1,7 +1,8 @@
 //! DOMINANT (Ding et al., SDM 2019): deep autoencoders on GCN layers that
 //! jointly reconstruct the attribute matrix and the adjacency matrix.
 
-use vgod_autograd::{ParamStore, Tape, Var};
+use rand::Rng;
+use vgod_autograd::{persist, ParamStore, Tape, Var};
 use vgod_eval::{OutlierDetector, Scores};
 use vgod_gnn::{GcnLayer, GraphContext};
 use vgod_graph::{seeded_rng, AttributedGraph};
@@ -55,6 +56,70 @@ impl Dominant {
             ctx,
         )
     }
+
+    /// Build the architecture for input dimension `d`, consuming `rng` draws
+    /// in the fixed constructor order checkpoint loading replays.
+    fn build_state(cfg: &DeepConfig, d: usize, rng: &mut impl Rng) -> State {
+        let mut store = ParamStore::new();
+        let enc1 = GcnLayer::new(&mut store, d, cfg.hidden, rng);
+        let enc2 = GcnLayer::new(&mut store, cfg.hidden, cfg.hidden, rng);
+        let attr_dec = GcnLayer::new(&mut store, cfg.hidden, d, rng);
+        State {
+            store,
+            enc1,
+            enc2,
+            attr_dec,
+            in_dim: d,
+        }
+    }
+
+    /// Write a trained model as a plain-text checkpoint.
+    ///
+    /// # Panics
+    /// Panics if the model is untrained.
+    pub fn save(&self, out: &mut impl std::io::Write) -> std::io::Result<()> {
+        let state = self
+            .state
+            .as_ref()
+            .expect("Dominant::save called before fit");
+        writeln!(out, "# vgod-dominant v1")?;
+        writeln!(
+            out,
+            "{}",
+            persist::header_line(&[
+                ("hidden", self.cfg.hidden.to_string()),
+                ("epochs", self.cfg.epochs.to_string()),
+                ("lr", self.cfg.lr.to_string()),
+                ("seed", self.cfg.seed.to_string()),
+                ("alpha", self.alpha.to_string()),
+                ("in_dim", state.in_dim.to_string()),
+            ])
+        )?;
+        state.store.write_text(out)
+    }
+
+    /// Read a checkpoint written by [`Dominant::save`], returning a model
+    /// ready to score graphs (no retraining).
+    pub fn load(input: &mut impl std::io::BufRead) -> Result<Dominant, String> {
+        persist::expect_magic(input, "# vgod-dominant v1")?;
+        let map = persist::read_header(input)?;
+        let cfg = DeepConfig {
+            hidden: persist::header_get(&map, "hidden")?,
+            epochs: persist::header_get(&map, "epochs")?,
+            lr: persist::header_get(&map, "lr")?,
+            seed: persist::header_get(&map, "seed")?,
+        };
+        let alpha: f32 = persist::header_get(&map, "alpha")?;
+        let in_dim: usize = persist::header_get(&map, "in_dim")?;
+        let loaded = ParamStore::read_text(input)?;
+        let mut rng = seeded_rng(cfg.seed);
+        let mut state = Self::build_state(&cfg, in_dim, &mut rng);
+        persist::copy_store_values(&mut state.store, &loaded)?;
+        let mut model = Dominant::new(cfg);
+        model.alpha = alpha;
+        model.state = Some(state);
+        Ok(model)
+    }
 }
 
 fn forward_parts(
@@ -86,10 +151,13 @@ impl OutlierDetector for Dominant {
     fn fit(&mut self, g: &AttributedGraph) {
         let mut rng = seeded_rng(self.cfg.seed);
         let d = g.num_attrs();
-        let mut store = ParamStore::new();
-        let enc1 = GcnLayer::new(&mut store, d, self.cfg.hidden, &mut rng);
-        let enc2 = GcnLayer::new(&mut store, self.cfg.hidden, self.cfg.hidden, &mut rng);
-        let attr_dec = GcnLayer::new(&mut store, self.cfg.hidden, d, &mut rng);
+        let State {
+            mut store,
+            enc1,
+            enc2,
+            attr_dec,
+            in_dim,
+        } = Self::build_state(&self.cfg, d, &mut rng);
 
         let ctx = GraphContext::of(g);
         let x = g.attrs().clone();
@@ -111,7 +179,7 @@ impl OutlierDetector for Dominant {
             enc1,
             enc2,
             attr_dec,
-            in_dim: d,
+            in_dim,
         });
     }
 

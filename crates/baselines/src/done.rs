@@ -3,7 +3,8 @@
 
 use std::rc::Rc;
 
-use vgod_autograd::{ParamStore, Tape, Var};
+use rand::Rng;
+use vgod_autograd::{persist, ParamStore, Tape, Var};
 use vgod_eval::{combine_mean_std, OutlierDetector, Scores};
 use vgod_gnn::GraphContext;
 use vgod_graph::{seeded_rng, AttributedGraph};
@@ -69,6 +70,67 @@ impl Done {
     /// Homophily penalty: `‖z_u − mean_{v∈N(u)} z_v‖²` per node, summed.
     fn homophily_loss(z: &Var, mean_adj: &Rc<Csr>) -> Var {
         z.sub(&z.spmm(mean_adj)).square().mean_all()
+    }
+
+    /// Build the twin autoencoders for input dimension `d`, consuming `rng`
+    /// draws in the fixed constructor order checkpoint loading replays. The
+    /// bottleneck width is derived from `d` exactly as `fit` derives it.
+    fn build_state(cfg: &DeepConfig, d: usize, rng: &mut impl Rng) -> State {
+        let h = cfg.hidden.min((d / 2).max(2));
+        let mut store = ParamStore::new();
+        let attr_enc = Mlp::new(&mut store, &[d, h, h], Activation::Relu, true, rng);
+        let attr_dec = Mlp::new(&mut store, &[h, h, d], Activation::Relu, true, rng);
+        let struct_enc = Mlp::new(&mut store, &[d, h, h], Activation::Relu, true, rng);
+        let struct_dec = Mlp::new(&mut store, &[h, h, d], Activation::Relu, true, rng);
+        State {
+            store,
+            attr_enc,
+            attr_dec,
+            struct_enc,
+            struct_dec,
+            in_dim: d,
+        }
+    }
+
+    /// Write a trained model as a plain-text checkpoint.
+    ///
+    /// # Panics
+    /// Panics if the model is untrained.
+    pub fn save(&self, out: &mut impl std::io::Write) -> std::io::Result<()> {
+        let state = self.state.as_ref().expect("Done::save called before fit");
+        writeln!(out, "# vgod-done v1")?;
+        writeln!(
+            out,
+            "{}",
+            persist::header_line(&[
+                ("hidden", self.cfg.hidden.to_string()),
+                ("epochs", self.cfg.epochs.to_string()),
+                ("lr", self.cfg.lr.to_string()),
+                ("seed", self.cfg.seed.to_string()),
+                ("in_dim", state.in_dim.to_string()),
+            ])
+        )?;
+        state.store.write_text(out)
+    }
+
+    /// Read a checkpoint written by [`Done::save`].
+    pub fn load(input: &mut impl std::io::BufRead) -> Result<Done, String> {
+        persist::expect_magic(input, "# vgod-done v1")?;
+        let map = persist::read_header(input)?;
+        let cfg = DeepConfig {
+            hidden: persist::header_get(&map, "hidden")?,
+            epochs: persist::header_get(&map, "epochs")?,
+            lr: persist::header_get(&map, "lr")?,
+            seed: persist::header_get(&map, "seed")?,
+        };
+        let in_dim: usize = persist::header_get(&map, "in_dim")?;
+        let loaded = ParamStore::read_text(input)?;
+        let mut rng = seeded_rng(cfg.seed);
+        let mut state = Self::build_state(&cfg, in_dim, &mut rng);
+        persist::copy_store_values(&mut state.store, &loaded)?;
+        let mut model = Done::new(cfg);
+        model.state = Some(state);
+        Ok(model)
     }
 }
 

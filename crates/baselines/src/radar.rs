@@ -3,7 +3,7 @@
 //! discusses (and reports as uniformly weaker than the deep models under
 //! injection).
 
-use vgod_autograd::ParamStore;
+use vgod_autograd::{persist, ParamStore};
 use vgod_eval::{OutlierDetector, Scores};
 use vgod_gnn::GraphContext;
 use vgod_graph::{seeded_rng, AttributedGraph};
@@ -51,6 +51,58 @@ impl Radar {
             scores: None,
             n_fit: 0,
         }
+    }
+
+    /// Write a fitted model as a plain-text checkpoint. Radar is
+    /// transductive, so its entire fitted state is the residual-norm score
+    /// vector — serialised as one `n_fit × 1` matrix in a [`ParamStore`].
+    ///
+    /// # Panics
+    /// Panics if the model is unfitted.
+    pub fn save(&self, out: &mut impl std::io::Write) -> std::io::Result<()> {
+        let scores = self.scores.as_ref().expect("Radar::save called before fit");
+        writeln!(out, "# vgod-radar v1")?;
+        writeln!(
+            out,
+            "{}",
+            persist::header_line(&[
+                ("hidden", self.cfg.hidden.to_string()),
+                ("epochs", self.cfg.epochs.to_string()),
+                ("lr", self.cfg.lr.to_string()),
+                ("seed", self.cfg.seed.to_string()),
+                ("alpha", self.alpha.to_string()),
+                ("beta", self.beta.to_string()),
+                ("gamma", self.gamma.to_string()),
+                ("n_fit", self.n_fit.to_string()),
+            ])
+        )?;
+        let mut store = ParamStore::new();
+        store.insert(Matrix::from_fn(self.n_fit, 1, |r, _| scores[r]));
+        store.write_text(out)
+    }
+
+    /// Read a checkpoint written by [`Radar::save`].
+    pub fn load(input: &mut impl std::io::BufRead) -> Result<Radar, String> {
+        persist::expect_magic(input, "# vgod-radar v1")?;
+        let map = persist::read_header(input)?;
+        let cfg = DeepConfig {
+            hidden: persist::header_get(&map, "hidden")?,
+            epochs: persist::header_get(&map, "epochs")?,
+            lr: persist::header_get(&map, "lr")?,
+            seed: persist::header_get(&map, "seed")?,
+        };
+        let n_fit: usize = persist::header_get(&map, "n_fit")?;
+        let mut template = ParamStore::new();
+        let id = template.insert(Matrix::zeros(n_fit, 1));
+        let loaded = ParamStore::read_text(input)?;
+        persist::copy_store_values(&mut template, &loaded)?;
+        let mut model = Radar::new(cfg);
+        model.alpha = persist::header_get(&map, "alpha")?;
+        model.beta = persist::header_get(&map, "beta")?;
+        model.gamma = persist::header_get(&map, "gamma")?;
+        model.scores = Some(template.value(id).as_slice().to_vec());
+        model.n_fit = n_fit;
+        Ok(model)
     }
 }
 

@@ -1,6 +1,7 @@
 //! Non-learning detectors: the leakage probes and the random control.
 
 use rand::Rng;
+use vgod_autograd::persist;
 use vgod_eval::{OutlierDetector, Scores};
 use vgod_graph::{seeded_rng, AttributedGraph};
 
@@ -8,6 +9,20 @@ use vgod_graph::{seeded_rng, AttributedGraph};
 /// Fig. 2 and the `Deg` baseline of Table V).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Deg;
+
+impl Deg {
+    /// Write the (stateless) detector as a magic-only checkpoint, so the
+    /// uniform save/load CLI and serving registry cover it too.
+    pub fn save(&self, out: &mut impl std::io::Write) -> std::io::Result<()> {
+        writeln!(out, "# vgod-deg v1")
+    }
+
+    /// Read a checkpoint written by [`Deg::save`].
+    pub fn load(input: &mut impl std::io::BufRead) -> Result<Deg, String> {
+        persist::expect_magic(input, "# vgod-deg v1")?;
+        Ok(Deg)
+    }
+}
 
 impl OutlierDetector for Deg {
     fn name(&self) -> &'static str {
@@ -25,6 +40,19 @@ impl OutlierDetector for Deg {
 /// probe of Fig. 2 / Fig. 3).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct L2Norm;
+
+impl L2Norm {
+    /// Write the (stateless) detector as a magic-only checkpoint.
+    pub fn save(&self, out: &mut impl std::io::Write) -> std::io::Result<()> {
+        writeln!(out, "# vgod-l2norm v1")
+    }
+
+    /// Read a checkpoint written by [`L2Norm::save`].
+    pub fn load(input: &mut impl std::io::BufRead) -> Result<L2Norm, String> {
+        persist::expect_magic(input, "# vgod-l2norm v1")?;
+        Ok(L2Norm)
+    }
+}
 
 impl OutlierDetector for L2Norm {
     fn name(&self) -> &'static str {
@@ -44,6 +72,19 @@ impl OutlierDetector for L2Norm {
 /// baselines under the standard protocol (Table IV).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct DegNorm;
+
+impl DegNorm {
+    /// Write the (stateless) detector as a magic-only checkpoint.
+    pub fn save(&self, out: &mut impl std::io::Write) -> std::io::Result<()> {
+        writeln!(out, "# vgod-degnorm v1")
+    }
+
+    /// Read a checkpoint written by [`DegNorm::save`].
+    pub fn load(input: &mut impl std::io::BufRead) -> Result<DegNorm, String> {
+        persist::expect_magic(input, "# vgod-degnorm v1")?;
+        Ok(DegNorm)
+    }
+}
 
 impl OutlierDetector for DegNorm {
     fn name(&self) -> &'static str {
@@ -67,6 +108,23 @@ impl RandomDetector {
     /// A random detector with the given seed.
     pub fn new(seed: u64) -> Self {
         Self { seed }
+    }
+
+    /// Write the detector (its seed is its entire state) as a checkpoint.
+    pub fn save(&self, out: &mut impl std::io::Write) -> std::io::Result<()> {
+        writeln!(out, "# vgod-random v1")?;
+        writeln!(
+            out,
+            "{}",
+            persist::header_line(&[("seed", self.seed.to_string())])
+        )
+    }
+
+    /// Read a checkpoint written by [`RandomDetector::save`].
+    pub fn load(input: &mut impl std::io::BufRead) -> Result<RandomDetector, String> {
+        persist::expect_magic(input, "# vgod-random v1")?;
+        let map = persist::read_header(input)?;
+        Ok(RandomDetector::new(persist::header_get(&map, "seed")?))
     }
 }
 

@@ -1,0 +1,208 @@
+//! Micro-batched vs request-at-a-time serving A/B.
+//!
+//! The same fixture — a CoraLike replica plus two fitted checkpoints
+//! (DOMINANT and DegNorm) — is served twice over HTTP:
+//!
+//! * **single** — `max_batch = 1`: every `POST /score` triggers its own
+//!   full forward pass, the pre-batching world;
+//! * **batched** — `max_batch = 32`, 2 ms flush window: concurrent
+//!   requests for the same model share one forward pass per flush.
+//!
+//! A fixed client fleet hammers each server with small node-subset
+//! requests and records per-request latency client-side; wall-clock over
+//! the whole burst gives throughput. Results (throughput, p50/p99 latency,
+//! batch counts) are written to `BENCH_serve.json` at the repository root.
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+use vgod_baselines::{DegNorm, Dominant};
+use vgod_bench::{scale_from_env, seed_from_env};
+use vgod_datasets::{replica, Dataset};
+use vgod_eval::OutlierDetector;
+use vgod_graph::{save_graph, seeded_rng};
+use vgod_serve::{http, AnyDetector, ServeConfig};
+
+const CLIENT_THREADS: usize = 4;
+const REQUESTS_PER_CLIENT: usize = 30;
+const SUBSET: usize = 8;
+
+struct RunResult {
+    name: &'static str,
+    wall_ms: f64,
+    throughput_rps: f64,
+    p50_us: u64,
+    p99_us: u64,
+    batches: u64,
+    mean_batch: f64,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn run(
+    name: &'static str,
+    models: &std::path::Path,
+    graph_path: &std::path::Path,
+    cfg: ServeConfig,
+    num_nodes: usize,
+) -> RunResult {
+    let handle = vgod_serve::serve(models, graph_path, "127.0.0.1:0", cfg).unwrap();
+    let addr = handle.addr();
+
+    // Warm both models (first score builds the memoised graph context).
+    for model in ["dom", "degnorm"] {
+        let (status, body) = http::post(
+            addr,
+            "/score",
+            &format!("{{\"model\":\"{model}\",\"nodes\":[0]}}"),
+        )
+        .unwrap();
+        assert_eq!(status, 200, "{body}");
+    }
+
+    let t0 = Instant::now();
+    let threads: Vec<_> = (0..CLIENT_THREADS)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut latencies = Vec::with_capacity(REQUESTS_PER_CLIENT);
+                for i in 0..REQUESTS_PER_CLIENT {
+                    // Mostly the deep model (where a shared forward pass
+                    // pays), occasionally the cheap one.
+                    let model = if i % 5 == 4 { "degnorm" } else { "dom" };
+                    let ids: Vec<String> = (0..SUBSET)
+                        .map(|k| ((t * 131 + i * 17 + k * 7) % num_nodes).to_string())
+                        .collect();
+                    let body = format!("{{\"model\":\"{model}\",\"nodes\":[{}]}}", ids.join(","));
+                    let r0 = Instant::now();
+                    let (status, reply) = http::post(addr, "/score", &body).unwrap();
+                    latencies.push(r0.elapsed().as_micros() as u64);
+                    assert_eq!(status, 200, "{reply}");
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut latencies: Vec<u64> = Vec::new();
+    for t in threads {
+        latencies.extend(t.join().unwrap());
+    }
+    let wall = t0.elapsed();
+
+    let m = handle.metrics();
+    handle.shutdown();
+    handle.join();
+
+    latencies.sort_unstable();
+    let total = (CLIENT_THREADS * REQUESTS_PER_CLIENT) as f64;
+    let result = RunResult {
+        name,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        throughput_rps: total / wall.as_secs_f64(),
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+        batches: m.batches,
+        mean_batch: m.requests as f64 / m.batches.max(1) as f64,
+    };
+    println!(
+        "{name}: {:.0} req/s, p50 {} µs, p99 {} µs, {} batches (mean size {:.1})",
+        result.throughput_rps, result.p50_us, result.p99_us, result.batches, result.mean_batch
+    );
+    result
+}
+
+fn main() {
+    let mut rng = seeded_rng(seed_from_env());
+    let data = replica(Dataset::CoraLike, scale_from_env(), &mut rng);
+    let g = data.graph;
+    let n = g.num_nodes();
+    println!(
+        "serving A/B on CoraLike replica: n={n}, d={}",
+        g.num_attrs()
+    );
+
+    let dir = std::env::temp_dir().join(format!("vgod_bench_serving_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let models = dir.join("models");
+    std::fs::create_dir_all(&models).unwrap();
+    let graph_path = dir.join("graph.txt");
+    save_graph(&g, graph_path.display().to_string()).unwrap();
+
+    let mut dom = Dominant::new(vgod_bench::deep_config_for(scale_from_env(), 5));
+    OutlierDetector::fit(&mut dom, &g);
+    AnyDetector::Dominant(dom)
+        .save_file(&models.join("dom.ckpt"))
+        .unwrap();
+    AnyDetector::DegNorm(DegNorm)
+        .save_file(&models.join("degnorm.ckpt"))
+        .unwrap();
+
+    let single = ServeConfig {
+        max_batch: 1,
+        max_wait: Duration::from_micros(0),
+        ..ServeConfig::default()
+    };
+    // The flush window must stay small relative to one forward pass,
+    // otherwise waiting for co-batched requests costs more than it saves:
+    // it only needs to cover the arrival jitter of concurrent clients.
+    let batched = ServeConfig {
+        max_batch: 32,
+        max_wait: Duration::from_micros(250),
+        ..ServeConfig::default()
+    };
+    let results = [
+        run("single", &models, &graph_path, single, n),
+        run("batched", &models, &graph_path, batched, n),
+    ];
+    let _ = std::fs::remove_dir_all(&dir);
+
+    write_json(n, &results);
+}
+
+/// Hand-rolled JSON (the workspace has no serde) written to the repo root.
+fn write_json(n: usize, results: &[RunResult]) {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"serve\",\n");
+    out.push_str(&format!(
+        "  \"graph\": {{\"dataset\": \"cora_like\", \"scale\": \"{}\", \"n\": {n}}},\n",
+        scale_from_env()
+    ));
+    out.push_str(&format!(
+        "  \"clients\": {CLIENT_THREADS}, \"requests_per_client\": {REQUESTS_PER_CLIENT}, \
+         \"subset_size\": {SUBSET},\n"
+    ));
+    out.push_str("  \"configs\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"wall_ms\": {:.1}, \"throughput_rps\": {:.1}, \
+             \"p50_us\": {}, \"p99_us\": {}, \"batches\": {}, \"mean_batch_size\": {:.2}}}{}\n",
+            r.name,
+            r.wall_ms,
+            r.throughput_rps,
+            r.p50_us,
+            r.p99_us,
+            r.batches,
+            r.mean_batch,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    let speedup = results
+        .last()
+        .map(|b| b.throughput_rps / results[0].throughput_rps.max(1e-9))
+        .unwrap_or(1.0);
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"batched_speedup\": {speedup:.3}\n"));
+    out.push_str("}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    let mut f = std::fs::File::create(path).expect("create BENCH_serve.json");
+    f.write_all(out.as_bytes()).expect("write BENCH_serve.json");
+    println!("wrote {path}");
+}

@@ -2,6 +2,8 @@
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
+use std::path::Path;
+use std::time::Duration;
 
 use vgod::{MiniBatchConfig, Vbm, Vgod, VgodConfig};
 use vgod_baselines::{
@@ -18,6 +20,7 @@ use vgod_inject::{
     inject_community_replacement, inject_contextual, inject_standard, inject_structural,
     ContextualParams, DistanceMetric, GroundTruth, StructuralParams,
 };
+use vgod_serve::{AnyDetector, ServeConfig};
 
 use crate::args::Args;
 use crate::files;
@@ -173,88 +176,142 @@ pub fn detect(args: &Args) -> CmdResult {
 
     let save_model = args.get("save-model");
     let load_model = args.get("load-model");
-    if load_model.is_some() && !matches!(model.as_str(), "vbm" | "arm") {
-        return Err("--load-model supports vbm and arm checkpoints only".into());
-    }
 
-    let scores = match model.as_str() {
-        "vgod" => Vgod::new(vgod_cfg).fit_score(&g).combined,
-        "vbm" => {
-            let vbm = match load_model {
-                Some(path) => {
-                    let mut r =
-                        BufReader::new(File::open(path).map_err(|e| format!("{path}: {e}"))?);
-                    Vbm::load(&mut r)?
+    // Either resurrect any checkpoint (the magic line says which detector it
+    // holds) or build + fit the requested model fresh.
+    let detector = match load_model {
+        Some(path) => {
+            let det = AnyDetector::load_file(Path::new(path))?;
+            if let Some(requested) = args.get("model") {
+                if det.kind() != requested.to_ascii_lowercase() {
+                    return Err(format!(
+                        "{path} holds a {} checkpoint, not {requested}",
+                        det.kind()
+                    ));
                 }
-                None => {
-                    let mut vbm = Vbm::new(vgod_cfg.vbm);
-                    if batch > 0 {
-                        vbm.fit_minibatch(
-                            &g,
-                            &MiniBatchConfig {
-                                batch_size: batch,
-                                neighbor_cap: 16,
-                            },
-                        );
-                    } else {
-                        OutlierDetector::fit(&mut vbm, &g);
-                    }
-                    vbm
-                }
-            };
-            if let Some(path) = save_model {
-                let mut w = BufWriter::new(File::create(path).map_err(|e| format!("{path}: {e}"))?);
-                vbm.save(&mut w).map_err(|e| format!("{path}: {e}"))?;
-                println!("saved VBM checkpoint to {path}");
             }
-            vbm.scores(&g)
+            det
         }
-        "arm" => {
-            let arm = match load_model {
-                Some(path) => {
-                    let mut r =
-                        BufReader::new(File::open(path).map_err(|e| format!("{path}: {e}"))?);
-                    vgod::Arm::load(&mut r)?
-                }
-                None => {
-                    let mut arm = vgod::Arm::new(vgod_cfg.arm);
-                    if batch > 0 {
-                        arm.fit_minibatch(
-                            &g,
-                            &MiniBatchConfig {
-                                batch_size: batch,
-                                neighbor_cap: 16,
-                            },
-                        );
-                    } else {
-                        OutlierDetector::fit(&mut arm, &g);
-                    }
-                    arm
-                }
+        None => {
+            let minibatch = MiniBatchConfig {
+                batch_size: batch,
+                neighbor_cap: 16,
             };
-            if let Some(path) = save_model {
-                let mut w = BufWriter::new(File::create(path).map_err(|e| format!("{path}: {e}"))?);
-                arm.save(&mut w).map_err(|e| format!("{path}: {e}"))?;
-                println!("saved ARM checkpoint to {path}");
+            match model.as_str() {
+                "vgod" => {
+                    let mut m = Vgod::new(vgod_cfg);
+                    OutlierDetector::fit(&mut m, &g);
+                    AnyDetector::Vgod(m)
+                }
+                "vbm" => {
+                    let mut m = Vbm::new(vgod_cfg.vbm);
+                    if batch > 0 {
+                        m.fit_minibatch(&g, &minibatch);
+                    } else {
+                        OutlierDetector::fit(&mut m, &g);
+                    }
+                    AnyDetector::Vbm(m)
+                }
+                "arm" => {
+                    let mut m = vgod::Arm::new(vgod_cfg.arm);
+                    if batch > 0 {
+                        m.fit_minibatch(&g, &minibatch);
+                    } else {
+                        OutlierDetector::fit(&mut m, &g);
+                    }
+                    AnyDetector::Arm(m)
+                }
+                "dominant" => AnyDetector::Dominant(Dominant::new(deep)),
+                "anomalydae" => AnyDetector::AnomalyDae(AnomalyDae::new(deep)),
+                "done" => AnyDetector::Done(Done::new(deep)),
+                "cola" => AnyDetector::Cola(Cola::new(deep)),
+                "conad" => AnyDetector::Conad(Conad::new(deep)),
+                "radar" => AnyDetector::Radar(Radar::new(deep)),
+                "degnorm" => AnyDetector::DegNorm(DegNorm),
+                "deg" => AnyDetector::Deg(Deg),
+                "l2norm" => AnyDetector::L2Norm(L2Norm),
+                "random" => AnyDetector::Random(RandomDetector::new(seed)),
+                other => return Err(format!("unknown model {other:?}")),
             }
-            arm.scores(&g)
         }
-        "dominant" => Dominant::new(deep).fit_score(&g).combined,
-        "anomalydae" => AnomalyDae::new(deep).fit_score(&g).combined,
-        "done" => Done::new(deep).fit_score(&g).combined,
-        "cola" => Cola::new(deep).fit_score(&g).combined,
-        "conad" => Conad::new(deep).fit_score(&g).combined,
-        "radar" => Radar::new(deep).fit_score(&g).combined,
-        "degnorm" => DegNorm.fit_score(&g).combined,
-        "deg" => Deg.fit_score(&g).combined,
-        "l2norm" => L2Norm.fit_score(&g).combined,
-        "random" => RandomDetector::new(seed).fit_score(&g).combined,
-        other => return Err(format!("unknown model {other:?}")),
     };
+    let detector = match load_model {
+        Some(_) => detector,
+        None => {
+            let mut detector = detector;
+            // vbm/arm already trained above (mini-batch needs their concrete
+            // types); everything else fits through the trait here.
+            if !matches!(
+                detector,
+                AnyDetector::Vgod(_) | AnyDetector::Vbm(_) | AnyDetector::Arm(_)
+            ) {
+                OutlierDetector::fit(&mut detector, &g);
+            }
+            detector
+        }
+    };
+    if let Some(path) = save_model {
+        detector.save_file(Path::new(path))?;
+        println!("saved {} checkpoint to {path}", detector.kind());
+    }
+    let scores = detector.score(&g).combined;
     let mut w =
         BufWriter::new(File::create(scores_path).map_err(|e| format!("{scores_path}: {e}"))?);
     files::write_scores(&scores, &mut w).map_err(|e| format!("{scores_path}: {e}"))?;
-    println!("wrote {scores_path}: {} scores from {model}", scores.len());
+    println!(
+        "wrote {scores_path}: {} scores from {}",
+        scores.len(),
+        detector.kind()
+    );
+    Ok(())
+}
+
+/// `vgod serve`
+pub fn serve(args: &Args) -> CmdResult {
+    let models_dir = args.required("models").map_err(|e| e.to_string())?;
+    let input = args.required("in").map_err(|e| e.to_string())?;
+    let host = args.get("host").unwrap_or("127.0.0.1");
+    let port: u16 = args
+        .get_parsed_or("port", 7878)
+        .map_err(|e| e.to_string())?;
+    let max_batch: usize = args
+        .get_parsed_or("max-batch", 32)
+        .map_err(|e| e.to_string())?;
+    let max_wait_us: u64 = args
+        .get_parsed_or("max-wait-us", 2000)
+        .map_err(|e| e.to_string())?;
+    let queue: usize = args
+        .get_parsed_or("queue", 1024)
+        .map_err(|e| e.to_string())?;
+
+    let cfg = ServeConfig {
+        max_batch: max_batch.max(1),
+        max_wait: Duration::from_micros(max_wait_us),
+        queue_capacity: queue.max(1),
+        ..ServeConfig::default()
+    };
+    let handle = vgod_serve::serve(
+        Path::new(models_dir),
+        Path::new(input),
+        &format!("{host}:{port}"),
+        cfg,
+    )?;
+    let models = handle.models();
+    println!(
+        "serving {} model(s) on http://{} — POST /shutdown to stop",
+        models.len(),
+        handle.addr()
+    );
+    for m in &models {
+        println!("  {} v{} ({})", m.name, m.version, m.kind);
+    }
+    // Scripts (and the CI smoke test) read the resolved address from here
+    // when they bind port 0.
+    if let Some(path) = args.get("addr-file") {
+        std::fs::write(path, handle.addr().to_string()).map_err(|e| format!("{path}: {e}"))?;
+    }
+    handle.join();
+    println!("server stopped");
     Ok(())
 }
 
@@ -454,6 +511,140 @@ mod tests {
             "loaded checkpoint must reproduce scores"
         );
         for p in [&graph_path, &model_path, &s1, &s2] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn any_model_checkpoint_roundtrip_via_cli() {
+        let graph_path = tmp("any_graph.txt");
+        let model_path = tmp("any_model.txt");
+        let s1 = tmp("any_s1.tsv");
+        let s2 = tmp("any_s2.tsv");
+        generate(&args_of(&[
+            "--dataset",
+            "cora",
+            "--scale",
+            "tiny",
+            "--seed",
+            "6",
+            "--out",
+            &graph_path,
+        ]))
+        .unwrap();
+        detect(&args_of(&[
+            "--in",
+            &graph_path,
+            "--scores",
+            &s1,
+            "--model",
+            "dominant",
+            "--epochs",
+            "2",
+            "--hidden",
+            "4",
+            "--save-model",
+            &model_path,
+        ]))
+        .unwrap();
+        // Loading does not need --model: the checkpoint self-describes.
+        detect(&args_of(&[
+            "--in",
+            &graph_path,
+            "--scores",
+            &s2,
+            "--load-model",
+            &model_path,
+        ]))
+        .unwrap();
+        let read = |p: &str| -> Vec<f32> {
+            let mut r = std::io::BufReader::new(File::open(p).unwrap());
+            crate::files::read_scores(&mut r).unwrap()
+        };
+        assert_eq!(read(&s1), read(&s2));
+        // A kind mismatch against an explicit --model is an error.
+        assert!(detect(&args_of(&[
+            "--in",
+            &graph_path,
+            "--scores",
+            &s2,
+            "--model",
+            "cola",
+            "--load-model",
+            &model_path,
+        ]))
+        .is_err());
+        for p in [&graph_path, &model_path, &s1, &s2] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn serve_subcommand_round_trip() {
+        let graph_path = tmp("srv_graph.txt");
+        let models_dir = tmp("srv_models");
+        let addr_file = tmp("srv_addr.txt");
+        let model_path = format!("{models_dir}/degnorm.ckpt");
+        let _ = std::fs::remove_dir_all(&models_dir);
+        std::fs::create_dir_all(&models_dir).unwrap();
+        generate(&args_of(&[
+            "--dataset",
+            "cora",
+            "--scale",
+            "tiny",
+            "--seed",
+            "7",
+            "--out",
+            &graph_path,
+        ]))
+        .unwrap();
+        detect(&args_of(&[
+            "--in",
+            &graph_path,
+            "--scores",
+            &tmp("srv_scores.tsv"),
+            "--model",
+            "degnorm",
+            "--save-model",
+            &model_path,
+        ]))
+        .unwrap();
+
+        let serve_args: Vec<String> = [
+            "--models",
+            &models_dir,
+            "--in",
+            &graph_path,
+            "--port",
+            "0",
+            "--addr-file",
+            &addr_file,
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let server = std::thread::spawn(move || serve(&Args::parse(&serve_args).unwrap()));
+
+        // Wait for the address file, then talk to the server.
+        let addr = loop {
+            if let Ok(text) = std::fs::read_to_string(&addr_file) {
+                if let Ok(addr) = text.trim().parse::<std::net::SocketAddr>() {
+                    break addr;
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+        let (status, _) = vgod_serve::http::get(addr, "/healthz").unwrap();
+        assert_eq!(status, 200);
+        let (status, body) =
+            vgod_serve::http::post(addr, "/score", r#"{"model":"degnorm","nodes":[0]}"#).unwrap();
+        assert_eq!(status, 200, "{body}");
+        let (status, _) = vgod_serve::http::post(addr, "/shutdown", "").unwrap();
+        assert_eq!(status, 200);
+        server.join().unwrap().unwrap();
+
+        let _ = std::fs::remove_dir_all(&models_dir);
+        for p in [&graph_path, &addr_file, &tmp("srv_scores.tsv")] {
             let _ = std::fs::remove_file(p);
         }
     }

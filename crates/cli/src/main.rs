@@ -33,7 +33,11 @@ COMMANDS:
              --in FILE  --scores FILE  --model vgod|vbm|arm|dominant|anomalydae|done|cola|conad|radar|degnorm|deg|l2norm|random
              [--epochs N --hidden N --lr F --seed N --self-loops true|false]
              [--batch N: mini-batch training for vbm/arm]
-             [--save-model FILE | --load-model FILE: vbm/arm checkpoints]
+             [--save-model FILE | --load-model FILE: checkpoint for any model]
+  serve      serve checkpointed models over HTTP (micro-batched scoring)
+             --models DIR  --in FILE  [--host H --port N: default 127.0.0.1:7878]
+             [--max-batch N --max-wait-us N --queue N]
+             [--addr-file FILE: write the bound address, useful with --port 0]
   eval       score a ranking against ground truth
              --scores FILE  --truth FILE  [--at K]
   stats      print graph statistics
@@ -64,6 +68,7 @@ fn main() {
         "generate" => commands::generate(&args),
         "inject" => commands::inject(&args),
         "detect" => commands::detect(&args),
+        "serve" => commands::serve(&args),
         "eval" => commands::eval(&args),
         "stats" => commands::stats(&args),
         "help" | "--help" | "-h" => {

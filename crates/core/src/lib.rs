@@ -41,7 +41,7 @@ mod arm;
 mod config;
 mod framework;
 mod minibatch;
-mod persist;
+pub mod persist;
 mod vbm;
 
 pub use arm::Arm;

@@ -1,102 +1,16 @@
-//! Shared plumbing for model persistence (plain-text checkpoints).
+//! Model persistence (plain-text checkpoints).
 //!
-//! Checkpoints are a header line of `key value` pairs followed by the
-//! parameter store in [`vgod_autograd::ParamStore::write_text`] format.
-//! Reconstruction replays the model's deterministic constructor (which
-//! fixes the parameter insertion order) and then overwrites every value
-//! with the checkpoint's.
+//! Checkpoints are a `# vgod-<kind> v<N>` magic line, a header line of
+//! `key value` pairs, and the parameter store in
+//! [`vgod_autograd::ParamStore::write_text`] format. Reconstruction replays
+//! the model's deterministic constructor (which fixes the parameter
+//! insertion order) and then overwrites every value with the checkpoint's.
+//!
+//! The helpers live in [`vgod_autograd::persist`] so every detector crate
+//! (this one and `vgod-baselines`) shares one header grammar; this module
+//! re-exports them as the canonical entry point for checkpoint tooling such
+//! as the `vgod-serve` model registry.
 
-use std::collections::BTreeMap;
-
-/// Serialise `key value` pairs on one line.
-pub(crate) fn header_line(pairs: &[(&str, String)]) -> String {
-    pairs
-        .iter()
-        .map(|(k, v)| format!("{k} {v}"))
-        .collect::<Vec<_>>()
-        .join(" ")
-}
-
-/// Parse a header line into a key → value map.
-pub(crate) fn parse_header(line: &str) -> Result<BTreeMap<String, String>, String> {
-    let tokens: Vec<&str> = line.split_whitespace().collect();
-    if !tokens.len().is_multiple_of(2) {
-        return Err(format!("malformed header: {line:?}"));
-    }
-    Ok(tokens
-        .chunks(2)
-        .map(|pair| (pair[0].to_string(), pair[1].to_string()))
-        .collect())
-}
-
-/// Typed lookup in a parsed header.
-pub(crate) fn header_get<T: std::str::FromStr>(
-    map: &BTreeMap<String, String>,
-    key: &str,
-) -> Result<T, String> {
-    map.get(key)
-        .ok_or_else(|| format!("missing header field {key:?}"))?
-        .parse()
-        .map_err(|_| format!("bad header field {key:?}"))
-}
-
-/// Copy every parameter value from `src` into `dst`, validating that both
-/// stores have identical layouts.
-pub(crate) fn copy_store_values(
-    dst: &mut vgod_autograd::ParamStore,
-    src: &vgod_autograd::ParamStore,
-) -> Result<(), String> {
-    if dst.len() != src.len() {
-        return Err(format!(
-            "checkpoint has {} parameters, model expects {}",
-            src.len(),
-            dst.len()
-        ));
-    }
-    let shapes: Vec<_> = src.iter().map(|(_, p)| p.value.clone()).collect();
-    for ((id, p), value) in dst.iter_mut().zip(shapes) {
-        if p.value.shape() != value.shape() {
-            return Err(format!(
-                "checkpoint parameter {id:?} has shape {:?}, model expects {:?}",
-                value.shape(),
-                p.value.shape()
-            ));
-        }
-        p.value = value;
-    }
-    Ok(())
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use vgod_tensor::Matrix;
-
-    #[test]
-    fn header_roundtrip() {
-        let line = header_line(&[("hidden", "64".into()), ("lr", "0.005".into())]);
-        let map = parse_header(&line).unwrap();
-        assert_eq!(header_get::<usize>(&map, "hidden").unwrap(), 64);
-        assert_eq!(header_get::<f32>(&map, "lr").unwrap(), 0.005);
-        assert!(header_get::<usize>(&map, "missing").is_err());
-        assert!(parse_header("three tokens here").is_err());
-    }
-
-    #[test]
-    fn copy_validates_layout() {
-        let mut a = vgod_autograd::ParamStore::new();
-        a.insert(Matrix::zeros(2, 2));
-        let mut b = vgod_autograd::ParamStore::new();
-        b.insert(Matrix::filled(2, 2, 5.0));
-        copy_store_values(&mut a, &b).unwrap();
-        let (id, p) = a.iter().next().unwrap();
-        assert_eq!(p.value.as_slice(), &[5.0; 4]);
-        let _ = id;
-
-        let mut c = vgod_autograd::ParamStore::new();
-        c.insert(Matrix::zeros(1, 3));
-        assert!(copy_store_values(&mut a, &c).is_err());
-        let empty = vgod_autograd::ParamStore::new();
-        assert!(copy_store_values(&mut a, &empty).is_err());
-    }
-}
+pub use vgod_autograd::persist::{
+    copy_store_values, expect_magic, header_get, header_line, parse_header, read_header,
+};

@@ -52,6 +52,14 @@ impl Scores {
     pub fn contextual_or_combined(&self) -> &[f32] {
         self.contextual.as_deref().unwrap_or(&self.combined)
     }
+
+    /// Combined scores for a node subset, in the order requested.
+    ///
+    /// # Panics
+    /// Panics if a node id is out of range.
+    pub fn select(&self, nodes: &[u32]) -> Vec<f32> {
+        nodes.iter().map(|&u| self.combined[u as usize]).collect()
+    }
 }
 
 /// An unsupervised node outlier detector (Definition 2): fit on a graph
@@ -78,6 +86,20 @@ pub trait OutlierDetector {
     fn fit_score(&mut self, g: &AttributedGraph) -> Scores {
         self.fit(g);
         self.score(g)
+    }
+
+    /// Combined scores for a node subset (the online-serving path).
+    ///
+    /// The default runs the full [`OutlierDetector::score`] pass and selects
+    /// the requested rows, which keeps subset responses bit-identical to
+    /// offline full-graph scoring; detectors with a cheaper per-node path
+    /// may override it as long as they preserve that identity.
+    ///
+    /// # Panics
+    /// Panics like [`OutlierDetector::score`], or if a node id is out of
+    /// range for `g`.
+    fn score_nodes(&self, g: &AttributedGraph, nodes: &[u32]) -> Vec<f32> {
+        self.score(g).select(nodes)
     }
 }
 
@@ -113,6 +135,19 @@ mod tests {
         let scores = det.fit_score(&g);
         assert_eq!(scores.combined, vec![2.0, 1.0, 1.0]);
         assert_eq!(scores.structural_or_combined(), &[2.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn subset_scoring_matches_full_pass() {
+        let mut g = AttributedGraph::new(Matrix::zeros(4, 1));
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(0, 3);
+        let det = DegreeToy;
+        let full = det.score(&g);
+        assert_eq!(det.score_nodes(&g, &[3, 0]), vec![1.0, 3.0]);
+        assert_eq!(full.select(&[3, 0]), det.score_nodes(&g, &[3, 0]));
+        assert!(det.score_nodes(&g, &[]).is_empty());
     }
 
     #[test]

@@ -1,0 +1,425 @@
+//! The micro-batching scoring engine.
+//!
+//! Graphs and detectors in this workspace are deliberately not `Send` (the
+//! graph memoises an `Rc`-shared [`GraphContext`]), so the engine is a
+//! single dedicated thread that *owns* the deployment graph and the model
+//! [`Registry`]. HTTP connection threads talk to it over a bounded
+//! [`std::sync::mpsc::sync_channel`]: a full queue fails `try_send`, which
+//! the server surfaces as `503` — backpressure with no unbounded buffering.
+//!
+//! The batching discipline: on the first queued request the engine opens a
+//! window of [`ServeConfig::max_wait`], keeps pulling requests until the
+//! window closes or [`ServeConfig::max_batch`] are in hand, then flushes.
+//! A flush groups requests by model and runs **one** full scoring pass per
+//! distinct model, answering every grouped request from row selections of
+//! that pass — the same selection [`OutlierDetector::score_nodes`]
+//! performs, which keeps served scores byte-identical to offline scoring.
+//! The whole loop runs inside an arena scope, so steady-state flushes
+//! recycle the tensor buffers of earlier ones instead of allocating.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use vgod_eval::OutlierDetector;
+use vgod_graph::{load_graph, AttributedGraph};
+
+use crate::metrics::Metrics;
+use crate::registry::{LookupError, ModelInfo, Registry};
+
+/// Engine tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Flush a batch once this many requests are queued.
+    pub max_batch: usize,
+    /// Flush a batch this long after its first request arrived.
+    pub max_wait: Duration,
+    /// Bounded queue capacity; a full queue rejects with `503`.
+    pub queue_capacity: usize,
+    /// How often to poll the checkpoint directory for hot reloads (checked
+    /// when idle and between batches).
+    pub reload_poll: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 32,
+            max_wait: Duration::from_micros(2000),
+            queue_capacity: 1024,
+            reload_poll: Duration::from_millis(500),
+        }
+    }
+}
+
+/// A successful scoring reply.
+#[derive(Clone, Debug)]
+pub struct ScoreReply {
+    /// The model that scored.
+    pub model: String,
+    /// The model version that scored.
+    pub version: u64,
+    /// The nodes scored, when the request named a subset.
+    pub nodes: Option<Vec<u32>>,
+    /// Scores, aligned with `nodes` (or with all graph nodes).
+    pub scores: Vec<f32>,
+}
+
+/// Why a request could not be scored.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScoreError {
+    /// No model with that name (or wrong pinned version).
+    Lookup(LookupError),
+    /// A requested node id is outside the deployment graph.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: u32,
+        /// The graph's node count.
+        num_nodes: usize,
+    },
+}
+
+impl std::fmt::Display for ScoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScoreError::Lookup(e) => e.fmt(f),
+            ScoreError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node {node} out of range (graph has {num_nodes} nodes)")
+            }
+        }
+    }
+}
+
+/// Why a request was not even queued.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is full — shed load.
+    Overloaded,
+    /// The engine has shut down.
+    ShuttingDown,
+}
+
+struct ScoreRequest {
+    model: String,
+    version: Option<u64>,
+    nodes: Option<Vec<u32>>,
+    reply: mpsc::Sender<Result<ScoreReply, ScoreError>>,
+    enqueued: Instant,
+}
+
+enum EngineMsg {
+    Score(ScoreRequest),
+    Shutdown,
+}
+
+/// Handle to the engine thread.
+pub struct Engine {
+    tx: Mutex<SyncSender<EngineMsg>>,
+    join: Mutex<Option<std::thread::JoinHandle<()>>>,
+    metrics: Arc<Metrics>,
+    models: Arc<Mutex<Vec<ModelInfo>>>,
+    num_nodes: usize,
+    shutting_down: AtomicBool,
+}
+
+impl Engine {
+    /// Spawn the engine thread: it loads the graph at `graph_path`, opens
+    /// the registry at `models_dir`, and starts serving the queue. Fails
+    /// (synchronously) if the graph or any checkpoint fails to load.
+    pub fn start(
+        models_dir: PathBuf,
+        graph_path: PathBuf,
+        cfg: ServeConfig,
+        metrics: Arc<Metrics>,
+    ) -> Result<Engine, String> {
+        let (tx, rx) = mpsc::sync_channel(cfg.queue_capacity.max(1));
+        let models = Arc::new(Mutex::new(Vec::new()));
+        let (ready_tx, ready_rx) = mpsc::channel::<Result<usize, String>>();
+        let thread_models = Arc::clone(&models);
+        let thread_metrics = Arc::clone(&metrics);
+        let join = std::thread::Builder::new()
+            .name("vgod-serve-engine".into())
+            .spawn(move || {
+                engine_main(
+                    models_dir,
+                    graph_path,
+                    cfg,
+                    rx,
+                    ready_tx,
+                    thread_models,
+                    thread_metrics,
+                )
+            })
+            .map_err(|e| format!("spawning engine thread: {e}"))?;
+        let num_nodes = ready_rx
+            .recv()
+            .map_err(|_| "engine thread died during startup".to_string())??;
+        Ok(Engine {
+            tx: Mutex::new(tx),
+            join: Mutex::new(Some(join)),
+            metrics,
+            models,
+            num_nodes,
+            shutting_down: AtomicBool::new(false),
+        })
+    }
+
+    /// Queue a scoring request. Returns the channel the reply will arrive
+    /// on, or [`SubmitError`] if the queue is full or draining.
+    pub fn try_submit(
+        &self,
+        model: String,
+        version: Option<u64>,
+        nodes: Option<Vec<u32>>,
+    ) -> Result<mpsc::Receiver<Result<ScoreReply, ScoreError>>, SubmitError> {
+        if self.shutting_down.load(Ordering::SeqCst) {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let msg = EngineMsg::Score(ScoreRequest {
+            model,
+            version,
+            nodes,
+            reply: reply_tx,
+            enqueued: Instant::now(),
+        });
+        let sent = self.tx.lock().unwrap().try_send(msg);
+        match sent {
+            Ok(()) => {
+                self.metrics.record_request();
+                self.metrics.queue_inc();
+                Ok(reply_rx)
+            }
+            Err(TrySendError::Full(_)) => {
+                self.metrics.record_rejected();
+                Err(SubmitError::Overloaded)
+            }
+            Err(TrySendError::Disconnected(_)) => Err(SubmitError::ShuttingDown),
+        }
+    }
+
+    /// Registered models, as of the engine's last registry scan.
+    pub fn models(&self) -> Vec<ModelInfo> {
+        self.models.lock().unwrap().clone()
+    }
+
+    /// Node count of the deployment graph.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The engine's metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Begin graceful shutdown: refuse new submissions, let the engine
+    /// drain everything already queued, then stop. Idempotent.
+    pub fn shutdown(&self) {
+        if self.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // A blocking send: queued Score messages ahead of this marker are
+        // all drained (scored and replied to) before the thread exits.
+        let _ = self.tx.lock().unwrap().send(EngineMsg::Shutdown);
+    }
+
+    /// Wait for the engine thread to exit (call after [`Engine::shutdown`]).
+    pub fn join(&self) {
+        if let Some(handle) = self.join.lock().unwrap().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown();
+        self.join();
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn engine_main(
+    models_dir: PathBuf,
+    graph_path: PathBuf,
+    cfg: ServeConfig,
+    rx: Receiver<EngineMsg>,
+    ready_tx: mpsc::Sender<Result<usize, String>>,
+    models: Arc<Mutex<Vec<ModelInfo>>>,
+    metrics: Arc<Metrics>,
+) {
+    let setup = || -> Result<(AttributedGraph, Registry), String> {
+        let graph = load_graph(graph_path.display().to_string())
+            .map_err(|e| format!("{}: {e}", graph_path.display()))?;
+        let registry = Registry::open(&models_dir)?;
+        Ok((graph, registry))
+    };
+    let (graph, mut registry) = match setup() {
+        Ok(ok) => ok,
+        Err(e) => {
+            let _ = ready_tx.send(Err(e));
+            return;
+        }
+    };
+    *models.lock().unwrap() = registry.infos();
+    let _ = ready_tx.send(Ok(graph.num_nodes()));
+
+    // The arena scope makes every flush recycle the tensor buffers of the
+    // previous one: steady-state serving performs no fresh value/grad
+    // allocations (the same discipline the recycled training runtime uses).
+    vgod_tensor::arena::scope(|| loop {
+        match rx.recv_timeout(cfg.reload_poll) {
+            Ok(EngineMsg::Score(first)) => {
+                let batch = collect_batch(&rx, first, &cfg);
+                let shutdown = matches!(batch.1, BatchEnd::Shutdown);
+                process_batch(batch.0, &graph, &registry, &metrics);
+                if shutdown {
+                    drain(&rx, &graph, &registry, &metrics, &cfg);
+                    return;
+                }
+            }
+            Ok(EngineMsg::Shutdown) => {
+                drain(&rx, &graph, &registry, &metrics, &cfg);
+                return;
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                for failure in registry.poll_reload() {
+                    eprintln!("vgod-serve: reload failed: {failure}");
+                }
+                *models.lock().unwrap() = registry.infos();
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    });
+}
+
+enum BatchEnd {
+    Flushed,
+    Shutdown,
+}
+
+/// Gather up to `max_batch` requests within `max_wait` of the first.
+fn collect_batch(
+    rx: &Receiver<EngineMsg>,
+    first: ScoreRequest,
+    cfg: &ServeConfig,
+) -> (Vec<ScoreRequest>, BatchEnd) {
+    let deadline = Instant::now() + cfg.max_wait;
+    let mut batch = vec![first];
+    while batch.len() < cfg.max_batch.max(1) {
+        let now = Instant::now();
+        let Some(left) = deadline
+            .checked_duration_since(now)
+            .filter(|d| !d.is_zero())
+        else {
+            break;
+        };
+        match rx.recv_timeout(left) {
+            Ok(EngineMsg::Score(req)) => batch.push(req),
+            Ok(EngineMsg::Shutdown) => return (batch, BatchEnd::Shutdown),
+            Err(_) => break,
+        }
+    }
+    (batch, BatchEnd::Flushed)
+}
+
+/// Score one flushed batch: one full pass per distinct model, row
+/// selections per request.
+fn process_batch(
+    batch: Vec<ScoreRequest>,
+    graph: &AttributedGraph,
+    registry: &Registry,
+    metrics: &Metrics,
+) {
+    metrics.record_batch(batch.len());
+    let mut by_model: Vec<(String, Vec<ScoreRequest>)> = Vec::new();
+    for req in batch {
+        match by_model.iter_mut().find(|(name, _)| *name == req.model) {
+            Some((_, group)) => group.push(req),
+            None => {
+                let name = req.model.clone();
+                by_model.push((name, vec![req]));
+            }
+        }
+    }
+    for (name, group) in by_model {
+        score_group(&name, group, graph, registry, metrics);
+    }
+}
+
+fn score_group(
+    name: &str,
+    group: Vec<ScoreRequest>,
+    graph: &AttributedGraph,
+    registry: &Registry,
+    metrics: &Metrics,
+) {
+    // One full scoring pass serves every request for this model; it is
+    // computed lazily so a group of pure lookup errors costs nothing.
+    let mut full: Option<(Vec<f32>, u64)> = None;
+    for req in group {
+        let result = (|| {
+            let (detector, version) = registry
+                .get(name, req.version)
+                .map_err(ScoreError::Lookup)?;
+            if let Some(nodes) = &req.nodes {
+                let n = graph.num_nodes();
+                if let Some(&bad) = nodes.iter().find(|&&u| u as usize >= n) {
+                    return Err(ScoreError::NodeOutOfRange {
+                        node: bad,
+                        num_nodes: n,
+                    });
+                }
+            }
+            let (scores, version) = match &full {
+                Some((scores, version)) => (scores.clone(), *version),
+                None => {
+                    let scores = detector.score(graph).combined;
+                    full = Some((scores.clone(), version));
+                    (scores, version)
+                }
+            };
+            let selected = match &req.nodes {
+                Some(nodes) => nodes.iter().map(|&u| scores[u as usize]).collect(),
+                None => scores,
+            };
+            Ok(ScoreReply {
+                model: name.to_string(),
+                version,
+                nodes: req.nodes.clone(),
+                scores: selected,
+            })
+        })();
+        if result.is_err() {
+            metrics.record_error();
+        }
+        metrics.record_latency_us(req.enqueued.elapsed().as_micros() as u64);
+        metrics.queue_dec();
+        let _ = req.reply.send(result);
+    }
+}
+
+/// Shutdown drain: everything still in the queue is scored and answered.
+fn drain(
+    rx: &Receiver<EngineMsg>,
+    graph: &AttributedGraph,
+    registry: &Registry,
+    metrics: &Metrics,
+    cfg: &ServeConfig,
+) {
+    let mut rest = Vec::new();
+    while let Ok(msg) = rx.try_recv() {
+        if let EngineMsg::Score(req) = msg {
+            rest.push(req);
+        }
+    }
+    // Score the remainder in max_batch-sized flushes.
+    while !rest.is_empty() {
+        let take = cfg.max_batch.max(1).min(rest.len());
+        let batch: Vec<ScoreRequest> = rest.drain(..take).collect();
+        process_batch(batch, graph, registry, metrics);
+    }
+}

@@ -1,0 +1,208 @@
+//! Just enough HTTP/1.1 over `std::net` for the scoring endpoints: a
+//! request parser, a response writer, and a tiny blocking client used by
+//! tests, the CI smoke example, and the serving benchmark.
+//!
+//! Deliberate simplifications (documented contract, not accidents): every
+//! response closes the connection (`Connection: close`), bodies require
+//! `Content-Length` (no chunked encoding), and header names are
+//! case-insensitively matched only where the server needs them.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Largest accepted request body (a node list for a million-node graph
+/// fits comfortably; anything bigger is a client bug).
+pub const MAX_BODY: usize = 16 << 20;
+
+/// A parsed HTTP request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// `GET`, `POST`, …
+    pub method: String,
+    /// Request target as sent (path only; no query parsing).
+    pub path: String,
+    /// Raw body bytes (empty when there was no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+/// Read one request from a connection.
+pub fn read_request(stream: &mut impl BufRead) -> Result<Request, String> {
+    let mut line = String::new();
+    stream
+        .read_line(&mut line)
+        .map_err(|e| format!("reading request line: {e}"))?;
+    if line.is_empty() {
+        return Err("connection closed before request line".into());
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_string();
+    let path = parts.next().unwrap_or_default().to_string();
+    let version = parts.next().unwrap_or_default();
+    if method.is_empty() || path.is_empty() || !version.starts_with("HTTP/1.") {
+        return Err(format!("malformed request line {line:?}"));
+    }
+
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        stream
+            .read_line(&mut header)
+            .map_err(|e| format!("reading header: {e}"))?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad Content-Length {value:?}"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(format!("body of {content_length} bytes exceeds limit"));
+    }
+    let mut body = vec![0u8; content_length];
+    stream
+        .read_exact(&mut body)
+        .map_err(|e| format!("reading body: {e}"))?;
+    Ok(Request { method, path, body })
+}
+
+/// Write a JSON response and flush. Always closes the connection.
+pub fn write_response(stream: &mut impl Write, status: u16, body: &str) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+/// Blocking one-shot HTTP client: send `method path` with an optional JSON
+/// body, return `(status, body)`. This is the repo's own client helper the
+/// CI smoke test and benches drive the server with.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<(u16, String), String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .map_err(|e| e.to_string())?;
+    let mut stream = stream;
+    let body = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .map_err(|e| format!("send: {e}"))?;
+    stream.flush().map_err(|e| format!("send: {e}"))?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader
+        .read_line(&mut status_line)
+        .map_err(|e| format!("read status: {e}"))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line {status_line:?}"))?;
+    let mut content_length = None;
+    loop {
+        let mut header = String::new();
+        reader
+            .read_line(&mut header)
+            .map_err(|e| format!("read header: {e}"))?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse::<usize>().ok();
+            }
+        }
+    }
+    let mut body = Vec::new();
+    match content_length {
+        Some(len) => {
+            body.resize(len, 0);
+            reader
+                .read_exact(&mut body)
+                .map_err(|e| format!("read body: {e}"))?;
+        }
+        None => {
+            reader
+                .read_to_end(&mut body)
+                .map_err(|e| format!("read body: {e}"))?;
+        }
+    }
+    String::from_utf8(body)
+        .map(|text| (status, text))
+        .map_err(|e| format!("non-UTF-8 body: {e}"))
+}
+
+/// `GET path` against a server.
+pub fn get(addr: SocketAddr, path: &str) -> Result<(u16, String), String> {
+    request(addr, "GET", path, None)
+}
+
+/// `POST path` with a JSON body.
+pub fn post(addr: SocketAddr, path: &str, body: &str) -> Result<(u16, String), String> {
+    request(addr, "POST", path, Some(body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_request_with_body() {
+        let raw = b"POST /score HTTP/1.1\r\nHost: x\r\ncontent-length: 4\r\n\r\nabcd";
+        let req = read_request(&mut &raw[..]).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/score");
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn parses_bodyless_request_and_rejects_garbage() {
+        let raw = b"GET /healthz HTTP/1.1\r\n\r\n";
+        let req = read_request(&mut &raw[..]).unwrap();
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+        assert!(read_request(&mut &b""[..]).is_err());
+        assert!(read_request(&mut &b"nonsense\r\n\r\n"[..]).is_err());
+        assert!(
+            read_request(&mut &b"GET / HTTP/1.1\r\nContent-Length: zebra\r\n\r\n"[..]).is_err()
+        );
+    }
+
+    #[test]
+    fn formats_responses() {
+        let mut out = Vec::new();
+        write_response(&mut out, 503, "{\"error\":\"full\"}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Content-Length: 16\r\n"));
+        assert!(text.ends_with("{\"error\":\"full\"}"));
+    }
+}

@@ -1,0 +1,57 @@
+//! # vgod-serve — online inference for vgod-rs
+//!
+//! Turns trained checkpoints into a scoring service:
+//!
+//! * [`AnyDetector`] — one type over every detector the workspace can
+//!   persist, loaded by dispatching on a checkpoint's magic line;
+//! * [`Registry`] — a model registry that loads every checkpoint in a
+//!   watched directory, keys each by `(name, version)`, and hot-reloads
+//!   changed files atomically (a failed reload keeps the old model);
+//! * [`Engine`] — a micro-batching scoring engine: requests queue into a
+//!   bounded channel, a dedicated engine thread flushes them when a batch
+//!   fills or a deadline passes, and each flush runs **one** forward pass
+//!   per distinct model, serving every request of that model from it;
+//! * [`serve`] — a dependency-free HTTP/1.1 server over
+//!   [`std::net::TcpListener`] (thread per connection) exposing
+//!   `POST /score`, `GET /models`, `GET /healthz`, `GET /metrics` and
+//!   `POST /shutdown`, with backpressure (queue full ⇒ `503`) and graceful
+//!   shutdown that drains in-flight batches.
+//!
+//! Scoring is *transductive online serving*: the engine owns one graph
+//! (the deployment graph) and answers score queries for subsets of its
+//! nodes. Subset responses are produced by a full scoring pass plus row
+//! selection ([`OutlierDetector::score_nodes`]), so a served score is
+//! byte-identical to what `vgod detect` writes offline for the same
+//! checkpoint and graph.
+//!
+//! [`OutlierDetector::score_nodes`]: vgod_eval::OutlierDetector::score_nodes
+//!
+//! ```no_run
+//! use vgod_serve::{serve, ServeConfig};
+//!
+//! let handle = serve(
+//!     "models/".as_ref(),
+//!     "graph.txt".as_ref(),
+//!     "127.0.0.1:0",
+//!     ServeConfig::default(),
+//! )
+//! .unwrap();
+//! println!("listening on http://{}", handle.addr());
+//! handle.join(); // blocks until POST /shutdown
+//! ```
+
+#![warn(missing_docs)]
+
+mod detector;
+mod engine;
+pub mod http;
+pub mod json;
+mod metrics;
+mod registry;
+mod server;
+
+pub use detector::AnyDetector;
+pub use engine::{Engine, ScoreError, ScoreReply, ServeConfig, SubmitError};
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use registry::{ModelInfo, Registry};
+pub use server::{serve, ServerHandle};

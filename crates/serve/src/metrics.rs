@@ -1,0 +1,226 @@
+//! Serving metrics: counters, a latency reservoir, and a batch-size
+//! histogram, all cheap enough to update on every request.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Batch-size histogram bucket upper bounds (inclusive); the last bucket is
+/// unbounded.
+pub const BATCH_BUCKETS: [usize; 7] = [1, 2, 4, 8, 16, 32, usize::MAX];
+
+const LATENCY_RING: usize = 4096;
+
+/// Shared serving metrics. HTTP handlers and the engine thread update it
+/// concurrently; `GET /metrics` renders a snapshot.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    rejected: AtomicU64,
+    queue_depth: AtomicU64,
+    batches: AtomicU64,
+    batch_hist: [AtomicU64; BATCH_BUCKETS.len()],
+    /// Ring of the most recent request latencies (µs), for percentiles.
+    latencies_us: Mutex<Vec<u64>>,
+    latency_next: AtomicU64,
+}
+
+/// A point-in-time view of [`Metrics`] with computed percentiles.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Requests accepted into the queue.
+    pub requests: u64,
+    /// Requests that completed with a scoring error.
+    pub errors: u64,
+    /// Requests rejected with `503` because the queue was full.
+    pub rejected: u64,
+    /// Requests currently queued or being scored.
+    pub queue_depth: u64,
+    /// Batches flushed by the engine.
+    pub batches: u64,
+    /// Requests per flushed batch, bucketed by [`BATCH_BUCKETS`].
+    pub batch_hist: Vec<u64>,
+    /// Median request latency in µs (enqueue → reply), over the last
+    /// `4096` requests.
+    pub p50_us: u64,
+    /// 95th-percentile latency in µs.
+    pub p95_us: u64,
+    /// 99th-percentile latency in µs.
+    pub p99_us: u64,
+}
+
+impl Metrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count an accepted request.
+    pub fn record_request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a request that completed with an error reply.
+    pub fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a request rejected by backpressure.
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request entered the queue.
+    pub fn queue_inc(&self) {
+        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request left the queue (replied or failed).
+    pub fn queue_dec(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Record one engine flush of `size` requests.
+    pub fn record_batch(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        let idx = BATCH_BUCKETS
+            .iter()
+            .position(|&cap| size <= cap)
+            .unwrap_or(BATCH_BUCKETS.len() - 1);
+        self.batch_hist[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one request's end-to-end latency.
+    pub fn record_latency_us(&self, us: u64) {
+        let mut ring = self.latencies_us.lock().unwrap();
+        if ring.len() < LATENCY_RING {
+            ring.push(us);
+        } else {
+            let at = self.latency_next.fetch_add(1, Ordering::Relaxed) as usize % LATENCY_RING;
+            ring[at] = us;
+        }
+    }
+
+    /// Current values with percentiles computed from the latency ring.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut lat = self.latencies_us.lock().unwrap().clone();
+        lat.sort_unstable();
+        let pct = |p: f64| -> u64 {
+            if lat.is_empty() {
+                0
+            } else {
+                let idx = ((lat.len() as f64 - 1.0) * p).round() as usize;
+                lat[idx.min(lat.len() - 1)]
+            }
+        };
+        MetricsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batch_hist: self
+                .batch_hist
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            p50_us: pct(0.50),
+            p95_us: pct(0.95),
+            p99_us: pct(0.99),
+        }
+    }
+}
+
+impl MetricsSnapshot {
+    /// Render as the `GET /metrics` JSON body.
+    pub fn render_json(&self) -> String {
+        let hist: Vec<String> = BATCH_BUCKETS
+            .iter()
+            .zip(&self.batch_hist)
+            .map(|(&cap, &count)| {
+                let le = if cap == usize::MAX {
+                    "\"inf\"".to_string()
+                } else {
+                    cap.to_string()
+                };
+                format!("{{\"le\":{le},\"count\":{count}}}")
+            })
+            .collect();
+        format!(
+            "{{\"requests\":{},\"errors\":{},\"rejected\":{},\"queue_depth\":{},\
+             \"batches\":{},\"latency_us\":{{\"p50\":{},\"p95\":{},\"p99\":{}}},\
+             \"batch_size_hist\":[{}]}}",
+            self.requests,
+            self.errors,
+            self.rejected,
+            self.queue_depth,
+            self.batches,
+            self.p50_us,
+            self.p95_us,
+            self.p99_us,
+            hist.join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_percentiles() {
+        let m = Metrics::new();
+        for _ in 0..10 {
+            m.record_request();
+        }
+        m.record_error();
+        m.record_rejected();
+        m.queue_inc();
+        for us in 1..=100u64 {
+            m.record_latency_us(us);
+        }
+        m.record_batch(1);
+        m.record_batch(3);
+        m.record_batch(100);
+        let s = m.snapshot();
+        assert_eq!(s.requests, 10);
+        assert_eq!(s.errors, 1);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.queue_depth, 1);
+        assert_eq!(s.batches, 3);
+        // Values are 1..=100; nearest-rank over indices 0..=99.
+        assert_eq!(s.p50_us, 51);
+        assert_eq!(s.p95_us, 95);
+        assert_eq!(s.p99_us, 99);
+        assert_eq!(s.batch_hist[0], 1); // size 1
+        assert_eq!(s.batch_hist[2], 1); // size 3 → ≤4
+        assert_eq!(s.batch_hist[6], 1); // size 100 → inf
+    }
+
+    #[test]
+    fn latency_ring_wraps_instead_of_growing() {
+        let m = Metrics::new();
+        for us in 0..10_000u64 {
+            m.record_latency_us(us);
+        }
+        assert_eq!(m.latencies_us.lock().unwrap().len(), LATENCY_RING);
+    }
+
+    #[test]
+    fn metrics_json_is_parseable() {
+        let m = Metrics::new();
+        m.record_batch(4);
+        m.record_latency_us(7);
+        let body = m.snapshot().render_json();
+        let v = crate::json::Json::parse(&body).unwrap();
+        assert_eq!(v.get("batches").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            v.get("latency_us").unwrap().get("p50").unwrap().as_u64(),
+            Some(7)
+        );
+        assert_eq!(
+            v.get("batch_size_hist").unwrap().as_arr().unwrap().len(),
+            BATCH_BUCKETS.len()
+        );
+    }
+}

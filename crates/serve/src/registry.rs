@@ -1,0 +1,296 @@
+//! The model registry: every checkpoint in a watched directory, keyed by
+//! `(name, version)`, with atomic hot reload.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::time::SystemTime;
+
+use crate::AnyDetector;
+
+/// What `GET /models` reports about one registered model.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModelInfo {
+    /// Registry key: the checkpoint's file stem.
+    pub name: String,
+    /// Reload generation: `1` on first load, incremented each hot reload.
+    pub version: u64,
+    /// Checkpoint kind tag (`vgod`, `vbm`, `dominant`, …).
+    pub kind: String,
+}
+
+#[derive(Debug)]
+struct Entry {
+    detector: AnyDetector,
+    version: u64,
+    mtime: Option<SystemTime>,
+    len: u64,
+}
+
+/// Errors from registry lookups, mapped to HTTP statuses by the server.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LookupError {
+    /// No model with the requested name.
+    UnknownModel(String),
+    /// The model exists, but not at the requested version (it was
+    /// hot-reloaded since the client pinned a version).
+    VersionMismatch {
+        /// The model name.
+        name: String,
+        /// The version the client asked for.
+        requested: u64,
+        /// The version currently loaded.
+        loaded: u64,
+    },
+}
+
+impl std::fmt::Display for LookupError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LookupError::UnknownModel(name) => write!(f, "unknown model {name:?}"),
+            LookupError::VersionMismatch {
+                name,
+                requested,
+                loaded,
+            } => write!(f, "model {name:?} is at version {loaded}, not {requested}"),
+        }
+    }
+}
+
+/// Checkpoints from one directory, loadable by name.
+///
+/// Every regular file in the directory is loaded through
+/// [`AnyDetector::load`]; the file stem becomes the model name. Reloads are
+/// atomic per model: a changed file is parsed into a fresh detector first
+/// and only then swapped in, so a half-written or corrupt checkpoint never
+/// evicts the model that is currently serving (the failure is reported and
+/// the old version keeps answering).
+#[derive(Debug)]
+pub struct Registry {
+    dir: PathBuf,
+    entries: BTreeMap<String, Entry>,
+}
+
+impl Registry {
+    /// Load every checkpoint under `dir`. Fails if the directory cannot be
+    /// read or any file fails to parse — at startup a bad checkpoint is a
+    /// deployment error, not something to serve around.
+    pub fn open(dir: &Path) -> Result<Registry, String> {
+        let mut registry = Registry {
+            dir: dir.to_path_buf(),
+            entries: BTreeMap::new(),
+        };
+        for (name, path) in registry.checkpoint_files()? {
+            let detector = AnyDetector::load_file(&path)?;
+            let (mtime, len) = stat(&path);
+            registry.entries.insert(
+                name,
+                Entry {
+                    detector,
+                    version: 1,
+                    mtime,
+                    len,
+                },
+            );
+        }
+        Ok(registry)
+    }
+
+    fn checkpoint_files(&self) -> Result<Vec<(String, PathBuf)>, String> {
+        let dir = &self.dir;
+        let mut files = Vec::new();
+        let listing = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        for item in listing {
+            let item = item.map_err(|e| format!("{}: {e}", dir.display()))?;
+            let path = item.path();
+            if !path.is_file() {
+                continue;
+            }
+            let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            if stem.starts_with('.') {
+                continue; // editor/atomic-rename droppings
+            }
+            files.push((stem.to_string(), path));
+        }
+        files.sort();
+        Ok(files)
+    }
+
+    /// Re-scan the directory: load new files, reload files whose
+    /// mtime/length changed (bumping their version), drop models whose
+    /// files disappeared. Returns human-readable reload failures; each
+    /// failure leaves the previously loaded version serving.
+    pub fn poll_reload(&mut self) -> Vec<String> {
+        let mut failures = Vec::new();
+        let files = match self.checkpoint_files() {
+            Ok(files) => files,
+            Err(e) => {
+                failures.push(e);
+                return failures;
+            }
+        };
+        let live: std::collections::BTreeSet<&String> =
+            files.iter().map(|(name, _)| name).collect();
+        self.entries.retain(|name, _| live.contains(name));
+        for (name, path) in files {
+            let (mtime, len) = stat(&path);
+            if let Some(entry) = self.entries.get(&name) {
+                if entry.mtime == mtime && entry.len == len {
+                    continue;
+                }
+            }
+            match AnyDetector::load_file(&path) {
+                Ok(detector) => {
+                    let version = self.entries.get(&name).map_or(1, |e| e.version + 1);
+                    self.entries.insert(
+                        name,
+                        Entry {
+                            detector,
+                            version,
+                            mtime,
+                            len,
+                        },
+                    );
+                }
+                Err(e) => failures.push(e),
+            }
+        }
+        failures
+    }
+
+    /// Look up a model, optionally pinned to a version.
+    pub fn get(
+        &self,
+        name: &str,
+        version: Option<u64>,
+    ) -> Result<(&AnyDetector, u64), LookupError> {
+        let entry = self
+            .entries
+            .get(name)
+            .ok_or_else(|| LookupError::UnknownModel(name.to_string()))?;
+        if let Some(requested) = version {
+            if requested != entry.version {
+                return Err(LookupError::VersionMismatch {
+                    name: name.to_string(),
+                    requested,
+                    loaded: entry.version,
+                });
+            }
+        }
+        Ok((&entry.detector, entry.version))
+    }
+
+    /// Registered models in name order.
+    pub fn infos(&self) -> Vec<ModelInfo> {
+        self.entries
+            .iter()
+            .map(|(name, e)| ModelInfo {
+                name: name.clone(),
+                version: e.version,
+                kind: e.detector.kind().to_string(),
+            })
+            .collect()
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+fn stat(path: &Path) -> (Option<SystemTime>, u64) {
+    match std::fs::metadata(path) {
+        Ok(meta) => (meta.modified().ok(), meta.len()),
+        Err(_) => (None, 0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vgod_baselines::RandomDetector;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("vgod_registry_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn write_random(dir: &Path, name: &str, seed: u64) {
+        AnyDetector::Random(RandomDetector::new(seed))
+            .save_file(&dir.join(format!("{name}.ckpt")))
+            .unwrap();
+    }
+
+    #[test]
+    fn loads_names_and_versions() {
+        let dir = tmp_dir("load");
+        write_random(&dir, "a", 1);
+        write_random(&dir, "b", 2);
+        let reg = Registry::open(&dir).unwrap();
+        assert_eq!(reg.len(), 2);
+        let infos = reg.infos();
+        assert_eq!(infos[0].name, "a");
+        assert_eq!(infos[0].version, 1);
+        assert_eq!(infos[1].kind, "random");
+        assert!(reg.get("a", None).is_ok());
+        assert!(reg.get("a", Some(1)).is_ok());
+        assert_eq!(
+            reg.get("a", Some(2)).unwrap_err(),
+            LookupError::VersionMismatch {
+                name: "a".into(),
+                requested: 2,
+                loaded: 1
+            }
+        );
+        assert_eq!(
+            reg.get("zzz", None).unwrap_err(),
+            LookupError::UnknownModel("zzz".into())
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reload_bumps_version_and_keeps_old_model_on_corruption() {
+        let dir = tmp_dir("reload");
+        write_random(&dir, "m", 1);
+        let mut reg = Registry::open(&dir).unwrap();
+        assert_eq!(reg.get("m", None).unwrap().1, 1);
+
+        // A real update (different byte length forces change detection even
+        // on filesystems with coarse mtimes).
+        std::fs::write(dir.join("m.ckpt"), "# vgod-random v1\nseed 123456789\n").unwrap();
+        assert!(reg.poll_reload().is_empty());
+        assert_eq!(reg.get("m", None).unwrap().1, 2);
+
+        // Corruption: reload fails, version 2 keeps serving.
+        std::fs::write(dir.join("m.ckpt"), "half-written garbage").unwrap();
+        let failures = reg.poll_reload();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(reg.get("m", None).unwrap().1, 2);
+
+        // New + removed files.
+        write_random(&dir, "n", 5);
+        std::fs::remove_file(dir.join("m.ckpt")).unwrap();
+        reg.poll_reload();
+        assert!(reg.get("m", None).is_err());
+        assert_eq!(reg.get("n", None).unwrap().1, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_rejects_bad_checkpoints_and_missing_dirs() {
+        let dir = tmp_dir("bad");
+        std::fs::write(dir.join("broken.ckpt"), "not a checkpoint").unwrap();
+        assert!(Registry::open(&dir).is_err());
+        assert!(Registry::open(&dir.join("missing")).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,397 @@
+//! The HTTP front: a `TcpListener` accept loop, one thread per
+//! connection, five endpoints, graceful shutdown.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::engine::{Engine, ScoreError, ScoreReply, ServeConfig, SubmitError};
+use crate::http::{read_request, write_response, Request};
+use crate::json::{escape, Json};
+use crate::metrics::Metrics;
+use crate::registry::LookupError;
+
+/// Running server: the engine plus the accept loop.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_join: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+struct Shared {
+    engine: Engine,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+}
+
+/// Start serving: load the graph and every checkpoint under `models_dir`,
+/// bind `bind_addr` (use port `0` for an ephemeral port), and return once
+/// the server is accepting connections.
+///
+/// Endpoints:
+///
+/// * `POST /score` — body `{"model": NAME, "version": V?, "nodes": [ID..]?}`;
+///   omitted `nodes` scores the whole graph. `404` unknown model, `409`
+///   version mismatch, `400` malformed body or node out of range, `503`
+///   queue full or draining.
+/// * `GET /models` — registered checkpoints with versions and kinds.
+/// * `GET /healthz` — liveness.
+/// * `GET /metrics` — counters, latency percentiles, batch-size histogram.
+/// * `POST /shutdown` — graceful stop: queued requests drain, then the
+///   engine and accept loop exit ([`ServerHandle::join`] returns).
+pub fn serve(
+    models_dir: &Path,
+    graph_path: &Path,
+    bind_addr: &str,
+    cfg: ServeConfig,
+) -> Result<ServerHandle, String> {
+    let metrics = Arc::new(Metrics::new());
+    let engine = Engine::start(
+        models_dir.to_path_buf(),
+        graph_path.to_path_buf(),
+        cfg,
+        metrics,
+    )?;
+    let listener = TcpListener::bind(bind_addr).map_err(|e| format!("bind {bind_addr}: {e}"))?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    let shared = Arc::new(Shared {
+        engine,
+        shutdown: AtomicBool::new(false),
+        addr,
+    });
+    let accept_shared = Arc::clone(&shared);
+    let accept_join = std::thread::Builder::new()
+        .name("vgod-serve-accept".into())
+        .spawn(move || accept_loop(listener, accept_shared))
+        .map_err(|e| format!("spawning accept thread: {e}"))?;
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept_join: Mutex::new(Some(accept_join)),
+    })
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port `0` to the real ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The engine's metrics.
+    pub fn metrics(&self) -> crate::MetricsSnapshot {
+        self.shared.engine.metrics().snapshot()
+    }
+
+    /// The currently registered models (name, version, kind).
+    pub fn models(&self) -> Vec<crate::ModelInfo> {
+        self.shared.engine.models()
+    }
+
+    /// Trigger the same graceful stop as `POST /shutdown`. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Block until the accept loop and engine have stopped (i.e. until
+    /// shutdown was requested via HTTP or [`ServerHandle::shutdown`]).
+    pub fn join(&self) {
+        if let Some(handle) = self.accept_join.lock().unwrap().take() {
+            let _ = handle.join();
+        }
+        self.shared.engine.join();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+        self.join();
+    }
+}
+
+impl Shared {
+    fn begin_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Drain the engine first (it answers everything already queued),
+        // then poke the accept loop awake so it notices the flag.
+        self.engine.shutdown();
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let conn_shared = Arc::clone(&shared);
+        // Thread per connection: connections are short-lived (every
+        // response closes), so the thread count tracks in-flight requests.
+        let _ = std::thread::Builder::new()
+            .name("vgod-serve-conn".into())
+            .spawn(move || handle_connection(stream, conn_shared));
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    let request = match read_request(&mut reader) {
+        Ok(req) => req,
+        Err(e) => {
+            let body = format!("{{\"error\":\"{}\"}}", escape(&e));
+            let _ = write_response(&mut writer, 400, &body);
+            return;
+        }
+    };
+    let (status, body) = route(&request, &shared);
+    let _ = write_response(&mut writer, status, &body);
+}
+
+fn route(req: &Request, shared: &Shared) -> (u16, String) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => (200, "{\"status\":\"ok\"}".into()),
+        ("GET", "/models") => {
+            let entries: Vec<String> = shared
+                .engine
+                .models()
+                .iter()
+                .map(|m| {
+                    format!(
+                        "{{\"name\":\"{}\",\"version\":{},\"kind\":\"{}\"}}",
+                        escape(&m.name),
+                        m.version,
+                        escape(&m.kind)
+                    )
+                })
+                .collect();
+            (
+                200,
+                format!(
+                    "{{\"graph_nodes\":{},\"models\":[{}]}}",
+                    shared.engine.num_nodes(),
+                    entries.join(",")
+                ),
+            )
+        }
+        ("GET", "/metrics") => (200, shared.engine.metrics().snapshot().render_json()),
+        ("POST", "/shutdown") => {
+            shared.begin_shutdown();
+            (200, "{\"status\":\"shutting down\"}".into())
+        }
+        ("POST", "/score") => score(req, shared),
+        ("GET" | "POST", _) => (404, "{\"error\":\"no such endpoint\"}".into()),
+        _ => (405, "{\"error\":\"method not allowed\"}".into()),
+    }
+}
+
+fn score(req: &Request, shared: &Shared) -> (u16, String) {
+    let parsed = match std::str::from_utf8(&req.body)
+        .map_err(|e| e.to_string())
+        .and_then(Json::parse)
+    {
+        Ok(v) => v,
+        Err(e) => {
+            return (
+                400,
+                format!("{{\"error\":\"invalid JSON: {}\"}}", escape(&e)),
+            )
+        }
+    };
+    let Some(model) = parsed.get("model").and_then(Json::as_str) else {
+        return (400, "{\"error\":\"missing \\\"model\\\"\"}".into());
+    };
+    let version = match parsed.get("version") {
+        None | Some(Json::Null) => None,
+        Some(v) => match v.as_u64() {
+            Some(version) => Some(version),
+            None => {
+                return (
+                    400,
+                    "{\"error\":\"\\\"version\\\" must be an integer\"}".into(),
+                )
+            }
+        },
+    };
+    let nodes = match parsed.get("nodes") {
+        None | Some(Json::Null) => None,
+        Some(v) => {
+            let Some(items) = v.as_arr() else {
+                return (400, "{\"error\":\"\\\"nodes\\\" must be an array\"}".into());
+            };
+            let mut ids = Vec::with_capacity(items.len());
+            for item in items {
+                match item.as_u64().filter(|&u| u <= u32::MAX as u64) {
+                    Some(u) => ids.push(u as u32),
+                    None => {
+                        return (
+                            400,
+                            "{\"error\":\"\\\"nodes\\\" must contain node ids\"}".into(),
+                        )
+                    }
+                }
+            }
+            Some(ids)
+        }
+    };
+
+    let reply_rx = match shared.engine.try_submit(model.to_string(), version, nodes) {
+        Ok(rx) => rx,
+        Err(SubmitError::Overloaded) => {
+            return (503, "{\"error\":\"queue full\"}".into());
+        }
+        Err(SubmitError::ShuttingDown) => {
+            return (503, "{\"error\":\"shutting down\"}".into());
+        }
+    };
+    match reply_rx.recv() {
+        Ok(Ok(reply)) => (200, render_reply(&reply)),
+        Ok(Err(e)) => {
+            let status = match &e {
+                ScoreError::Lookup(LookupError::UnknownModel(_)) => 404,
+                ScoreError::Lookup(LookupError::VersionMismatch { .. }) => 409,
+                ScoreError::NodeOutOfRange { .. } => 400,
+            };
+            (
+                status,
+                format!("{{\"error\":\"{}\"}}", escape(&e.to_string())),
+            )
+        }
+        Err(_) => (500, "{\"error\":\"engine dropped the request\"}".into()),
+    }
+}
+
+/// Response body. Scores use `f32`'s `Display` (shortest round-trip
+/// rendering) — the same formatting offline score files use, which is what
+/// makes served scores byte-comparable to `vgod detect` output.
+fn render_reply(reply: &ScoreReply) -> String {
+    let scores: Vec<String> = reply.scores.iter().map(|s| s.to_string()).collect();
+    let nodes = match &reply.nodes {
+        Some(nodes) => {
+            let ids: Vec<String> = nodes.iter().map(|n| n.to_string()).collect();
+            format!("\"nodes\":[{}],", ids.join(","))
+        }
+        None => String::new(),
+    };
+    format!(
+        "{{\"model\":\"{}\",\"version\":{},{}\"scores\":[{}]}}",
+        escape(&reply.model),
+        reply.version,
+        nodes,
+        scores.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http;
+    use crate::AnyDetector;
+    use std::path::PathBuf;
+    use vgod_baselines::{DegNorm, RandomDetector};
+    use vgod_eval::OutlierDetector as _;
+    use vgod_graph::{save_graph, seeded_rng};
+
+    fn tmp(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("vgod_server_{tag}_{}", std::process::id()))
+    }
+
+    fn fixture(tag: &str) -> (PathBuf, PathBuf, vgod_graph::AttributedGraph) {
+        let mut rng = seeded_rng(21);
+        let mut g = vgod_graph::community_graph(
+            &vgod_graph::CommunityGraphConfig::homogeneous(60, 2, 4.0, 0.9),
+            &mut rng,
+        );
+        let x = vgod_graph::gaussian_mixture_attributes(g.labels().unwrap(), 5, 3.0, 0.5, &mut rng);
+        g.set_attrs(x);
+        let dir = tmp(&format!("{tag}_models"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        AnyDetector::DegNorm(DegNorm)
+            .save_file(&dir.join("degnorm.ckpt"))
+            .unwrap();
+        AnyDetector::Random(RandomDetector::new(3))
+            .save_file(&dir.join("rand.ckpt"))
+            .unwrap();
+        let graph_path = tmp(&format!("{tag}_graph.txt"));
+        save_graph(&g, graph_path.display().to_string()).unwrap();
+        (dir, graph_path, g)
+    }
+
+    #[test]
+    fn endpoints_respond() {
+        let (models, graph_path, g) = fixture("endpoints");
+        let handle = serve(&models, &graph_path, "127.0.0.1:0", ServeConfig::default()).unwrap();
+        let addr = handle.addr();
+
+        let (status, body) = http::get(addr, "/healthz").unwrap();
+        assert_eq!((status, body.as_str()), (200, "{\"status\":\"ok\"}"));
+
+        let (status, body) = http::get(addr, "/models").unwrap();
+        assert_eq!(status, 200);
+        let v = Json::parse(&body).unwrap();
+        assert_eq!(v.get("graph_nodes").unwrap().as_u64(), Some(60));
+        assert_eq!(v.get("models").unwrap().as_arr().unwrap().len(), 2);
+
+        let (status, body) =
+            http::post(addr, "/score", r#"{"model":"degnorm","nodes":[0,5]}"#).unwrap();
+        assert_eq!(status, 200, "{body}");
+        let expected = DegNorm.score(&g).combined;
+        let v = Json::parse(&body).unwrap();
+        let scored: Vec<f64> = v
+            .get("scores")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|s| s.as_f64().unwrap())
+            .collect();
+        assert_eq!(scored.len(), 2);
+        assert_eq!(scored[0] as f32, expected[0]);
+        assert_eq!(scored[1] as f32, expected[5]);
+
+        // Error mapping.
+        let (status, _) = http::post(addr, "/score", r#"{"model":"nope"}"#).unwrap();
+        assert_eq!(status, 404);
+        let (status, _) = http::post(addr, "/score", r#"{"model":"degnorm","version":9}"#).unwrap();
+        assert_eq!(status, 409);
+        let (status, _) =
+            http::post(addr, "/score", r#"{"model":"degnorm","nodes":[999]}"#).unwrap();
+        assert_eq!(status, 400);
+        let (status, _) = http::post(addr, "/score", "{oops").unwrap();
+        assert_eq!(status, 400);
+        let (status, _) = http::get(addr, "/nothing").unwrap();
+        assert_eq!(status, 404);
+
+        let (status, body) = http::get(addr, "/metrics").unwrap();
+        assert_eq!(status, 200);
+        let m = Json::parse(&body).unwrap();
+        assert!(m.get("requests").unwrap().as_u64().unwrap() >= 1);
+
+        let (status, _) = http::post(addr, "/shutdown", "").unwrap();
+        assert_eq!(status, 200);
+        handle.join();
+        let _ = std::fs::remove_dir_all(&models);
+        let _ = std::fs::remove_file(&graph_path);
+    }
+
+    #[test]
+    fn startup_failures_are_synchronous() {
+        let missing = tmp("no_such_dir");
+        assert!(serve(
+            &missing,
+            &missing.join("graph.txt"),
+            "127.0.0.1:0",
+            ServeConfig::default()
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,78 @@
+//! Serving smoke test: train tiny checkpoints, serve them on an ephemeral
+//! port, score over HTTP with the workspace's own client helper, and shut
+//! down gracefully. CI runs this end-to-end (it asserts, not just prints).
+//!
+//! ```sh
+//! cargo run --release --example serve_smoke
+//! ```
+
+use vgod_suite::baselines::DeepConfig;
+use vgod_suite::prelude::*;
+use vgod_suite::serve::{http, json::Json, AnyDetector, ServeConfig};
+
+fn main() {
+    // --- training job: two checkpoints into a models directory ---------
+    let dir = std::env::temp_dir().join(format!("vgod_serve_smoke_{}", std::process::id()));
+    let models = dir.join("models");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&models).expect("create models dir");
+    let graph_path = dir.join("graph.txt");
+
+    let mut rng = seeded_rng(19);
+    let g = replica(Dataset::CoraLike, Scale::Tiny, &mut rng).graph;
+    save_graph(&g, graph_path.display().to_string()).expect("save graph");
+
+    let mut dom = AnyDetector::Dominant(Dominant::new(DeepConfig {
+        hidden: 8,
+        epochs: 3,
+        lr: 0.005,
+        seed: 2,
+    }));
+    dom.fit(&g);
+    dom.save_file(&models.join("dom.ckpt")).expect("save dom");
+    AnyDetector::DegNorm(DegNorm)
+        .save_file(&models.join("degnorm.ckpt"))
+        .expect("save degnorm");
+
+    // --- serving job: ephemeral port, default micro-batching -----------
+    let handle =
+        vgod_suite::serve::serve(&models, &graph_path, "127.0.0.1:0", ServeConfig::default())
+            .expect("start server");
+    let addr = handle.addr();
+    println!("serving {} models on http://{addr}", handle.models().len());
+
+    let (status, body) = http::get(addr, "/healthz").expect("healthz");
+    assert_eq!((status, body.as_str()), (200, "{\"status\":\"ok\"}"));
+
+    let (status, body) = http::get(addr, "/models").expect("models");
+    assert_eq!(status, 200);
+    let v = Json::parse(&body).expect("well-formed /models JSON");
+    assert_eq!(
+        v.get("models").and_then(Json::as_arr).map(|a| a.len()),
+        Some(2)
+    );
+
+    let (status, body) =
+        http::post(addr, "/score", r#"{"model":"dom","nodes":[0,1,2]}"#).expect("score");
+    assert_eq!(status, 200, "{body}");
+    let v = Json::parse(&body).expect("well-formed /score JSON");
+    let scores = v
+        .get("scores")
+        .and_then(Json::as_arr)
+        .expect("scores array");
+    assert_eq!(scores.len(), 3);
+    println!("scored nodes [0,1,2] with dom: {body}");
+
+    let (status, body) = http::get(addr, "/metrics").expect("metrics");
+    assert_eq!(status, 200);
+    let v = Json::parse(&body).expect("well-formed /metrics JSON");
+    assert!(v.get("requests").and_then(Json::as_u64).unwrap_or(0) >= 1);
+
+    // --- graceful shutdown over HTTP ------------------------------------
+    let (status, _) = http::post(addr, "/shutdown", "").expect("shutdown");
+    assert_eq!(status, 200);
+    handle.join();
+    println!("server drained and stopped — serve smoke OK");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -29,6 +29,7 @@ pub use vgod_gnn as gnn;
 pub use vgod_graph as graph;
 pub use vgod_inject as inject;
 pub use vgod_nn as nn;
+pub use vgod_serve as serve;
 pub use vgod_tensor as tensor;
 
 /// Everything most applications need, in one import.

@@ -1,0 +1,194 @@
+//! End-to-end serving tests: concurrent clients against a live HTTP server
+//! must see exactly the scores offline `detect` would write, overload must
+//! surface as `503`, and shutdown must drain queued work.
+
+use std::path::PathBuf;
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use vgod_suite::baselines::DeepConfig;
+use vgod_suite::prelude::*;
+use vgod_suite::serve::{http, AnyDetector, ServeConfig};
+
+fn tmp(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("vgod_e2e_{tag}_{}", std::process::id()))
+}
+
+fn tiny_graph() -> AttributedGraph {
+    let mut rng = seeded_rng(29);
+    replica(Dataset::CoraLike, Scale::Tiny, &mut rng).graph
+}
+
+/// Save the graph plus fitted checkpoints; returns the models dir, graph
+/// path, and each model's offline scores rendered exactly as score files
+/// render them (f32 `Display`).
+fn fixture(
+    tag: &str,
+    detectors: Vec<(&str, AnyDetector)>,
+) -> (PathBuf, PathBuf, Vec<(String, Vec<String>)>) {
+    let g = tiny_graph();
+    let graph_path = tmp(&format!("{tag}_graph.txt"));
+    save_graph(&g, graph_path.display().to_string()).unwrap();
+    let models = tmp(&format!("{tag}_models"));
+    let _ = std::fs::remove_dir_all(&models);
+    std::fs::create_dir_all(&models).unwrap();
+    let mut offline = Vec::new();
+    for (name, mut det) in detectors {
+        det.fit(&g);
+        det.save_file(&models.join(format!("{name}.ckpt"))).unwrap();
+        let rendered: Vec<String> = det.score(&g).combined.iter().map(f32::to_string).collect();
+        offline.push((name.to_string(), rendered));
+    }
+    (models, graph_path, offline)
+}
+
+/// The raw text inside `"scores":[...]` — compared byte-for-byte against
+/// offline renderings.
+fn scores_field(body: &str) -> &str {
+    let start = body.find("\"scores\":[").expect(body) + "\"scores\":[".len();
+    let end = body[start..].find(']').unwrap() + start;
+    &body[start..end]
+}
+
+#[test]
+fn concurrent_clients_get_offline_identical_scores() {
+    let deep = DeepConfig {
+        hidden: 8,
+        epochs: 2,
+        lr: 0.005,
+        seed: 13,
+    };
+    let (models, graph_path, offline) = fixture(
+        "concurrent",
+        vec![
+            ("dom", AnyDetector::Dominant(Dominant::new(deep))),
+            ("degnorm", AnyDetector::DegNorm(DegNorm)),
+        ],
+    );
+    let handle =
+        vgod_suite::serve::serve(&models, &graph_path, "127.0.0.1:0", ServeConfig::default())
+            .unwrap();
+    let addr = handle.addr();
+    let offline = Arc::new(offline);
+
+    let num_nodes = offline[0].1.len();
+    let threads: Vec<_> = (0..4)
+        .map(|t| {
+            let offline = Arc::clone(&offline);
+            std::thread::spawn(move || {
+                for i in 0..6 {
+                    let (name, expected) = &offline[(t + i) % offline.len()];
+                    // Mix whole-graph requests with per-thread subsets.
+                    let (body, want) = if i % 2 == 0 {
+                        (format!("{{\"model\":\"{name}\"}}"), expected.join(","))
+                    } else {
+                        let nodes = [t % num_nodes, (7 * t + i) % num_nodes, num_nodes - 1];
+                        let ids: Vec<String> = nodes.iter().map(usize::to_string).collect();
+                        let want: Vec<String> =
+                            nodes.iter().map(|&n| expected[n].clone()).collect();
+                        (
+                            format!("{{\"model\":\"{name}\",\"nodes\":[{}]}}", ids.join(",")),
+                            want.join(","),
+                        )
+                    };
+                    let (status, reply) = http::post(addr, "/score", &body).unwrap();
+                    assert_eq!(status, 200, "{reply}");
+                    assert_eq!(
+                        scores_field(&reply),
+                        want,
+                        "served scores must match offline detect byte-for-byte"
+                    );
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    let m = handle.metrics();
+    assert_eq!(m.requests, 24);
+    assert_eq!(m.errors, 0);
+    assert_eq!(m.rejected, 0);
+    assert!(m.batches >= 1 && m.batches <= 24);
+    assert_eq!(m.batch_hist.iter().sum::<u64>(), m.batches);
+
+    handle.shutdown();
+    handle.join();
+    let _ = std::fs::remove_dir_all(&models);
+    let _ = std::fs::remove_file(&graph_path);
+}
+
+#[test]
+fn overload_rejects_with_503_and_shutdown_drains() {
+    // An intentionally slow model: CoLA's inference cost scales with its
+    // sampling rounds, so a big round count keeps the engine busy while a
+    // burst of clients slams a capacity-1 queue.
+    let mut cola = Cola::new(DeepConfig {
+        hidden: 8,
+        epochs: 1,
+        lr: 0.005,
+        seed: 31,
+    });
+    cola.rounds = 2048;
+    let (models, graph_path, _) = fixture(
+        "overload",
+        vec![
+            ("slow", AnyDetector::Cola(cola)),
+            ("degnorm", AnyDetector::DegNorm(DegNorm)),
+        ],
+    );
+    let cfg = ServeConfig {
+        max_batch: 1,
+        max_wait: Duration::from_micros(0),
+        queue_capacity: 1,
+        ..ServeConfig::default()
+    };
+    let handle = vgod_suite::serve::serve(&models, &graph_path, "127.0.0.1:0", cfg).unwrap();
+    let addr = handle.addr();
+
+    // 8 clients fire simultaneously; with the engine grinding through one
+    // slow request and only one queue slot, most of the burst must bounce.
+    let barrier = Arc::new(Barrier::new(8));
+    let threads: Vec<_> = (0..8)
+        .map(|_| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let (status, _) = http::post(addr, "/score", "{\"model\":\"slow\"}").unwrap();
+                status
+            })
+        })
+        .collect();
+    let statuses: Vec<u16> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+    assert!(
+        statuses.contains(&503),
+        "a capacity-1 queue under an 8-client burst must shed load: {statuses:?}"
+    );
+    assert!(
+        statuses.contains(&200),
+        "accepted requests still succeed: {statuses:?}"
+    );
+    assert!(handle.metrics().rejected >= 1);
+
+    // Graceful drain: a request accepted before shutdown is still answered.
+    let inflight = std::thread::spawn(move || {
+        http::post(addr, "/score", "{\"model\":\"slow\",\"nodes\":[0]}").unwrap()
+    });
+    let before = handle.metrics().requests;
+    loop {
+        if handle.metrics().requests > before {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    handle.shutdown();
+    let (status, body) = inflight.join().unwrap();
+    assert_eq!(status, 200, "queued request must drain on shutdown: {body}");
+    handle.join();
+
+    // After shutdown the server is gone.
+    assert!(http::get(addr, "/healthz").is_err());
+    let _ = std::fs::remove_dir_all(&models);
+    let _ = std::fs::remove_file(&graph_path);
+}
