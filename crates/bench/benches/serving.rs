@@ -1,19 +1,30 @@
-//! Micro-batched vs request-at-a-time serving A/B.
+//! Serving throughput: concurrency sweep over the replicated engine and
+//! the non-blocking HTTP front.
 //!
-//! The same fixture — a CoraLike replica plus two fitted checkpoints
-//! (DOMINANT and DegNorm) — is served twice over HTTP:
+//! Three phases against the same fixture (a CoraLike replica plus fitted
+//! DOMINANT and DegNorm checkpoints):
 //!
-//! * **single** — `max_batch = 1`: every `POST /score` triggers its own
-//!   full forward pass, the pre-batching world;
-//! * **batched** — `max_batch = 32`, 2 ms flush window: concurrent
-//!   requests for the same model share one forward pass per flush.
+//! 1. **baseline** — the PR-4 measurement reproduced verbatim: one-shot
+//!    connections (connect, one request, close), 4 client threads,
+//!    micro-batching on. This is what `2839 req/s` referred to.
+//! 2. **sweep** — keep-alive clients pipelining waves of requests over
+//!    persistent connections, crossed over client count × replica count.
+//!    Pipelining is what lets a client fleet keep the server saturated
+//!    without paying one round-trip (and one connection) per request; the
+//!    epoll front parses requests zero-copy out of each connection buffer
+//!    and the replicas answer whole waves from shared batch passes.
+//!    Per-level p50/p99 latency is recorded client-side (time from wave
+//!    flush to each response).
+//! 3. **overload** — a tiny per-replica queue is offered 10× its capacity
+//!    of slow-model requests in one pipelined wave; the engine must shed
+//!    the excess with `503` (backpressure, not buffering or collapse).
 //!
-//! A fixed client fleet hammers each server with small node-subset
-//! requests and records per-request latency client-side; wall-clock over
-//! the whole burst gives throughput. Results (throughput, p50/p99 latency,
-//! batch counts) are written to `BENCH_serve.json` at the repository root.
+//! Results land in `BENCH_serve.json` at the repository root, including
+//! the speedup of the best sweep cell over the PR-4 reference number.
 
 use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 use vgod_baselines::{DegNorm, Dominant};
@@ -23,13 +34,23 @@ use vgod_eval::OutlierDetector;
 use vgod_graph::{save_graph, seeded_rng};
 use vgod_serve::{http, AnyDetector, ServeConfig};
 
-const CLIENT_THREADS: usize = 4;
-const REQUESTS_PER_CLIENT: usize = 30;
+/// The PR-4 batched throughput this machine measured before the replicated
+/// engine + epoll front landed; the sweep is judged against it.
+const PR4_BATCHED_RPS: f64 = 2839.0;
+
+const BASELINE_CLIENTS: usize = 4;
+const BASELINE_REQUESTS: usize = 30;
+
+const WAVE: usize = 64;
+const WAVES: usize = 8;
+const SWEEP_CLIENTS: [usize; 3] = [1, 2, 4];
+const SWEEP_REPLICAS: [usize; 2] = [1, 2];
 const SUBSET: usize = 8;
 
-struct RunResult {
-    name: &'static str,
-    wall_ms: f64,
+struct Cell {
+    clients: usize,
+    replicas: usize,
+    requests: u64,
     throughput_rps: f64,
     p50_us: u64,
     p99_us: u64,
@@ -45,44 +66,106 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
     sorted[idx.min(sorted.len() - 1)]
 }
 
-fn run(
-    name: &'static str,
-    models: &std::path::Path,
-    graph_path: &std::path::Path,
-    cfg: ServeConfig,
-    num_nodes: usize,
-) -> RunResult {
+fn score_body(model: &str, salt: usize, num_nodes: usize) -> String {
+    let ids: Vec<String> = (0..SUBSET)
+        .map(|k| ((salt * 17 + k * 7) % num_nodes).to_string())
+        .collect();
+    format!("{{\"model\":\"{model}\",\"nodes\":[{}]}}", ids.join(","))
+}
+
+/// Phase 1: the pre-replication measurement — one connection per request.
+fn run_baseline(models: &std::path::Path, graph_path: &std::path::Path, num_nodes: usize) -> f64 {
+    let cfg = ServeConfig {
+        max_batch: 32,
+        max_wait: Duration::from_micros(250),
+        replicas: 1,
+        ..ServeConfig::default()
+    };
     let handle = vgod_serve::serve(models, graph_path, "127.0.0.1:0", cfg).unwrap();
     let addr = handle.addr();
-
-    // Warm both models (first score builds the memoised graph context).
     for model in ["dom", "degnorm"] {
-        let (status, body) = http::post(
-            addr,
-            "/score",
-            &format!("{{\"model\":\"{model}\",\"nodes\":[0]}}"),
-        )
-        .unwrap();
+        let (status, body) = http::post(addr, "/score", &score_body(model, 0, num_nodes)).unwrap();
         assert_eq!(status, 200, "{body}");
     }
 
     let t0 = Instant::now();
-    let threads: Vec<_> = (0..CLIENT_THREADS)
+    let threads: Vec<_> = (0..BASELINE_CLIENTS)
         .map(|t| {
             std::thread::spawn(move || {
-                let mut latencies = Vec::with_capacity(REQUESTS_PER_CLIENT);
-                for i in 0..REQUESTS_PER_CLIENT {
-                    // Mostly the deep model (where a shared forward pass
-                    // pays), occasionally the cheap one.
+                for i in 0..BASELINE_REQUESTS {
                     let model = if i % 5 == 4 { "degnorm" } else { "dom" };
-                    let ids: Vec<String> = (0..SUBSET)
-                        .map(|k| ((t * 131 + i * 17 + k * 7) % num_nodes).to_string())
-                        .collect();
-                    let body = format!("{{\"model\":\"{model}\",\"nodes\":[{}]}}", ids.join(","));
-                    let r0 = Instant::now();
-                    let (status, reply) = http::post(addr, "/score", &body).unwrap();
-                    latencies.push(r0.elapsed().as_micros() as u64);
+                    let (status, reply) =
+                        http::post(addr, "/score", &score_body(model, t * 131 + i, num_nodes))
+                            .unwrap();
                     assert_eq!(status, 200, "{reply}");
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let wall = t0.elapsed();
+    handle.shutdown();
+    handle.join();
+    (BASELINE_CLIENTS * BASELINE_REQUESTS) as f64 / wall.as_secs_f64()
+}
+
+/// Phase 2, one cell: `clients` keep-alive connections, each pipelining
+/// `WAVES` waves of `WAVE` requests, against a `replicas`-replica engine.
+fn run_cell(
+    models: &std::path::Path,
+    graph_path: &std::path::Path,
+    clients: usize,
+    replicas: usize,
+    num_nodes: usize,
+) -> Cell {
+    let cfg = ServeConfig {
+        max_batch: 32,
+        max_wait: Duration::from_micros(250),
+        replicas,
+        ..ServeConfig::default()
+    };
+    let handle = vgod_serve::serve(models, graph_path, "127.0.0.1:0", cfg).unwrap();
+    let addr = handle.addr();
+    // Warm: first score builds each replica's memoised graph context.
+    for model in ["dom", "degnorm"] {
+        let (status, body) = http::post(addr, "/score", &score_body(model, 0, num_nodes)).unwrap();
+        assert_eq!(status, 200, "{body}");
+    }
+
+    let shed = Arc::new(AtomicU64::new(0));
+    let barrier = Arc::new(Barrier::new(clients));
+    let t0 = Instant::now();
+    let threads: Vec<_> = (0..clients)
+        .map(|t| {
+            let barrier = Arc::clone(&barrier);
+            let shed = Arc::clone(&shed);
+            std::thread::spawn(move || {
+                let mut client = http::Client::connect(addr).unwrap();
+                let mut latencies = Vec::with_capacity(WAVE * WAVES);
+                barrier.wait();
+                for w in 0..WAVES {
+                    let wave_start = Instant::now();
+                    for k in 0..WAVE {
+                        // Cheap model: the sweep measures the serving path
+                        // (parse → route → batch → render), not the GNN.
+                        client.send(
+                            "POST",
+                            "/score",
+                            Some(&score_body("degnorm", t * 997 + w * 131 + k, num_nodes)),
+                        );
+                    }
+                    client.flush().unwrap();
+                    for _ in 0..WAVE {
+                        let (status, reply) = client.recv().unwrap();
+                        latencies.push(wave_start.elapsed().as_micros() as u64);
+                        if status == 503 {
+                            shed.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            assert_eq!(status, 200, "{reply}");
+                        }
+                    }
                 }
                 latencies
             })
@@ -99,21 +182,68 @@ fn run(
     handle.join();
 
     latencies.sort_unstable();
-    let total = (CLIENT_THREADS * REQUESTS_PER_CLIENT) as f64;
-    let result = RunResult {
-        name,
-        wall_ms: wall.as_secs_f64() * 1e3,
-        throughput_rps: total / wall.as_secs_f64(),
+    let requests = (clients * WAVE * WAVES) as u64;
+    let ok = requests - shed.load(Ordering::Relaxed);
+    let cell = Cell {
+        clients,
+        replicas,
+        requests: ok,
+        throughput_rps: ok as f64 / wall.as_secs_f64(),
         p50_us: percentile(&latencies, 0.50),
         p99_us: percentile(&latencies, 0.99),
         batches: m.batches,
         mean_batch: m.requests as f64 / m.batches.max(1) as f64,
     };
     println!(
-        "{name}: {:.0} req/s, p50 {} µs, p99 {} µs, {} batches (mean size {:.1})",
-        result.throughput_rps, result.p50_us, result.p99_us, result.batches, result.mean_batch
+        "clients={} replicas={}: {:.0} req/s, p50 {} µs, p99 {} µs, mean batch {:.1}",
+        clients, replicas, cell.throughput_rps, cell.p50_us, cell.p99_us, cell.mean_batch
     );
-    result
+    cell
+}
+
+/// Phase 3: offer a slow model 10× the per-replica queue capacity in one
+/// pipelined wave; the excess must bounce with `503`.
+fn run_overload(
+    models: &std::path::Path,
+    graph_path: &std::path::Path,
+    num_nodes: usize,
+) -> (u64, u64, u64) {
+    let capacity = 8usize;
+    let offered = capacity * 10;
+    let cfg = ServeConfig {
+        max_batch: 1,
+        max_wait: Duration::from_micros(0),
+        queue_capacity: capacity,
+        replicas: 1,
+        ..ServeConfig::default()
+    };
+    let handle = vgod_serve::serve(models, graph_path, "127.0.0.1:0", cfg).unwrap();
+    let addr = handle.addr();
+    let (status, body) = http::post(addr, "/score", &score_body("dom", 0, num_nodes)).unwrap();
+    assert_eq!(status, 200, "{body}");
+
+    let mut client = http::Client::connect(addr).unwrap();
+    for k in 0..offered {
+        client.send("POST", "/score", Some(&score_body("dom", k, num_nodes)));
+    }
+    client.flush().unwrap();
+    let (mut accepted, mut rejected) = (0u64, 0u64);
+    for _ in 0..offered {
+        let (status, reply) = client.recv().unwrap();
+        match status {
+            200 => accepted += 1,
+            503 => rejected += 1,
+            other => panic!("unexpected status {other}: {reply}"),
+        }
+    }
+    handle.shutdown();
+    handle.join();
+    assert!(
+        rejected > 0,
+        "a queue of {capacity} offered {offered} slow requests must shed load"
+    );
+    println!("overload: offered {offered}, accepted {accepted}, rejected {rejected} (503)");
+    (offered as u64, accepted, rejected)
 }
 
 fn main() {
@@ -122,7 +252,7 @@ fn main() {
     let g = data.graph;
     let n = g.num_nodes();
     println!(
-        "serving A/B on CoraLike replica: n={n}, d={}",
+        "serving sweep on CoraLike replica: n={n}, d={}",
         g.num_attrs()
     );
 
@@ -143,30 +273,29 @@ fn main() {
         .save_file(&models.join("degnorm.ckpt"))
         .unwrap();
 
-    let single = ServeConfig {
-        max_batch: 1,
-        max_wait: Duration::from_micros(0),
-        ..ServeConfig::default()
-    };
-    // The flush window must stay small relative to one forward pass,
-    // otherwise waiting for co-batched requests costs more than it saves:
-    // it only needs to cover the arrival jitter of concurrent clients.
-    let batched = ServeConfig {
-        max_batch: 32,
-        max_wait: Duration::from_micros(250),
-        ..ServeConfig::default()
-    };
-    let results = [
-        run("single", &models, &graph_path, single, n),
-        run("batched", &models, &graph_path, batched, n),
-    ];
+    let baseline_rps = run_baseline(&models, &graph_path, n);
+    println!("baseline (one-shot connections): {baseline_rps:.0} req/s");
+
+    let mut cells = Vec::new();
+    for &replicas in &SWEEP_REPLICAS {
+        for &clients in &SWEEP_CLIENTS {
+            cells.push(run_cell(&models, &graph_path, clients, replicas, n));
+        }
+    }
+    let overload = run_overload(&models, &graph_path, n);
     let _ = std::fs::remove_dir_all(&dir);
 
-    write_json(n, &results);
+    write_json(n, baseline_rps, &cells, overload);
 }
 
 /// Hand-rolled JSON (the workspace has no serde) written to the repo root.
-fn write_json(n: usize, results: &[RunResult]) {
+fn write_json(n: usize, baseline_rps: f64, cells: &[Cell], overload: (u64, u64, u64)) {
+    let peak = cells
+        .iter()
+        .max_by(|a, b| a.throughput_rps.total_cmp(&b.throughput_rps))
+        .unwrap();
+    let (offered, accepted, rejected) = overload;
+
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"serve\",\n");
@@ -175,30 +304,42 @@ fn write_json(n: usize, results: &[RunResult]) {
         scale_from_env()
     ));
     out.push_str(&format!(
-        "  \"clients\": {CLIENT_THREADS}, \"requests_per_client\": {REQUESTS_PER_CLIENT}, \
-         \"subset_size\": {SUBSET},\n"
+        "  \"baseline\": {{\"name\": \"oneshot_batched_pr4\", \"clients\": {BASELINE_CLIENTS}, \
+         \"throughput_rps\": {baseline_rps:.1}, \"reference_rps\": {PR4_BATCHED_RPS:.1}}},\n"
     ));
-    out.push_str("  \"configs\": [\n");
-    for (i, r) in results.iter().enumerate() {
+    out.push_str(&format!(
+        "  \"wave\": {WAVE}, \"waves_per_client\": {WAVES}, \"subset_size\": {SUBSET},\n"
+    ));
+    out.push_str("  \"sweep\": [\n");
+    for (i, c) in cells.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"wall_ms\": {:.1}, \"throughput_rps\": {:.1}, \
-             \"p50_us\": {}, \"p99_us\": {}, \"batches\": {}, \"mean_batch_size\": {:.2}}}{}\n",
-            r.name,
-            r.wall_ms,
-            r.throughput_rps,
-            r.p50_us,
-            r.p99_us,
-            r.batches,
-            r.mean_batch,
-            if i + 1 < results.len() { "," } else { "" }
+            "    {{\"clients\": {}, \"replicas\": {}, \"requests\": {}, \
+             \"throughput_rps\": {:.1}, \"p50_us\": {}, \"p99_us\": {}, \
+             \"batches\": {}, \"mean_batch_size\": {:.2}}}{}\n",
+            c.clients,
+            c.replicas,
+            c.requests,
+            c.throughput_rps,
+            c.p50_us,
+            c.p99_us,
+            c.batches,
+            c.mean_batch,
+            if i + 1 < cells.len() { "," } else { "" }
         ));
     }
-    let speedup = results
-        .last()
-        .map(|b| b.throughput_rps / results[0].throughput_rps.max(1e-9))
-        .unwrap_or(1.0);
     out.push_str("  ],\n");
-    out.push_str(&format!("  \"batched_speedup\": {speedup:.3}\n"));
+    out.push_str(&format!(
+        "  \"peak\": {{\"clients\": {}, \"replicas\": {}, \"throughput_rps\": {:.1}}},\n",
+        peak.clients, peak.replicas, peak.throughput_rps
+    ));
+    out.push_str(&format!(
+        "  \"speedup_vs_pr4_batched\": {:.3},\n",
+        peak.throughput_rps / PR4_BATCHED_RPS
+    ));
+    out.push_str(&format!(
+        "  \"overload\": {{\"queue_capacity\": 8, \"offered\": {offered}, \
+         \"accepted\": {accepted}, \"rejected_503\": {rejected}}}\n"
+    ));
     out.push_str("}\n");
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");

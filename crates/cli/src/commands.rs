@@ -20,7 +20,7 @@ use vgod_inject::{
     inject_community_replacement, inject_contextual, inject_standard, inject_structural,
     ContextualParams, DistanceMetric, GroundTruth, StructuralParams,
 };
-use vgod_serve::{AnyDetector, ServeConfig};
+use vgod_serve::{AnyDetector, RegistryConfig, ServeConfig};
 
 use crate::args::Args;
 use crate::files;
@@ -283,12 +283,21 @@ pub fn serve(args: &Args) -> CmdResult {
     let queue: usize = args
         .get_parsed_or("queue", 1024)
         .map_err(|e| e.to_string())?;
+    let replicas: usize = args
+        .get_parsed_or("replicas", 0)
+        .map_err(|e| e.to_string())?;
+    let reload_ms: u64 = args
+        .get_parsed_or("reload-ms", 500)
+        .map_err(|e| e.to_string())?;
 
     let cfg = ServeConfig {
         max_batch: max_batch.max(1),
         max_wait: Duration::from_micros(max_wait_us),
         queue_capacity: queue.max(1),
-        ..ServeConfig::default()
+        replicas,
+        registry: RegistryConfig {
+            reload_poll: Duration::from_millis(reload_ms.max(1)),
+        },
     };
     let handle = vgod_serve::serve(
         Path::new(models_dir),
@@ -298,9 +307,10 @@ pub fn serve(args: &Args) -> CmdResult {
     )?;
     let models = handle.models();
     println!(
-        "serving {} model(s) on http://{} — POST /shutdown to stop",
+        "serving {} model(s) on http://{} with {} replica(s) — POST /shutdown to stop",
         models.len(),
-        handle.addr()
+        handle.addr(),
+        handle.replicas()
     );
     for m in &models {
         println!("  {} v{} ({})", m.name, m.version, m.kind);
@@ -617,6 +627,10 @@ mod tests {
             &graph_path,
             "--port",
             "0",
+            "--replicas",
+            "2",
+            "--reload-ms",
+            "200",
             "--addr-file",
             &addr_file,
         ]

@@ -34,9 +34,11 @@ COMMANDS:
              [--epochs N --hidden N --lr F --seed N --self-loops true|false]
              [--batch N: mini-batch training for vbm/arm]
              [--save-model FILE | --load-model FILE: checkpoint for any model]
-  serve      serve checkpointed models over HTTP (micro-batched scoring)
+  serve      serve checkpointed models over HTTP (replicated micro-batched scoring)
              --models DIR  --in FILE  [--host H --port N: default 127.0.0.1:7878]
-             [--max-batch N --max-wait-us N --queue N]
+             [--max-batch N --max-wait-us N --queue N: per-replica queue]
+             [--replicas N: scoring replicas, 0 = one per core (default)]
+             [--reload-ms N: checkpoint hot-reload poll interval, default 500]
              [--addr-file FILE: write the bound address, useful with --port 0]
   eval       score a ranking against ground truth
              --scores FILE  --truth FILE  [--at K]

@@ -1,33 +1,60 @@
-//! The micro-batching scoring engine.
+//! The replicated micro-batching scoring engine.
 //!
-//! Graphs and detectors in this workspace are deliberately not `Send` (the
-//! graph memoises an `Rc`-shared [`GraphContext`]), so the engine is a
-//! single dedicated thread that *owns* the deployment graph and the model
-//! [`Registry`]. HTTP connection threads talk to it over a bounded
-//! [`std::sync::mpsc::sync_channel`]: a full queue fails `try_send`, which
-//! the server surfaces as `503` — backpressure with no unbounded buffering.
+//! Graphs in this workspace are deliberately not `Send` (a graph memoises
+//! an `Rc`-shared `GraphContext`), so scoring happens on dedicated
+//! replica threads that each *own* a private rebuild of the deployment
+//! graph. The engine spawns `N` such replicas ([`ServeConfig::replicas`],
+//! default = available cores); models are shared — every replica resolves
+//! requests against the same `Arc`-published registry [`Snapshot`], so a
+//! checkpoint is loaded once no matter how many replicas serve it.
 //!
-//! The batching discipline: on the first queued request the engine opens a
-//! window of [`ServeConfig::max_wait`], keeps pulling requests until the
-//! window closes or [`ServeConfig::max_batch`] are in hand, then flushes.
-//! A flush groups requests by model and runs **one** full scoring pass per
-//! distinct model, answering every grouped request from row selections of
-//! that pass — the same selection [`OutlierDetector::score_nodes`]
-//! performs, which keeps served scores byte-identical to offline scoring.
-//! The whole loop runs inside an arena scope, so steady-state flushes
-//! recycle the tensor buffers of earlier ones instead of allocating.
+//! Requests are routed to replicas **sticky per model**: the first request
+//! for a model assigns it a replica round-robin, and every later request
+//! for that model lands on the same replica. Sticky routing maximises
+//! batch coherence — a flush groups requests by model and runs **one**
+//! full scoring pass per distinct model, so scattering a model's traffic
+//! across replicas would shrink every group and multiply forward passes.
+//! Requests naming unregistered models are routed by name hash (they only
+//! ever produce a `404`, and must not grow the sticky table).
+//!
+//! Each replica keeps the original engine's discipline:
+//!
+//! * a bounded queue per replica — `try_send` on a full queue fails, which
+//!   the server surfaces as `503` (backpressure with no unbounded buffering);
+//! * micro-batching — the first queued request opens a
+//!   [`ServeConfig::max_wait`] window, requests accumulate until the window
+//!   closes or [`ServeConfig::max_batch`] are in hand, then the batch is
+//!   flushed with one pass per distinct model, answering every grouped
+//!   request from row selections of that pass (the same selection
+//!   [`OutlierDetector::score_nodes`] performs, which keeps served scores
+//!   byte-identical to offline scoring);
+//! * an arena scope around the whole loop, so steady-state flushes recycle
+//!   tensor buffers instead of allocating.
+//!
+//! Replies are delivered through a caller-supplied callback that runs on
+//! the replica thread ([`Engine::try_submit_with`]). The epoll server uses
+//! this to serialise the response off the event loop and wake it through
+//! an eventfd; tests and the portable fallback server use the channel
+//! wrapper [`Engine::try_submit`].
+//!
+//! Hot reloads live on their own reloader thread, which owns the
+//! [`Registry`], polls the checkpoint directory every
+//! [`RegistryConfig::reload_poll`], and publishes a fresh snapshot (one
+//! pointer swap) when anything changed — scoring never blocks on a reload.
 
+use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use vgod_eval::OutlierDetector;
 use vgod_graph::{load_graph, AttributedGraph};
+use vgod_tensor::Matrix;
 
 use crate::metrics::Metrics;
-use crate::registry::{LookupError, ModelInfo, Registry};
+use crate::registry::{LookupError, ModelInfo, Registry, RegistryConfig, Snapshot, SnapshotCell};
 
 /// Engine tuning knobs.
 #[derive(Clone, Debug)]
@@ -36,11 +63,13 @@ pub struct ServeConfig {
     pub max_batch: usize,
     /// Flush a batch this long after its first request arrived.
     pub max_wait: Duration,
-    /// Bounded queue capacity; a full queue rejects with `503`.
+    /// Bounded queue capacity **per replica**; a full queue rejects the
+    /// request with `503`.
     pub queue_capacity: usize,
-    /// How often to poll the checkpoint directory for hot reloads (checked
-    /// when idle and between batches).
-    pub reload_poll: Duration,
+    /// Number of scoring replicas; `0` means one per available core.
+    pub replicas: usize,
+    /// Registry knobs (hot-reload poll interval).
+    pub registry: RegistryConfig,
 }
 
 impl Default for ServeConfig {
@@ -49,7 +78,19 @@ impl Default for ServeConfig {
             max_batch: 32,
             max_wait: Duration::from_micros(2000),
             queue_capacity: 1024,
-            reload_poll: Duration::from_millis(500),
+            replicas: 0,
+            registry: RegistryConfig::default(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The replica count this config resolves to on this machine.
+    pub fn resolved_replicas(&self) -> usize {
+        if self.replicas > 0 {
+            self.replicas
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
         }
     }
 }
@@ -95,17 +136,22 @@ impl std::fmt::Display for ScoreError {
 /// Why a request was not even queued.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SubmitError {
-    /// The bounded queue is full — shed load.
+    /// The routed replica's bounded queue is full — shed load.
     Overloaded,
     /// The engine has shut down.
     ShuttingDown,
 }
 
+/// Reply callback: runs on the replica thread once the request is scored
+/// (or failed). Keep it cheap and non-blocking — it executes inside the
+/// scoring loop.
+pub type ReplyFn = Box<dyn FnOnce(Result<ScoreReply, ScoreError>) + Send>;
+
 struct ScoreRequest {
     model: String,
     version: Option<u64>,
     nodes: Option<Vec<u32>>,
-    reply: mpsc::Sender<Result<ScoreReply, ScoreError>>,
+    reply: ReplyFn,
     enqueued: Instant,
 }
 
@@ -114,83 +160,178 @@ enum EngineMsg {
     Shutdown,
 }
 
-/// Handle to the engine thread.
+/// Everything needed to rebuild the deployment graph inside a replica
+/// thread. `AttributedGraph` itself is not `Send` (its memoised context
+/// cache holds `Rc`s), but its raw parts are plain data; each replica
+/// reconstructs an identical graph — same sorted adjacency, same attribute
+/// bytes — and grows its own memoised context.
+struct GraphSpec {
+    edges: Vec<(u32, u32)>,
+    x: Matrix,
+    labels: Option<Vec<u32>>,
+}
+
+impl GraphSpec {
+    fn of(g: &AttributedGraph) -> GraphSpec {
+        GraphSpec {
+            edges: g.undirected_edges(),
+            x: g.attrs().clone(),
+            labels: g.labels().map(<[u32]>::to_vec),
+        }
+    }
+
+    fn build(&self) -> AttributedGraph {
+        let mut g = AttributedGraph::from_edges(self.x.clone(), &self.edges);
+        if let Some(labels) = &self.labels {
+            g.set_labels(labels.clone());
+        }
+        g
+    }
+}
+
+/// Per-model sticky routing table: first sight assigns the next replica
+/// round-robin, later requests stick to it.
+struct Router {
+    assignments: Mutex<HashMap<String, usize>>,
+    next: AtomicUsize,
+    replicas: usize,
+}
+
+impl Router {
+    fn new(replicas: usize) -> Router {
+        Router {
+            assignments: Mutex::new(HashMap::new()),
+            next: AtomicUsize::new(0),
+            replicas,
+        }
+    }
+
+    fn route(&self, model: &str, registered: bool) -> usize {
+        if self.replicas == 1 {
+            return 0;
+        }
+        let mut map = self.assignments.lock().unwrap();
+        if let Some(&replica) = map.get(model) {
+            return replica;
+        }
+        if registered {
+            let replica = self.next.fetch_add(1, Ordering::Relaxed) % self.replicas;
+            map.insert(model.to_string(), replica);
+            replica
+        } else {
+            // Unknown names answer 404 from whichever replica; hash so a
+            // flood of garbage names cannot grow the sticky table.
+            fnv1a(model.as_bytes()) as usize % self.replicas
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Handle to the replica fleet and the reloader thread.
 pub struct Engine {
-    tx: Mutex<SyncSender<EngineMsg>>,
-    join: Mutex<Option<std::thread::JoinHandle<()>>>,
+    replica_txs: Vec<SyncSender<EngineMsg>>,
+    router: Router,
+    snapshots: Arc<SnapshotCell>,
+    reload_stop: SyncSender<()>,
+    joins: Mutex<Vec<std::thread::JoinHandle<()>>>,
     metrics: Arc<Metrics>,
-    models: Arc<Mutex<Vec<ModelInfo>>>,
     num_nodes: usize,
     shutting_down: AtomicBool,
 }
 
 impl Engine {
-    /// Spawn the engine thread: it loads the graph at `graph_path`, opens
-    /// the registry at `models_dir`, and starts serving the queue. Fails
-    /// (synchronously) if the graph or any checkpoint fails to load.
+    /// Start the engine: load the graph at `graph_path` and the registry at
+    /// `models_dir` (both on the calling thread — startup failures are
+    /// synchronous), then spawn the scoring replicas and the reloader.
     pub fn start(
         models_dir: PathBuf,
         graph_path: PathBuf,
         cfg: ServeConfig,
         metrics: Arc<Metrics>,
     ) -> Result<Engine, String> {
-        let (tx, rx) = mpsc::sync_channel(cfg.queue_capacity.max(1));
-        let models = Arc::new(Mutex::new(Vec::new()));
-        let (ready_tx, ready_rx) = mpsc::channel::<Result<usize, String>>();
-        let thread_models = Arc::clone(&models);
-        let thread_metrics = Arc::clone(&metrics);
+        let graph = load_graph(graph_path.display().to_string())
+            .map_err(|e| format!("{}: {e}", graph_path.display()))?;
+        let num_nodes = graph.num_nodes();
+        let spec = Arc::new(GraphSpec::of(&graph));
+        drop(graph);
+
+        let registry = Registry::open(&models_dir)?;
+        let snapshots = Arc::new(SnapshotCell::new(registry.snapshot()));
+
+        let replicas = cfg.replicas_for_start();
+        metrics.init_replicas(replicas);
+        let mut joins = Vec::with_capacity(replicas + 1);
+        let mut replica_txs = Vec::with_capacity(replicas);
+        for id in 0..replicas {
+            let (tx, rx) = mpsc::sync_channel(cfg.queue_capacity.max(1));
+            let spec = Arc::clone(&spec);
+            let snapshots = Arc::clone(&snapshots);
+            let metrics = Arc::clone(&metrics);
+            let cfg = cfg.clone();
+            let join = std::thread::Builder::new()
+                .name(format!("vgod-serve-replica-{id}"))
+                .spawn(move || replica_main(id, &spec, rx, &snapshots, &metrics, &cfg))
+                .map_err(|e| format!("spawning replica {id}: {e}"))?;
+            replica_txs.push(tx);
+            joins.push(join);
+        }
+
+        let (reload_stop, stop_rx) = mpsc::sync_channel(1);
+        let reload_snapshots = Arc::clone(&snapshots);
+        let reload_poll = cfg.registry.reload_poll;
         let join = std::thread::Builder::new()
-            .name("vgod-serve-engine".into())
-            .spawn(move || {
-                engine_main(
-                    models_dir,
-                    graph_path,
-                    cfg,
-                    rx,
-                    ready_tx,
-                    thread_models,
-                    thread_metrics,
-                )
-            })
-            .map_err(|e| format!("spawning engine thread: {e}"))?;
-        let num_nodes = ready_rx
-            .recv()
-            .map_err(|_| "engine thread died during startup".to_string())??;
+            .name("vgod-serve-reload".into())
+            .spawn(move || reloader_main(registry, reload_snapshots, stop_rx, reload_poll))
+            .map_err(|e| format!("spawning reloader: {e}"))?;
+        joins.push(join);
+
         Ok(Engine {
-            tx: Mutex::new(tx),
-            join: Mutex::new(Some(join)),
+            replica_txs,
+            router: Router::new(replicas),
+            snapshots,
+            reload_stop,
+            joins: Mutex::new(joins),
             metrics,
-            models,
             num_nodes,
             shutting_down: AtomicBool::new(false),
         })
     }
 
-    /// Queue a scoring request. Returns the channel the reply will arrive
-    /// on, or [`SubmitError`] if the queue is full or draining.
-    pub fn try_submit(
+    /// Queue a scoring request with a reply callback (runs on the replica
+    /// thread). [`SubmitError`] if the routed replica's queue is full or
+    /// the engine is draining.
+    pub fn try_submit_with(
         &self,
         model: String,
         version: Option<u64>,
         nodes: Option<Vec<u32>>,
-    ) -> Result<mpsc::Receiver<Result<ScoreReply, ScoreError>>, SubmitError> {
+        reply: ReplyFn,
+    ) -> Result<(), SubmitError> {
         if self.shutting_down.load(Ordering::SeqCst) {
             return Err(SubmitError::ShuttingDown);
         }
-        let (reply_tx, reply_rx) = mpsc::channel();
+        let registered = self.snapshots.load().contains(&model);
+        let replica = self.router.route(&model, registered);
         let msg = EngineMsg::Score(ScoreRequest {
             model,
             version,
             nodes,
-            reply: reply_tx,
+            reply,
             enqueued: Instant::now(),
         });
-        let sent = self.tx.lock().unwrap().try_send(msg);
-        match sent {
+        match self.replica_txs[replica].try_send(msg) {
             Ok(()) => {
                 self.metrics.record_request();
-                self.metrics.queue_inc();
-                Ok(reply_rx)
+                self.metrics.queue_inc(replica);
+                Ok(())
             }
             Err(TrySendError::Full(_)) => {
                 self.metrics.record_rejected();
@@ -200,9 +341,29 @@ impl Engine {
         }
     }
 
-    /// Registered models, as of the engine's last registry scan.
+    /// [`Engine::try_submit_with`] wrapped in a channel, for blocking
+    /// callers (tests, the portable fallback server).
+    pub fn try_submit(
+        &self,
+        model: String,
+        version: Option<u64>,
+        nodes: Option<Vec<u32>>,
+    ) -> Result<mpsc::Receiver<Result<ScoreReply, ScoreError>>, SubmitError> {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        self.try_submit_with(
+            model,
+            version,
+            nodes,
+            Box::new(move |result| {
+                let _ = reply_tx.send(result);
+            }),
+        )?;
+        Ok(reply_rx)
+    }
+
+    /// Registered models, from the latest published registry snapshot.
     pub fn models(&self) -> Vec<ModelInfo> {
-        self.models.lock().unwrap().clone()
+        self.snapshots.load().infos().to_vec()
     }
 
     /// Node count of the deployment graph.
@@ -210,26 +371,36 @@ impl Engine {
         self.num_nodes
     }
 
+    /// Number of scoring replicas.
+    pub fn replicas(&self) -> usize {
+        self.replica_txs.len()
+    }
+
     /// The engine's metrics.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
     }
 
-    /// Begin graceful shutdown: refuse new submissions, let the engine
-    /// drain everything already queued, then stop. Idempotent.
+    /// Begin graceful shutdown: refuse new submissions, let every replica
+    /// drain its queue, stop the reloader. Idempotent.
     pub fn shutdown(&self) {
         if self.shutting_down.swap(true, Ordering::SeqCst) {
             return;
         }
-        // A blocking send: queued Score messages ahead of this marker are
-        // all drained (scored and replied to) before the thread exits.
-        let _ = self.tx.lock().unwrap().send(EngineMsg::Shutdown);
+        // Blocking sends: queued Score messages ahead of each marker are
+        // all drained (scored and replied to) before that replica exits.
+        for tx in &self.replica_txs {
+            let _ = tx.send(EngineMsg::Shutdown);
+        }
+        let _ = self.reload_stop.try_send(());
     }
 
-    /// Wait for the engine thread to exit (call after [`Engine::shutdown`]).
+    /// Wait for every engine thread to exit (call after
+    /// [`Engine::shutdown`]).
     pub fn join(&self) {
-        if let Some(handle) = self.join.lock().unwrap().take() {
-            let _ = handle.join();
+        let joins: Vec<_> = self.joins.lock().unwrap().drain(..).collect();
+        for join in joins {
+            let _ = join.join();
         }
     }
 }
@@ -241,57 +412,61 @@ impl Drop for Engine {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn engine_main(
-    models_dir: PathBuf,
-    graph_path: PathBuf,
-    cfg: ServeConfig,
-    rx: Receiver<EngineMsg>,
-    ready_tx: mpsc::Sender<Result<usize, String>>,
-    models: Arc<Mutex<Vec<ModelInfo>>>,
-    metrics: Arc<Metrics>,
-) {
-    let setup = || -> Result<(AttributedGraph, Registry), String> {
-        let graph = load_graph(graph_path.display().to_string())
-            .map_err(|e| format!("{}: {e}", graph_path.display()))?;
-        let registry = Registry::open(&models_dir)?;
-        Ok((graph, registry))
-    };
-    let (graph, mut registry) = match setup() {
-        Ok(ok) => ok,
-        Err(e) => {
-            let _ = ready_tx.send(Err(e));
-            return;
-        }
-    };
-    *models.lock().unwrap() = registry.infos();
-    let _ = ready_tx.send(Ok(graph.num_nodes()));
+impl ServeConfig {
+    fn replicas_for_start(&self) -> usize {
+        self.resolved_replicas().max(1)
+    }
+}
 
+fn reloader_main(
+    mut registry: Registry,
+    snapshots: Arc<SnapshotCell>,
+    stop_rx: Receiver<()>,
+    poll: Duration,
+) {
+    loop {
+        match stop_rx.recv_timeout(poll) {
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                let failures = registry.poll_reload();
+                for failure in &failures {
+                    eprintln!("vgod-serve: reload failed: {failure}");
+                }
+                snapshots.store(registry.snapshot());
+            }
+            // Stop requested, or the engine handle dropped.
+            Ok(()) | Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+fn replica_main(
+    id: usize,
+    spec: &GraphSpec,
+    rx: Receiver<EngineMsg>,
+    snapshots: &SnapshotCell,
+    metrics: &Metrics,
+    cfg: &ServeConfig,
+) {
+    let graph = spec.build();
     // The arena scope makes every flush recycle the tensor buffers of the
     // previous one: steady-state serving performs no fresh value/grad
     // allocations (the same discipline the recycled training runtime uses).
     vgod_tensor::arena::scope(|| loop {
-        match rx.recv_timeout(cfg.reload_poll) {
+        match rx.recv() {
             Ok(EngineMsg::Score(first)) => {
-                let batch = collect_batch(&rx, first, &cfg);
-                let shutdown = matches!(batch.1, BatchEnd::Shutdown);
-                process_batch(batch.0, &graph, &registry, &metrics);
+                let (batch, end) = collect_batch(&rx, first, cfg);
+                let shutdown = matches!(end, BatchEnd::Shutdown);
+                process_batch(id, batch, &graph, &snapshots.load(), metrics);
                 if shutdown {
-                    drain(&rx, &graph, &registry, &metrics, &cfg);
+                    drain(id, &rx, &graph, snapshots, metrics, cfg);
                     return;
                 }
             }
             Ok(EngineMsg::Shutdown) => {
-                drain(&rx, &graph, &registry, &metrics, &cfg);
+                drain(id, &rx, &graph, snapshots, metrics, cfg);
                 return;
             }
-            Err(RecvTimeoutError::Timeout) => {
-                for failure in registry.poll_reload() {
-                    eprintln!("vgod-serve: reload failed: {failure}");
-                }
-                *models.lock().unwrap() = registry.infos();
-            }
-            Err(RecvTimeoutError::Disconnected) => return,
+            Err(_) => return,
         }
     });
 }
@@ -327,11 +502,13 @@ fn collect_batch(
 }
 
 /// Score one flushed batch: one full pass per distinct model, row
-/// selections per request.
+/// selections per request. The whole batch resolves against one snapshot,
+/// so co-batched requests cannot straddle a hot reload.
 fn process_batch(
+    replica: usize,
     batch: Vec<ScoreRequest>,
     graph: &AttributedGraph,
-    registry: &Registry,
+    snapshot: &Snapshot,
     metrics: &Metrics,
 ) {
     metrics.record_batch(batch.len());
@@ -346,15 +523,16 @@ fn process_batch(
         }
     }
     for (name, group) in by_model {
-        score_group(&name, group, graph, registry, metrics);
+        score_group(replica, &name, group, graph, snapshot, metrics);
     }
 }
 
 fn score_group(
+    replica: usize,
     name: &str,
     group: Vec<ScoreRequest>,
     graph: &AttributedGraph,
-    registry: &Registry,
+    snapshot: &Snapshot,
     metrics: &Metrics,
 ) {
     // One full scoring pass serves every request for this model; it is
@@ -362,7 +540,7 @@ fn score_group(
     let mut full: Option<(Vec<f32>, u64)> = None;
     for req in group {
         let result = (|| {
-            let (detector, version) = registry
+            let (detector, version) = snapshot
                 .get(name, req.version)
                 .map_err(ScoreError::Lookup)?;
             if let Some(nodes) = &req.nodes {
@@ -397,16 +575,18 @@ fn score_group(
             metrics.record_error();
         }
         metrics.record_latency_us(req.enqueued.elapsed().as_micros() as u64);
-        metrics.queue_dec();
-        let _ = req.reply.send(result);
+        metrics.queue_dec(replica);
+        (req.reply)(result);
     }
 }
 
-/// Shutdown drain: everything still in the queue is scored and answered.
+/// Shutdown drain: everything still in this replica's queue is scored and
+/// answered.
 fn drain(
+    replica: usize,
     rx: &Receiver<EngineMsg>,
     graph: &AttributedGraph,
-    registry: &Registry,
+    snapshots: &SnapshotCell,
     metrics: &Metrics,
     cfg: &ServeConfig,
 ) {
@@ -420,6 +600,63 @@ fn drain(
     while !rest.is_empty() {
         let take = cfg.max_batch.max(1).min(rest.len());
         let batch: Vec<ScoreRequest> = rest.drain(..take).collect();
-        process_batch(batch, graph, registry, metrics);
+        process_batch(replica, batch, graph, &snapshots.load(), metrics);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Model snapshots are shared across replica threads by `Arc`, which
+    /// requires every detector to be `Send + Sync` — all detector state is
+    /// plain owned data (parameter matrices, seeds), enforced here at
+    /// compile time.
+    #[test]
+    fn any_detector_is_shareable() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<crate::AnyDetector>();
+        assert_send_sync::<Snapshot>();
+    }
+
+    #[test]
+    fn sticky_router_spreads_models_and_hashes_unknown() {
+        let router = Router::new(4);
+        let a = router.route("a", true);
+        let b = router.route("b", true);
+        let c = router.route("c", true);
+        // Round-robin first-sight assignment: three models, three replicas.
+        assert_eq!((a, b, c), (0, 1, 2));
+        // Sticky thereafter.
+        assert_eq!(router.route("b", true), b);
+        assert_eq!(router.route("a", true), a);
+        // Unknown names don't grow the table but route deterministically.
+        let bogus = router.route("no-such-model", false);
+        assert_eq!(router.route("no-such-model", false), bogus);
+        assert_eq!(router.assignments.lock().unwrap().len(), 3);
+        // A single replica short-circuits.
+        let single = Router::new(1);
+        assert_eq!(single.route("a", true), 0);
+        assert_eq!(single.route("zzz", false), 0);
+    }
+
+    #[test]
+    fn graph_spec_rebuilds_identically() {
+        let mut rng = vgod_graph::seeded_rng(7);
+        let mut g = vgod_graph::community_graph(
+            &vgod_graph::CommunityGraphConfig::homogeneous(40, 2, 3.0, 0.8),
+            &mut rng,
+        );
+        let x = vgod_graph::gaussian_mixture_attributes(g.labels().unwrap(), 4, 2.0, 0.5, &mut rng);
+        g.set_attrs(x);
+        let spec = GraphSpec::of(&g);
+        let rebuilt = spec.build();
+        assert_eq!(rebuilt.num_nodes(), g.num_nodes());
+        assert_eq!(rebuilt.num_edges(), g.num_edges());
+        assert_eq!(rebuilt.labels(), g.labels());
+        assert_eq!(rebuilt.attrs().as_slice(), g.attrs().as_slice());
+        for u in 0..g.num_nodes() as u32 {
+            assert_eq!(rebuilt.neighbors(u), g.neighbors(u));
+        }
     }
 }

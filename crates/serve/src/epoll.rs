@@ -1,0 +1,627 @@
+//! The non-blocking HTTP front: a single-threaded, level-triggered epoll
+//! readiness loop (Linux only — other platforms use the portable blocking
+//! server in [`crate::server`]).
+//!
+//! One thread owns every connection. Each connection is a small state
+//! machine over two buffers:
+//!
+//! ```text
+//!             ┌────────────── EPOLLIN ──────────────┐
+//!             ▼                                     │
+//!   ┌──── reading ────┐   parse_request     ┌───────┴───────┐
+//!   │ rbuf ← read()   ├──── Complete ──────▶│  dispatching  │
+//!   └─────────────────┘                     └───┬───────┬───┘
+//!        ▲    │ Partial: wait for bytes         │       │ POST /score:
+//!        │    │ Error: 400/413/431, close       │       │ queue on engine
+//!        │    ▼                      immediate  │       ▼ replica
+//!   ┌─── writing ───┐               (404/503/…) │  ┌─ pending slot ─┐
+//!   │ wbuf → write()│◀──────────────────────────┘  │ reply callback │
+//!   └───────┬───────┘◀───── completion queue ──────┤ + eventfd wake │
+//!           │ EPOLLOUT when short write            └────────────────┘
+//!           ▼
+//!     keep-alive: back to reading        close: drop connection
+//! ```
+//!
+//! Requests are parsed **zero-copy** ([`parse_request`] borrows slices out
+//! of `rbuf`) and may be **pipelined**: every parsed request claims an
+//! ordered response slot, immediate responses fill their slot on the spot,
+//! and `/score` slots are filled later by the engine replica's reply
+//! callback — which renders the body off the event loop, pushes a
+//! [`Completion`], and wakes the loop through an eventfd. Slots are
+//! flushed strictly in request order, so pipelined clients always see
+//! responses in the order they asked.
+//!
+//! Backpressure composes with the engine: a full replica queue fails the
+//! submit synchronously and the slot is filled with `503` immediately —
+//! the event loop never blocks on the engine, and the engine never blocks
+//! on a slow client (responses buffer in `wbuf`, drained by `EPOLLOUT`).
+//!
+//! Shutdown: `POST /shutdown` (or [`ServerHandle::shutdown`]) flips the
+//! shared flag, drains the engine, and pokes the loop awake with a
+//! throwaway connect. The loop then stops accepting, marks every
+//! connection close-after-flush, waits for outstanding `/score` slots to
+//! complete (the engine answers everything it accepted), flushes, and
+//! exits.
+//!
+//! [`ServerHandle::shutdown`]: crate::ServerHandle::shutdown
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::{AsRawFd, FromRawFd, RawFd};
+use std::sync::{Arc, Mutex};
+
+use crate::http::{parse_request, render_response_into, ParseOutcome};
+use crate::server::{parse_score_body, route_immediate, score_result_response, Shared};
+
+const TOKEN_LISTENER: u64 = u64::MAX;
+const TOKEN_WAKE: u64 = u64::MAX - 1;
+const READ_CHUNK: usize = 64 * 1024;
+const MAX_EVENTS: usize = 256;
+
+/// A finished `/score` computation, produced on a replica thread and
+/// consumed by the event loop.
+struct Completion {
+    conn: usize,
+    gen: u32,
+    seq: u64,
+    status: u16,
+    body: String,
+}
+
+/// Mailbox from replica threads into the event loop: a mutex-guarded
+/// vector plus an eventfd so pushes wake `epoll_wait`.
+struct CompletionQueue {
+    items: Mutex<Vec<Completion>>,
+    wake_fd: RawFd,
+}
+
+impl CompletionQueue {
+    fn new() -> Result<Arc<CompletionQueue>, String> {
+        let wake_fd = unsafe { libc::eventfd(0, libc::EFD_CLOEXEC | libc::EFD_NONBLOCK) };
+        if wake_fd < 0 {
+            return Err(format!("eventfd: {}", std::io::Error::last_os_error()));
+        }
+        Ok(Arc::new(CompletionQueue {
+            items: Mutex::new(Vec::new()),
+            wake_fd,
+        }))
+    }
+
+    fn push(&self, completion: Completion) {
+        self.items.lock().unwrap().push(completion);
+        let one: u64 = 1;
+        // Nonblocking; an already-signalled eventfd or a torn-down loop
+        // makes this a no-op, which is fine — completions are also drained
+        // unconditionally on every wakeup.
+        unsafe { libc::write(self.wake_fd, &one as *const u64 as *const _, 8) };
+    }
+
+    fn take(&self) -> Vec<Completion> {
+        std::mem::take(&mut *self.items.lock().unwrap())
+    }
+
+    fn drain_wakeups(&self) {
+        let mut counter: u64 = 0;
+        while unsafe { libc::read(self.wake_fd, &mut counter as *mut u64 as *mut _, 8) } == 8 {}
+    }
+}
+
+impl Drop for CompletionQueue {
+    fn drop(&mut self) {
+        // The queue outlives the reactor (reply callbacks hold an `Arc`),
+        // so the eventfd stays valid for every late completion and is
+        // closed exactly once, here.
+        unsafe { libc::close(self.wake_fd) };
+    }
+}
+
+/// One ordered response slot (see module docs). `response` is `None` while
+/// a `/score` is in flight on a replica.
+struct Slot {
+    seq: u64,
+    keep_alive: bool,
+    response: Option<(u16, String)>,
+}
+
+/// Per-connection state machine.
+struct Conn {
+    stream: TcpStream,
+    gen: u32,
+    /// Read buffer; `rpos..` is the unparsed suffix.
+    rbuf: Vec<u8>,
+    rpos: usize,
+    /// Write buffer; `wpos..` is the unsent suffix.
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Response slots in request order (front = oldest).
+    pending: VecDeque<Slot>,
+    next_seq: u64,
+    /// Interest mask currently registered with epoll.
+    registered: u32,
+    sent_continue: bool,
+    /// Peer half-closed its write side; serve what's queued, then close.
+    peer_closed: bool,
+    /// Unrecoverable parse error: ignore further input, close after flush.
+    broken_input: bool,
+    close_after_flush: bool,
+}
+
+impl Conn {
+    fn idle(&self) -> bool {
+        self.pending.is_empty() && self.wpos >= self.wbuf.len()
+    }
+}
+
+/// The event loop and everything it owns.
+pub(crate) struct Reactor {
+    epfd: RawFd,
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    completions: Arc<CompletionQueue>,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    generation: u32,
+    draining: bool,
+    accepting: bool,
+}
+
+impl Reactor {
+    /// Set up epoll state synchronously (so `serve` can fail fast); the
+    /// returned reactor is moved onto the event-loop thread.
+    pub(crate) fn new(listener: TcpListener, shared: Arc<Shared>) -> Result<Reactor, String> {
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("listener nonblocking: {e}"))?;
+        let epfd = unsafe { libc::epoll_create1(libc::EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(format!(
+                "epoll_create1: {}",
+                std::io::Error::last_os_error()
+            ));
+        }
+        let completions = match CompletionQueue::new() {
+            Ok(queue) => queue,
+            Err(e) => {
+                unsafe { libc::close(epfd) };
+                return Err(e);
+            }
+        };
+        let reactor = Reactor {
+            epfd,
+            listener,
+            shared,
+            completions,
+            conns: Vec::new(),
+            free: Vec::new(),
+            generation: 0,
+            draining: false,
+            accepting: true,
+        };
+        reactor.ctl(
+            libc::EPOLL_CTL_ADD,
+            reactor.listener.as_raw_fd(),
+            libc::EPOLLIN,
+            TOKEN_LISTENER,
+        )?;
+        reactor.ctl(
+            libc::EPOLL_CTL_ADD,
+            reactor.completions.wake_fd,
+            libc::EPOLLIN,
+            TOKEN_WAKE,
+        )?;
+        Ok(reactor)
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, events: u32, token: u64) -> Result<(), String> {
+        let mut ev = libc::epoll_event { events, u64: token };
+        if unsafe { libc::epoll_ctl(self.epfd, op, fd, &mut ev) } < 0 {
+            return Err(format!("epoll_ctl: {}", std::io::Error::last_os_error()));
+        }
+        Ok(())
+    }
+
+    /// Run until shutdown completes. Consumes the reactor; all fds close on
+    /// the way out.
+    pub(crate) fn run(mut self) {
+        let mut events = [libc::epoll_event { events: 0, u64: 0 }; MAX_EVENTS];
+        loop {
+            self.check_draining();
+            if self.draining && self.conns.iter().all(Option::is_none) {
+                break;
+            }
+            let n =
+                unsafe { libc::epoll_wait(self.epfd, events.as_mut_ptr(), MAX_EVENTS as i32, -1) };
+            if n < 0 {
+                // EINTR: retry. Anything else is unrecoverable for a
+                // single-loop server; exit rather than spin.
+                if std::io::Error::last_os_error().raw_os_error() == Some(4) {
+                    continue;
+                }
+                break;
+            }
+            for ev in &events[..n as usize] {
+                // `epoll_event` is packed; copy fields out before use.
+                let token = ev.u64;
+                let bits = ev.events;
+                match token {
+                    TOKEN_LISTENER => self.on_accept(),
+                    TOKEN_WAKE => {
+                        self.completions.drain_wakeups();
+                        self.on_completions();
+                    }
+                    token => self.on_conn_event(token, bits),
+                }
+            }
+            // Completions may have raced in while we processed sockets.
+            self.on_completions();
+        }
+    }
+
+    /// First wakeup after the shutdown flag flips: stop accepting and mark
+    /// every connection for close; idle ones drop immediately.
+    fn check_draining(&mut self) {
+        if self.draining || !self.shared.is_shutting_down() {
+            return;
+        }
+        self.draining = true;
+        self.stop_accepting();
+        for idx in 0..self.conns.len() {
+            let Some(conn) = &mut self.conns[idx] else {
+                continue;
+            };
+            conn.close_after_flush = true;
+            if conn.idle() {
+                self.close_conn(idx);
+            } else {
+                self.update_interest(idx);
+            }
+        }
+    }
+
+    fn stop_accepting(&mut self) {
+        if self.accepting {
+            self.accepting = false;
+            let _ = self.ctl(
+                libc::EPOLL_CTL_DEL,
+                self.listener.as_raw_fd(),
+                0,
+                TOKEN_LISTENER,
+            );
+        }
+    }
+
+    fn on_accept(&mut self) {
+        loop {
+            let fd = unsafe {
+                libc::accept4(
+                    self.listener.as_raw_fd(),
+                    std::ptr::null_mut(),
+                    std::ptr::null_mut(),
+                    libc::SOCK_NONBLOCK | libc::SOCK_CLOEXEC,
+                )
+            };
+            if fd < 0 {
+                // EAGAIN (drained the backlog) or a transient accept error;
+                // either way wait for the next readiness event.
+                return;
+            }
+            let stream = unsafe { TcpStream::from_raw_fd(fd) };
+            let _ = stream.set_nodelay(true);
+            self.generation = self.generation.wrapping_add(1);
+            let conn = Conn {
+                stream,
+                gen: self.generation,
+                rbuf: Vec::with_capacity(4096),
+                rpos: 0,
+                wbuf: Vec::new(),
+                wpos: 0,
+                pending: VecDeque::new(),
+                next_seq: 0,
+                registered: 0,
+                sent_continue: false,
+                peer_closed: false,
+                broken_input: false,
+                close_after_flush: false,
+            };
+            let idx = match self.free.pop() {
+                Some(idx) => {
+                    self.conns[idx] = Some(conn);
+                    idx
+                }
+                None => {
+                    self.conns.push(Some(conn));
+                    self.conns.len() - 1
+                }
+            };
+            let gen = self.conns[idx].as_ref().unwrap().gen;
+            let events = libc::EPOLLIN | libc::EPOLLRDHUP;
+            if self
+                .ctl(libc::EPOLL_CTL_ADD, fd, events, token(idx, gen))
+                .is_err()
+            {
+                self.conns[idx] = None;
+                self.free.push(idx);
+                continue;
+            }
+            self.conns[idx].as_mut().unwrap().registered = events;
+            self.shared.engine.metrics().conn_opened();
+        }
+    }
+
+    fn on_conn_event(&mut self, token: u64, bits: u32) {
+        let (idx, gen) = untoken(token);
+        let Some(conn) = self.conns.get(idx).and_then(Option::as_ref) else {
+            return; // already closed; stale event
+        };
+        if conn.gen != gen {
+            return; // slot reused since this event was queued
+        }
+        if bits & (libc::EPOLLERR | libc::EPOLLHUP) != 0 {
+            self.close_conn(idx);
+            return;
+        }
+        if bits & (libc::EPOLLIN | libc::EPOLLRDHUP) != 0 {
+            self.on_readable(idx);
+        }
+        if self.conns.get(idx).and_then(Option::as_ref).is_some() && bits & libc::EPOLLOUT != 0 {
+            self.flush(idx);
+        }
+    }
+
+    fn on_readable(&mut self, idx: usize) {
+        let mut chunk = [0u8; READ_CHUNK];
+        loop {
+            let conn = self.conns[idx].as_mut().unwrap();
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    conn.peer_closed = true;
+                    if conn.idle() {
+                        self.close_conn(idx);
+                        return;
+                    }
+                    break;
+                }
+                Ok(n) => conn.rbuf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close_conn(idx);
+                    return;
+                }
+            }
+        }
+        self.parse_available(idx);
+        if self.conns.get(idx).and_then(Option::as_ref).is_some() {
+            self.flush(idx);
+        }
+    }
+
+    /// Parse every complete request sitting in `rbuf` (pipelining) and
+    /// dispatch each one.
+    fn parse_available(&mut self, idx: usize) {
+        loop {
+            let conn = self.conns[idx].as_mut().unwrap();
+            if conn.broken_input {
+                return;
+            }
+            let outcome = parse_request(&conn.rbuf[conn.rpos..]);
+            match outcome {
+                ParseOutcome::Partial { expect_continue } => {
+                    // Interim 100 only when nothing is queued ahead of this
+                    // request — an interim response must not overtake
+                    // earlier final responses.
+                    if expect_continue
+                        && !conn.sent_continue
+                        && conn.pending.is_empty()
+                        && conn.wpos >= conn.wbuf.len()
+                    {
+                        conn.sent_continue = true;
+                        conn.wbuf
+                            .extend_from_slice(b"HTTP/1.1 100 Continue\r\n\r\n");
+                    }
+                    break;
+                }
+                ParseOutcome::Error { status, message } => {
+                    conn.broken_input = true;
+                    let body = format!("{{\"error\":\"{}\"}}", crate::json::escape(message));
+                    let seq = conn.next_seq;
+                    conn.next_seq += 1;
+                    conn.pending.push_back(Slot {
+                        seq,
+                        keep_alive: false,
+                        response: Some((status, body)),
+                    });
+                    break;
+                }
+                ParseOutcome::Complete(req) => {
+                    let consumed = req.consumed;
+                    let keep_alive = req.keep_alive;
+                    let seq = conn.next_seq;
+                    conn.next_seq += 1;
+                    conn.sent_continue = false;
+                    let method_is_score = req.method == "POST" && req.path == "/score";
+                    let response = if method_is_score {
+                        let parsed = parse_score_body(req.body);
+                        conn.rpos += consumed;
+                        match parsed {
+                            Err(err) => Some(err),
+                            Ok((model, version, nodes)) => {
+                                self.submit_score(idx, seq, model, version, nodes)
+                            }
+                        }
+                    } else {
+                        let immediate = route_immediate(req.method, req.path, &self.shared)
+                            .unwrap_or((500, "{\"error\":\"unroutable\"}".into()));
+                        let conn = self.conns[idx].as_mut().unwrap();
+                        conn.rpos += consumed;
+                        Some(immediate)
+                    };
+                    let conn = self.conns[idx].as_mut().unwrap();
+                    conn.pending.push_back(Slot {
+                        seq,
+                        keep_alive,
+                        response,
+                    });
+                    // Reclaim the consumed prefix once it dominates.
+                    if conn.rpos > 64 * 1024 && conn.rpos * 2 > conn.rbuf.len() {
+                        conn.rbuf.drain(..conn.rpos);
+                        conn.rpos = 0;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Queue a `/score` on the engine. `Some(response)` if it failed
+    /// synchronously (shed / draining); `None` when a replica owns it and
+    /// will deliver a [`Completion`].
+    fn submit_score(
+        &mut self,
+        idx: usize,
+        seq: u64,
+        model: String,
+        version: Option<u64>,
+        nodes: Option<Vec<u32>>,
+    ) -> Option<(u16, String)> {
+        let gen = self.conns[idx].as_ref().unwrap().gen;
+        let completions = Arc::clone(&self.completions);
+        let reply = Box::new(move |result| {
+            // Replica thread: render the body here, off the event loop.
+            let (status, body) = score_result_response(result);
+            completions.push(Completion {
+                conn: idx,
+                gen,
+                seq,
+                status,
+                body,
+            });
+        });
+        match self
+            .shared
+            .engine
+            .try_submit_with(model, version, nodes, reply)
+        {
+            Ok(()) => None,
+            Err(e) => Some(crate::server::submit_error_response(&e)),
+        }
+    }
+
+    /// Deliver finished `/score` computations into their slots.
+    fn on_completions(&mut self) {
+        let batch = self.completions.take();
+        let mut touched: Vec<usize> = Vec::new();
+        for completion in batch {
+            let Some(conn) = self.conns.get_mut(completion.conn).and_then(Option::as_mut) else {
+                continue; // connection died while the score was in flight
+            };
+            if conn.gen != completion.gen {
+                continue;
+            }
+            if let Some(slot) = conn.pending.iter_mut().find(|s| s.seq == completion.seq) {
+                slot.response = Some((completion.status, completion.body));
+                if !touched.contains(&completion.conn) {
+                    touched.push(completion.conn);
+                }
+            }
+        }
+        for idx in touched {
+            if self.conns.get(idx).and_then(Option::as_ref).is_some() {
+                self.flush(idx);
+            }
+        }
+    }
+
+    /// Move filled slots (in order) into `wbuf`, write as much as the
+    /// socket takes, then reconcile epoll interest / close the connection.
+    fn flush(&mut self, idx: usize) {
+        let draining = self.draining;
+        let conn = self.conns[idx].as_mut().unwrap();
+        // Promote ready responses strictly in request order.
+        while let Some(front) = conn.pending.front() {
+            if front.response.is_none() {
+                break;
+            }
+            let slot = conn.pending.pop_front().unwrap();
+            let (status, body) = slot.response.unwrap();
+            let keep = slot.keep_alive && !draining && !conn.broken_input;
+            render_response_into(&mut conn.wbuf, status, &body, keep);
+            if !keep {
+                conn.close_after_flush = true;
+                // Later pipelined responses must not follow a `Connection:
+                // close`; their completions will be dropped by seq lookup.
+                conn.pending.clear();
+                break;
+            }
+        }
+        // Push bytes.
+        while conn.wpos < conn.wbuf.len() {
+            match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+                Ok(0) => {
+                    self.close_conn(idx);
+                    return;
+                }
+                Ok(n) => conn.wpos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close_conn(idx);
+                    return;
+                }
+            }
+        }
+        if conn.wpos >= conn.wbuf.len() {
+            conn.wbuf.clear();
+            conn.wpos = 0;
+            if conn.close_after_flush || (conn.peer_closed && conn.pending.is_empty()) {
+                self.close_conn(idx);
+                return;
+            }
+        } else if conn.wpos > 256 * 1024 {
+            conn.wbuf.drain(..conn.wpos);
+            conn.wpos = 0;
+        }
+        self.update_interest(idx);
+    }
+
+    fn update_interest(&mut self, idx: usize) {
+        let conn = self.conns[idx].as_ref().unwrap();
+        let mut desired = 0u32;
+        if !conn.peer_closed && !conn.broken_input {
+            desired |= libc::EPOLLIN | libc::EPOLLRDHUP;
+        }
+        if conn.wpos < conn.wbuf.len() {
+            desired |= libc::EPOLLOUT;
+        }
+        if desired != conn.registered {
+            let fd = conn.stream.as_raw_fd();
+            let tok = token(idx, conn.gen);
+            if self.ctl(libc::EPOLL_CTL_MOD, fd, desired, tok).is_ok() {
+                self.conns[idx].as_mut().unwrap().registered = desired;
+            }
+        }
+    }
+
+    fn close_conn(&mut self, idx: usize) {
+        if self.conns[idx].take().is_some() {
+            // Dropping the TcpStream closes the fd, which also removes it
+            // from the epoll set.
+            self.free.push(idx);
+            self.shared.engine.metrics().conn_closed();
+        }
+    }
+}
+
+impl Drop for Reactor {
+    fn drop(&mut self) {
+        unsafe { libc::close(self.epfd) };
+    }
+}
+
+fn token(idx: usize, gen: u32) -> u64 {
+    ((gen as u64) << 32) | idx as u64
+}
+
+fn untoken(token: u64) -> (usize, u32) {
+    ((token & 0xffff_ffff) as usize, (token >> 32) as u32)
+}

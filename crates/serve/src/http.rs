@@ -1,100 +1,406 @@
-//! Just enough HTTP/1.1 over `std::net` for the scoring endpoints: a
-//! request parser, a response writer, and a tiny blocking client used by
-//! tests, the CI smoke example, and the serving benchmark.
+//! Just enough HTTP/1.1 for the scoring endpoints, in two flavours:
 //!
-//! Deliberate simplifications (documented contract, not accidents): every
-//! response closes the connection (`Connection: close`), bodies require
-//! `Content-Length` (no chunked encoding), and header names are
-//! case-insensitively matched only where the server needs them.
+//! * a **zero-copy request parser** ([`parse_request`]) for the
+//!   non-blocking server: it borrows method/path/body slices straight out
+//!   of a connection's read buffer (no `String` per request), reports
+//!   incomplete input as [`ParseOutcome::Partial`] so the event loop can
+//!   wait for more bytes, and maps malformed or oversized input to proper
+//!   status codes (`400`/`413`/`431`) instead of panicking or hanging;
+//! * a **blocking client** — the one-shot [`get`]/[`post`] helpers plus the
+//!   keep-alive [`Client`], which pipelines many requests over one
+//!   connection ([`Client::send`]/[`Client::flush`]/[`Client::recv`]) and
+//!   is what the serving benchmark and the keep-alive e2e tests drive the
+//!   server with.
+//!
+//! Deliberate simplifications (documented contract, not accidents): bodies
+//! require `Content-Length` (no chunked encoding), responses always carry
+//! `Content-Length`, and header names are matched case-insensitively only
+//! where the server needs them.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
 /// Largest accepted request body (a node list for a million-node graph
-/// fits comfortably; anything bigger is a client bug).
+/// fits comfortably; anything bigger is a client bug → `413`).
 pub const MAX_BODY: usize = 16 << 20;
 
-/// A parsed HTTP request.
-#[derive(Clone, Debug)]
-pub struct Request {
+/// Largest accepted header section (request line + headers) → `431`.
+pub const MAX_HEADERS: usize = 16 << 10;
+
+/// A request parsed in place: every `&str`/`&[u8]` borrows from the
+/// connection's read buffer.
+#[derive(Clone, Copy, Debug)]
+pub struct ParsedRequest<'a> {
     /// `GET`, `POST`, …
-    pub method: String,
+    pub method: &'a str,
     /// Request target as sent (path only; no query parsing).
-    pub path: String,
-    /// Raw body bytes (empty when there was no `Content-Length`).
-    pub body: Vec<u8>,
+    pub path: &'a str,
+    /// Body bytes (empty when there was no `Content-Length`).
+    pub body: &'a [u8],
+    /// Whether the connection should stay open after the response
+    /// (HTTP/1.1 default, overridden by `Connection:` headers).
+    pub keep_alive: bool,
+    /// Total bytes this request occupied in the buffer (headers + body) —
+    /// what the caller consumes before parsing the next pipelined request.
+    pub consumed: usize,
 }
 
-/// Read one request from a connection.
-pub fn read_request(stream: &mut impl BufRead) -> Result<Request, String> {
+/// One step of incremental parsing over a connection buffer.
+#[derive(Clone, Copy, Debug)]
+pub enum ParseOutcome<'a> {
+    /// A full request; consume [`ParsedRequest::consumed`] bytes.
+    Complete(ParsedRequest<'a>),
+    /// More bytes needed before a verdict.
+    Partial {
+        /// Headers carried `Expect: 100-continue` and the body has not
+        /// fully arrived — the server should emit `HTTP/1.1 100 Continue`
+        /// (once) so the client sends the body.
+        expect_continue: bool,
+    },
+    /// Malformed or oversized input. The connection cannot be re-synced,
+    /// so the caller should answer and close.
+    Error {
+        /// HTTP status to answer with (`400`, `413`, `431`).
+        status: u16,
+        /// Human-readable cause, safe to embed in a JSON error body.
+        message: &'static str,
+    },
+}
+
+/// Incrementally parse one request from the front of `buf`.
+///
+/// Never allocates and never blocks: the caller appends freshly read bytes
+/// to its buffer and re-invokes until [`ParseOutcome::Complete`] (then
+/// consumes and repeats for pipelined requests) or
+/// [`ParseOutcome::Error`].
+pub fn parse_request(buf: &[u8]) -> ParseOutcome<'_> {
+    // Header/body boundary first; bound the search so an endless header
+    // stream cannot make us buffer forever.
+    let window = buf.len().min(MAX_HEADERS + 4);
+    let Some(head_end) = find_double_crlf(&buf[..window]) else {
+        if buf.len() > MAX_HEADERS {
+            return ParseOutcome::Error {
+                status: 431,
+                message: "header section exceeds limit",
+            };
+        }
+        return ParseOutcome::Partial {
+            expect_continue: false,
+        };
+    };
+    let Ok(head) = std::str::from_utf8(&buf[..head_end]) else {
+        return ParseOutcome::Error {
+            status: 400,
+            message: "header section is not valid UTF-8",
+        };
+    };
+
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return ParseOutcome::Error {
+            status: 400,
+            message: "malformed request line",
+        };
+    };
+    let mut keep_alive = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => {
+            return ParseOutcome::Error {
+                status: 400,
+                message: "unsupported HTTP version",
+            }
+        }
+    };
+
+    let mut content_length = 0usize;
+    let mut expect_continue = false;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            return ParseOutcome::Error {
+                status: 400,
+                message: "malformed header line",
+            };
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            let Ok(len) = value.parse::<usize>() else {
+                return ParseOutcome::Error {
+                    status: 400,
+                    message: "bad Content-Length",
+                };
+            };
+            content_length = len;
+        } else if name.eq_ignore_ascii_case("connection") {
+            if value.eq_ignore_ascii_case("close") {
+                keep_alive = false;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                keep_alive = true;
+            }
+        } else if name.eq_ignore_ascii_case("expect") && value.eq_ignore_ascii_case("100-continue")
+        {
+            expect_continue = true;
+        }
+    }
+    if content_length > MAX_BODY {
+        return ParseOutcome::Error {
+            status: 413,
+            message: "body exceeds limit",
+        };
+    }
+
+    let body_start = head_end + 4;
+    let total = body_start + content_length;
+    if buf.len() < total {
+        return ParseOutcome::Partial { expect_continue };
+    }
+    ParseOutcome::Complete(ParsedRequest {
+        method,
+        path,
+        body: &buf[body_start..total],
+        keep_alive,
+        consumed: total,
+    })
+}
+
+fn find_double_crlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Reason phrase for the statuses this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Serialize a JSON response into `out` (the event loop appends straight
+/// onto a connection's write buffer — one fewer copy than formatting a
+/// `String` first).
+pub fn render_response_into(out: &mut Vec<u8>, status: u16, body: &str, keep_alive: bool) {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    out.extend_from_slice(
+        format!(
+            "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+            reason(status),
+            body.len()
+        )
+        .as_bytes(),
+    );
+    out.extend_from_slice(body.as_bytes());
+}
+
+/// Write a JSON response and flush (blocking paths: fallback server,
+/// tests).
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let mut out = Vec::with_capacity(128 + body.len());
+    render_response_into(&mut out, status, body, keep_alive);
+    stream.write_all(&out)?;
+    stream.flush()
+}
+
+/// An owned `(method, path, body, keep_alive)` request, for callers that
+/// outlive the read buffer (the blocking fallback server).
+pub type OwnedRequest = (String, String, Vec<u8>, bool);
+
+/// Read one request from a blocking connection (portable fallback server).
+/// `Ok(None)` means the peer closed cleanly between requests.
+pub fn read_request(stream: &mut impl BufRead) -> Result<Option<OwnedRequest>, (u16, String)> {
     let mut line = String::new();
     stream
         .read_line(&mut line)
-        .map_err(|e| format!("reading request line: {e}"))?;
+        .map_err(|e| (400, format!("reading request line: {e}")))?;
     if line.is_empty() {
-        return Err("connection closed before request line".into());
+        return Ok(None);
     }
     let mut parts = line.split_whitespace();
     let method = parts.next().unwrap_or_default().to_string();
     let path = parts.next().unwrap_or_default().to_string();
     let version = parts.next().unwrap_or_default();
     if method.is_empty() || path.is_empty() || !version.starts_with("HTTP/1.") {
-        return Err(format!("malformed request line {line:?}"));
+        return Err((400, format!("malformed request line {line:?}")));
     }
+    let mut keep_alive = version == "HTTP/1.1";
 
     let mut content_length = 0usize;
     loop {
         let mut header = String::new();
         stream
             .read_line(&mut header)
-            .map_err(|e| format!("reading header: {e}"))?;
+            .map_err(|e| (400, format!("reading header: {e}")))?;
         let header = header.trim_end();
         if header.is_empty() {
             break;
         }
         if let Some((name, value)) = header.split_once(':') {
+            let value = value.trim();
             if name.eq_ignore_ascii_case("content-length") {
                 content_length = value
-                    .trim()
                     .parse()
-                    .map_err(|_| format!("bad Content-Length {value:?}"))?;
+                    .map_err(|_| (400, format!("bad Content-Length {value:?}")))?;
+            } else if name.eq_ignore_ascii_case("connection") {
+                if value.eq_ignore_ascii_case("close") {
+                    keep_alive = false;
+                } else if value.eq_ignore_ascii_case("keep-alive") {
+                    keep_alive = true;
+                }
             }
         }
     }
     if content_length > MAX_BODY {
-        return Err(format!("body of {content_length} bytes exceeds limit"));
+        return Err((413, format!("body of {content_length} bytes exceeds limit")));
     }
     let mut body = vec![0u8; content_length];
     stream
         .read_exact(&mut body)
-        .map_err(|e| format!("reading body: {e}"))?;
-    Ok(Request { method, path, body })
+        .map_err(|e| (400, format!("reading body: {e}")))?;
+    Ok(Some((method, path, body, keep_alive)))
 }
 
-/// Write a JSON response and flush. Always closes the connection.
-pub fn write_response(stream: &mut impl Write, status: u16, body: &str) -> std::io::Result<()> {
-    let reason = match status {
-        200 => "OK",
-        400 => "Bad Request",
-        404 => "Not Found",
-        405 => "Method Not Allowed",
-        409 => "Conflict",
-        500 => "Internal Server Error",
-        503 => "Service Unavailable",
-        _ => "Unknown",
-    };
-    write!(
-        stream,
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
-    )?;
-    stream.flush()
+/// A keep-alive HTTP/1.1 client over one connection. Requests can be
+/// pipelined: [`Client::send`] buffers, [`Client::flush`] pushes the whole
+/// wave in one write, [`Client::recv`] reads responses back in order —
+/// which is how a benchmark client keeps a server core busy without one
+/// round-trip per request.
+pub struct Client {
+    stream: TcpStream,
+    wbuf: Vec<u8>,
+    rbuf: Vec<u8>,
+    rpos: usize,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: SocketAddr) -> Result<Client, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .map_err(|e| e.to_string())?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client {
+            stream,
+            wbuf: Vec::with_capacity(1024),
+            rbuf: Vec::with_capacity(4096),
+            rpos: 0,
+        })
+    }
+
+    /// Buffer one request (call [`Client::flush`] to put it on the wire).
+    pub fn send(&mut self, method: &str, path: &str, body: Option<&str>) {
+        let body = body.unwrap_or("");
+        self.wbuf.extend_from_slice(
+            format!(
+                "{method} {path} HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        );
+    }
+
+    /// Write every buffered request in one syscall-sized burst.
+    pub fn flush(&mut self) -> Result<(), String> {
+        if self.wbuf.is_empty() {
+            return Ok(());
+        }
+        self.stream
+            .write_all(&self.wbuf)
+            .and_then(|()| self.stream.flush())
+            .map_err(|e| format!("send: {e}"))?;
+        self.wbuf.clear();
+        Ok(())
+    }
+
+    /// Read the next pipelined response: `(status, body)`.
+    pub fn recv(&mut self) -> Result<(u16, String), String> {
+        // Headers.
+        let head_end = loop {
+            if let Some(at) = find_double_crlf(&self.rbuf[self.rpos..]) {
+                break self.rpos + at;
+            }
+            self.fill()?;
+        };
+        let head = std::str::from_utf8(&self.rbuf[self.rpos..head_end])
+            .map_err(|e| format!("non-UTF-8 response head: {e}"))?;
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().unwrap_or_default();
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("malformed status line {status_line:?}"))?;
+        let mut content_length = 0usize;
+        for line in lines {
+            if let Some((name, value)) = line.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("bad Content-Length {value:?}"))?;
+                }
+            }
+        }
+        // Body.
+        let body_start = head_end + 4;
+        while self.rbuf.len() < body_start + content_length {
+            self.fill()?;
+        }
+        let body = String::from_utf8(self.rbuf[body_start..body_start + content_length].to_vec())
+            .map_err(|e| format!("non-UTF-8 body: {e}"))?;
+        self.rpos = body_start + content_length;
+        // Compact once the consumed prefix dominates the buffer.
+        if self.rpos > 64 * 1024 && self.rpos * 2 > self.rbuf.len() {
+            self.rbuf.drain(..self.rpos);
+            self.rpos = 0;
+        }
+        Ok((status, body))
+    }
+
+    /// One whole round-trip on this connection.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<(u16, String), String> {
+        self.send(method, path, body);
+        self.flush()?;
+        self.recv()
+    }
+
+    fn fill(&mut self) -> Result<(), String> {
+        let mut chunk = [0u8; 16 * 1024];
+        let n = self
+            .stream
+            .read(&mut chunk)
+            .map_err(|e| format!("read: {e}"))?;
+        if n == 0 {
+            return Err("connection closed mid-response".into());
+        }
+        self.rbuf.extend_from_slice(&chunk[..n]);
+        Ok(())
+    }
 }
 
 /// Blocking one-shot HTTP client: send `method path` with an optional JSON
-/// body, return `(status, body)`. This is the repo's own client helper the
-/// CI smoke test and benches drive the server with.
+/// body on a fresh connection, return `(status, body)`.
 pub fn request(
     addr: SocketAddr,
     method: &str,
@@ -174,35 +480,159 @@ pub fn post(addr: SocketAddr, path: &str, body: &str) -> Result<(u16, String), S
 mod tests {
     use super::*;
 
-    #[test]
-    fn parses_request_with_body() {
-        let raw = b"POST /score HTTP/1.1\r\nHost: x\r\ncontent-length: 4\r\n\r\nabcd";
-        let req = read_request(&mut &raw[..]).unwrap();
-        assert_eq!(req.method, "POST");
-        assert_eq!(req.path, "/score");
-        assert_eq!(req.body, b"abcd");
+    fn complete(buf: &[u8]) -> ParsedRequest<'_> {
+        match parse_request(buf) {
+            ParseOutcome::Complete(req) => req,
+            other => panic!("expected Complete, got {other:?}"),
+        }
+    }
+
+    fn error_status(buf: &[u8]) -> u16 {
+        match parse_request(buf) {
+            ParseOutcome::Error { status, .. } => status,
+            other => panic!("expected Error, got {other:?}"),
+        }
     }
 
     #[test]
-    fn parses_bodyless_request_and_rejects_garbage() {
-        let raw = b"GET /healthz HTTP/1.1\r\n\r\n";
-        let req = read_request(&mut &raw[..]).unwrap();
-        assert_eq!(req.method, "GET");
-        assert!(req.body.is_empty());
-        assert!(read_request(&mut &b""[..]).is_err());
-        assert!(read_request(&mut &b"nonsense\r\n\r\n"[..]).is_err());
-        assert!(
-            read_request(&mut &b"GET / HTTP/1.1\r\nContent-Length: zebra\r\n\r\n"[..]).is_err()
+    fn parses_request_with_body_zero_copy() {
+        let raw = b"POST /score HTTP/1.1\r\nHost: x\r\ncontent-length: 4\r\n\r\nabcdEXTRA";
+        let req = complete(raw);
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/score");
+        assert_eq!(req.body, b"abcd");
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+        assert_eq!(req.consumed, raw.len() - "EXTRA".len());
+        // Borrowed, not copied: the body slice points into the input.
+        let body_offset = raw.len() - "abcdEXTRA".len();
+        assert_eq!(
+            req.body.as_ptr() as usize,
+            raw.as_ptr() as usize + body_offset
         );
+    }
+
+    #[test]
+    fn pipelined_requests_parse_back_to_back() {
+        let raw =
+            b"GET /healthz HTTP/1.1\r\n\r\nPOST /score HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}";
+        let first = complete(raw);
+        assert_eq!(first.path, "/healthz");
+        let second = complete(&raw[first.consumed..]);
+        assert_eq!(second.path, "/score");
+        assert_eq!(second.body, b"{}");
+        assert_eq!(first.consumed + second.consumed, raw.len());
+    }
+
+    #[test]
+    fn partial_input_waits_for_more_bytes() {
+        let full = b"POST /score HTTP/1.1\r\nContent-Length: 10\r\n\r\n0123456789";
+        for cut in [0, 1, 10, 25, full.len() - 1] {
+            assert!(
+                matches!(parse_request(&full[..cut]), ParseOutcome::Partial { .. }),
+                "prefix of {cut} bytes must be Partial"
+            );
+        }
+        assert_eq!(complete(full).body, b"0123456789");
+    }
+
+    #[test]
+    fn connection_and_version_semantics() {
+        let req = complete(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(!req.keep_alive);
+        let req = complete(b"GET / HTTP/1.0\r\n\r\n");
+        assert!(!req.keep_alive, "HTTP/1.0 defaults to close");
+        let req = complete(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+        assert!(req.keep_alive);
+        assert_eq!(error_status(b"GET / HTTP/2\r\n\r\n"), 400);
+    }
+
+    #[test]
+    fn expect_continue_is_reported_while_body_pending() {
+        let head = b"POST /score HTTP/1.1\r\nContent-Length: 4\r\nExpect: 100-continue\r\n\r\n";
+        match parse_request(head) {
+            ParseOutcome::Partial { expect_continue } => assert!(expect_continue),
+            other => panic!("expected Partial, got {other:?}"),
+        }
+        let mut full = head.to_vec();
+        full.extend_from_slice(b"abcd");
+        assert_eq!(complete(&full).body, b"abcd");
+    }
+
+    #[test]
+    fn malformed_and_oversized_inputs_map_to_statuses() {
+        assert_eq!(error_status(b"nonsense\r\n\r\n"), 400);
+        assert_eq!(
+            error_status(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n"),
+            400
+        );
+        assert_eq!(
+            error_status(b"GET / HTTP/1.1\r\nContent-Length: zebra\r\n\r\n"),
+            400
+        );
+        assert_eq!(
+            error_status(b"GET / HTTP/1.1\r\nContent-Length: -1\r\n\r\n"),
+            400
+        );
+        assert_eq!(error_status(b"GET \xff\xfe HTTP/1.1\r\n\r\n"), 400);
+        // Declared body over the cap: rejected before any body bytes arrive.
+        let huge = format!(
+            "POST /score HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert_eq!(error_status(huge.as_bytes()), 413);
+        // Endless header section: rejected once past the header cap.
+        let mut runaway = b"GET / HTTP/1.1\r\n".to_vec();
+        while runaway.len() <= MAX_HEADERS {
+            runaway.extend_from_slice(b"X-Filler: yes\r\n");
+        }
+        assert_eq!(error_status(&runaway), 431);
+    }
+
+    #[test]
+    fn truncated_garbage_never_panics() {
+        // Fuzz-ish: every prefix of valid and invalid requests must parse
+        // to *some* outcome without panicking.
+        let samples: [&[u8]; 5] = [
+            b"POST /score HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd",
+            b"\r\n\r\n\r\n\r\n",
+            b"POST",
+            b"\x00\x01\x02\x03\r\n\r\n",
+            b"GET / HTTP/1.1\r\nContent-Length: 99999999999999999999\r\n\r\n",
+        ];
+        for sample in samples {
+            for cut in 0..=sample.len() {
+                let _ = parse_request(&sample[..cut]);
+            }
+        }
+    }
+
+    #[test]
+    fn blocking_read_request_keeps_fallback_contract() {
+        let raw = b"POST /score HTTP/1.1\r\nHost: x\r\ncontent-length: 4\r\n\r\nabcd";
+        let (method, path, body, keep_alive) = read_request(&mut &raw[..]).unwrap().unwrap();
+        assert_eq!(method, "POST");
+        assert_eq!(path, "/score");
+        assert_eq!(body, b"abcd");
+        assert!(keep_alive);
+        assert!(read_request(&mut &b""[..]).unwrap().is_none());
+        assert!(read_request(&mut &b"nonsense\r\n\r\n"[..]).is_err());
     }
 
     #[test]
     fn formats_responses() {
         let mut out = Vec::new();
-        write_response(&mut out, 503, "{\"error\":\"full\"}").unwrap();
+        write_response(&mut out, 503, "{\"error\":\"full\"}", false).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
         assert!(text.contains("Content-Length: 16\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("{\"error\":\"full\"}"));
+
+        let mut out = Vec::new();
+        render_response_into(&mut out, 200, "{}", true);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert_eq!(reason(413), "Payload Too Large");
+        assert_eq!(reason(431), "Request Header Fields Too Large");
     }
 }

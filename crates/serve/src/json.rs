@@ -5,6 +5,11 @@
 //! `Display` rendering that offline score files use), so a ~150-line
 //! recursive-descent parser covers everything serving needs.
 
+/// Maximum container nesting the parser accepts. Recursive descent uses
+/// the call stack, so an attacker sending `[[[[…` must hit a parse error
+/// long before a stack overflow.
+pub const MAX_DEPTH: usize = 64;
+
 /// A parsed JSON value.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Json {
@@ -29,6 +34,7 @@ impl Json {
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -102,6 +108,7 @@ pub fn escape(s: &str) -> String {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -227,12 +234,25 @@ impl<'a> Parser<'a> {
             .map_err(|_| format!("bad number {text:?} at byte {start}"))
     }
 
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_DEPTH} at byte {}",
+                self.pos
+            ));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Json, String> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -243,6 +263,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
@@ -252,10 +273,12 @@ impl<'a> Parser<'a> {
 
     fn object(&mut self) -> Result<Json, String> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut members = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(members));
         }
         loop {
@@ -271,6 +294,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(members));
                 }
                 _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
@@ -323,6 +347,67 @@ mod tests {
             "{\"a\": 1} x",
         ] {
             assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn depth_limit_rejects_hostile_nesting_without_overflow() {
+        // One level under the cap parses …
+        let ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(Json::parse(&ok).is_ok());
+        // … one level over errors (instead of recursing toward a stack
+        // overflow). Also cover objects and the truncated variant.
+        let over = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        assert!(Json::parse(&over).unwrap_err().contains("nesting"));
+        let bomb = "[".repeat(200_000);
+        assert!(Json::parse(&bomb).is_err());
+        let obj_bomb = "{\"a\":".repeat(100_000);
+        assert!(Json::parse(&obj_bomb).is_err());
+    }
+
+    #[test]
+    fn fuzzed_mutations_never_panic() {
+        // Deterministic fuzz: mutate valid request bodies byte-by-byte
+        // (truncate / flip / splice). The parser must return Ok or Err,
+        // never panic or hang.
+        let seeds = [
+            r#"{"model":"vbm","nodes":[0,3,17],"version":2}"#,
+            r#"[null,true,-1.5e2,"a\"b",{"k":[]}]"#,
+            r#"{"a":{"b":{"c":"A\ud800"}}}"#,
+        ];
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for seed in seeds {
+            let bytes = seed.as_bytes();
+            for cut in 0..bytes.len() {
+                let _ = Json::parse(&seed[..seed.len() - cut.min(seed.len())]);
+            }
+            for _ in 0..2_000 {
+                let mut mutated = bytes.to_vec();
+                let at = (next() as usize) % mutated.len();
+                match next() % 3 {
+                    0 => mutated[at] = (next() % 256) as u8,
+                    1 => {
+                        mutated.truncate(at);
+                    }
+                    _ => {
+                        let b = mutated[at];
+                        mutated.insert(at, b);
+                    }
+                }
+                if let Ok(text) = std::str::from_utf8(&mutated) {
+                    let _ = Json::parse(text);
+                }
+            }
         }
     }
 

@@ -7,15 +7,19 @@
 //! * [`Registry`] — a model registry that loads every checkpoint in a
 //!   watched directory, keys each by `(name, version)`, and hot-reloads
 //!   changed files atomically (a failed reload keeps the old model);
-//! * [`Engine`] — a micro-batching scoring engine: requests queue into a
-//!   bounded channel, a dedicated engine thread flushes them when a batch
-//!   fills or a deadline passes, and each flush runs **one** forward pass
-//!   per distinct model, serving every request of that model from it;
-//! * [`serve`] — a dependency-free HTTP/1.1 server over
-//!   [`std::net::TcpListener`] (thread per connection) exposing
-//!   `POST /score`, `GET /models`, `GET /healthz`, `GET /metrics` and
-//!   `POST /shutdown`, with backpressure (queue full ⇒ `503`) and graceful
-//!   shutdown that drains in-flight batches.
+//! * [`Engine`] — a **replicated** micro-batching scoring engine: N
+//!   scoring replicas (default one per core), each with its own bounded
+//!   queue and arena-recycled buffers, sharing one `Arc`-published
+//!   registry snapshot; requests route to replicas sticky-per-model, and
+//!   each replica flush runs **one** forward pass per distinct model,
+//!   serving every request of that model from it;
+//! * [`serve`] — a dependency-free HTTP/1.1 server exposing `POST /score`,
+//!   `GET /models`, `GET /healthz`, `GET /metrics` and `POST /shutdown`,
+//!   with keep-alive and pipelining, backpressure (replica queue full ⇒
+//!   `503`) and graceful shutdown that drains in-flight batches. On Linux
+//!   the front is a single-threaded non-blocking epoll readiness loop with
+//!   zero-copy request parsing; elsewhere it falls back to a portable
+//!   blocking accept loop.
 //!
 //! Scoring is *transductive online serving*: the engine owns one graph
 //! (the deployment graph) and answers score queries for subsets of its
@@ -44,6 +48,8 @@
 
 mod detector;
 mod engine;
+#[cfg(target_os = "linux")]
+mod epoll;
 pub mod http;
 pub mod json;
 mod metrics;
@@ -51,7 +57,7 @@ mod registry;
 mod server;
 
 pub use detector::AnyDetector;
-pub use engine::{Engine, ScoreError, ScoreReply, ServeConfig, SubmitError};
+pub use engine::{Engine, ReplyFn, ScoreError, ScoreReply, ServeConfig, SubmitError};
 pub use metrics::{Metrics, MetricsSnapshot};
-pub use registry::{ModelInfo, Registry};
+pub use registry::{ModelInfo, Registry, RegistryConfig};
 pub use server::{serve, ServerHandle};

@@ -1,8 +1,9 @@
-//! Serving metrics: counters, a latency reservoir, and a batch-size
-//! histogram, all cheap enough to update on every request.
+//! Serving metrics: counters, a latency reservoir, a batch-size histogram,
+//! per-replica queue-depth gauges, and connection gauges — all cheap enough
+//! to update on every request.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 /// Batch-size histogram bucket upper bounds (inclusive); the last bucket is
 /// unbounded.
@@ -10,8 +11,8 @@ pub const BATCH_BUCKETS: [usize; 7] = [1, 2, 4, 8, 16, 32, usize::MAX];
 
 const LATENCY_RING: usize = 4096;
 
-/// Shared serving metrics. HTTP handlers and the engine thread update it
-/// concurrently; `GET /metrics` renders a snapshot.
+/// Shared serving metrics. HTTP handlers, the event loop, and the replica
+/// threads update it concurrently; `GET /metrics` renders a snapshot.
 #[derive(Debug, Default)]
 pub struct Metrics {
     requests: AtomicU64,
@@ -20,6 +21,10 @@ pub struct Metrics {
     queue_depth: AtomicU64,
     batches: AtomicU64,
     batch_hist: [AtomicU64; BATCH_BUCKETS.len()],
+    conns_accepted: AtomicU64,
+    conns_active: AtomicU64,
+    /// One gauge per scoring replica, sized once by [`Metrics::init_replicas`].
+    replica_depth: OnceLock<Box<[AtomicU64]>>,
     /// Ring of the most recent request latencies (µs), for percentiles.
     latencies_us: Mutex<Vec<u64>>,
     latency_next: AtomicU64,
@@ -28,18 +33,24 @@ pub struct Metrics {
 /// A point-in-time view of [`Metrics`] with computed percentiles.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct MetricsSnapshot {
-    /// Requests accepted into the queue.
+    /// Requests accepted into a replica queue.
     pub requests: u64,
     /// Requests that completed with a scoring error.
     pub errors: u64,
-    /// Requests rejected with `503` because the queue was full.
+    /// Requests shed with `503` because the routed replica's queue was full.
     pub rejected: u64,
-    /// Requests currently queued or being scored.
+    /// Requests currently queued or being scored, across all replicas.
     pub queue_depth: u64,
-    /// Batches flushed by the engine.
+    /// Queue depth per scoring replica.
+    pub replica_depth: Vec<u64>,
+    /// Batches flushed by the replicas.
     pub batches: u64,
     /// Requests per flushed batch, bucketed by [`BATCH_BUCKETS`].
     pub batch_hist: Vec<u64>,
+    /// Connections accepted since startup.
+    pub conns_accepted: u64,
+    /// Connections currently open.
+    pub conns_active: u64,
     /// Median request latency in µs (enqueue → reply), over the last
     /// `4096` requests.
     pub p50_us: u64,
@@ -55,6 +66,14 @@ impl Metrics {
         Self::default()
     }
 
+    /// Size the per-replica queue gauges (called once by the engine at
+    /// startup; later calls are ignored).
+    pub fn init_replicas(&self, replicas: usize) {
+        let _ = self
+            .replica_depth
+            .set((0..replicas.max(1)).map(|_| AtomicU64::new(0)).collect());
+    }
+
     /// Count an accepted request.
     pub fn record_request(&self) {
         self.requests.fetch_add(1, Ordering::Relaxed);
@@ -65,22 +84,43 @@ impl Metrics {
         self.errors.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Count a request rejected by backpressure.
+    /// Count a request shed by backpressure.
     pub fn record_rejected(&self) {
         self.rejected.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// A request entered the queue.
-    pub fn queue_inc(&self) {
+    /// A request entered `replica`'s queue.
+    pub fn queue_inc(&self, replica: usize) {
         self.queue_depth.fetch_add(1, Ordering::Relaxed);
+        if let Some(depths) = self.replica_depth.get() {
+            if let Some(depth) = depths.get(replica) {
+                depth.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 
-    /// A request left the queue (replied or failed).
-    pub fn queue_dec(&self) {
+    /// A request left `replica`'s queue (replied or failed).
+    pub fn queue_dec(&self, replica: usize) {
         self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        if let Some(depths) = self.replica_depth.get() {
+            if let Some(depth) = depths.get(replica) {
+                depth.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
     }
 
-    /// Record one engine flush of `size` requests.
+    /// A connection was accepted.
+    pub fn conn_opened(&self) {
+        self.conns_accepted.fetch_add(1, Ordering::Relaxed);
+        self.conns_active.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection was closed.
+    pub fn conn_closed(&self) {
+        self.conns_active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Record one replica flush of `size` requests.
     pub fn record_batch(&self, size: usize) {
         self.batches.fetch_add(1, Ordering::Relaxed);
         let idx = BATCH_BUCKETS
@@ -118,12 +158,19 @@ impl Metrics {
             errors: self.errors.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            replica_depth: self
+                .replica_depth
+                .get()
+                .map(|depths| depths.iter().map(|d| d.load(Ordering::Relaxed)).collect())
+                .unwrap_or_default(),
             batches: self.batches.load(Ordering::Relaxed),
             batch_hist: self
                 .batch_hist
                 .iter()
                 .map(|c| c.load(Ordering::Relaxed))
                 .collect(),
+            conns_accepted: self.conns_accepted.load(Ordering::Relaxed),
+            conns_active: self.conns_active.load(Ordering::Relaxed),
             p50_us: pct(0.50),
             p95_us: pct(0.95),
             p99_us: pct(0.99),
@@ -146,14 +193,20 @@ impl MetricsSnapshot {
                 format!("{{\"le\":{le},\"count\":{count}}}")
             })
             .collect();
+        let depths: Vec<String> = self.replica_depth.iter().map(u64::to_string).collect();
         format!(
             "{{\"requests\":{},\"errors\":{},\"rejected\":{},\"queue_depth\":{},\
+             \"replica_queue_depth\":[{}],\
+             \"connections\":{{\"accepted\":{},\"active\":{}}},\
              \"batches\":{},\"latency_us\":{{\"p50\":{},\"p95\":{},\"p99\":{}}},\
              \"batch_size_hist\":[{}]}}",
             self.requests,
             self.errors,
             self.rejected,
             self.queue_depth,
+            depths.join(","),
+            self.conns_accepted,
+            self.conns_active,
             self.batches,
             self.p50_us,
             self.p95_us,
@@ -170,23 +223,32 @@ mod tests {
     #[test]
     fn counters_and_percentiles() {
         let m = Metrics::new();
+        m.init_replicas(2);
         for _ in 0..10 {
             m.record_request();
         }
         m.record_error();
         m.record_rejected();
-        m.queue_inc();
+        m.queue_inc(0);
+        m.queue_inc(1);
+        m.queue_dec(1);
         for us in 1..=100u64 {
             m.record_latency_us(us);
         }
         m.record_batch(1);
         m.record_batch(3);
         m.record_batch(100);
+        m.conn_opened();
+        m.conn_opened();
+        m.conn_closed();
         let s = m.snapshot();
         assert_eq!(s.requests, 10);
         assert_eq!(s.errors, 1);
         assert_eq!(s.rejected, 1);
         assert_eq!(s.queue_depth, 1);
+        assert_eq!(s.replica_depth, vec![1, 0]);
+        assert_eq!(s.conns_accepted, 2);
+        assert_eq!(s.conns_active, 1);
         assert_eq!(s.batches, 3);
         // Values are 1..=100; nearest-rank over indices 0..=99.
         assert_eq!(s.p50_us, 51);
@@ -195,6 +257,23 @@ mod tests {
         assert_eq!(s.batch_hist[0], 1); // size 1
         assert_eq!(s.batch_hist[2], 1); // size 3 → ≤4
         assert_eq!(s.batch_hist[6], 1); // size 100 → inf
+    }
+
+    #[test]
+    fn replica_gauges_size_once_and_ignore_out_of_range() {
+        let m = Metrics::new();
+        // Before init: global depth still tracks.
+        m.queue_inc(0);
+        assert_eq!(m.snapshot().queue_depth, 1);
+        assert!(m.snapshot().replica_depth.is_empty());
+        m.queue_dec(0);
+        m.init_replicas(3);
+        m.init_replicas(8); // ignored — first size wins
+        m.queue_inc(2);
+        m.queue_inc(99); // out of range: global only, no panic
+        let s = m.snapshot();
+        assert_eq!(s.replica_depth, vec![0, 0, 1]);
+        assert_eq!(s.queue_depth, 2);
     }
 
     #[test]
@@ -209,14 +288,32 @@ mod tests {
     #[test]
     fn metrics_json_is_parseable() {
         let m = Metrics::new();
+        m.init_replicas(2);
         m.record_batch(4);
         m.record_latency_us(7);
+        m.conn_opened();
         let body = m.snapshot().render_json();
         let v = crate::json::Json::parse(&body).unwrap();
         assert_eq!(v.get("batches").unwrap().as_u64(), Some(1));
         assert_eq!(
             v.get("latency_us").unwrap().get("p50").unwrap().as_u64(),
             Some(7)
+        );
+        assert_eq!(
+            v.get("replica_queue_depth")
+                .unwrap()
+                .as_arr()
+                .unwrap()
+                .len(),
+            2
+        );
+        assert_eq!(
+            v.get("connections")
+                .unwrap()
+                .get("accepted")
+                .unwrap()
+                .as_u64(),
+            Some(1)
         );
         assert_eq!(
             v.get("batch_size_hist").unwrap().as_arr().unwrap().len(),

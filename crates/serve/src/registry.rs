@@ -1,11 +1,35 @@
 //! The model registry: every checkpoint in a watched directory, keyed by
 //! `(name, version)`, with atomic hot reload.
+//!
+//! The registry itself is owned by one reloader thread; scoring replicas
+//! never touch it directly. Instead the reloader publishes an immutable
+//! [`Snapshot`] — a map of `Arc`-shared detectors — after every change,
+//! and replicas grab the current `Arc<Snapshot>` per batch. Publishing a
+//! snapshot is one pointer swap, so a hot reload never stalls scoring and
+//! a replica mid-batch keeps the consistent view it started with.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
-use std::time::SystemTime;
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, SystemTime};
 
 use crate::AnyDetector;
+
+/// Registry tuning knobs (part of [`ServeConfig`](crate::ServeConfig)).
+#[derive(Clone, Debug)]
+pub struct RegistryConfig {
+    /// How often the reloader thread re-scans the checkpoint directory
+    /// for new / changed / removed files (`vgod serve --reload-ms`).
+    pub reload_poll: Duration,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        Self {
+            reload_poll: Duration::from_millis(500),
+        }
+    }
+}
 
 /// What `GET /models` reports about one registered model.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -20,7 +44,7 @@ pub struct ModelInfo {
 
 #[derive(Debug)]
 struct Entry {
-    detector: AnyDetector,
+    detector: Arc<AnyDetector>,
     version: u64,
     mtime: Option<SystemTime>,
     len: u64,
@@ -80,7 +104,7 @@ impl Registry {
             entries: BTreeMap::new(),
         };
         for (name, path) in registry.checkpoint_files()? {
-            let detector = AnyDetector::load_file(&path)?;
+            let detector = Arc::new(AnyDetector::load_file(&path)?);
             let (mtime, len) = stat(&path);
             registry.entries.insert(
                 name,
@@ -146,7 +170,7 @@ impl Registry {
                     self.entries.insert(
                         name,
                         Entry {
-                            detector,
+                            detector: Arc::new(detector),
                             version,
                             mtime,
                             len,
@@ -178,7 +202,20 @@ impl Registry {
                 });
             }
         }
-        Ok((&entry.detector, entry.version))
+        Ok((entry.detector.as_ref(), entry.version))
+    }
+
+    /// Publishable immutable view of the current entries. Cheap: clones
+    /// `Arc`s, never detectors.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        Arc::new(Snapshot {
+            entries: self
+                .entries
+                .iter()
+                .map(|(name, e)| (name.clone(), (Arc::clone(&e.detector), e.version)))
+                .collect(),
+            infos: self.infos(),
+        })
     }
 
     /// Registered models in name order.
@@ -201,6 +238,79 @@ impl Registry {
     /// Whether the registry is empty.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+}
+
+/// An immutable, `Arc`-shared view of the registry at one instant: what
+/// every scoring replica resolves models against. Replicas capture one
+/// snapshot per batch, so all requests in a flush see a consistent
+/// model set even while the reloader publishes newer ones.
+#[derive(Debug)]
+pub struct Snapshot {
+    entries: BTreeMap<String, (Arc<AnyDetector>, u64)>,
+    infos: Vec<ModelInfo>,
+}
+
+impl Snapshot {
+    /// Look up a model, optionally pinned to a version.
+    pub fn get(
+        &self,
+        name: &str,
+        version: Option<u64>,
+    ) -> Result<(Arc<AnyDetector>, u64), LookupError> {
+        let (detector, loaded) = self
+            .entries
+            .get(name)
+            .ok_or_else(|| LookupError::UnknownModel(name.to_string()))?;
+        if let Some(requested) = version {
+            if requested != *loaded {
+                return Err(LookupError::VersionMismatch {
+                    name: name.to_string(),
+                    requested,
+                    loaded: *loaded,
+                });
+            }
+        }
+        Ok((Arc::clone(detector), *loaded))
+    }
+
+    /// Whether a model with this name is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.contains_key(name)
+    }
+
+    /// Registered models in name order.
+    pub fn infos(&self) -> &[ModelInfo] {
+        &self.infos
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The shared slot the reloader publishes snapshots into; readers pay one
+/// `RwLock` read + `Arc` clone per batch.
+#[derive(Debug)]
+pub(crate) struct SnapshotCell(RwLock<Arc<Snapshot>>);
+
+impl SnapshotCell {
+    pub fn new(snapshot: Arc<Snapshot>) -> Self {
+        Self(RwLock::new(snapshot))
+    }
+
+    pub fn load(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.0.read().unwrap())
+    }
+
+    pub fn store(&self, snapshot: Arc<Snapshot>) {
+        *self.0.write().unwrap() = snapshot;
     }
 }
 

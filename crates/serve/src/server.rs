@@ -1,27 +1,32 @@
-//! The HTTP front: a `TcpListener` accept loop, one thread per
-//! connection, five endpoints, graceful shutdown.
+//! The HTTP front door. On Linux this is the non-blocking epoll readiness
+//! loop in [`crate::epoll`] — one thread, many keep-alive connections,
+//! pipelining, zero-copy parsing. On other platforms it falls back to a
+//! portable blocking accept loop (thread per connection, still keep-alive).
+//!
+//! Both fronts share the routing table below; `/score` is the only
+//! asynchronous endpoint (it queues on the engine), everything else
+//! answers immediately.
 
-use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::engine::{Engine, ScoreError, ScoreReply, ServeConfig, SubmitError};
-use crate::http::{read_request, write_response, Request};
 use crate::json::{escape, Json};
 use crate::metrics::Metrics;
 use crate::registry::LookupError;
 
-/// Running server: the engine plus the accept loop.
+/// Running server: the engine plus the connection-handling thread.
 pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    accept_join: Mutex<Option<std::thread::JoinHandle<()>>>,
+    loop_join: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
-struct Shared {
-    engine: Engine,
+/// State shared between the connection loop and the handle.
+pub(crate) struct Shared {
+    pub(crate) engine: Engine,
     shutdown: AtomicBool,
     addr: SocketAddr,
 }
@@ -35,12 +40,17 @@ struct Shared {
 /// * `POST /score` — body `{"model": NAME, "version": V?, "nodes": [ID..]?}`;
 ///   omitted `nodes` scores the whole graph. `404` unknown model, `409`
 ///   version mismatch, `400` malformed body or node out of range, `503`
-///   queue full or draining.
+///   routed replica queue full or draining.
 /// * `GET /models` — registered checkpoints with versions and kinds.
 /// * `GET /healthz` — liveness.
-/// * `GET /metrics` — counters, latency percentiles, batch-size histogram.
+/// * `GET /metrics` — counters, latency percentiles, batch-size histogram,
+///   per-replica queue depths, connection gauges.
 /// * `POST /shutdown` — graceful stop: queued requests drain, then the
-///   engine and accept loop exit ([`ServerHandle::join`] returns).
+///   engine and connection loop exit ([`ServerHandle::join`] returns).
+///
+/// Connections are HTTP/1.1 keep-alive; malformed requests (bad framing,
+/// oversized bodies or headers) are answered with `400`/`413`/`431` and
+/// the connection is closed.
 pub fn serve(
     models_dir: &Path,
     graph_path: &Path,
@@ -61,16 +71,35 @@ pub fn serve(
         shutdown: AtomicBool::new(false),
         addr,
     });
-    let accept_shared = Arc::clone(&shared);
-    let accept_join = std::thread::Builder::new()
-        .name("vgod-serve-accept".into())
-        .spawn(move || accept_loop(listener, accept_shared))
-        .map_err(|e| format!("spawning accept thread: {e}"))?;
+    let loop_join = spawn_front(listener, Arc::clone(&shared))?;
     Ok(ServerHandle {
         addr,
         shared,
-        accept_join: Mutex::new(Some(accept_join)),
+        loop_join: Mutex::new(Some(loop_join)),
     })
+}
+
+#[cfg(target_os = "linux")]
+fn spawn_front(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+) -> Result<std::thread::JoinHandle<()>, String> {
+    let reactor = crate::epoll::Reactor::new(listener, shared)?;
+    std::thread::Builder::new()
+        .name("vgod-serve-epoll".into())
+        .spawn(move || reactor.run())
+        .map_err(|e| format!("spawning event loop: {e}"))
+}
+
+#[cfg(not(target_os = "linux"))]
+fn spawn_front(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+) -> Result<std::thread::JoinHandle<()>, String> {
+    std::thread::Builder::new()
+        .name("vgod-serve-accept".into())
+        .spawn(move || fallback::accept_loop(listener, shared))
+        .map_err(|e| format!("spawning accept thread: {e}"))
 }
 
 impl ServerHandle {
@@ -89,15 +118,20 @@ impl ServerHandle {
         self.shared.engine.models()
     }
 
+    /// Number of scoring replicas the engine resolved to.
+    pub fn replicas(&self) -> usize {
+        self.shared.engine.replicas()
+    }
+
     /// Trigger the same graceful stop as `POST /shutdown`. Idempotent.
     pub fn shutdown(&self) {
         self.shared.begin_shutdown();
     }
 
-    /// Block until the accept loop and engine have stopped (i.e. until
+    /// Block until the connection loop and engine have stopped (i.e. until
     /// shutdown was requested via HTTP or [`ServerHandle::shutdown`]).
     pub fn join(&self) {
-        if let Some(handle) = self.accept_join.lock().unwrap().take() {
+        if let Some(handle) = self.loop_join.lock().unwrap().take() {
             let _ = handle.join();
         }
         self.shared.engine.join();
@@ -112,52 +146,27 @@ impl Drop for ServerHandle {
 }
 
 impl Shared {
-    fn begin_shutdown(&self) {
+    pub(crate) fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn begin_shutdown(&self) {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Drain the engine first (it answers everything already queued),
-        // then poke the accept loop awake so it notices the flag.
+        // Drain the engine first (it answers everything already queued —
+        // replies land through the normal completion path), then poke the
+        // connection loop awake so it notices the flag and starts closing.
         self.engine.shutdown();
         let _ = TcpStream::connect(self.addr);
     }
 }
 
-fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
-    for stream in listener.incoming() {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return;
-        }
-        let Ok(stream) = stream else { continue };
-        let conn_shared = Arc::clone(&shared);
-        // Thread per connection: connections are short-lived (every
-        // response closes), so the thread count tracks in-flight requests.
-        let _ = std::thread::Builder::new()
-            .name("vgod-serve-conn".into())
-            .spawn(move || handle_connection(stream, conn_shared));
-    }
-}
-
-fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
-    let mut reader = BufReader::new(match stream.try_clone() {
-        Ok(clone) => clone,
-        Err(_) => return,
-    });
-    let mut writer = stream;
-    let request = match read_request(&mut reader) {
-        Ok(req) => req,
-        Err(e) => {
-            let body = format!("{{\"error\":\"{}\"}}", escape(&e));
-            let _ = write_response(&mut writer, 400, &body);
-            return;
-        }
-    };
-    let (status, body) = route(&request, &shared);
-    let _ = write_response(&mut writer, status, &body);
-}
-
-fn route(req: &Request, shared: &Shared) -> (u16, String) {
-    match (req.method.as_str(), req.path.as_str()) {
+/// Route everything except `POST /score` (which is asynchronous). `None`
+/// means "this is a score request".
+pub(crate) fn route_immediate(method: &str, path: &str, shared: &Shared) -> Option<(u16, String)> {
+    Some(match (method, path) {
+        ("POST", "/score") => return None,
         ("GET", "/healthz") => (200, "{\"status\":\"ok\"}".into()),
         ("GET", "/models") => {
             let entries: Vec<String> = shared
@@ -187,37 +196,38 @@ fn route(req: &Request, shared: &Shared) -> (u16, String) {
             shared.begin_shutdown();
             (200, "{\"status\":\"shutting down\"}".into())
         }
-        ("POST", "/score") => score(req, shared),
         ("GET" | "POST", _) => (404, "{\"error\":\"no such endpoint\"}".into()),
         _ => (405, "{\"error\":\"method not allowed\"}".into()),
-    }
+    })
 }
 
-fn score(req: &Request, shared: &Shared) -> (u16, String) {
-    let parsed = match std::str::from_utf8(&req.body)
+/// A validated `/score` body: `(model, pinned version, node subset)`.
+pub(crate) type ScoreParams = (String, Option<u64>, Option<Vec<u32>>);
+
+/// Validate a `/score` body into [`ScoreParams`], or the `400` response
+/// describing what is wrong with it.
+pub(crate) fn parse_score_body(body: &[u8]) -> Result<ScoreParams, (u16, String)> {
+    let parsed = std::str::from_utf8(body)
         .map_err(|e| e.to_string())
         .and_then(Json::parse)
-    {
-        Ok(v) => v,
-        Err(e) => {
-            return (
-                400,
+        .map_err(|e| {
+            (
+                400u16,
                 format!("{{\"error\":\"invalid JSON: {}\"}}", escape(&e)),
             )
-        }
-    };
+        })?;
     let Some(model) = parsed.get("model").and_then(Json::as_str) else {
-        return (400, "{\"error\":\"missing \\\"model\\\"\"}".into());
+        return Err((400, "{\"error\":\"missing \\\"model\\\"\"}".into()));
     };
     let version = match parsed.get("version") {
         None | Some(Json::Null) => None,
         Some(v) => match v.as_u64() {
             Some(version) => Some(version),
             None => {
-                return (
+                return Err((
                     400,
                     "{\"error\":\"\\\"version\\\" must be an integer\"}".into(),
-                )
+                ))
             }
         },
     };
@@ -225,36 +235,39 @@ fn score(req: &Request, shared: &Shared) -> (u16, String) {
         None | Some(Json::Null) => None,
         Some(v) => {
             let Some(items) = v.as_arr() else {
-                return (400, "{\"error\":\"\\\"nodes\\\" must be an array\"}".into());
+                return Err((400, "{\"error\":\"\\\"nodes\\\" must be an array\"}".into()));
             };
             let mut ids = Vec::with_capacity(items.len());
             for item in items {
                 match item.as_u64().filter(|&u| u <= u32::MAX as u64) {
                     Some(u) => ids.push(u as u32),
                     None => {
-                        return (
+                        return Err((
                             400,
                             "{\"error\":\"\\\"nodes\\\" must contain node ids\"}".into(),
-                        )
+                        ))
                     }
                 }
             }
             Some(ids)
         }
     };
+    Ok((model.to_string(), version, nodes))
+}
 
-    let reply_rx = match shared.engine.try_submit(model.to_string(), version, nodes) {
-        Ok(rx) => rx,
-        Err(SubmitError::Overloaded) => {
-            return (503, "{\"error\":\"queue full\"}".into());
-        }
-        Err(SubmitError::ShuttingDown) => {
-            return (503, "{\"error\":\"shutting down\"}".into());
-        }
-    };
-    match reply_rx.recv() {
-        Ok(Ok(reply)) => (200, render_reply(&reply)),
-        Ok(Err(e)) => {
+/// The response for a request the engine refused to queue.
+pub(crate) fn submit_error_response(err: &SubmitError) -> (u16, String) {
+    match err {
+        SubmitError::Overloaded => (503, "{\"error\":\"queue full\"}".into()),
+        SubmitError::ShuttingDown => (503, "{\"error\":\"shutting down\"}".into()),
+    }
+}
+
+/// The response for a completed (scored or failed) request.
+pub(crate) fn score_result_response(result: Result<ScoreReply, ScoreError>) -> (u16, String) {
+    match result {
+        Ok(reply) => (200, render_reply(&reply)),
+        Err(e) => {
             let status = match &e {
                 ScoreError::Lookup(LookupError::UnknownModel(_)) => 404,
                 ScoreError::Lookup(LookupError::VersionMismatch { .. }) => 409,
@@ -265,7 +278,6 @@ fn score(req: &Request, shared: &Shared) -> (u16, String) {
                 format!("{{\"error\":\"{}\"}}", escape(&e.to_string())),
             )
         }
-        Err(_) => (500, "{\"error\":\"engine dropped the request\"}".into()),
     }
 }
 
@@ -288,6 +300,75 @@ fn render_reply(reply: &ScoreReply) -> String {
         nodes,
         scores.join(",")
     )
+}
+
+/// Portable blocking front: accept loop + thread per connection, with
+/// HTTP/1.1 keep-alive. Compiled only where epoll is unavailable.
+#[cfg(not(target_os = "linux"))]
+mod fallback {
+    use super::*;
+    use crate::http::{read_request, write_response};
+    use std::io::BufReader;
+
+    pub(super) fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+        for stream in listener.incoming() {
+            if shared.is_shutting_down() {
+                return;
+            }
+            let Ok(stream) = stream else { continue };
+            let conn_shared = Arc::clone(&shared);
+            let _ = std::thread::Builder::new()
+                .name("vgod-serve-conn".into())
+                .spawn(move || handle_connection(stream, conn_shared));
+        }
+    }
+
+    fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
+        shared.engine.metrics().conn_opened();
+        let mut reader = BufReader::new(match stream.try_clone() {
+            Ok(clone) => clone,
+            Err(_) => {
+                shared.engine.metrics().conn_closed();
+                return;
+            }
+        });
+        let mut writer = stream;
+        loop {
+            match read_request(&mut reader) {
+                Ok(None) => break,
+                Ok(Some((method, path, body, keep_alive))) => {
+                    let (status, response) = respond(&method, &path, &body, &shared);
+                    let keep = keep_alive && !shared.is_shutting_down();
+                    if write_response(&mut writer, status, &response, keep).is_err() || !keep {
+                        break;
+                    }
+                }
+                Err((status, message)) => {
+                    let body = format!("{{\"error\":\"{}\"}}", escape(&message));
+                    let _ = write_response(&mut writer, status, &body, false);
+                    break;
+                }
+            }
+        }
+        shared.engine.metrics().conn_closed();
+    }
+
+    fn respond(method: &str, path: &str, body: &[u8], shared: &Shared) -> (u16, String) {
+        if let Some(immediate) = route_immediate(method, path, shared) {
+            return immediate;
+        }
+        let (model, version, nodes) = match parse_score_body(body) {
+            Ok(parts) => parts,
+            Err(response) => return response,
+        };
+        match shared.engine.try_submit(model, version, nodes) {
+            Err(e) => submit_error_response(&e),
+            Ok(reply_rx) => match reply_rx.recv() {
+                Ok(result) => score_result_response(result),
+                Err(_) => (500, "{\"error\":\"engine dropped the request\"}".into()),
+            },
+        }
+    }
 }
 
 #[cfg(test)]
@@ -375,9 +456,126 @@ mod tests {
         assert_eq!(status, 200);
         let m = Json::parse(&body).unwrap();
         assert!(m.get("requests").unwrap().as_u64().unwrap() >= 1);
+        assert_eq!(
+            m.get("replica_queue_depth")
+                .unwrap()
+                .as_arr()
+                .unwrap()
+                .len(),
+            handle.replicas()
+        );
+        assert!(
+            m.get("connections")
+                .unwrap()
+                .get("accepted")
+                .unwrap()
+                .as_u64()
+                .unwrap()
+                >= 1
+        );
 
         let (status, _) = http::post(addr, "/shutdown", "").unwrap();
         assert_eq!(status, 200);
+        handle.join();
+        let _ = std::fs::remove_dir_all(&models);
+        let _ = std::fs::remove_file(&graph_path);
+    }
+
+    #[test]
+    fn keep_alive_and_pipelining_on_one_connection() {
+        let (models, graph_path, g) = fixture("keepalive");
+        let handle = serve(&models, &graph_path, "127.0.0.1:0", ServeConfig::default()).unwrap();
+        let addr = handle.addr();
+        let expected = DegNorm.score(&g).combined;
+
+        let mut client = http::Client::connect(addr).unwrap();
+        // Sequential keep-alive requests on one connection.
+        for node in [0u32, 7, 13] {
+            let (status, body) = client
+                .request(
+                    "POST",
+                    "/score",
+                    Some(&format!("{{\"model\":\"degnorm\",\"nodes\":[{node}]}}")),
+                )
+                .unwrap();
+            assert_eq!(status, 200, "{body}");
+            assert!(body.contains(&format!("\"scores\":[{}]", expected[node as usize])));
+        }
+        // Pipelined wave: many requests in one write, responses in order.
+        for node in 0..16u32 {
+            client.send(
+                "POST",
+                "/score",
+                Some(&format!("{{\"model\":\"degnorm\",\"nodes\":[{node}]}}")),
+            );
+        }
+        client.send("GET", "/healthz", None);
+        client.flush().unwrap();
+        for node in 0..16u32 {
+            let (status, body) = client.recv().unwrap();
+            assert_eq!(status, 200);
+            assert!(
+                body.contains(&format!("\"nodes\":[{node}]")),
+                "responses must come back in request order: {body}"
+            );
+            assert!(body.contains(&format!("\"scores\":[{}]", expected[node as usize])));
+        }
+        let (status, _) = client.recv().unwrap();
+        assert_eq!(status, 200);
+
+        // One connection stayed open throughout.
+        let snapshot = handle.metrics();
+        assert!(snapshot.conns_active >= 1);
+
+        handle.shutdown();
+        handle.join();
+        let _ = std::fs::remove_dir_all(&models);
+        let _ = std::fs::remove_file(&graph_path);
+    }
+
+    #[test]
+    fn malformed_framing_gets_status_and_close() {
+        let (models, graph_path, _) = fixture("framing");
+        let handle = serve(&models, &graph_path, "127.0.0.1:0", ServeConfig::default()).unwrap();
+        let addr = handle.addr();
+
+        let mut client = http::Client::connect(addr).unwrap();
+        // Oversized declared body → 413 before the body is sent.
+        {
+            use std::io::Write as _;
+            let mut raw = std::net::TcpStream::connect(addr).unwrap();
+            write!(
+                raw,
+                "POST /score HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                crate::http::MAX_BODY + 1
+            )
+            .unwrap();
+            raw.flush().unwrap();
+            let mut resp = String::new();
+            use std::io::Read as _;
+            raw.set_read_timeout(Some(std::time::Duration::from_secs(30)))
+                .unwrap();
+            raw.read_to_string(&mut resp).unwrap();
+            assert!(resp.starts_with("HTTP/1.1 413"), "{resp}");
+            assert!(resp.contains("Connection: close"), "{resp}");
+        }
+        // Garbage request line → 400 (and the server survives).
+        {
+            use std::io::{Read as _, Write as _};
+            let mut raw = std::net::TcpStream::connect(addr).unwrap();
+            raw.write_all(b"complete nonsense\r\n\r\n").unwrap();
+            raw.flush().unwrap();
+            let mut resp = String::new();
+            raw.set_read_timeout(Some(std::time::Duration::from_secs(30)))
+                .unwrap();
+            raw.read_to_string(&mut resp).unwrap();
+            assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+        }
+        // The keep-alive client from before still works.
+        let (status, _) = client.request("GET", "/healthz", None).unwrap();
+        assert_eq!(status, 200);
+
+        handle.shutdown();
         handle.join();
         let _ = std::fs::remove_dir_all(&models);
         let _ = std::fs::remove_file(&graph_path);

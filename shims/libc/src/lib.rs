@@ -1,0 +1,147 @@
+//! Workspace-local stand-in for the tiny slice of `libc` that
+//! `vgod-serve`'s non-blocking HTTP front end needs: epoll, `eventfd`, and
+//! `accept4`, declared directly against the system C library. The build
+//! environment has no crates.io access, so — like the `rand` / `proptest` /
+//! `criterion` shims next door — this crate mirrors the upstream API
+//! surface (names, types, constants) for exactly the symbols the workspace
+//! uses, and nothing else.
+//!
+//! Everything here is Linux-only and is therefore `cfg`-gated; on other
+//! platforms the crate compiles to an empty library and `vgod-serve` falls
+//! back to its portable blocking server.
+
+#![allow(non_camel_case_types)]
+
+#[cfg(target_os = "linux")]
+pub use linux::*;
+
+#[cfg(target_os = "linux")]
+mod linux {
+    use std::os::raw::{c_int, c_uint, c_void};
+
+    /// One epoll readiness event. On x86-64 the kernel ABI packs the
+    /// 12-byte struct (no padding between `events` and `u64`), which is
+    /// why the upstream crate declares it `packed` — a plain `repr(C)`
+    /// layout would make `epoll_wait` scribble events at the wrong
+    /// offsets.
+    #[repr(C, packed)]
+    #[derive(Clone, Copy, Debug)]
+    pub struct epoll_event {
+        /// Readiness bit set (`EPOLLIN | …`).
+        pub events: u32,
+        /// Caller-owned cookie, returned verbatim with the event.
+        pub u64: u64,
+    }
+
+    pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    pub const EPOLL_CTL_MOD: c_int = 3;
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+
+    pub const EFD_CLOEXEC: c_int = 0o2000000;
+    pub const EFD_NONBLOCK: c_int = 0o4000;
+
+    pub const SOCK_NONBLOCK: c_int = 0o4000;
+    pub const SOCK_CLOEXEC: c_int = 0o2000000;
+
+    extern "C" {
+        pub fn epoll_create1(flags: c_int) -> c_int;
+        pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;
+        pub fn epoll_wait(
+            epfd: c_int,
+            events: *mut epoll_event,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        pub fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+        pub fn accept4(sockfd: c_int, addr: *mut c_void, addrlen: *mut u32, flags: c_int) -> c_int;
+        pub fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        pub fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        pub fn close(fd: c_int) -> c_int;
+    }
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+
+    /// The packed layout is the contract with the kernel: 12 bytes, data
+    /// at offset 4.
+    #[test]
+    fn epoll_event_layout_matches_kernel_abi() {
+        assert_eq!(std::mem::size_of::<epoll_event>(), 12);
+        let ev = epoll_event {
+            events: EPOLLIN,
+            u64: 0xdead_beef_cafe,
+        };
+        let base = &ev as *const _ as usize;
+        let data = std::ptr::addr_of!(ev.u64) as usize;
+        assert_eq!(data - base, 4);
+    }
+
+    /// Round-trip an eventfd counter through raw read/write — exercises
+    /// the extern declarations end to end.
+    #[test]
+    fn eventfd_round_trip() {
+        unsafe {
+            let fd = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+            assert!(
+                fd >= 0,
+                "eventfd failed: {}",
+                std::io::Error::last_os_error()
+            );
+            let one: u64 = 1;
+            let n = write(fd, &one as *const u64 as *const _, 8);
+            assert_eq!(n, 8);
+            let mut got: u64 = 0;
+            let n = read(fd, &mut got as *mut u64 as *mut _, 8);
+            assert_eq!(n, 8);
+            assert_eq!(got, 1);
+            // Drained: a second nonblocking read reports EAGAIN.
+            let n = read(fd, &mut got as *mut u64 as *mut _, 8);
+            assert_eq!(n, -1);
+            assert_eq!(
+                std::io::Error::last_os_error().raw_os_error(),
+                Some(11) // EAGAIN
+            );
+            close(fd);
+        }
+    }
+
+    /// epoll observes readiness on an eventfd.
+    #[test]
+    fn epoll_sees_eventfd_readiness() {
+        unsafe {
+            let ep = epoll_create1(EPOLL_CLOEXEC);
+            assert!(ep >= 0);
+            let fd = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+            assert!(fd >= 0);
+            let mut ev = epoll_event {
+                events: EPOLLIN,
+                u64: 42,
+            };
+            assert_eq!(epoll_ctl(ep, EPOLL_CTL_ADD, fd, &mut ev), 0);
+
+            // Nothing readable yet.
+            let mut out = [epoll_event { events: 0, u64: 0 }; 4];
+            assert_eq!(epoll_wait(ep, out.as_mut_ptr(), 4, 0), 0);
+
+            let one: u64 = 1;
+            assert_eq!(write(fd, &one as *const u64 as *const _, 8), 8);
+            let n = epoll_wait(ep, out.as_mut_ptr(), 4, 1000);
+            assert_eq!(n, 1);
+            assert_eq!({ out[0].u64 }, 42);
+            assert_ne!({ out[0].events } & EPOLLIN, 0);
+
+            close(fd);
+            close(ep);
+        }
+    }
+}

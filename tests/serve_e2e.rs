@@ -119,6 +119,198 @@ fn concurrent_clients_get_offline_identical_scores() {
     let _ = std::fs::remove_file(&graph_path);
 }
 
+/// Every checkpointable detector, fitted with tiny budgets — the full
+/// served-model matrix for the determinism test.
+fn all_detectors() -> Vec<(&'static str, AnyDetector)> {
+    let deep = |seed| DeepConfig {
+        hidden: 6,
+        epochs: 1,
+        lr: 0.005,
+        seed,
+    };
+    let vbm_cfg = VbmConfig {
+        hidden_dim: 6,
+        epochs: 1,
+        lr: 0.005,
+        self_loops: true,
+        seed: 3,
+    };
+    let arm_cfg = ArmConfig {
+        hidden_dim: 6,
+        layers: 1,
+        epochs: 1,
+        seed: 4,
+        ..ArmConfig::default()
+    };
+    vec![
+        (
+            "vgod",
+            AnyDetector::Vgod(Vgod::new(VgodConfig {
+                vbm: vbm_cfg.clone(),
+                arm: arm_cfg.clone(),
+                ..VgodConfig::default()
+            })),
+        ),
+        ("vbm", AnyDetector::Vbm(Vbm::new(vbm_cfg))),
+        ("arm", AnyDetector::Arm(Arm::new(arm_cfg))),
+        ("dominant", AnyDetector::Dominant(Dominant::new(deep(11)))),
+        (
+            "anomalydae",
+            AnyDetector::AnomalyDae(AnomalyDae::new(deep(12))),
+        ),
+        ("done", AnyDetector::Done(Done::new(deep(13)))),
+        ("cola", AnyDetector::Cola(Cola::new(deep(14)))),
+        ("conad", AnyDetector::Conad(Conad::new(deep(15)))),
+        ("radar", AnyDetector::Radar(Radar::new(deep(16)))),
+        ("degnorm", AnyDetector::DegNorm(DegNorm)),
+        ("deg", AnyDetector::Deg(Deg)),
+        ("l2norm", AnyDetector::L2Norm(L2Norm)),
+        ("random", AnyDetector::Random(RandomDetector::new(17))),
+    ]
+}
+
+/// A 1-replica fleet and a 4-replica fleet must serve **byte-identical**
+/// responses for every detector the workspace can checkpoint — and both
+/// must match offline `score` / `score_nodes` rendering exactly. This is
+/// the contract that makes `--replicas` a pure throughput knob.
+#[test]
+fn replica_fleets_serve_byte_identical_scores_for_all_detectors() {
+    let (models, graph_path, offline) = fixture("replicas", all_detectors());
+    let num_nodes = offline[0].1.len();
+    let subset = [0usize, num_nodes / 3, num_nodes - 1];
+    let subset_ids: Vec<String> = subset.iter().map(usize::to_string).collect();
+
+    let mut transcripts: Vec<Vec<String>> = Vec::new();
+    for replicas in [1usize, 4] {
+        let cfg = ServeConfig {
+            replicas,
+            ..ServeConfig::default()
+        };
+        let handle = vgod_suite::serve::serve(&models, &graph_path, "127.0.0.1:0", cfg).unwrap();
+        let mut client = http::Client::connect(handle.addr()).unwrap();
+        let mut bodies = Vec::new();
+        for (name, expected) in offline.iter() {
+            // Whole graph: must equal offline `score` byte-for-byte.
+            let (status, body) = client
+                .request("POST", "/score", Some(&format!("{{\"model\":\"{name}\"}}")))
+                .unwrap();
+            assert_eq!(status, 200, "{name}: {body}");
+            assert_eq!(
+                scores_field(&body),
+                expected.join(","),
+                "{name}: served full-graph scores must match offline score()"
+            );
+            bodies.push(body);
+            // Subset: must equal offline `score_nodes` byte-for-byte.
+            let want: Vec<String> = subset.iter().map(|&n| expected[n].clone()).collect();
+            let (status, body) = client
+                .request(
+                    "POST",
+                    "/score",
+                    Some(&format!(
+                        "{{\"model\":\"{name}\",\"nodes\":[{}]}}",
+                        subset_ids.join(",")
+                    )),
+                )
+                .unwrap();
+            assert_eq!(status, 200, "{name}: {body}");
+            assert_eq!(
+                scores_field(&body),
+                want.join(","),
+                "{name}: served subset scores must match offline score_nodes()"
+            );
+            bodies.push(body);
+        }
+        handle.shutdown();
+        handle.join();
+        transcripts.push(bodies);
+    }
+    assert_eq!(
+        transcripts[0], transcripts[1],
+        "1-replica and 4-replica fleets must serve byte-identical responses"
+    );
+
+    let _ = std::fs::remove_dir_all(&models);
+    let _ = std::fs::remove_file(&graph_path);
+}
+
+/// Sequential keep-alive requests on one connection, interleaved with
+/// bursts of concurrent one-shot connections — every response must still
+/// be byte-identical to offline scoring.
+#[test]
+fn keep_alive_interleaves_with_concurrent_connections() {
+    let (models, graph_path, offline) = fixture(
+        "interleave",
+        vec![
+            ("degnorm", AnyDetector::DegNorm(DegNorm)),
+            ("random", AnyDetector::Random(RandomDetector::new(23))),
+        ],
+    );
+    let handle =
+        vgod_suite::serve::serve(&models, &graph_path, "127.0.0.1:0", ServeConfig::default())
+            .unwrap();
+    let addr = handle.addr();
+    let offline = Arc::new(offline);
+    let num_nodes = offline[0].1.len();
+
+    // Concurrent one-shot connections hammering away in the background.
+    let threads: Vec<_> = (0..3)
+        .map(|t| {
+            let offline = Arc::clone(&offline);
+            std::thread::spawn(move || {
+                for i in 0..15 {
+                    let (name, expected) = &offline[(t + i) % offline.len()];
+                    let node = (3 * t + 5 * i) % num_nodes;
+                    let (status, body) = http::post(
+                        addr,
+                        "/score",
+                        &format!("{{\"model\":\"{name}\",\"nodes\":[{node}]}}"),
+                    )
+                    .unwrap();
+                    assert_eq!(status, 200, "{body}");
+                    assert_eq!(scores_field(&body), expected[node]);
+                }
+            })
+        })
+        .collect();
+
+    // Meanwhile: one keep-alive connection issuing sequential requests.
+    let mut client = http::Client::connect(addr).unwrap();
+    for i in 0..30 {
+        let (name, expected) = &offline[i % offline.len()];
+        let node = (7 * i) % num_nodes;
+        let (status, body) = client
+            .request(
+                "POST",
+                "/score",
+                Some(&format!("{{\"model\":\"{name}\",\"nodes\":[{node}]}}")),
+            )
+            .unwrap();
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(
+            scores_field(&body),
+            expected[node],
+            "keep-alive responses must match offline scores byte-for-byte"
+        );
+    }
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    let m = handle.metrics();
+    assert_eq!(m.requests, 30 + 3 * 15);
+    assert_eq!(m.errors, 0);
+    assert!(
+        m.conns_accepted >= 4,
+        "keep-alive conn + one-shot conns must all be counted: {m:?}"
+    );
+
+    handle.shutdown();
+    handle.join();
+    let _ = std::fs::remove_dir_all(&models);
+    let _ = std::fs::remove_file(&graph_path);
+}
+
 #[test]
 fn overload_rejects_with_503_and_shutdown_drains() {
     // An intentionally slow model: CoLA's inference cost scales with its
