@@ -4,9 +4,9 @@
 
 use rand::Rng;
 use vgod_autograd::{persist, ParamStore, Tape, Var};
-use vgod_eval::{OutlierDetector, Scores};
+use vgod_eval::{refit_score_store, OutlierDetector, Scores};
 use vgod_gnn::{GatLayer, GraphContext};
-use vgod_graph::{seeded_rng, AttributedGraph};
+use vgod_graph::{seeded_rng, AttributedGraph, GraphStore, SamplingConfig};
 use vgod_nn::{Activation, Linear, Trainer};
 
 use crate::common::{per_node_structure_errors, structure_loss, DeepConfig, EdgeSample};
@@ -236,6 +236,15 @@ impl OutlierDetector for AnomalyDae {
             structural: Some(struct_err),
             contextual: Some(attr_err),
         }
+    }
+
+    fn score_store(&self, store: &dyn GraphStore, cfg: &SamplingConfig) -> Scores {
+        // The attribute encoder's input dimension is |V|, so the fitted
+        // model only scores graphs with the training node count. Above the
+        // sampling threshold each batch neighbourhood is refitted and
+        // scored as its own transductive problem (the per-node combination
+        // `α·s + (1−α)·a` is local, so seeds concatenate cleanly).
+        refit_score_store(self, store, cfg)
     }
 }
 

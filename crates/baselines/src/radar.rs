@@ -4,9 +4,9 @@
 //! injection).
 
 use vgod_autograd::{persist, ParamStore};
-use vgod_eval::{OutlierDetector, Scores};
+use vgod_eval::{refit_score_store, OutlierDetector, Scores};
 use vgod_gnn::GraphContext;
-use vgod_graph::{seeded_rng, AttributedGraph};
+use vgod_graph::{seeded_rng, AttributedGraph, GraphStore, SamplingConfig};
 use vgod_nn::Trainer;
 use vgod_tensor::Matrix;
 
@@ -169,6 +169,14 @@ impl OutlierDetector for Radar {
             "Radar is transductive-only: node count must match the training graph"
         );
         Scores::combined_only(scores.clone())
+    }
+
+    fn score_store(&self, store: &dyn GraphStore, cfg: &SamplingConfig) -> Scores {
+        // Radar's residual matrix is tied to the fitted node set, so the
+        // generic batched path (global model, sampled subgraphs) cannot
+        // apply. Each batch neighbourhood becomes its own small
+        // transductive problem instead: refit-and-score per batch.
+        refit_score_store(self, store, cfg)
     }
 }
 

@@ -2,8 +2,8 @@
 
 use rand::Rng;
 use vgod_autograd::persist;
-use vgod_eval::{OutlierDetector, Scores};
-use vgod_graph::{seeded_rng, AttributedGraph};
+use vgod_eval::{full_graph_view, OutlierDetector, Scores};
+use vgod_graph::{seeded_rng, AttributedGraph, GraphStore, SamplingConfig};
 
 /// Node degree as the outlier score (the structural leakage probe of
 /// Fig. 2 and the `Deg` baseline of Table V).
@@ -34,6 +34,14 @@ impl OutlierDetector for Deg {
     fn score(&self, g: &AttributedGraph) -> Scores {
         Scores::combined_only(degrees(g))
     }
+
+    fn fit_store(&mut self, _store: &dyn GraphStore, _cfg: &SamplingConfig) {}
+
+    fn score_store(&self, store: &dyn GraphStore, _cfg: &SamplingConfig) -> Scores {
+        // Exact at any scale: degrees stream straight off the store's
+        // (fully resident) edge index, no sampling involved.
+        Scores::combined_only(store_degrees(store))
+    }
 }
 
 /// Attribute-vector L2 norm as the outlier score (the contextual leakage
@@ -63,6 +71,18 @@ impl OutlierDetector for L2Norm {
 
     fn score(&self, g: &AttributedGraph) -> Scores {
         Scores::combined_only(l2_norms(g))
+    }
+
+    fn fit_store(&mut self, _store: &dyn GraphStore, _cfg: &SamplingConfig) {}
+
+    fn score_store(&self, store: &dyn GraphStore, cfg: &SamplingConfig) -> Scores {
+        if let Some(g) = full_graph_view(store, cfg) {
+            // Bit-identical small-graph path (SIMD row_norms reduction).
+            return self.score(&g);
+        }
+        // Exact up to summation order: one streaming pass over the
+        // attribute chunks, never materialising the n×d matrix.
+        Scores::combined_only(store_l2_norms(store))
     }
 }
 
@@ -95,6 +115,18 @@ impl OutlierDetector for DegNorm {
 
     fn score(&self, g: &AttributedGraph) -> Scores {
         Scores::from_components(degrees(g), l2_norms(g))
+    }
+
+    fn fit_store(&mut self, _store: &dyn GraphStore, _cfg: &SamplingConfig) {}
+
+    fn score_store(&self, store: &dyn GraphStore, cfg: &SamplingConfig) -> Scores {
+        if let Some(g) = full_graph_view(store, cfg) {
+            return self.score(&g);
+        }
+        // Eq. 20's mean-std combination is a global normalisation: both
+        // components are streamed at full length and combined once, so the
+        // ranking is not distorted by per-batch statistics.
+        Scores::from_components(store_degrees(store), store_l2_norms(store))
     }
 }
 
@@ -149,6 +181,19 @@ impl OutlierDetector for RandomDetector {
                 .collect(),
         )
     }
+
+    fn fit_store(&mut self, _store: &dyn GraphStore, _cfg: &SamplingConfig) {}
+
+    fn score_store(&self, store: &dyn GraphStore, _cfg: &SamplingConfig) -> Scores {
+        // Only the node count matters: bit-identical to `score` at any
+        // scale, no sampling involved.
+        let mut rng = seeded_rng(self.seed);
+        Scores::combined_only(
+            (0..store.num_nodes())
+                .map(|_| rng.gen_range(0.0..1.0))
+                .collect(),
+        )
+    }
 }
 
 fn degrees(g: &AttributedGraph) -> Vec<f32> {
@@ -159,6 +204,20 @@ fn degrees(g: &AttributedGraph) -> Vec<f32> {
 
 fn l2_norms(g: &AttributedGraph) -> Vec<f32> {
     g.attrs().row_norms().into_vec()
+}
+
+fn store_degrees(store: &dyn GraphStore) -> Vec<f32> {
+    (0..store.num_nodes() as u32)
+        .map(|u| store.degree(u) as f32)
+        .collect()
+}
+
+fn store_l2_norms(store: &dyn GraphStore) -> Vec<f32> {
+    let mut out = Vec::with_capacity(store.num_nodes());
+    store.visit_attrs(&mut |_, row| {
+        out.push(row.iter().map(|v| v * v).sum::<f32>().sqrt());
+    });
+    out
 }
 
 #[cfg(test)]
@@ -222,6 +281,37 @@ mod tests {
         let scores = RandomDetector::new(3).score(&g);
         let a = auc(&scores.combined, &truth.outlier_mask());
         assert!((0.35..0.65).contains(&a), "Random AUC = {a}");
+    }
+
+    #[test]
+    fn store_paths_match_in_memory_scoring() {
+        let (g, _) = injected();
+        let tiny = SamplingConfig {
+            full_graph_threshold: 10, // force the streaming path on 400 nodes
+            ..SamplingConfig::default()
+        };
+        // Degree and random scores are exact at any scale.
+        assert_eq!(Deg.score(&g).combined, Deg.score_store(&g, &tiny).combined);
+        assert_eq!(
+            RandomDetector::new(3).score(&g).combined,
+            RandomDetector::new(3).score_store(&g, &tiny).combined
+        );
+        // Streamed L2 norms agree up to summation order.
+        let direct = L2Norm.score(&g).combined;
+        let streamed = L2Norm.score_store(&g, &tiny).combined;
+        for (a, b) in direct.iter().zip(&streamed) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+        // Below the threshold everything is bit-identical.
+        let dflt = SamplingConfig::default();
+        assert_eq!(
+            DegNorm.score(&g).combined,
+            DegNorm.score_store(&g, &dflt).combined
+        );
+        assert_eq!(
+            L2Norm.score(&g).combined,
+            L2Norm.score_store(&g, &dflt).combined
+        );
     }
 
     #[test]

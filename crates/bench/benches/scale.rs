@@ -1,0 +1,254 @@
+//! Out-of-core scale trajectory: 10k → 100k → 1M nodes under one fixed
+//! memory budget.
+//!
+//! Each point synthesises an on-disk store (`SynthStoreConfig::scaled`:
+//! average degree 20, 32 attributes — the 1M point is the ISSUE's
+//! 1M-node / 10M-edge graph), opens it demand-paged under the budget, and
+//! runs one detector per class through the `GraphStore` path:
+//!
+//! * **streaming_exact** — `Deg`: one adjacency sweep, no sampling;
+//! * **sampled_mlp** — `Vbm`: mini-batch variance training over sampled
+//!   batch views, per-batch scoring;
+//! * **sampled_gnn** — `Dominant`: GCN autoencoder trained on one sampled
+//!   training subgraph, scored per sampled batch.
+//!
+//! Per class the bench records wall-clock for fit and score, the process
+//! peak RSS (`VmHWM`, reset via `/proc/self/clear_refs` before each run),
+//! and the store's read/eviction counters. `in_memory_bytes_estimate`
+//! accompanies every point so the JSON itself proves where the budget is
+//! genuinely out of reach in-core (at 1M nodes the attribute matrix alone
+//! is 128 MB against the default 96 MB budget). Results are written to
+//! `BENCH_scale.json` at the repository root.
+//!
+//! Environment knobs: `VGOD_SCALE_MAX_NODES` caps the trajectory (e.g.
+//! `100000` for the CI smoke run), `VGOD_SCALE_BUDGET` overrides the
+//! budget (`parse_mem_budget` syntax, default `96M`).
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use vgod::{Vbm, VbmConfig};
+use vgod_baselines::{DeepConfig, Deg, Dominant};
+use vgod_eval::OutlierDetector;
+use vgod_graph::{
+    in_memory_bytes_estimate, parse_mem_budget, synth_store, GraphStore, OocStore, SamplingConfig,
+    SynthStoreConfig, DEFAULT_ATTR_BLOCK_NODES, DEFAULT_EDGE_BLOCK_ENTRIES,
+};
+
+struct ClassResult {
+    class: &'static str,
+    detector: &'static str,
+    fit_ms: f64,
+    score_ms: f64,
+    peak_rss_bytes: u64,
+    bytes_read: u64,
+    evictions: u64,
+}
+
+struct PointResult {
+    n: usize,
+    edges: usize,
+    attrs: usize,
+    synth_ms: f64,
+    store_file_bytes: u64,
+    in_memory_estimate: u64,
+    classes: Vec<ClassResult>,
+}
+
+/// Current peak resident set (`VmHWM`) in bytes, 0 if unreadable.
+fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+/// Reset the kernel's peak-RSS watermark so each class run reports its own
+/// high-water mark (Linux ≥ 4.0; a failure just means the peak is an
+/// over-estimate carried from earlier work).
+fn reset_peak_rss() {
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
+}
+
+fn run_class(
+    class: &'static str,
+    detector: &'static str,
+    store: &OocStore,
+    cfg: &SamplingConfig,
+    det: &mut dyn OutlierDetector,
+) -> ClassResult {
+    let before = store.stats();
+    reset_peak_rss();
+    let t0 = Instant::now();
+    det.fit_store(store, cfg);
+    let fit_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    let scores = det.score_store(store, cfg);
+    let score_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(scores.combined.len(), store.num_nodes());
+    assert!(scores.combined.iter().all(|s| s.is_finite()));
+    let after = store.stats();
+    ClassResult {
+        class,
+        detector,
+        fit_ms,
+        score_ms,
+        peak_rss_bytes: peak_rss_bytes(),
+        bytes_read: after.bytes_read - before.bytes_read,
+        evictions: after.evictions - before.evictions,
+    }
+}
+
+fn run_point(n: usize, budget: usize) -> PointResult {
+    let path = std::env::temp_dir().join(format!("vgod_scale_{n}_{}", std::process::id()));
+    let synth_cfg = SynthStoreConfig::scaled(n, 42);
+    let t0 = Instant::now();
+    synth_store(
+        &path,
+        &synth_cfg,
+        DEFAULT_ATTR_BLOCK_NODES,
+        DEFAULT_EDGE_BLOCK_ENTRIES,
+    )
+    .expect("synthesise store");
+    let synth_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let store_file_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+
+    let store = OocStore::open(&path, budget).expect("open store");
+    let edges = store.num_edges();
+    let attrs = store.num_attrs();
+    // Default threshold: the 10k point exercises the bit-identical
+    // full-graph fast path, 100k and 1M the sampled path.
+    let cfg = SamplingConfig {
+        batch_size: 4096,
+        fanout: 4,
+        hops: 2,
+        train_seeds: 1024,
+        seed: 42,
+        ..SamplingConfig::default()
+    };
+
+    let mut classes = Vec::new();
+    classes.push(run_class("streaming_exact", "deg", &store, &cfg, &mut Deg));
+    let mut vbm = Vbm::new(VbmConfig {
+        hidden_dim: 16,
+        epochs: 2,
+        ..VbmConfig::default()
+    });
+    classes.push(run_class("sampled_mlp", "vbm", &store, &cfg, &mut vbm));
+    let mut dominant = Dominant::new(DeepConfig {
+        hidden: 8,
+        epochs: 2,
+        ..DeepConfig::fast()
+    });
+    classes.push(run_class(
+        "sampled_gnn",
+        "dominant",
+        &store,
+        &cfg,
+        &mut dominant,
+    ));
+
+    let _ = std::fs::remove_file(&path);
+    PointResult {
+        n,
+        edges,
+        attrs,
+        synth_ms,
+        store_file_bytes,
+        in_memory_estimate: in_memory_bytes_estimate(n, edges, attrs),
+        classes,
+    }
+}
+
+fn main() {
+    let budget =
+        parse_mem_budget(&std::env::var("VGOD_SCALE_BUDGET").unwrap_or_else(|_| "96M".to_string()))
+            .expect("VGOD_SCALE_BUDGET");
+    let max_nodes: usize = std::env::var("VGOD_SCALE_MAX_NODES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000);
+
+    let mut points = Vec::new();
+    for n in [10_000usize, 100_000, 1_000_000] {
+        if n > max_nodes {
+            break;
+        }
+        eprintln!("scale: n = {n} under {budget}-byte budget …");
+        let p = run_point(n, budget);
+        for c in &p.classes {
+            eprintln!(
+                "  {:>16} fit {:>10.1} ms  score {:>10.1} ms  peak RSS {:>7.1} MB  \
+                 read {:>8.1} MB  evictions {}",
+                c.class,
+                c.fit_ms,
+                c.score_ms,
+                c.peak_rss_bytes as f64 / (1024.0 * 1024.0),
+                c.bytes_read as f64 / (1024.0 * 1024.0),
+                c.evictions,
+            );
+        }
+        points.push(p);
+    }
+    write_json(budget, &points);
+}
+
+/// Hand-rolled JSON (the workspace has no serde) written to the repo root.
+fn write_json(budget: usize, points: &[PointResult]) {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"scale\",\n");
+    out.push_str(&format!("  \"budget_bytes\": {budget},\n"));
+    out.push_str("  \"trajectory\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"n\": {}, \"edges\": {}, \"attrs\": {}, \"synth_ms\": {:.0}, \
+             \"store_file_bytes\": {}, \"in_memory_bytes_estimate\": {}, \
+             \"exceeds_budget_in_memory\": {},\n",
+            p.n,
+            p.edges,
+            p.attrs,
+            p.synth_ms,
+            p.store_file_bytes,
+            p.in_memory_estimate,
+            p.in_memory_estimate > budget as u64,
+        ));
+        out.push_str("     \"classes\": [\n");
+        for (j, c) in p.classes.iter().enumerate() {
+            out.push_str(&format!(
+                "       {{\"class\": \"{}\", \"detector\": \"{}\", \"fit_ms\": {:.1}, \
+                 \"score_ms\": {:.1}, \"peak_rss_bytes\": {}, \"bytes_read\": {}, \
+                 \"evictions\": {}}}{}\n",
+                c.class,
+                c.detector,
+                c.fit_ms,
+                c.score_ms,
+                c.peak_rss_bytes,
+                c.bytes_read,
+                c.evictions,
+                if j + 1 < p.classes.len() { "," } else { "" }
+            ));
+        }
+        out.push_str(&format!(
+            "     ]}}{}\n",
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scale.json");
+    let mut f = std::fs::File::create(path).expect("create BENCH_scale.json");
+    f.write_all(out.as_bytes()).expect("write BENCH_scale.json");
+    println!("wrote {path}");
+}

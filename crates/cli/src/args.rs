@@ -44,22 +44,33 @@ impl std::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 impl Args {
-    /// Parse a word list (without the program/subcommand names).
-    pub fn parse(words: &[String]) -> Result<Self, ArgError> {
+    /// Parse a word list where the named `switches` are boolean flags that
+    /// take no value (`--verbose`); every other `--flag` still consumes the
+    /// following word. Query switches with [`Args::has`].
+    pub fn parse_with_switches(words: &[String], switches: &[&str]) -> Result<Self, ArgError> {
         let mut flags = BTreeMap::new();
         let mut positional = Vec::new();
         let mut iter = words.iter();
         while let Some(word) = iter.next() {
             if let Some(name) = word.strip_prefix("--") {
-                let value = iter
-                    .next()
-                    .ok_or_else(|| ArgError::MissingValue(name.to_string()))?;
-                flags.insert(name.to_string(), value.clone());
+                if switches.contains(&name) {
+                    flags.insert(name.to_string(), "true".to_string());
+                } else {
+                    let value = iter
+                        .next()
+                        .ok_or_else(|| ArgError::MissingValue(name.to_string()))?;
+                    flags.insert(name.to_string(), value.clone());
+                }
             } else {
                 positional.push(word.clone());
             }
         }
         Ok(Self { flags, positional })
+    }
+
+    /// Whether a boolean switch was given.
+    pub fn has(&self, flag: &str) -> bool {
+        self.flags.contains_key(flag)
     }
 
     /// Positional (non-flag) words.
@@ -105,7 +116,11 @@ mod tests {
 
     #[test]
     fn parses_flags_and_positionals() {
-        let a = Args::parse(&words(&["--seed", "7", "graph.txt", "--scale", "small"])).unwrap();
+        let a = Args::parse_with_switches(
+            &words(&["--seed", "7", "graph.txt", "--scale", "small"]),
+            &[],
+        )
+        .unwrap();
         assert_eq!(a.get("seed"), Some("7"));
         assert_eq!(a.get("scale"), Some("small"));
         assert_eq!(a.positional(), &["graph.txt".to_string()]);
@@ -114,12 +129,32 @@ mod tests {
     }
 
     #[test]
-    fn reports_missing_value_and_bad_types() {
+    fn switches_take_no_value() {
+        let a = Args::parse_with_switches(
+            &words(&["--verbose", "--seed", "7", "--out-of-core", "g.store"]),
+            &["verbose", "out-of-core"],
+        )
+        .unwrap();
+        assert!(a.has("verbose"));
+        assert!(a.has("out-of-core"));
+        assert!(!a.has("absent"));
+        assert_eq!(a.get("seed"), Some("7"));
+        assert_eq!(a.positional(), &["g.store".to_string()]);
+        // A trailing switch is fine; a trailing value flag still errors.
+        assert!(Args::parse_with_switches(&words(&["--verbose"]), &["verbose"]).is_ok());
         assert_eq!(
-            Args::parse(&words(&["--seed"])).unwrap_err(),
+            Args::parse_with_switches(&words(&["--seed"]), &["verbose"]).unwrap_err(),
             ArgError::MissingValue("seed".into())
         );
-        let a = Args::parse(&words(&["--seed", "abc"])).unwrap();
+    }
+
+    #[test]
+    fn reports_missing_value_and_bad_types() {
+        assert_eq!(
+            Args::parse_with_switches(&words(&["--seed"]), &[]).unwrap_err(),
+            ArgError::MissingValue("seed".into())
+        );
+        let a = Args::parse_with_switches(&words(&["--seed", "abc"]), &[]).unwrap();
         assert!(matches!(
             a.get_parsed_or("seed", 0u64),
             Err(ArgError::Invalid { .. })

@@ -13,12 +13,13 @@ use vgod_baselines::{
 use vgod_datasets::{replica, Dataset, Scale};
 use vgod_eval::{auc, average_precision, precision_at_k, recall_at_k, OutlierDetector};
 use vgod_graph::{
-    adjusted_homophily, degree_stats, edge_homophily, load_graph, save_graph, seeded_rng,
-    AttributedGraph,
+    adjusted_homophily, degree_stats, edge_homophily, load_graph, parse_mem_budget, save_graph,
+    seeded_rng, synth_store, AttributedGraph, GraphStore, OocStore, SamplingConfig,
+    SynthStoreConfig, DEFAULT_ATTR_BLOCK_NODES, DEFAULT_EDGE_BLOCK_ENTRIES,
 };
 use vgod_inject::{
     inject_community_replacement, inject_contextual, inject_standard, inject_structural,
-    ContextualParams, DistanceMetric, GroundTruth, StructuralParams,
+    ContextualParams, DistanceMetric, GroundTruth, OutlierKind, StructuralParams,
 };
 use vgod_serve::{AnyDetector, RegistryConfig, ServeConfig};
 
@@ -157,7 +158,6 @@ pub fn detect(args: &Args) -> CmdResult {
         .map_err(|e| e.to_string())?;
     let batch: usize = args.get_parsed_or("batch", 0).map_err(|e| e.to_string())?;
 
-    let g = load(input)?;
     let deep = DeepConfig {
         hidden,
         epochs,
@@ -177,77 +177,40 @@ pub fn detect(args: &Args) -> CmdResult {
     let save_model = args.get("save-model");
     let load_model = args.get("load-model");
 
+    if args.has("out-of-core") {
+        return detect_out_of_core(
+            args,
+            input,
+            scores_path,
+            &model,
+            deep,
+            vgod_cfg,
+            seed,
+            batch,
+            save_model,
+            load_model,
+        );
+    }
+
+    let g = load(input)?;
     // Either resurrect any checkpoint (the magic line says which detector it
     // holds) or build + fit the requested model fresh.
     let detector = match load_model {
-        Some(path) => {
-            let det = AnyDetector::load_file(Path::new(path))?;
-            if let Some(requested) = args.get("model") {
-                if det.kind() != requested.to_ascii_lowercase() {
-                    return Err(format!(
-                        "{path} holds a {} checkpoint, not {requested}",
-                        det.kind()
-                    ));
-                }
-            }
-            det
-        }
+        Some(path) => load_checked(args, path)?,
         None => {
+            let mut det = fresh_detector(&model, deep, vgod_cfg, seed)?;
             let minibatch = MiniBatchConfig {
                 batch_size: batch,
                 neighbor_cap: 16,
             };
-            match model.as_str() {
-                "vgod" => {
-                    let mut m = Vgod::new(vgod_cfg);
-                    OutlierDetector::fit(&mut m, &g);
-                    AnyDetector::Vgod(m)
-                }
-                "vbm" => {
-                    let mut m = Vbm::new(vgod_cfg.vbm);
-                    if batch > 0 {
-                        m.fit_minibatch(&g, &minibatch);
-                    } else {
-                        OutlierDetector::fit(&mut m, &g);
-                    }
-                    AnyDetector::Vbm(m)
-                }
-                "arm" => {
-                    let mut m = vgod::Arm::new(vgod_cfg.arm);
-                    if batch > 0 {
-                        m.fit_minibatch(&g, &minibatch);
-                    } else {
-                        OutlierDetector::fit(&mut m, &g);
-                    }
-                    AnyDetector::Arm(m)
-                }
-                "dominant" => AnyDetector::Dominant(Dominant::new(deep)),
-                "anomalydae" => AnyDetector::AnomalyDae(AnomalyDae::new(deep)),
-                "done" => AnyDetector::Done(Done::new(deep)),
-                "cola" => AnyDetector::Cola(Cola::new(deep)),
-                "conad" => AnyDetector::Conad(Conad::new(deep)),
-                "radar" => AnyDetector::Radar(Radar::new(deep)),
-                "degnorm" => AnyDetector::DegNorm(DegNorm),
-                "deg" => AnyDetector::Deg(Deg),
-                "l2norm" => AnyDetector::L2Norm(L2Norm),
-                "random" => AnyDetector::Random(RandomDetector::new(seed)),
-                other => return Err(format!("unknown model {other:?}")),
+            // vbm/arm support explicit mini-batch training (their concrete
+            // types expose it); everything else fits through the trait.
+            match &mut det {
+                AnyDetector::Vbm(m) if batch > 0 => m.fit_minibatch(&g, &minibatch),
+                AnyDetector::Arm(m) if batch > 0 => m.fit_minibatch(&g, &minibatch),
+                other => OutlierDetector::fit(other, &g),
             }
-        }
-    };
-    let detector = match load_model {
-        Some(_) => detector,
-        None => {
-            let mut detector = detector;
-            // vbm/arm already trained above (mini-batch needs their concrete
-            // types); everything else fits through the trait here.
-            if !matches!(
-                detector,
-                AnyDetector::Vgod(_) | AnyDetector::Vbm(_) | AnyDetector::Arm(_)
-            ) {
-                OutlierDetector::fit(&mut detector, &g);
-            }
-            detector
+            det
         }
     };
     if let Some(path) = save_model {
@@ -255,15 +218,208 @@ pub fn detect(args: &Args) -> CmdResult {
         println!("saved {} checkpoint to {path}", detector.kind());
     }
     let scores = detector.score(&g).combined;
+    write_scores_file(&scores, scores_path, detector.kind())
+}
+
+/// An untrained detector of the requested kind.
+fn fresh_detector(
+    model: &str,
+    deep: DeepConfig,
+    vgod_cfg: VgodConfig,
+    seed: u64,
+) -> Result<AnyDetector, String> {
+    Ok(match model {
+        "vgod" => AnyDetector::Vgod(Vgod::new(vgod_cfg)),
+        "vbm" => AnyDetector::Vbm(Vbm::new(vgod_cfg.vbm)),
+        "arm" => AnyDetector::Arm(vgod::Arm::new(vgod_cfg.arm)),
+        "dominant" => AnyDetector::Dominant(Dominant::new(deep)),
+        "anomalydae" => AnyDetector::AnomalyDae(AnomalyDae::new(deep)),
+        "done" => AnyDetector::Done(Done::new(deep)),
+        "cola" => AnyDetector::Cola(Cola::new(deep)),
+        "conad" => AnyDetector::Conad(Conad::new(deep)),
+        "radar" => AnyDetector::Radar(Radar::new(deep)),
+        "degnorm" => AnyDetector::DegNorm(DegNorm),
+        "deg" => AnyDetector::Deg(Deg),
+        "l2norm" => AnyDetector::L2Norm(L2Norm),
+        "random" => AnyDetector::Random(RandomDetector::new(seed)),
+        other => return Err(format!("unknown model {other:?}")),
+    })
+}
+
+/// Load a checkpoint, rejecting a kind mismatch against an explicit
+/// `--model`.
+fn load_checked(args: &Args, path: &str) -> Result<AnyDetector, String> {
+    let det = AnyDetector::load_file(Path::new(path))?;
+    if let Some(requested) = args.get("model") {
+        if det.kind() != requested.to_ascii_lowercase() {
+            return Err(format!(
+                "{path} holds a {} checkpoint, not {requested}",
+                det.kind()
+            ));
+        }
+    }
+    Ok(det)
+}
+
+fn write_scores_file(scores: &[f32], scores_path: &str, kind: &str) -> CmdResult {
     let mut w =
         BufWriter::new(File::create(scores_path).map_err(|e| format!("{scores_path}: {e}"))?);
-    files::write_scores(&scores, &mut w).map_err(|e| format!("{scores_path}: {e}"))?;
-    println!(
-        "wrote {scores_path}: {} scores from {}",
-        scores.len(),
-        detector.kind()
-    );
+    files::write_scores(scores, &mut w).map_err(|e| format!("{scores_path}: {e}"))?;
+    println!("wrote {scores_path}: {} scores from {kind}", scores.len());
     Ok(())
+}
+
+/// The neighbour-sampling schedule from `detect`/`store` flags.
+fn sampling_config(args: &Args, batch: usize) -> Result<SamplingConfig, String> {
+    Ok(SamplingConfig {
+        full_graph_threshold: args
+            .get_parsed_or("threshold", 20_000)
+            .map_err(|e| e.to_string())?,
+        batch_size: if batch > 0 { batch } else { 1024 },
+        fanout: args.get_parsed_or("fanout", 8).map_err(|e| e.to_string())?,
+        hops: args.get_parsed_or("hops", 2).map_err(|e| e.to_string())?,
+        train_seeds: args
+            .get_parsed_or("train-seeds", 2048)
+            .map_err(|e| e.to_string())?,
+        seed: args
+            .get_parsed_or("sample-seed", 0)
+            .map_err(|e| e.to_string())?,
+    })
+}
+
+/// `vgod detect --out-of-core`: train and score against a demand-paged
+/// on-disk store under an explicit memory budget, never materialising the
+/// full graph.
+#[allow(clippy::too_many_arguments)]
+fn detect_out_of_core(
+    args: &Args,
+    input: &str,
+    scores_path: &str,
+    model: &str,
+    deep: DeepConfig,
+    vgod_cfg: VgodConfig,
+    seed: u64,
+    batch: usize,
+    save_model: Option<&str>,
+    load_model: Option<&str>,
+) -> CmdResult {
+    let budget = parse_mem_budget(args.get("mem-budget").unwrap_or("256M"))?;
+    let store = OocStore::open(Path::new(input), budget).map_err(|e| format!("{input}: {e}"))?;
+    let scfg = sampling_config(args, batch)?;
+    let verbose = args.has("verbose");
+    if verbose {
+        eprintln!(
+            "store {input}: {} nodes, {} edges, {} attrs; budget {} bytes, \
+             sampling threshold {} (batch {}, fanout {}, hops {}, train seeds {})",
+            store.num_nodes(),
+            store.num_edges(),
+            store.num_attrs(),
+            store.budget(),
+            scfg.full_graph_threshold,
+            scfg.batch_size,
+            scfg.fanout,
+            scfg.hops,
+            scfg.train_seeds,
+        );
+    }
+    let detector = match load_model {
+        Some(path) => load_checked(args, path)?,
+        None => {
+            let mut det = fresh_detector(model, deep, vgod_cfg, seed)?;
+            det.fit_store(&store, &scfg);
+            det
+        }
+    };
+    if let Some(path) = save_model {
+        detector.save_file(Path::new(path))?;
+        println!("saved {} checkpoint to {path}", detector.kind());
+    }
+    let scores = detector.score_store(&store, &scfg).combined;
+    write_scores_file(&scores, scores_path, detector.kind())?;
+    if verbose {
+        let st = store.stats();
+        eprintln!(
+            "store stats: {} resident blocks / {} resident bytes (budget {}), \
+             {} bytes read, {} evictions",
+            st.resident_blocks, st.resident_bytes, st.budget_bytes, st.bytes_read, st.evictions
+        );
+    }
+    Ok(())
+}
+
+/// `vgod store`: build, convert, or inspect on-disk graph stores.
+pub fn store(args: &Args) -> CmdResult {
+    if let Some(path) = args.get("info") {
+        let budget = parse_mem_budget(args.get("mem-budget").unwrap_or("64M"))?;
+        let s = OocStore::open(Path::new(path), budget).map_err(|e| format!("{path}: {e}"))?;
+        println!("nodes       : {}", s.num_nodes());
+        println!("edges       : {}", s.num_edges());
+        println!("attributes  : {}", s.num_attrs());
+        println!("attr block  : {} rows", s.attr_block_nodes());
+        println!("edge block  : {} entries", s.edge_block_entries());
+        println!("labels      : {}", s.labels_vec().is_some());
+        let st = s.stats();
+        println!(
+            "resident    : {} bytes of {} budget",
+            st.resident_bytes, st.budget_bytes
+        );
+        return Ok(());
+    }
+    let out = args.required("out").map_err(|e| e.to_string())?;
+    if args.get("synth-nodes").is_some() {
+        let nodes: usize = args
+            .get_parsed_or("synth-nodes", 0)
+            .map_err(|e| e.to_string())?;
+        let seed: u64 = args.get_parsed_or("seed", 0).map_err(|e| e.to_string())?;
+        let cfg = SynthStoreConfig::scaled(nodes, seed);
+        let truth = synth_store(
+            Path::new(out),
+            &cfg,
+            DEFAULT_ATTR_BLOCK_NODES,
+            DEFAULT_EDGE_BLOCK_ENTRIES,
+        )
+        .map_err(|e| format!("{out}: {e}"))?;
+        println!(
+            "wrote {out}: {} nodes, ~{} edges, {} attrs; {} structural + {} contextual outliers",
+            nodes,
+            nodes * cfg.avg_degree / 2,
+            cfg.attrs,
+            truth.structural.len(),
+            truth.contextual.len()
+        );
+        if let Some(truth_path) = args.get("truth") {
+            let mut gt = GroundTruth::new(nodes);
+            for &u in &truth.structural {
+                gt.mark(u, OutlierKind::Structural);
+            }
+            for &u in &truth.contextual {
+                gt.mark(u, OutlierKind::Contextual);
+            }
+            let mut w =
+                BufWriter::new(File::create(truth_path).map_err(|e| format!("{truth_path}: {e}"))?);
+            files::write_truth(&gt, &mut w).map_err(|e| format!("{truth_path}: {e}"))?;
+            println!("wrote {truth_path}");
+        }
+        return Ok(());
+    }
+    if let Some(input) = args.get("in") {
+        let g = load(input)?;
+        OocStore::create_from_graph(
+            &g,
+            Path::new(out),
+            DEFAULT_ATTR_BLOCK_NODES,
+            DEFAULT_EDGE_BLOCK_ENTRIES,
+        )
+        .map_err(|e| format!("{out}: {e}"))?;
+        println!(
+            "wrote {out}: {} nodes, {} edges, {} attrs",
+            g.num_nodes(),
+            g.num_edges(),
+            g.num_attrs()
+        );
+        return Ok(());
+    }
+    Err("store needs --info FILE, --synth-nodes N, or --in FILE (see help)".to_string())
 }
 
 /// `vgod serve`
@@ -406,7 +562,12 @@ mod tests {
     }
 
     fn args_of(words: &[&str]) -> Args {
-        Args::parse(&words.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+        // Same switch list as main.rs so tests drive the real flag grammar.
+        Args::parse_with_switches(
+            &words.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+            &["out-of-core", "verbose"],
+        )
+        .unwrap()
     }
 
     #[test]
@@ -637,7 +798,9 @@ mod tests {
         .iter()
         .map(|s| s.to_string())
         .collect();
-        let server = std::thread::spawn(move || serve(&Args::parse(&serve_args).unwrap()));
+        let server = std::thread::spawn(move || {
+            serve(&Args::parse_with_switches(&serve_args, &[]).unwrap())
+        });
 
         // Wait for the address file, then talk to the server.
         let addr = loop {
@@ -659,6 +822,100 @@ mod tests {
 
         let _ = std::fs::remove_dir_all(&models_dir);
         for p in [&graph_path, &addr_file, &tmp("srv_scores.tsv")] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn out_of_core_pipeline_synth_detect_eval() {
+        let store_path = tmp("ooc.vgodstore");
+        let truth_path = tmp("ooc_truth.txt");
+        let scores_path = tmp("ooc_scores.tsv");
+        store(&args_of(&[
+            "--synth-nodes",
+            "600",
+            "--seed",
+            "3",
+            "--out",
+            &store_path,
+            "--truth",
+            &truth_path,
+        ]))
+        .unwrap();
+        store(&args_of(&["--info", &store_path])).unwrap();
+        // Force the sampled path with a tiny threshold and budget.
+        detect(&args_of(&[
+            "--in",
+            &store_path,
+            "--scores",
+            &scores_path,
+            "--model",
+            "degnorm",
+            "--out-of-core",
+            "--mem-budget",
+            "1M",
+            "--threshold",
+            "100",
+            "--verbose",
+        ]))
+        .unwrap();
+        eval(&args_of(&[
+            "--scores",
+            &scores_path,
+            "--truth",
+            &truth_path,
+        ]))
+        .unwrap();
+        for p in [&store_path, &truth_path, &scores_path] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn converted_store_matches_in_memory_below_threshold() {
+        let graph_path = tmp("conv_graph.txt");
+        let store_path = tmp("conv.vgodstore");
+        let s_mem = tmp("conv_mem.tsv");
+        let s_ooc = tmp("conv_ooc.tsv");
+        generate(&args_of(&[
+            "--dataset",
+            "cora",
+            "--scale",
+            "tiny",
+            "--seed",
+            "8",
+            "--out",
+            &graph_path,
+        ]))
+        .unwrap();
+        store(&args_of(&["--in", &graph_path, "--out", &store_path])).unwrap();
+        detect(&args_of(&[
+            "--in",
+            &graph_path,
+            "--scores",
+            &s_mem,
+            "--model",
+            "degnorm",
+        ]))
+        .unwrap();
+        // Below the sampling threshold the store path materialises the full
+        // graph and must reproduce the in-memory scores bit-for-bit.
+        detect(&args_of(&[
+            "--in",
+            &store_path,
+            "--scores",
+            &s_ooc,
+            "--model",
+            "degnorm",
+            "--out-of-core",
+        ]))
+        .unwrap();
+        let read = |p: &str| -> Vec<f32> {
+            let mut r = std::io::BufReader::new(File::open(p).unwrap());
+            crate::files::read_scores(&mut r).unwrap()
+        };
+        assert_eq!(read(&s_mem), read(&s_ooc));
+        for p in [&graph_path, &store_path, &s_mem, &s_ooc] {
             let _ = std::fs::remove_file(p);
         }
     }

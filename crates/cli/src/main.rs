@@ -34,6 +34,13 @@ COMMANDS:
              [--epochs N --hidden N --lr F --seed N --self-loops true|false]
              [--batch N: mini-batch training for vbm/arm]
              [--save-model FILE | --load-model FILE: checkpoint for any model]
+             [--out-of-core: --in is a .vgodstore file, demand-paged under --mem-budget]
+             [--mem-budget SIZE (default 256M) --threshold N --fanout N --hops N]
+             [--train-seeds N --sample-seed N --verbose: print store stats]
+  store      build, convert, or inspect on-disk graph stores (.vgodstore)
+             --synth-nodes N --out FILE [--seed N --truth FILE]   synthesize at scale
+             --in graph.txt --out FILE                            convert a text graph
+             --info FILE [--mem-budget SIZE]                      print header + stats
   serve      serve checkpointed models over HTTP (replicated micro-batched scoring)
              --models DIR  --in FILE  [--host H --port N: default 127.0.0.1:7878]
              [--max-batch N --max-wait-us N --queue N: per-replica queue]
@@ -52,7 +59,7 @@ fn main() {
         eprint!("{USAGE}");
         std::process::exit(2);
     };
-    let args = match Args::parse(rest) {
+    let args = match Args::parse_with_switches(rest, &["out-of-core", "verbose"]) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}\n");
@@ -70,6 +77,7 @@ fn main() {
         "generate" => commands::generate(&args),
         "inject" => commands::inject(&args),
         "detect" => commands::detect(&args),
+        "store" => commands::store(&args),
         "serve" => commands::serve(&args),
         "eval" => commands::eval(&args),
         "stats" => commands::stats(&args),

@@ -1,9 +1,19 @@
 //! The VGOD framework (§V-C, Algorithm 1).
 
-use vgod_eval::{combine_mean_std, combine_sum_to_unit, OutlierDetector, Scores};
-use vgod_graph::AttributedGraph;
+use vgod_eval::{combine_mean_std, combine_sum_to_unit, full_graph_view, OutlierDetector, Scores};
+use vgod_graph::{AttributedGraph, GraphStore, NeighborSampler, SamplingConfig};
 
-use crate::{Arm, CombineStrategy, Vbm, VgodConfig};
+use crate::{Arm, CombineStrategy, MiniBatchConfig, Vbm, VgodConfig};
+
+/// The mini-batch schedule implied by a sampling config (store-backed
+/// training reuses the §V-D mini-batch machinery with the sampler's batch
+/// size and fan-out).
+fn minibatch_of(cfg: &SamplingConfig) -> MiniBatchConfig {
+    MiniBatchConfig {
+        batch_size: cfg.batch_size,
+        neighbor_cap: cfg.fanout,
+    }
+}
 
 /// Variance-based Graph Outlier Detection: the paper's full framework.
 ///
@@ -132,6 +142,28 @@ impl OutlierDetector for Vgod {
             contextual: Some(contextual),
         }
     }
+
+    fn fit_store(&mut self, store: &dyn GraphStore, cfg: &SamplingConfig) {
+        // Algorithm 1 against any backend: both components train through
+        // their own store-backed mini-batch paths.
+        self.vbm.fit_store(store, cfg);
+        self.arm.fit_store(store, cfg);
+    }
+
+    fn score_store(&self, store: &dyn GraphStore, cfg: &SamplingConfig) -> Scores {
+        // Score combination (Eq. 19) is a *global* normalisation, so the
+        // components are scored across all batches first and combined once
+        // at full length — per-batch combination would normalise against
+        // batch statistics and distort the ranking.
+        let structural = self.vbm.score_store(store, cfg).combined;
+        let contextual = self.arm.score_store(store, cfg).combined;
+        let combined = self.combine(&structural, &contextual);
+        Scores {
+            combined,
+            structural: Some(structural),
+            contextual: Some(contextual),
+        }
+    }
 }
 
 impl OutlierDetector for Vbm {
@@ -151,6 +183,19 @@ impl OutlierDetector for Vbm {
             contextual: None,
         }
     }
+
+    fn fit_store(&mut self, store: &dyn GraphStore, cfg: &SamplingConfig) {
+        match full_graph_view(store, cfg) {
+            Some(g) => Vbm::fit(self, &g),
+            None => {
+                // Large graph: GraphSAGE-style mini-batches over a sampled
+                // training-seed subset, streaming neighbourhoods and
+                // attribute rows from the store.
+                let seeds = NeighborSampler::new(store, *cfg).training_seeds();
+                self.fit_minibatch_nodes(store, &minibatch_of(cfg), seeds);
+            }
+        }
+    }
 }
 
 impl OutlierDetector for Arm {
@@ -168,6 +213,17 @@ impl OutlierDetector for Arm {
             combined: s.clone(),
             structural: None,
             contextual: Some(s),
+        }
+    }
+
+    fn fit_store(&mut self, store: &dyn GraphStore, cfg: &SamplingConfig) {
+        match full_graph_view(store, cfg) {
+            Some(g) => Arm::fit(self, &g),
+            None => {
+                // shaDow-style subgraph mini-batches over sampled seeds.
+                let seeds = NeighborSampler::new(store, *cfg).training_seeds();
+                self.fit_minibatch_nodes(store, &minibatch_of(cfg), seeds);
+            }
         }
     }
 }
@@ -296,5 +352,52 @@ mod tests {
     #[test]
     fn detector_name_is_stable() {
         assert_eq!(Vgod::new(VgodConfig::default()).name(), "VGOD");
+    }
+
+    #[test]
+    fn store_scoring_below_threshold_is_bit_identical() {
+        let (g, _) = injected_case(36);
+        let mut model = Vgod::new(fast());
+        model.fit(&g);
+        let direct = model.score(&g);
+        // Default threshold (20k) far exceeds 260 nodes: the store path
+        // must take the full-graph fast path and reproduce `score` exactly.
+        let via_store = model.score_store(&g, &SamplingConfig::default());
+        assert_eq!(direct.combined, via_store.combined);
+        assert_eq!(direct.structural, via_store.structural);
+        assert_eq!(direct.contextual, via_store.contextual);
+    }
+
+    #[test]
+    fn store_fit_below_threshold_is_bit_identical() {
+        let (g, _) = injected_case(38);
+        let mut direct = Vgod::new(fast());
+        direct.fit(&g);
+        let mut stored = Vgod::new(fast());
+        stored.fit_store(&g, &SamplingConfig::default());
+        assert_eq!(direct.score(&g).combined, stored.score(&g).combined);
+    }
+
+    #[test]
+    fn store_scoring_above_threshold_samples_and_combines_globally() {
+        let (g, truth) = injected_case(37);
+        let scfg = SamplingConfig {
+            full_graph_threshold: 50, // force the sampled path on 260 nodes
+            batch_size: 64,
+            fanout: 8,
+            hops: 2,
+            train_seeds: 200,
+            seed: 9,
+        };
+        let mut model = Vgod::new(fast());
+        model.fit_store(&g, &scfg);
+        let s = model.score_store(&g, &scfg);
+        assert_eq!(s.combined.len(), g.num_nodes());
+        assert!(s.combined.iter().all(|v| v.is_finite()));
+        assert_eq!(s.structural.as_ref().unwrap().len(), g.num_nodes());
+        assert_eq!(s.contextual.as_ref().unwrap().len(), g.num_nodes());
+        // Sampled scoring is approximate but must stay informative.
+        let a = auc(&s.combined, &truth.outlier_mask());
+        assert!(a > 0.6, "sampled VGOD AUC = {a}");
     }
 }

@@ -49,3 +49,10 @@ pub use config::{ArmConfig, CombineStrategy, GnnBackbone, VbmConfig, VgodConfig}
 pub use framework::Vgod;
 pub use minibatch::MiniBatchConfig;
 pub use vbm::{Vbm, VbmEpochSnapshot};
+
+// Out-of-core storage and sampling (re-exported from `vgod_graph` so the
+// core crate is a one-stop API for store-backed training/scoring).
+pub use vgod_graph::{
+    parse_mem_budget, GraphStore, NeighborSampler, OocStore, SampledBatch, SamplingConfig,
+    StoreStats, SynthStoreConfig,
+};

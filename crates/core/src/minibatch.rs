@@ -3,20 +3,29 @@
 //! §V-D of the paper: *"we can make use of various mini-batch training
 //! techniques such as [GraphSAGE, Cluster-GCN, shaDow] to extend our model
 //! in a large-scale network without much effort."* This module is that
-//! extension: GraphSAGE-style neighbour-sampled mini-batches for VBM.
+//! extension: GraphSAGE-style neighbour-sampled mini-batches for VBM and
+//! shaDow-style subgraph-sampled batches for ARM.
 //!
-//! Each epoch shuffles the nodes into batches; for every batch it samples
-//! at most `neighbor_cap` neighbours per node (plus degree-matched negative
-//! neighbours), gathers only the attribute rows the batch touches, and
-//! optimises the same contrastive variance objective (Eq. 11) on the local
-//! subgraph. Peak memory per step is `O(batch · (cap + 1) · d)` instead of
-//! `O(n · d)`.
+//! Each epoch shuffles the training nodes into batches; for every batch it
+//! samples at most `neighbor_cap` neighbours per node (plus degree-matched
+//! negative neighbours), gathers only the attribute rows the batch touches,
+//! and optimises the same contrastive variance objective (Eq. 11) on the
+//! local subgraph. Peak memory per step is `O(batch · (cap + 1) · d)`
+//! instead of `O(n · d)`.
+//!
+//! Everything here runs against any [`GraphStore`] backend — neighbour
+//! lists, `has_edge` probes for negative sampling, and attribute gathers
+//! all go through the store trait, so the same loops train from an
+//! in-memory [`AttributedGraph`] or a demand-paged on-disk
+//! `vgod_graph::OocStore`. The in-memory entry points delegate to the
+//! store-generic ones and consume the RNG stream identically, so existing
+//! seeded results are unchanged.
 
 use rand::seq::SliceRandom;
 use rand::Rng;
 use vgod_autograd::{ParamStore, Tape};
 use vgod_gnn::neighbor_variance_scores;
-use vgod_graph::{seeded_rng, AttributedGraph};
+use vgod_graph::{seeded_rng, AttributedGraph, GraphStore};
 use vgod_nn::{Adam, Linear, Optimizer};
 use vgod_tensor::{Csr, Matrix};
 
@@ -64,13 +73,13 @@ fn sample_up_to(pool: &[u32], cap: usize, rng: &mut impl Rng) -> Vec<u32> {
 }
 
 fn build_batch_view(
-    g: &AttributedGraph,
+    store: &dyn GraphStore,
     batch: &[u32],
     cfg: &MiniBatchConfig,
     self_loops: bool,
     rng: &mut impl Rng,
 ) -> BatchView {
-    let n = g.num_nodes();
+    let n = store.num_nodes();
     // Local index assignment: batch nodes first, then touched neighbours.
     let mut local_of: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
     let mut touched: Vec<u32> = Vec::new();
@@ -84,10 +93,12 @@ fn build_batch_view(
         })
     };
 
+    let mut nbrs: Vec<u32> = Vec::new();
     let mut pos_rows: Vec<Vec<u32>> = Vec::with_capacity(batch.len());
     let mut neg_rows: Vec<Vec<u32>> = Vec::with_capacity(batch.len());
     for &u in batch {
-        let mut pos: Vec<u32> = sample_up_to(g.neighbors(u), cfg.neighbor_cap, rng)
+        store.neighbors_into(u, &mut nbrs);
+        let mut pos: Vec<u32> = sample_up_to(&nbrs, cfg.neighbor_cap, rng)
             .into_iter()
             .map(|v| local(v, &mut touched, &mut local_of))
             .collect();
@@ -98,7 +109,7 @@ fn build_batch_view(
         while neg.len() < want && guard < want * 30 + 30 {
             guard += 1;
             let v = rng.gen_range(0..n as u32);
-            if v != u && !g.has_edge(u, v) {
+            if v != u && !store.has_edge(u, v) {
                 neg.push(local(v, &mut touched, &mut local_of));
             }
         }
@@ -133,7 +144,7 @@ fn build_batch_view(
     };
     let pos = build(&pos_rows);
     let neg = build(&neg_rows);
-    let features = g.attrs().gather_rows(&touched);
+    let features = store.gather_attrs(&touched);
     BatchView { features, pos, neg }
 }
 
@@ -143,37 +154,64 @@ impl Vbm {
     /// [`Vbm::fit`] (same scoring path); detection quality matches
     /// full-batch training up to sampling noise.
     pub fn fit_minibatch(&mut self, g: &AttributedGraph, mb: &MiniBatchConfig) {
+        self.fit_minibatch_store(g, mb);
+    }
+
+    /// [`Vbm::fit_minibatch`] against any [`GraphStore`] backend, batching
+    /// over every node. For in-memory graphs this is the same computation
+    /// (identical RNG stream) as the historical in-memory path.
+    pub fn fit_minibatch_store(&mut self, store: &dyn GraphStore, mb: &MiniBatchConfig) {
+        let order: Vec<u32> = (0..store.num_nodes() as u32).collect();
+        self.fit_minibatch_nodes(store, mb, order);
+    }
+
+    /// [`Vbm::fit_minibatch_store`] restricted to an explicit training-node
+    /// set (the store-backed large-graph path trains on a sampled seed
+    /// subset instead of all `n` nodes). Each epoch shuffles `order` into
+    /// batches; negative sampling still draws from the whole store.
+    pub fn fit_minibatch_nodes(
+        &mut self,
+        store: &dyn GraphStore,
+        mb: &MiniBatchConfig,
+        mut order: Vec<u32>,
+    ) {
         assert!(
             mb.batch_size >= 1 && mb.neighbor_cap >= 1,
             "degenerate mini-batch config"
         );
+        assert!(!order.is_empty(), "empty training-node set");
         let cfg: VbmConfig = self.config().clone();
         let mut rng = seeded_rng(cfg.seed);
-        let mut store = ParamStore::new();
-        let linear = Linear::new(&mut store, g.num_attrs(), cfg.hidden_dim, true, &mut rng);
+        let mut param_store = ParamStore::new();
+        let linear = Linear::new(
+            &mut param_store,
+            store.num_attrs(),
+            cfg.hidden_dim,
+            true,
+            &mut rng,
+        );
         let mut opt = Adam::new(cfg.lr);
 
-        let mut order: Vec<u32> = (0..g.num_nodes() as u32).collect();
         vgod_tensor::arena::scope(|| {
             let tape = Tape::new();
             for _ in 0..cfg.epochs {
                 order.shuffle(&mut rng);
                 for batch in order.chunks(mb.batch_size) {
-                    let view = build_batch_view(g, batch, mb, cfg.self_loops, &mut rng);
+                    let view = build_batch_view(store, batch, mb, cfg.self_loops, &mut rng);
                     tape.reset();
                     let xv = tape.constant(view.features);
-                    let h = linear.forward(&tape, &store, &xv).l2_normalize_rows();
+                    let h = linear.forward(&tape, &param_store, &xv).l2_normalize_rows();
                     let pos = std::rc::Rc::new(view.pos);
                     let neg = std::rc::Rc::new(view.neg);
                     let loss_pos = neighbor_variance_scores(&h, &pos).mean_all();
                     let loss_neg = neighbor_variance_scores(&h, &neg).mean_all();
                     let loss = loss_pos.sub(&loss_neg);
-                    loss.backward_into(&mut store);
-                    opt.step(&mut store);
+                    loss.backward_into(&mut param_store);
+                    opt.step(&mut param_store);
                 }
             }
         });
-        self.install_state(store, linear, g.num_attrs());
+        self.install_state(param_store, linear, store.num_attrs());
     }
 }
 
@@ -194,23 +232,43 @@ impl crate::Arm {
     /// configured epoch budget down accordingly (the `exp_minibatch`
     /// harness equalises total steps).
     pub fn fit_minibatch(&mut self, g: &AttributedGraph, mb: &MiniBatchConfig) {
+        self.fit_minibatch_store(g, mb);
+    }
+
+    /// [`crate::Arm::fit_minibatch`] against any [`GraphStore`] backend,
+    /// batching over every node. For in-memory graphs this is the same
+    /// computation (identical RNG stream) as the historical in-memory path.
+    pub fn fit_minibatch_store(&mut self, store: &dyn GraphStore, mb: &MiniBatchConfig) {
+        let order: Vec<u32> = (0..store.num_nodes() as u32).collect();
+        self.fit_minibatch_nodes(store, mb, order);
+    }
+
+    /// [`crate::Arm::fit_minibatch_store`] restricted to an explicit
+    /// training-node set (the store-backed large-graph path trains on a
+    /// sampled seed subset instead of all `n` nodes).
+    pub fn fit_minibatch_nodes(
+        &mut self,
+        store: &dyn GraphStore,
+        mb: &MiniBatchConfig,
+        mut order: Vec<u32>,
+    ) {
         assert!(
             mb.batch_size >= 1 && mb.neighbor_cap >= 1,
             "degenerate mini-batch config"
         );
+        assert!(!order.is_empty(), "empty training-node set");
         let cfg = self.config().clone();
         let mut rng = seeded_rng(cfg.seed);
-        let mut state = crate::Arm::build_state_for(&cfg, g.num_attrs());
+        let mut state = crate::Arm::build_state_for(&cfg, store.num_attrs());
         let mut opt = Adam::new(cfg.lr);
 
-        let mut order: Vec<u32> = (0..g.num_nodes() as u32).collect();
         vgod_tensor::arena::scope(|| {
             let tape = Tape::new();
             for _ in 0..cfg.epochs {
                 order.shuffle(&mut rng);
                 for batch in order.chunks(mb.batch_size) {
                     let (local_graph, batch_local) =
-                        sampled_subgraph(g, batch, cfg.layers, mb.neighbor_cap, &mut rng);
+                        sampled_subgraph(store, batch, cfg.layers, mb.neighbor_cap, &mut rng);
                     let ctx = vgod_gnn::GraphContext::from_graph(&local_graph);
                     let x = if cfg.row_normalize {
                         local_graph.attrs().l2_normalize_rows(1e-6).0
@@ -239,9 +297,11 @@ impl crate::Arm {
 /// Extract the subgraph induced on `batch` plus its sampled `hops`-hop
 /// neighbourhood (at most `cap` sampled neighbours per node per hop).
 /// Returns the local graph (batch nodes first) and the local ids of the
-/// batch nodes.
+/// batch nodes. Labels are not carried over (training never reads them);
+/// adjacency and attributes are identical to what
+/// `AttributedGraph::induced_subgraph` would build on an in-memory graph.
 fn sampled_subgraph(
-    g: &AttributedGraph,
+    store: &dyn GraphStore,
     batch: &[u32],
     hops: usize,
     cap: usize,
@@ -256,11 +316,13 @@ fn sampled_subgraph(
     }
     let batch_local: Vec<u32> = (0..touched.len() as u32).collect();
 
+    let mut nbrs: Vec<u32> = Vec::new();
     let mut frontier: Vec<u32> = touched.clone();
     for _ in 0..hops {
         let mut next = Vec::new();
         for &u in &frontier {
-            for v in sample_up_to(g.neighbors(u), cap, rng) {
+            store.neighbors_into(u, &mut nbrs);
+            for v in sample_up_to(&nbrs, cap, rng) {
                 if seen.insert(v) {
                     touched.push(v);
                     next.push(v);
@@ -269,7 +331,26 @@ fn sampled_subgraph(
         }
         frontier = next;
     }
-    (g.induced_subgraph(&touched), batch_local)
+
+    // Induced edges among the touched nodes, matching `induced_subgraph`
+    // (rows sorted by local id; symmetric because the store is).
+    let mut local_of: std::collections::HashMap<u32, u32> =
+        std::collections::HashMap::with_capacity(touched.len());
+    for (i, &u) in touched.iter().enumerate() {
+        local_of.insert(u, i as u32);
+    }
+    let mut adj: Vec<Vec<u32>> = Vec::with_capacity(touched.len());
+    for &u in &touched {
+        store.neighbors_into(u, &mut nbrs);
+        let mut row: Vec<u32> = nbrs
+            .iter()
+            .filter_map(|v| local_of.get(v).copied())
+            .collect();
+        row.sort_unstable();
+        adj.push(row);
+    }
+    let x = store.gather_attrs(&touched);
+    (AttributedGraph::from_sorted_adj(adj, x, None), batch_local)
 }
 
 #[cfg(test)]
@@ -371,6 +452,26 @@ mod tests {
     }
 
     #[test]
+    fn minibatch_nodes_subset_trains_a_usable_model() {
+        let (g, truth) = injected(6);
+        // Train on a strict subset of nodes (what the store-backed
+        // large-graph path does with sampled training seeds).
+        let subset: Vec<u32> = (0..g.num_nodes() as u32).step_by(2).collect();
+        let mut vbm = Vbm::new(cfg());
+        vbm.fit_minibatch_nodes(
+            &g,
+            &MiniBatchConfig {
+                batch_size: 64,
+                neighbor_cap: 8,
+            },
+            subset,
+        );
+        assert!(vbm.is_fitted());
+        let a = auc(&vbm.scores(&g), &truth.outlier_mask());
+        assert!(a > 0.7, "subset-trained AUC = {a}");
+    }
+
+    #[test]
     fn arm_minibatch_matches_full_batch_quality() {
         use vgod_inject::{inject_contextual, ContextualParams, DistanceMetric};
         let mut rng = seeded_rng(8);
@@ -439,6 +540,39 @@ mod tests {
             let _ = (lu, lv); // ids are local; existence checked via construction
         }
         assert!(local.num_nodes() <= g.num_nodes());
+    }
+
+    #[test]
+    fn sampled_subgraph_matches_induced_subgraph_semantics() {
+        // Same seed through the store-generic path and a hand-run of the
+        // legacy in-memory construction must give identical local graphs.
+        let (g, _) = injected(9);
+        let batch: Vec<u32> = vec![3, 17, 40, 55];
+        let mut rng_a = seeded_rng(11);
+        let (local, _) = sampled_subgraph(&g, &batch, 2, 4, &mut rng_a);
+
+        // Legacy construction: BFS with identical RNG, then
+        // AttributedGraph::induced_subgraph.
+        let mut rng_b = seeded_rng(11);
+        let mut seen: std::collections::HashSet<u32> = batch.iter().copied().collect();
+        let mut touched: Vec<u32> = batch.clone();
+        let mut frontier = batch.clone();
+        for _ in 0..2 {
+            let mut next = Vec::new();
+            for &u in &frontier {
+                for v in sample_up_to(g.neighbors(u), 4, &mut rng_b) {
+                    if seen.insert(v) {
+                        touched.push(v);
+                        next.push(v);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        let legacy = g.induced_subgraph(&touched);
+        assert_eq!(local.num_nodes(), legacy.num_nodes());
+        assert_eq!(local.undirected_edges(), legacy.undirected_edges());
+        assert_eq!(local.attrs().as_slice(), legacy.attrs().as_slice());
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! The common interface every outlier detector implements.
 
-use vgod_graph::AttributedGraph;
+use std::borrow::Cow;
+
+use vgod_graph::{AttributedGraph, GraphStore, NeighborSampler, SamplingConfig};
 
 use crate::combine_mean_std;
 
@@ -60,6 +62,90 @@ impl Scores {
     pub fn select(&self, nodes: &[u32]) -> Vec<f32> {
         nodes.iter().map(|&u| self.combined[u as usize]).collect()
     }
+
+    /// Keep only the first `len` scores of every present channel (used by
+    /// the batched store-scoring paths to drop non-seed rows).
+    pub fn truncate_to(&mut self, len: usize) {
+        self.combined.truncate(len);
+        if let Some(v) = &mut self.structural {
+            v.truncate(len);
+        }
+        if let Some(v) = &mut self.contextual {
+            v.truncate(len);
+        }
+    }
+}
+
+/// The bit-identical small-graph fast path of the store-backed detector
+/// methods: below the sampling threshold, borrow the in-memory graph behind
+/// the store (zero-copy for [`AttributedGraph`] backends) or materialise it
+/// once, so the detector's ordinary full-graph code runs unchanged. Above
+/// the threshold returns `None` — callers must sample.
+pub fn full_graph_view<'a>(
+    store: &'a dyn GraphStore,
+    cfg: &SamplingConfig,
+) -> Option<Cow<'a, AttributedGraph>> {
+    if !cfg.below_threshold(store) {
+        return None;
+    }
+    Some(match store.as_full_graph() {
+        Some(g) => Cow::Borrowed(g),
+        None => Cow::Owned(store.materialize()),
+    })
+}
+
+/// Concatenate per-batch seed scores (batches tile the node set in order)
+/// into one full-length [`Scores`]. Components survive only when every
+/// batch produced them.
+pub fn assemble_batch_scores(n: usize, parts: Vec<(usize, Scores)>) -> Scores {
+    let mut combined = Vec::with_capacity(n);
+    let mut structural = Some(Vec::with_capacity(n));
+    let mut contextual = Some(Vec::with_capacity(n));
+    for (num_seeds, s) in parts {
+        combined.extend_from_slice(&s.combined[..num_seeds]);
+        match (&mut structural, &s.structural) {
+            (Some(acc), Some(part)) => acc.extend_from_slice(&part[..num_seeds]),
+            _ => structural = None,
+        }
+        match (&mut contextual, &s.contextual) {
+            (Some(acc), Some(part)) => acc.extend_from_slice(&part[..num_seeds]),
+            _ => contextual = None,
+        }
+    }
+    assert_eq!(combined.len(), n, "score batches must tile every node once");
+    Scores {
+        combined,
+        structural,
+        contextual,
+    }
+}
+
+/// Store-backed scoring for *transductive* detectors (Radar, AnomalyDAE):
+/// their `score` asserts the graph is the one they were fitted on, so the
+/// generic batched path (score a subgraph with the globally-fitted model)
+/// cannot apply. Below the threshold this delegates to the ordinary
+/// transductive `score`; above it, each sampled batch neighbourhood is
+/// treated as its own small transductive problem — a fresh clone of the
+/// detector is fitted and scored on the batch subgraph and only the seed
+/// rows are kept.
+pub fn refit_score_store<D: OutlierDetector + Clone>(
+    det: &D,
+    store: &dyn GraphStore,
+    cfg: &SamplingConfig,
+) -> Scores {
+    if let Some(g) = full_graph_view(store, cfg) {
+        return det.score(&g);
+    }
+    let sampler = NeighborSampler::new(store, *cfg);
+    let mut parts = Vec::with_capacity(sampler.num_score_batches());
+    for b in 0..sampler.num_score_batches() {
+        let batch = sampler.score_batch(b);
+        let mut local = det.clone();
+        let mut s = local.fit_score(&batch.graph);
+        s.truncate_to(batch.num_seeds);
+        parts.push((batch.num_seeds, s));
+    }
+    assemble_batch_scores(store.num_nodes(), parts)
 }
 
 /// An unsupervised node outlier detector (Definition 2): fit on a graph
@@ -100,6 +186,56 @@ pub trait OutlierDetector {
     /// range for `g`.
     fn score_nodes(&self, g: &AttributedGraph, nodes: &[u32]) -> Vec<f32> {
         self.score(g).select(nodes)
+    }
+
+    /// Train against any [`GraphStore`] backend.
+    ///
+    /// At or below `cfg.full_graph_threshold` nodes this is *exactly*
+    /// [`OutlierDetector::fit`] on the (borrowed or materialised) full
+    /// graph — bit-identical to the pre-store code path. Above it, the
+    /// default trains on one neighbour-sampled training subgraph
+    /// (`cfg.train_seeds` seeds plus their sampled k-hop neighbourhood);
+    /// detectors with their own mini-batch machinery override this.
+    fn fit_store(&mut self, store: &dyn GraphStore, cfg: &SamplingConfig) {
+        match full_graph_view(store, cfg) {
+            Some(g) => self.fit(&g),
+            None => {
+                let sub = NeighborSampler::new(store, *cfg).training_subgraph();
+                self.fit(&sub.graph);
+            }
+        }
+    }
+
+    /// Score every node against any [`GraphStore`] backend.
+    ///
+    /// Below the threshold this is *exactly* [`OutlierDetector::score`] on
+    /// the full graph. Above it, nodes are scored in contiguous sampled
+    /// batches — each batch is the induced subgraph around
+    /// `cfg.batch_size` seed nodes, scored with the detector's ordinary
+    /// path, keeping only the seed rows. Scores that depend on global
+    /// normalisation are approximate under batching; detectors needing
+    /// exact global combination (VGOD, DegNorm) override this to combine
+    /// across the concatenated components instead.
+    fn score_store(&self, store: &dyn GraphStore, cfg: &SamplingConfig) -> Scores {
+        if let Some(g) = full_graph_view(store, cfg) {
+            return self.score(&g);
+        }
+        let sampler = NeighborSampler::new(store, *cfg);
+        let mut parts = Vec::with_capacity(sampler.num_score_batches());
+        for b in 0..sampler.num_score_batches() {
+            let batch = sampler.score_batch(b);
+            let mut s = self.score(&batch.graph);
+            s.truncate_to(batch.num_seeds);
+            parts.push((batch.num_seeds, s));
+        }
+        assemble_batch_scores(store.num_nodes(), parts)
+    }
+
+    /// Convenience: [`OutlierDetector::fit_store`] then
+    /// [`OutlierDetector::score_store`] on the same store.
+    fn fit_score_store(&mut self, store: &dyn GraphStore, cfg: &SamplingConfig) -> Scores {
+        self.fit_store(store, cfg);
+        self.score_store(store, cfg)
     }
 }
 

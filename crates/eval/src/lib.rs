@@ -22,7 +22,9 @@ mod normalize;
 mod ranking;
 mod threshold;
 
-pub use detector::{OutlierDetector, Scores};
+pub use detector::{
+    assemble_batch_scores, full_graph_view, refit_score_store, OutlierDetector, Scores,
+};
 pub use metrics::{auc, auc_gap, auc_group_vs_normal, auc_subset};
 pub use normalize::{
     combine_mean_std, combine_sum_to_unit, mean_std_normalize, sum_to_unit_normalize,

@@ -4,7 +4,7 @@
 use std::cell::OnceCell;
 use std::rc::Rc;
 
-use vgod_graph::AttributedGraph;
+use vgod_graph::{AttributedGraph, GraphStore};
 use vgod_tensor::Csr;
 
 /// A directed edge list in structure-of-arrays form, as consumed by the
@@ -110,9 +110,28 @@ impl GraphContext {
     /// A fresh (non-shared) context for `g`. Cheap: only the plain
     /// adjacency is materialised; every other view is lazy.
     pub fn from_graph(g: &AttributedGraph) -> Self {
+        Self::from_store(g)
+    }
+
+    /// A fresh context over any [`GraphStore`] backend: the binary
+    /// adjacency CSR is assembled in one streaming sweep over the store's
+    /// chunks (never touching an intermediate neighbour-list
+    /// representation), and the GCN/mean/edge views stay lazy, derived
+    /// from it on first use. For in-memory graphs this produces the same
+    /// CSR bit-for-bit as the historical `g.adjacency()` path.
+    pub fn from_store(store: &dyn GraphStore) -> Self {
+        let n = store.num_nodes();
+        let mut indptr = Vec::with_capacity(n + 1);
+        indptr.push(0usize);
+        let mut indices: Vec<u32> = Vec::with_capacity(2 * store.num_edges());
+        store.visit_adjacency(&mut |_, nbrs| {
+            indices.extend_from_slice(nbrs);
+            indptr.push(indices.len());
+        });
+        let values = vec![1.0f32; indices.len()];
         Self {
-            n: g.num_nodes(),
-            adjacency: Rc::new(g.adjacency()),
+            n,
+            adjacency: Rc::new(Csr::from_raw(n, n, indptr, indices, values)),
             gcn: OnceCell::new(),
             mean: OnceCell::new(),
             mean_self_loops: OnceCell::new(),
@@ -213,6 +232,25 @@ mod tests {
         let eager = EdgeIndex::from_graph(&g, true);
         assert_eq!(*ctx.edges().src, *eager.src);
         assert_eq!(*ctx.edges().dst, *eager.dst);
+    }
+
+    #[test]
+    fn from_store_matches_from_graph_exactly() {
+        let mut g = AttributedGraph::new(Matrix::zeros(6, 1));
+        g.add_edge(0, 1);
+        g.add_edge(1, 4);
+        g.add_edge(2, 5);
+        let via_graph = GraphContext::from_graph(&g);
+        let via_store = GraphContext::from_store(&g as &dyn GraphStore);
+        assert_eq!(
+            via_graph.adjacency().to_dense(),
+            via_store.adjacency().to_dense()
+        );
+        assert_eq!(via_graph.gcn().to_dense(), via_store.gcn().to_dense());
+        assert_eq!(
+            via_graph.mean_self_loops().to_dense(),
+            via_store.mean_self_loops().to_dense()
+        );
     }
 
     #[test]

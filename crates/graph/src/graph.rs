@@ -94,6 +94,32 @@ impl AttributedGraph {
         *self.cache.0.borrow_mut() = None;
     }
 
+    /// Build directly from pre-sorted neighbour lists — the fast path for
+    /// store-sampled subgraphs, which construct their adjacency sorted and
+    /// symmetric already and would pay `O(m log m)` re-inserting edge by
+    /// edge.
+    ///
+    /// # Panics
+    /// Panics if `x` or `labels` disagree with the node count; debug builds
+    /// additionally assert the undirected-adjacency invariants.
+    pub fn from_sorted_adj(adj: Vec<Vec<u32>>, x: Matrix, labels: Option<Vec<u32>>) -> Self {
+        assert_eq!(x.rows(), adj.len(), "attribute rows must match node count");
+        if let Some(l) = &labels {
+            assert_eq!(l.len(), adj.len(), "labels must cover every node");
+        }
+        let g = Self {
+            adj,
+            x,
+            labels,
+            cache: ContextCache::default(),
+        };
+        debug_assert!(
+            g.check_invariants(),
+            "from_sorted_adj: adjacency must be sorted, symmetric, loop-free"
+        );
+        g
+    }
+
     /// Build from undirected edges (each pair stored in both directions;
     /// duplicates and self-loops are ignored).
     pub fn from_edges(x: Matrix, edges: &[(u32, u32)]) -> Self {
@@ -334,21 +360,44 @@ impl AttributedGraph {
     /// Sample a negative edge set `E⁻`: for every node `u`, `degree(u)`
     /// distinct non-neighbours sampled uniformly (Definition 3). Returned as
     /// directed `(u, v)` pairs grouped by `u`.
+    ///
+    /// Rejection sampling is capped at `30·degree(u) + 100` attempts per
+    /// node. On dense graphs (few non-neighbours) the cap can exhaust
+    /// before `degree(u)` distinct negatives are found; the remainder is
+    /// then filled deterministically from the complement neighbourhood in
+    /// id order, so every node always receives exactly
+    /// `min(degree(u), n − 1 − degree(u))` negatives. Sparse graphs never
+    /// reach the fallback, keeping the RNG stream (and therefore trained
+    /// models) identical to pure rejection sampling.
     pub fn negative_edges(&self, rng: &mut impl Rng) -> Vec<(u32, u32)> {
         let n = self.num_nodes();
         let mut out = Vec::with_capacity(2 * self.num_edges());
+        let mut picked_set: std::collections::HashSet<u32> = std::collections::HashSet::new();
         for u in 0..n as u32 {
             let deg = self.degree(u);
             if deg == 0 || n <= deg + 1 {
                 continue;
             }
             let mut picked: Vec<u32> = Vec::with_capacity(deg);
+            picked_set.clear();
             let mut guard = 0usize;
             while picked.len() < deg && guard < deg * 30 + 100 {
                 guard += 1;
                 let v = rng.gen_range(0..n as u32);
-                if v != u && !self.has_edge(u, v) && !picked.contains(&v) {
+                if v != u && !self.has_edge(u, v) && picked_set.insert(v) {
                     picked.push(v);
+                }
+            }
+            if picked.len() < deg {
+                // Cap exhausted (dense neighbourhood): fill from the
+                // complement in id order up to the available supply.
+                for v in 0..n as u32 {
+                    if picked.len() >= deg {
+                        break;
+                    }
+                    if v != u && !self.has_edge(u, v) && picked_set.insert(v) {
+                        picked.push(v);
+                    }
                 }
             }
             for v in picked {
@@ -362,6 +411,10 @@ impl AttributedGraph {
     /// (Definition 4): each node aggregates the mean of `degree(u)` sampled
     /// non-neighbours. With `self_loops`, the node itself is also included,
     /// mirroring [`AttributedGraph::mean_adjacency`].
+    ///
+    /// Inherits the attempt cap and deterministic complement fallback of
+    /// [`AttributedGraph::negative_edges`], so it terminates (with full
+    /// rows where the complement allows) even on near-complete graphs.
     pub fn negative_mean_adjacency(&self, self_loops: bool, rng: &mut impl Rng) -> Csr {
         let n = self.num_nodes();
         let neg = self.negative_edges(rng);
@@ -553,6 +606,102 @@ mod tests {
         for u in 0..30u32 {
             assert_eq!(counts[u as usize], g.degree(u));
         }
+    }
+
+    #[test]
+    fn has_edge_agrees_with_neighbor_lists() {
+        // Binary search over the sorted lists must agree with membership in
+        // both directions, including high-degree hubs.
+        let mut g = AttributedGraph::new(Matrix::zeros(50, 1));
+        for v in 1..50u32 {
+            g.add_edge(0, v); // hub
+        }
+        g.add_edge(7, 9);
+        for v in 1..50u32 {
+            assert!(g.has_edge(0, v) && g.has_edge(v, 0));
+        }
+        assert!(g.has_edge(9, 7));
+        assert!(!g.has_edge(7, 8));
+        assert!(!g.has_edge(3, 3));
+        for u in 0..50u32 {
+            for v in 0..50u32 {
+                assert_eq!(g.has_edge(u, v), g.neighbors(u).contains(&v), "{u}-{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn negative_edges_dense_graph_hits_cap_and_falls_back() {
+        // Complete graph minus a perfect matching: every node has exactly
+        // one non-neighbour, so rejection sampling can never reach
+        // degree-many distinct negatives. The capped fallback must still
+        // terminate and deliver min(degree, n - 1 - degree) = 1 negative
+        // per node — the full complement.
+        let n = 8u32;
+        let mut g = AttributedGraph::new(Matrix::zeros(n as usize, 1));
+        for u in 0..n {
+            for v in u + 1..n {
+                g.add_edge(u, v);
+            }
+        }
+        for u in (0..n).step_by(2) {
+            g.remove_edge(u, u + 1);
+        }
+        let mut rng = seeded_rng(11);
+        let neg = g.negative_edges(&mut rng);
+        let mut counts = vec![0usize; n as usize];
+        for &(u, v) in &neg {
+            assert!(u != v && !g.has_edge(u, v));
+            counts[u as usize] += 1;
+        }
+        for u in 0..n {
+            let available = n as usize - 1 - g.degree(u);
+            assert_eq!(
+                counts[u as usize],
+                g.degree(u).min(available),
+                "node {u} must get its full complement"
+            );
+        }
+        // And the mean-aggregation view over the same sampler stays valid.
+        let mut rng = seeded_rng(12);
+        let csr = g.negative_mean_adjacency(false, &mut rng);
+        for r in 0..n as usize {
+            let s: f32 = csr.row_values(r).iter().sum();
+            if csr.row_nnz(r) > 0 {
+                assert!((s - 1.0).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn negative_edges_distinct_per_node() {
+        let mut rng = seeded_rng(4);
+        let g = path_graph(40);
+        let neg = g.negative_edges(&mut rng);
+        let mut per_node: std::collections::HashMap<u32, Vec<u32>> =
+            std::collections::HashMap::new();
+        for (u, v) in neg {
+            per_node.entry(u).or_default().push(v);
+        }
+        for (u, vs) in per_node {
+            let mut dedup = vs.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), vs.len(), "node {u} repeated a negative");
+        }
+    }
+
+    #[test]
+    fn from_sorted_adj_builds_the_same_graph() {
+        let g = path_graph(6);
+        let adj: Vec<Vec<u32>> = (0..6u32).map(|u| g.neighbors(u).to_vec()).collect();
+        let rebuilt = AttributedGraph::from_sorted_adj(adj, Matrix::zeros(6, 2), Some(vec![0; 6]));
+        assert!(rebuilt.check_invariants());
+        assert_eq!(rebuilt.num_edges(), g.num_edges());
+        for u in 0..6u32 {
+            assert_eq!(rebuilt.neighbors(u), g.neighbors(u));
+        }
+        assert_eq!(rebuilt.labels(), Some(&[0u32; 6][..]));
     }
 
     #[test]

@@ -26,15 +26,23 @@ mod attributes;
 mod generate;
 mod graph;
 mod io;
+mod sample;
 mod stats;
+mod store;
 
 pub use attributes::{binary_topic_attributes, gaussian_mixture_attributes, standard_normal};
 pub use generate::{community_graph, CommunityGraphConfig};
 pub use graph::{AttributedGraph, ContextCache};
 pub use io::{load_graph, read_graph, save_graph, write_graph, GraphIoError};
+pub use sample::{NeighborSampler, SampledBatch, SamplingConfig};
 pub use stats::{
     adjusted_homophily, attribute_variance, clustering_coefficients, connected_components,
     degree_stats, edge_homophily, largest_component_size, triangle_counts, DegreeStats,
+};
+pub use store::{
+    global_store_stats, in_memory_bytes_estimate, mix_seed, parse_mem_budget, synth_store,
+    write_store, GraphStore, OocStore, StoreStats, SynthStoreConfig, SynthTruth,
+    DEFAULT_ATTR_BLOCK_NODES, DEFAULT_EDGE_BLOCK_ENTRIES, STORE_MAGIC,
 };
 
 use rand::SeedableRng;

@@ -1,0 +1,1173 @@
+//! Graph storage backends: one trait over in-memory and out-of-core graphs.
+//!
+//! [`GraphStore`] is the read-side abstraction every detector consumes via
+//! the sampled fit/score paths: neighbour lists, attribute rows, and
+//! streaming visitors, with no assumption that the whole graph fits in RAM.
+//! Two backends implement it:
+//!
+//! * [`AttributedGraph`] — the existing in-memory representation (the
+//!   small-graph fast path; `as_full_graph` exposes it so callers can keep
+//!   the bit-identical full-graph code path).
+//! * [`OocStore`] — a chunked on-disk CSR + attribute store with an explicit
+//!   memory budget. Fixed-size blocks are demand-paged with `pread` into a
+//!   budgeted LRU block cache; only the row-pointer array stays resident.
+//!
+//! `OocStore` deliberately pages with positioned reads instead of `mmap`:
+//! the scale-smoke CI job proves the budget under `ulimit -v`, and a mapping
+//! of a multi-gigabyte store would count against the address-space limit
+//! even when mostly non-resident. Explicit paging keeps both RSS *and*
+//! virtual size bounded by the budget.
+//!
+//! ## On-disk layout (`VGODSTR1`)
+//!
+//! ```text
+//! magic   8 B   "VGODSTR1"
+//! header  7 × u64 LE: n, m_directed, d, attr_block_nodes,
+//!                     edge_block_entries, flags (bit 0 = labels), reserved
+//! indptr  (n+1) × u64 LE   — resident, counted against the budget
+//! indices m_directed × u32 LE — sorted neighbour lists, concatenated
+//! attrs   n × d × f32 LE      — row-major
+//! labels  n × u32 LE          — only when flags bit 0 is set
+//! ```
+//!
+//! Attribute blocks are row-aligned (`attr_block_nodes` rows per block), so
+//! an attribute row never spans blocks; edge rows may, and are copied
+//! per-block.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::attributes::standard_normal;
+use crate::{seeded_rng, AttributedGraph};
+use vgod_tensor::Matrix;
+
+/// Magic bytes opening every on-disk store file.
+pub const STORE_MAGIC: &[u8; 8] = b"VGODSTR1";
+
+/// Default attribute rows per block (`attr_block_nodes`).
+pub const DEFAULT_ATTR_BLOCK_NODES: usize = 2048;
+
+/// Default edge entries per block (`edge_block_entries`).
+pub const DEFAULT_EDGE_BLOCK_ENTRIES: usize = 65_536;
+
+const HEADER_BYTES: u64 = 8 + 7 * 8;
+const FLAG_LABELS: u64 = 1;
+
+// ---------------------------------------------------------------------
+// Store statistics
+// ---------------------------------------------------------------------
+
+/// Memory/IO counters for a store (or, via [`global_store_stats`], for every
+/// store in the process — the serving `/metrics` view).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Cached blocks currently resident.
+    pub resident_blocks: u64,
+    /// Bytes of cached block data currently resident (excluding `indptr`).
+    pub resident_bytes: u64,
+    /// The configured budget in bytes (0 for in-memory stores).
+    pub budget_bytes: u64,
+    /// Total bytes read from disk since the store was opened.
+    pub bytes_read: u64,
+    /// Blocks evicted to stay under the budget.
+    pub evictions: u64,
+}
+
+static G_RESIDENT_BLOCKS: AtomicU64 = AtomicU64::new(0);
+static G_RESIDENT_BYTES: AtomicU64 = AtomicU64::new(0);
+static G_BYTES_READ: AtomicU64 = AtomicU64::new(0);
+static G_EVICTIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide out-of-core store counters, aggregated across every
+/// [`OocStore`] ever opened (serving exposes these on `/metrics`).
+pub fn global_store_stats() -> StoreStats {
+    StoreStats {
+        resident_blocks: G_RESIDENT_BLOCKS.load(Ordering::Relaxed),
+        resident_bytes: G_RESIDENT_BYTES.load(Ordering::Relaxed),
+        budget_bytes: 0,
+        bytes_read: G_BYTES_READ.load(Ordering::Relaxed),
+        evictions: G_EVICTIONS.load(Ordering::Relaxed),
+    }
+}
+
+/// Parse a human memory size: plain bytes, or a `K`/`M`/`G` suffix
+/// (powers of 1024), e.g. `"96M"`, `"2G"`, `"4096"`.
+pub fn parse_mem_budget(s: &str) -> Result<usize, String> {
+    let s = s.trim();
+    let (digits, mult) = match s.chars().last() {
+        Some('K' | 'k') => (&s[..s.len() - 1], 1usize << 10),
+        Some('M' | 'm') => (&s[..s.len() - 1], 1usize << 20),
+        Some('G' | 'g') => (&s[..s.len() - 1], 1usize << 30),
+        _ => (s, 1usize),
+    };
+    let v: usize = digits
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad memory size {s:?} (expected e.g. 96M, 2G, or bytes)"))?;
+    v.checked_mul(mult)
+        .ok_or_else(|| format!("memory size {s:?} overflows"))
+}
+
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Mix independent stream identifiers into one RNG seed, so per-batch RNG
+/// streams are decorrelated and independent of iteration order.
+pub fn mix_seed(seed: u64, stream: u64, index: u64) -> u64 {
+    splitmix64(splitmix64(seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15)) ^ index)
+}
+
+// ---------------------------------------------------------------------
+// The trait
+// ---------------------------------------------------------------------
+
+/// Read-only access to an attributed graph, independent of whether it lives
+/// in memory or on disk. Object-safe: the sampled fit/score paths take
+/// `&dyn GraphStore`.
+pub trait GraphStore {
+    /// Number of nodes `|V|`.
+    fn num_nodes(&self) -> usize;
+
+    /// Number of undirected edges `|E|`.
+    fn num_edges(&self) -> usize;
+
+    /// Attribute dimension `d`.
+    fn num_attrs(&self) -> usize;
+
+    /// Degree of `u` (no IO for either backend: derived from row pointers).
+    fn degree(&self, u: u32) -> usize;
+
+    /// Replace `out` with the sorted neighbour list of `u`.
+    fn neighbors_into(&self, u: u32, out: &mut Vec<u32>);
+
+    /// Whether the undirected edge `{u, v}` exists.
+    fn has_edge(&self, u: u32, v: u32) -> bool;
+
+    /// Copy node `u`'s attribute row into `out` (`out.len() == d`).
+    fn attr_row_into(&self, u: u32, out: &mut [f32]);
+
+    /// Stream every adjacency row in node order: `cb(u, sorted_neighbors)`.
+    fn visit_adjacency(&self, cb: &mut dyn FnMut(u32, &[u32]));
+
+    /// Stream every attribute row in node order: `cb(u, row)`.
+    fn visit_attrs(&self, cb: &mut dyn FnMut(u32, &[f32]));
+
+    /// Community labels as an owned vector, when the store carries them.
+    fn labels_vec(&self) -> Option<Vec<u32>> {
+        None
+    }
+
+    /// The in-memory graph behind this store, when there is one (the
+    /// zero-copy fast path below the sampling threshold).
+    fn as_full_graph(&self) -> Option<&AttributedGraph> {
+        None
+    }
+
+    /// Memory/IO counters (all zero for in-memory stores).
+    fn stats(&self) -> StoreStats {
+        StoreStats::default()
+    }
+
+    /// Gather attribute rows for `nodes` (in order) into a dense matrix.
+    fn gather_attrs(&self, nodes: &[u32]) -> Matrix {
+        let mut out = Matrix::zeros(nodes.len(), self.num_attrs());
+        for (i, &u) in nodes.iter().enumerate() {
+            self.attr_row_into(u, out.row_mut(i));
+        }
+        out
+    }
+
+    /// Materialise the whole store as an [`AttributedGraph`]. Only sensible
+    /// below the sampling threshold; allocates `O(n·d + m)`.
+    fn materialize(&self) -> AttributedGraph {
+        let n = self.num_nodes();
+        let mut adj: Vec<Vec<u32>> = Vec::with_capacity(n);
+        self.visit_adjacency(&mut |_, nbrs| adj.push(nbrs.to_vec()));
+        let mut x = Matrix::zeros(n, self.num_attrs());
+        self.visit_attrs(&mut |u, row| x.row_mut(u as usize).copy_from_slice(row));
+        AttributedGraph::from_sorted_adj(adj, x, self.labels_vec())
+    }
+}
+
+impl GraphStore for AttributedGraph {
+    fn num_nodes(&self) -> usize {
+        AttributedGraph::num_nodes(self)
+    }
+
+    fn num_edges(&self) -> usize {
+        AttributedGraph::num_edges(self)
+    }
+
+    fn num_attrs(&self) -> usize {
+        AttributedGraph::num_attrs(self)
+    }
+
+    fn degree(&self, u: u32) -> usize {
+        AttributedGraph::degree(self, u)
+    }
+
+    fn neighbors_into(&self, u: u32, out: &mut Vec<u32>) {
+        out.clear();
+        out.extend_from_slice(self.neighbors(u));
+    }
+
+    fn has_edge(&self, u: u32, v: u32) -> bool {
+        AttributedGraph::has_edge(self, u, v)
+    }
+
+    fn attr_row_into(&self, u: u32, out: &mut [f32]) {
+        out.copy_from_slice(self.attrs().row(u as usize));
+    }
+
+    fn visit_adjacency(&self, cb: &mut dyn FnMut(u32, &[u32])) {
+        for u in 0..self.num_nodes() as u32 {
+            cb(u, self.neighbors(u));
+        }
+    }
+
+    fn visit_attrs(&self, cb: &mut dyn FnMut(u32, &[f32])) {
+        for u in 0..self.num_nodes() {
+            cb(u as u32, self.attrs().row(u));
+        }
+    }
+
+    fn labels_vec(&self) -> Option<Vec<u32>> {
+        self.labels().map(<[u32]>::to_vec)
+    }
+
+    fn as_full_graph(&self) -> Option<&AttributedGraph> {
+        Some(self)
+    }
+
+    fn gather_attrs(&self, nodes: &[u32]) -> Matrix {
+        // Same values as the default, but through the tuned (arena-backed)
+        // gather kernel the full-graph paths already use.
+        self.attrs().gather_rows(nodes)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The out-of-core backend
+// ---------------------------------------------------------------------
+
+struct Entry<T> {
+    data: Rc<Vec<T>>,
+    tick: u64,
+}
+
+#[derive(Default)]
+struct BlockCache {
+    edge: HashMap<usize, Entry<u32>>,
+    attr: HashMap<usize, Entry<f32>>,
+    resident_bytes: usize,
+    tick: u64,
+    bytes_read: u64,
+    evictions: u64,
+}
+
+impl BlockCache {
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Evict least-recently-used blocks until `need` more bytes fit in
+    /// `budget`. Linear scan: the block count is budget/block-size, a few
+    /// hundred at realistic settings.
+    fn make_room(&mut self, need: usize, budget: usize) {
+        while self.resident_bytes + need > budget && !(self.edge.is_empty() && self.attr.is_empty())
+        {
+            let oldest_edge = self.edge.iter().min_by_key(|(_, e)| e.tick);
+            let oldest_attr = self.attr.iter().min_by_key(|(_, e)| e.tick);
+            let evict_edge = match (oldest_edge, oldest_attr) {
+                (Some((_, e)), Some((_, a))) => e.tick <= a.tick,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => unreachable!("loop guard checked non-empty"),
+            };
+            let freed = if evict_edge {
+                let key = *self.edge.iter().min_by_key(|(_, e)| e.tick).unwrap().0;
+                let e = self.edge.remove(&key).unwrap();
+                e.data.len() * 4
+            } else {
+                let key = *self.attr.iter().min_by_key(|(_, e)| e.tick).unwrap().0;
+                let e = self.attr.remove(&key).unwrap();
+                e.data.len() * 4
+            };
+            self.resident_bytes -= freed;
+            self.evictions += 1;
+            G_EVICTIONS.fetch_add(1, Ordering::Relaxed);
+            G_RESIDENT_BLOCKS.fetch_sub(1, Ordering::Relaxed);
+            G_RESIDENT_BYTES.fetch_sub(freed as u64, Ordering::Relaxed);
+        }
+    }
+
+    fn admit(&mut self, bytes: usize) {
+        self.resident_bytes += bytes;
+        G_RESIDENT_BLOCKS.fetch_add(1, Ordering::Relaxed);
+        G_RESIDENT_BYTES.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    fn record_read(&mut self, bytes: usize) {
+        self.bytes_read += bytes as u64;
+        G_BYTES_READ.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+}
+
+/// A demand-paged on-disk graph store (see the module docs for the format
+/// and the paging strategy). Single-threaded by design — each scoring
+/// replica or trainer opens its own handle.
+pub struct OocStore {
+    file: RefCell<File>,
+    n: usize,
+    m_directed: usize,
+    d: usize,
+    attr_block_nodes: usize,
+    edge_block_entries: usize,
+    off_indices: u64,
+    off_attrs: u64,
+    off_labels: Option<u64>,
+    /// Row pointers, fully resident (counted against the budget at `open`).
+    indptr: Vec<u64>,
+    /// Budget available to the block cache (total minus `indptr`).
+    cache_budget: usize,
+    budget: usize,
+    cache: RefCell<BlockCache>,
+    scratch: RefCell<Vec<u32>>,
+}
+
+impl Drop for OocStore {
+    fn drop(&mut self) {
+        let cache = self.cache.get_mut();
+        let blocks = (cache.edge.len() + cache.attr.len()) as u64;
+        G_RESIDENT_BLOCKS.fetch_sub(blocks, Ordering::Relaxed);
+        G_RESIDENT_BYTES.fetch_sub(cache.resident_bytes as u64, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for OocStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OocStore")
+            .field("n", &self.n)
+            .field("m_directed", &self.m_directed)
+            .field("d", &self.d)
+            .field("budget", &self.budget)
+            .finish_non_exhaustive()
+    }
+}
+
+fn read_exact_at(file: &RefCell<File>, buf: &mut [u8], off: u64) -> std::io::Result<()> {
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::FileExt;
+        file.borrow().read_exact_at(buf, off)
+    }
+    #[cfg(not(unix))]
+    {
+        let mut f = file.borrow_mut();
+        f.seek(SeekFrom::Start(off))?;
+        f.read_exact(buf)
+    }
+}
+
+fn bytes_to_u32s(buf: &[u8]) -> Vec<u32> {
+    buf.chunks_exact(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
+}
+
+fn bytes_to_f32s(buf: &[u8]) -> Vec<f32> {
+    buf.chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
+}
+
+impl OocStore {
+    /// Open a `VGODSTR1` store with a total memory budget in bytes.
+    ///
+    /// The budget covers the resident row-pointer array plus the block
+    /// cache; it must fit `indptr` plus at least one edge block and one
+    /// attribute block, or `open` refuses with a message stating the
+    /// minimum.
+    pub fn open(path: &Path, budget: usize) -> Result<OocStore, String> {
+        let mut file = File::open(path).map_err(|e| format!("open {}: {e}", path.display()))?;
+        let mut head = [0u8; HEADER_BYTES as usize];
+        file.read_exact(&mut head)
+            .map_err(|e| format!("read header of {}: {e}", path.display()))?;
+        if &head[..8] != STORE_MAGIC {
+            return Err(format!("{} is not a VGODSTR1 store", path.display()));
+        }
+        let word = |i: usize| -> u64 {
+            let at = 8 + i * 8;
+            u64::from_le_bytes(head[at..at + 8].try_into().unwrap())
+        };
+        let n = word(0) as usize;
+        let m_directed = word(1) as usize;
+        let d = word(2) as usize;
+        let attr_block_nodes = word(3) as usize;
+        let edge_block_entries = word(4) as usize;
+        let flags = word(5);
+        if attr_block_nodes == 0 || edge_block_entries == 0 {
+            return Err("store header has zero block size".to_string());
+        }
+
+        let indptr_bytes = (n + 1) * 8;
+        let off_indices = HEADER_BYTES + indptr_bytes as u64;
+        let off_attrs = off_indices + (m_directed * 4) as u64;
+        let off_labels = if flags & FLAG_LABELS != 0 {
+            Some(off_attrs + (n * d * 4) as u64)
+        } else {
+            None
+        };
+        let expect_len = off_labels.unwrap_or(off_attrs + (n * d * 4) as u64)
+            + if flags & FLAG_LABELS != 0 {
+                (n * 4) as u64
+            } else {
+                0
+            };
+        let actual_len = file
+            .metadata()
+            .map_err(|e| format!("stat {}: {e}", path.display()))?
+            .len();
+        if actual_len != expect_len {
+            return Err(format!(
+                "{}: truncated or corrupt store ({actual_len} bytes, expected {expect_len})",
+                path.display()
+            ));
+        }
+
+        let edge_block_bytes = edge_block_entries.min(m_directed.max(1)) * 4;
+        let attr_block_bytes = attr_block_nodes.min(n.max(1)) * d.max(1) * 4;
+        let min_budget = indptr_bytes + edge_block_bytes + attr_block_bytes;
+        if budget < min_budget {
+            return Err(format!(
+                "memory budget {budget} B is below the minimum {min_budget} B \
+                 (indptr {indptr_bytes} B + one edge block {edge_block_bytes} B \
+                 + one attribute block {attr_block_bytes} B)"
+            ));
+        }
+
+        let mut indptr_buf = vec![0u8; indptr_bytes];
+        file.seek(SeekFrom::Start(HEADER_BYTES))
+            .and_then(|_| file.read_exact(&mut indptr_buf))
+            .map_err(|e| format!("read indptr of {}: {e}", path.display()))?;
+        let indptr: Vec<u64> = indptr_buf
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        if indptr.first() != Some(&0) || indptr.last() != Some(&(m_directed as u64)) {
+            return Err(format!("{}: inconsistent row pointers", path.display()));
+        }
+        G_BYTES_READ.fetch_add(
+            (HEADER_BYTES as usize + indptr_bytes) as u64,
+            Ordering::Relaxed,
+        );
+
+        Ok(OocStore {
+            file: RefCell::new(file),
+            n,
+            m_directed,
+            d,
+            attr_block_nodes,
+            edge_block_entries,
+            off_indices,
+            off_attrs,
+            off_labels,
+            indptr,
+            cache_budget: budget - indptr_bytes,
+            budget,
+            cache: RefCell::new(BlockCache::default()),
+            scratch: RefCell::new(Vec::new()),
+        })
+    }
+
+    /// Serialise an in-memory graph to `path` in store format.
+    pub fn create_from_graph(
+        g: &AttributedGraph,
+        path: &Path,
+        attr_block_nodes: usize,
+        edge_block_entries: usize,
+    ) -> std::io::Result<()> {
+        write_store(
+            path,
+            g.num_nodes(),
+            g.num_attrs(),
+            attr_block_nodes,
+            edge_block_entries,
+            g.labels().is_some(),
+            |u, out| {
+                out.clear();
+                out.extend_from_slice(g.neighbors(u));
+            },
+            |u, row| row.copy_from_slice(g.attrs().row(u as usize)),
+            |u| g.labels().map_or(0, |l| l[u as usize]),
+        )
+    }
+
+    /// Number of attribute rows per block.
+    pub fn attr_block_nodes(&self) -> usize {
+        self.attr_block_nodes
+    }
+
+    /// Number of edge entries per block.
+    pub fn edge_block_entries(&self) -> usize {
+        self.edge_block_entries
+    }
+
+    /// The configured total memory budget in bytes.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    fn row_range(&self, u: u32) -> (usize, usize) {
+        (
+            self.indptr[u as usize] as usize,
+            self.indptr[u as usize + 1] as usize,
+        )
+    }
+
+    fn edge_block_len(&self, b: usize) -> usize {
+        (self.m_directed - b * self.edge_block_entries).min(self.edge_block_entries)
+    }
+
+    fn attr_block_rows(&self, b: usize) -> usize {
+        (self.n - b * self.attr_block_nodes).min(self.attr_block_nodes)
+    }
+
+    fn edge_block(&self, b: usize) -> Rc<Vec<u32>> {
+        let mut cache = self.cache.borrow_mut();
+        let tick = cache.next_tick();
+        if let Some(e) = cache.edge.get_mut(&b) {
+            e.tick = tick;
+            return Rc::clone(&e.data);
+        }
+        let len = self.edge_block_len(b);
+        let bytes = len * 4;
+        cache.make_room(bytes, self.cache_budget);
+        let mut buf = vec![0u8; bytes];
+        let off = self.off_indices + (b * self.edge_block_entries * 4) as u64;
+        read_exact_at(&self.file, &mut buf, off).expect("store read failed (edge block)");
+        cache.record_read(bytes);
+        let data = Rc::new(bytes_to_u32s(&buf));
+        cache.admit(bytes);
+        cache.edge.insert(
+            b,
+            Entry {
+                data: Rc::clone(&data),
+                tick,
+            },
+        );
+        data
+    }
+
+    fn attr_block(&self, b: usize) -> Rc<Vec<f32>> {
+        let mut cache = self.cache.borrow_mut();
+        let tick = cache.next_tick();
+        if let Some(e) = cache.attr.get_mut(&b) {
+            e.tick = tick;
+            return Rc::clone(&e.data);
+        }
+        let rows = self.attr_block_rows(b);
+        let bytes = rows * self.d * 4;
+        cache.make_room(bytes, self.cache_budget);
+        let mut buf = vec![0u8; bytes];
+        let off = self.off_attrs + (b * self.attr_block_nodes * self.d * 4) as u64;
+        read_exact_at(&self.file, &mut buf, off).expect("store read failed (attr block)");
+        cache.record_read(bytes);
+        let data = Rc::new(bytes_to_f32s(&buf));
+        cache.admit(bytes);
+        cache.attr.insert(
+            b,
+            Entry {
+                data: Rc::clone(&data),
+                tick,
+            },
+        );
+        data
+    }
+}
+
+impl GraphStore for OocStore {
+    fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    fn num_edges(&self) -> usize {
+        self.m_directed / 2
+    }
+
+    fn num_attrs(&self) -> usize {
+        self.d
+    }
+
+    fn degree(&self, u: u32) -> usize {
+        let (start, end) = self.row_range(u);
+        end - start
+    }
+
+    fn neighbors_into(&self, u: u32, out: &mut Vec<u32>) {
+        out.clear();
+        let (start, end) = self.row_range(u);
+        if start == end {
+            return;
+        }
+        let eb = self.edge_block_entries;
+        for b in start / eb..=(end - 1) / eb {
+            let block = self.edge_block(b);
+            let lo = start.max(b * eb) - b * eb;
+            let hi = end.min((b + 1) * eb) - b * eb;
+            out.extend_from_slice(&block[lo..hi]);
+        }
+    }
+
+    fn has_edge(&self, u: u32, v: u32) -> bool {
+        let mut scratch = self.scratch.borrow_mut();
+        let mut nbrs = std::mem::take(&mut *scratch);
+        self.neighbors_into(u, &mut nbrs);
+        let hit = nbrs.binary_search(&v).is_ok();
+        *scratch = nbrs;
+        hit
+    }
+
+    fn attr_row_into(&self, u: u32, out: &mut [f32]) {
+        assert_eq!(out.len(), self.d, "attribute row buffer has wrong width");
+        let b = u as usize / self.attr_block_nodes;
+        let at = (u as usize % self.attr_block_nodes) * self.d;
+        let block = self.attr_block(b);
+        out.copy_from_slice(&block[at..at + self.d]);
+    }
+
+    fn visit_adjacency(&self, cb: &mut dyn FnMut(u32, &[u32])) {
+        // Sequential streaming pass, bypassing the block cache so a full
+        // sweep does not evict the sampler's working set. One positioned
+        // read per group of rows, bounded by the edge block size.
+        let mut u = 0usize;
+        let mut buf: Vec<u8> = Vec::new();
+        while u < self.n {
+            let start = self.indptr[u] as usize;
+            let mut stop_node = u + 1;
+            while stop_node < self.n
+                && (self.indptr[stop_node + 1] as usize - start) <= self.edge_block_entries
+            {
+                stop_node += 1;
+            }
+            let end = self.indptr[stop_node] as usize;
+            let bytes = (end - start) * 4;
+            buf.resize(bytes, 0);
+            if bytes > 0 {
+                read_exact_at(&self.file, &mut buf, self.off_indices + (start * 4) as u64)
+                    .expect("store read failed (adjacency sweep)");
+                self.cache.borrow_mut().record_read(bytes);
+            }
+            let entries = bytes_to_u32s(&buf);
+            for node in u..stop_node {
+                let lo = self.indptr[node] as usize - start;
+                let hi = self.indptr[node + 1] as usize - start;
+                cb(node as u32, &entries[lo..hi]);
+            }
+            u = stop_node;
+        }
+    }
+
+    fn visit_attrs(&self, cb: &mut dyn FnMut(u32, &[f32])) {
+        let mut buf: Vec<u8> = Vec::new();
+        let blocks = self.n.div_ceil(self.attr_block_nodes);
+        for b in 0..blocks {
+            let rows = self.attr_block_rows(b);
+            let bytes = rows * self.d * 4;
+            buf.resize(bytes, 0);
+            let off = self.off_attrs + (b * self.attr_block_nodes * self.d * 4) as u64;
+            read_exact_at(&self.file, &mut buf, off).expect("store read failed (attr sweep)");
+            self.cache.borrow_mut().record_read(bytes);
+            let floats = bytes_to_f32s(&buf);
+            for r in 0..rows {
+                let u = (b * self.attr_block_nodes + r) as u32;
+                cb(u, &floats[r * self.d..(r + 1) * self.d]);
+            }
+        }
+    }
+
+    fn labels_vec(&self) -> Option<Vec<u32>> {
+        let off = self.off_labels?;
+        let mut buf = vec![0u8; self.n * 4];
+        read_exact_at(&self.file, &mut buf, off).expect("store read failed (labels)");
+        self.cache.borrow_mut().record_read(buf.len());
+        Some(bytes_to_u32s(&buf))
+    }
+
+    fn stats(&self) -> StoreStats {
+        let cache = self.cache.borrow();
+        StoreStats {
+            resident_blocks: (cache.edge.len() + cache.attr.len()) as u64,
+            resident_bytes: cache.resident_bytes as u64 + (self.indptr.len() * 8) as u64,
+            budget_bytes: self.budget as u64,
+            bytes_read: cache.bytes_read,
+            evictions: cache.evictions,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Writing stores
+// ---------------------------------------------------------------------
+
+/// Write a store from per-node callbacks, in two streaming passes (degrees
+/// then rows) — the whole graph never has to exist in memory. `neighbors_of`
+/// must fill a *sorted* neighbour list and be deterministic: it is called
+/// twice per node.
+#[allow(clippy::too_many_arguments)]
+pub fn write_store(
+    path: &Path,
+    n: usize,
+    d: usize,
+    attr_block_nodes: usize,
+    edge_block_entries: usize,
+    has_labels: bool,
+    mut neighbors_of: impl FnMut(u32, &mut Vec<u32>),
+    mut attrs_of: impl FnMut(u32, &mut [f32]),
+    mut label_of: impl FnMut(u32) -> u32,
+) -> std::io::Result<()> {
+    assert!(
+        attr_block_nodes > 0 && edge_block_entries > 0,
+        "zero block size"
+    );
+    let mut out = BufWriter::new(File::create(path)?);
+    let mut nbrs: Vec<u32> = Vec::new();
+
+    // Pass 1: degrees → row pointers.
+    let mut m_directed = 0u64;
+    let mut indptr_bytes: Vec<u8> = Vec::with_capacity((n + 1) * 8);
+    indptr_bytes.extend_from_slice(&0u64.to_le_bytes());
+    for u in 0..n as u32 {
+        neighbors_of(u, &mut nbrs);
+        debug_assert!(nbrs.windows(2).all(|w| w[0] < w[1]), "unsorted neighbors");
+        m_directed += nbrs.len() as u64;
+        indptr_bytes.extend_from_slice(&m_directed.to_le_bytes());
+    }
+
+    out.write_all(STORE_MAGIC)?;
+    for word in [
+        n as u64,
+        m_directed,
+        d as u64,
+        attr_block_nodes as u64,
+        edge_block_entries as u64,
+        u64::from(has_labels) * FLAG_LABELS,
+        0u64,
+    ] {
+        out.write_all(&word.to_le_bytes())?;
+    }
+    out.write_all(&indptr_bytes)?;
+    drop(indptr_bytes);
+
+    // Pass 2: neighbour lists.
+    for u in 0..n as u32 {
+        neighbors_of(u, &mut nbrs);
+        for &v in &nbrs {
+            out.write_all(&v.to_le_bytes())?;
+        }
+    }
+
+    // Pass 3: attribute rows.
+    let mut row = vec![0f32; d];
+    for u in 0..n as u32 {
+        attrs_of(u, &mut row);
+        for &x in &row {
+            out.write_all(&x.to_le_bytes())?;
+        }
+    }
+
+    // Pass 4: labels.
+    if has_labels {
+        for u in 0..n as u32 {
+            out.write_all(&label_of(u).to_le_bytes())?;
+        }
+    }
+    out.flush()
+}
+
+// ---------------------------------------------------------------------
+// Streaming synthetic stores
+// ---------------------------------------------------------------------
+
+/// Configuration for [`synth_store`]: a deterministic synthetic graph that
+/// can be written at any size without ever materialising it.
+///
+/// The base topology is a ring lattice (every node links to its
+/// `avg_degree/2` nearest ids on each side — symmetric by construction,
+/// uniform degree). Structural outliers are planted cliques on disjoint
+/// contiguous id ranges; contextual outliers are nodes whose attribute
+/// noise is scaled by `contextual_scale` away from their community mean.
+#[derive(Clone, Debug)]
+pub struct SynthStoreConfig {
+    /// Node count `n`.
+    pub nodes: usize,
+    /// Target average degree (ring lattice degree, before cliques).
+    pub avg_degree: usize,
+    /// Attribute dimension `d`.
+    pub attrs: usize,
+    /// Number of communities (contiguous id blocks, attribute means differ).
+    pub communities: usize,
+    /// Number of planted cliques (structural outliers).
+    pub clique_count: usize,
+    /// Nodes per planted clique.
+    pub clique_size: usize,
+    /// Number of contextual outliers.
+    pub contextual_count: usize,
+    /// Noise multiplier for contextual outliers (≫ 1 makes them stand out).
+    pub contextual_scale: f32,
+    /// Master seed; every derived stream is mixed from it.
+    pub seed: u64,
+}
+
+impl SynthStoreConfig {
+    /// A configuration scaled to `n` nodes with paper-like proportions:
+    /// average degree 20 (so `|E| = 10·n`), 32 attributes, and ~0.5% of
+    /// nodes outliers split between the two types.
+    pub fn scaled(n: usize, seed: u64) -> Self {
+        let clique_size = 10usize;
+        let clique_count = (n / 400).clamp(1, 1000);
+        Self {
+            nodes: n,
+            avg_degree: 20,
+            attrs: 32,
+            communities: 8.min(n.max(1)),
+            clique_count,
+            clique_size,
+            contextual_count: (n / 40).clamp(1, 25_000),
+            contextual_scale: 6.0,
+            seed,
+        }
+    }
+}
+
+/// Ground truth for a synthetic store: planted outlier node ids.
+#[derive(Clone, Debug, Default)]
+pub struct SynthTruth {
+    /// Clique members (structural outliers).
+    pub structural: Vec<u32>,
+    /// Attribute outliers (contextual).
+    pub contextual: Vec<u32>,
+}
+
+/// Write a synthetic store to `path` (see [`SynthStoreConfig`]) and return
+/// the planted ground truth. Memory use is `O(cliques + outliers + d)`,
+/// independent of `n`.
+pub fn synth_store(
+    path: &Path,
+    cfg: &SynthStoreConfig,
+    attr_block_nodes: usize,
+    edge_block_entries: usize,
+) -> std::io::Result<SynthTruth> {
+    let n = cfg.nodes;
+    assert!(n >= 4, "synthetic store needs at least 4 nodes");
+    let k = (cfg.avg_degree / 2).max(1).min((n - 1) / 2);
+    let communities = cfg.communities.max(1);
+
+    // Disjoint clique ranges: one per stride of ids, offset pseudo-randomly.
+    let mut clique_count = cfg.clique_count;
+    let clique_size = cfg.clique_size.max(2);
+    let stride = n.checked_div(clique_count).unwrap_or(n);
+    if clique_count > 0 && stride < 2 * clique_size {
+        clique_count = (n / (2 * clique_size)).max(1).min(clique_count);
+    }
+    let stride = n.checked_div(clique_count).unwrap_or(n);
+    let clique_base: Vec<usize> = (0..clique_count)
+        .map(|c| {
+            let slack = stride.saturating_sub(clique_size).max(1);
+            c * stride + (splitmix64(cfg.seed ^ 0xC110_u64 ^ c as u64) as usize) % slack
+        })
+        .collect();
+    let clique_of = |u: usize| -> Option<(usize, usize)> {
+        if clique_count == 0 || stride == 0 {
+            return None;
+        }
+        let c = (u / stride).min(clique_count - 1);
+        let base = clique_base[c];
+        (u >= base && u < base + clique_size).then_some((base, clique_size))
+    };
+
+    // Contextual outliers: pseudo-random ids outside the cliques.
+    let mut contextual: std::collections::HashSet<u32> = std::collections::HashSet::new();
+    let mut attempt = 0u64;
+    while contextual.len() < cfg.contextual_count.min(n / 2)
+        && attempt < 100 * (cfg.contextual_count as u64 + 1)
+    {
+        let u = (splitmix64(cfg.seed ^ 0xA77Du64 ^ attempt) as usize) % n;
+        attempt += 1;
+        if clique_of(u).is_none() {
+            contextual.insert(u as u32);
+        }
+    }
+
+    // Community attribute means, separated enough to be learnable.
+    let mut mu = vec![0f32; communities * cfg.attrs.max(1)];
+    for c in 0..communities {
+        let mut rng = seeded_rng(splitmix64(cfg.seed ^ 0x3EA2u64 ^ c as u64));
+        for j in 0..cfg.attrs {
+            mu[c * cfg.attrs + j] = 3.0 * standard_normal(&mut rng);
+        }
+    }
+    let community_of = move |u: usize| -> usize { u * communities / n };
+
+    let neighbors_of = {
+        move |u: u32, out: &mut Vec<u32>| {
+            let u = u as usize;
+            out.clear();
+            for s in 1..=k {
+                out.push(((u + s) % n) as u32);
+                out.push(((u + n - s) % n) as u32);
+            }
+            if let Some((base, size)) = clique_of(u) {
+                for v in base..base + size {
+                    if v != u {
+                        out.push(v as u32);
+                    }
+                }
+            }
+            out.sort_unstable();
+            out.dedup();
+        }
+    };
+
+    let contextual_set = contextual.clone();
+    let seed = cfg.seed;
+    let scale = cfg.contextual_scale;
+    let d = cfg.attrs;
+    let attrs_of = move |u: u32, row: &mut [f32]| {
+        let c = community_of(u as usize);
+        let noise = if contextual_set.contains(&u) {
+            scale
+        } else {
+            1.0
+        };
+        let mut rng = seeded_rng(splitmix64(seed ^ 0xF00Du64 ^ u as u64));
+        for (j, x) in row.iter_mut().enumerate() {
+            *x = mu[c * d + j] + noise * standard_normal(&mut rng);
+        }
+    };
+
+    write_store(
+        path,
+        n,
+        d,
+        attr_block_nodes,
+        edge_block_entries,
+        true,
+        neighbors_of,
+        attrs_of,
+        |u| community_of(u as usize) as u32,
+    )?;
+
+    let mut structural: Vec<u32> = clique_base
+        .iter()
+        .flat_map(|&b| b as u32..(b + clique_size) as u32)
+        .collect();
+    structural.sort_unstable();
+    let mut contextual: Vec<u32> = contextual.into_iter().collect();
+    contextual.sort_unstable();
+    Ok(SynthTruth {
+        structural,
+        contextual,
+    })
+}
+
+/// Estimated resident bytes of the in-memory path for an `n`-node,
+/// `m`-undirected-edge, `d`-attribute graph: the dense attribute matrix,
+/// both directions of every neighbour list (plus `Vec` headers), and the
+/// binary-adjacency CSR that `GraphContext` materialises up front. Used by
+/// the scale bench to prove a budget is genuinely out of reach in-core.
+pub fn in_memory_bytes_estimate(n: usize, m: usize, d: usize) -> u64 {
+    let attrs = (n * d * 4) as u64;
+    let adj = (2 * m * 4 + n * 24) as u64;
+    let csr = (2 * m * 8 + (n + 1) * 8) as u64;
+    attrs + adj + csr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{community_graph, gaussian_mixture_attributes, CommunityGraphConfig};
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("vgod-store-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    fn small_graph(seed: u64) -> AttributedGraph {
+        let mut rng = seeded_rng(seed);
+        let mut g = community_graph(
+            &CommunityGraphConfig::homogeneous(120, 3, 5.0, 0.9),
+            &mut rng,
+        );
+        let x = gaussian_mixture_attributes(g.labels().unwrap(), 7, 3.0, 0.5, &mut rng);
+        g.set_attrs(x);
+        g
+    }
+
+    #[test]
+    fn roundtrip_preserves_graph_exactly() {
+        let g = small_graph(3);
+        let path = temp_path("roundtrip.gstore");
+        OocStore::create_from_graph(&g, &path, 16, 64).unwrap();
+        let store = OocStore::open(&path, 1 << 20).unwrap();
+        assert_eq!(GraphStore::num_nodes(&store), g.num_nodes());
+        assert_eq!(GraphStore::num_edges(&store), g.num_edges());
+        assert_eq!(GraphStore::num_attrs(&store), g.num_attrs());
+        let back = store.materialize();
+        assert!(back.check_invariants());
+        for u in 0..g.num_nodes() as u32 {
+            assert_eq!(back.neighbors(u), g.neighbors(u), "row {u}");
+            assert_eq!(back.attrs().row(u as usize), g.attrs().row(u as usize));
+        }
+        assert_eq!(back.labels(), g.labels());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn point_reads_match_in_memory_backend() {
+        let g = small_graph(4);
+        let path = temp_path("point.gstore");
+        OocStore::create_from_graph(&g, &path, 8, 32).unwrap();
+        // Budget sized to hold only a handful of blocks, forcing paging.
+        let min = (g.num_nodes() + 1) * 8 + 32 * 4 + 8 * g.num_attrs() * 4;
+        let store = OocStore::open(&path, min + 256).unwrap();
+        let mut nbrs = Vec::new();
+        let mut row = vec![0f32; g.num_attrs()];
+        for u in (0..g.num_nodes() as u32).rev() {
+            store.neighbors_into(u, &mut nbrs);
+            assert_eq!(nbrs.as_slice(), g.neighbors(u));
+            store.attr_row_into(u, &mut row);
+            assert_eq!(row.as_slice(), g.attrs().row(u as usize));
+            assert_eq!(GraphStore::degree(&store, u), g.degree(u));
+        }
+        for &(u, v) in &[(0u32, 1u32), (5, 80), (100, 3)] {
+            assert_eq!(GraphStore::has_edge(&store, u, v), g.has_edge(u, v));
+        }
+        let stats = store.stats();
+        assert!(stats.evictions > 0, "tight budget must evict: {stats:?}");
+        assert!(
+            stats.resident_bytes <= store.budget() as u64,
+            "resident {} over budget {}",
+            stats.resident_bytes,
+            store.budget()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_refuses_budget_below_minimum() {
+        let g = small_graph(5);
+        let path = temp_path("minbudget.gstore");
+        OocStore::create_from_graph(&g, &path, 16, 64).unwrap();
+        let err = OocStore::open(&path, 64).unwrap_err();
+        assert!(err.contains("below the minimum"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_rejects_truncated_and_foreign_files() {
+        let path = temp_path("corrupt.gstore");
+        std::fs::write(&path, [b'x'; 128]).unwrap();
+        assert!(OocStore::open(&path, 1 << 20)
+            .unwrap_err()
+            .contains("not a VGODSTR1"));
+        let g = small_graph(6);
+        OocStore::create_from_graph(&g, &path, 16, 64).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 5]).unwrap();
+        assert!(OocStore::open(&path, 1 << 20)
+            .unwrap_err()
+            .contains("truncated"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn gather_attrs_matches_full_graph_gather() {
+        let g = small_graph(7);
+        let nodes = [5u32, 0, 17, 99, 3];
+        let via_store = GraphStore::gather_attrs(&g, &nodes);
+        let direct = g.attrs().gather_rows(&nodes);
+        assert_eq!(via_store.as_slice(), direct.as_slice());
+        let path = temp_path("gather.gstore");
+        OocStore::create_from_graph(&g, &path, 8, 32).unwrap();
+        let store = OocStore::open(&path, 1 << 20).unwrap();
+        assert_eq!(store.gather_attrs(&nodes).as_slice(), direct.as_slice());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn synth_store_is_valid_and_deterministic() {
+        let cfg = SynthStoreConfig {
+            nodes: 600,
+            avg_degree: 8,
+            attrs: 5,
+            communities: 3,
+            clique_count: 2,
+            clique_size: 6,
+            contextual_count: 10,
+            contextual_scale: 5.0,
+            seed: 9,
+        };
+        let p1 = temp_path("synth1.gstore");
+        let p2 = temp_path("synth2.gstore");
+        let t1 = synth_store(&p1, &cfg, 64, 256).unwrap();
+        let t2 = synth_store(&p2, &cfg, 64, 256).unwrap();
+        assert_eq!(std::fs::read(&p1).unwrap(), std::fs::read(&p2).unwrap());
+        assert_eq!(t1.structural, t2.structural);
+        assert_eq!(t1.contextual, t2.contextual);
+        assert_eq!(t1.structural.len(), 12);
+        assert_eq!(t1.contextual.len(), 10);
+
+        let store = OocStore::open(&p1, 1 << 20).unwrap();
+        let g = store.materialize();
+        assert!(g.check_invariants());
+        assert_eq!(g.num_nodes(), 600);
+        // Clique members must be mutually connected.
+        let (a, b) = (t1.structural[0], t1.structural[1]);
+        assert!(g.has_edge(a, b));
+        // Ring lattice gives every non-clique node degree 2k.
+        let plain = (0..600u32).find(|u| !t1.structural.contains(u)).unwrap();
+        assert_eq!(g.degree(plain), 8);
+        assert!(g.labels().is_some());
+        std::fs::remove_file(&p1).ok();
+        std::fs::remove_file(&p2).ok();
+    }
+
+    #[test]
+    fn parse_mem_budget_understands_suffixes() {
+        assert_eq!(parse_mem_budget("4096").unwrap(), 4096);
+        assert_eq!(parse_mem_budget("64K").unwrap(), 64 << 10);
+        assert_eq!(parse_mem_budget("96M").unwrap(), 96 << 20);
+        assert_eq!(parse_mem_budget("2g").unwrap(), 2 << 30);
+        assert!(parse_mem_budget("lots").is_err());
+    }
+
+    #[test]
+    fn global_stats_track_reads() {
+        let g = small_graph(8);
+        let path = temp_path("globalstats.gstore");
+        OocStore::create_from_graph(&g, &path, 16, 64).unwrap();
+        let before = global_store_stats();
+        let store = OocStore::open(&path, 1 << 20).unwrap();
+        let mut nbrs = Vec::new();
+        store.neighbors_into(0, &mut nbrs);
+        let after = global_store_stats();
+        assert!(after.bytes_read > before.bytes_read);
+        drop(store);
+        let dropped = global_store_stats();
+        assert_eq!(dropped.resident_blocks, before.resident_blocks);
+        std::fs::remove_file(&path).ok();
+    }
+}

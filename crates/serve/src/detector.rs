@@ -7,7 +7,7 @@ use vgod_baselines::{
     AnomalyDae, Cola, Conad, Deg, DegNorm, Dominant, Done, L2Norm, Radar, RandomDetector,
 };
 use vgod_eval::{OutlierDetector, Scores};
-use vgod_graph::AttributedGraph;
+use vgod_graph::{AttributedGraph, GraphStore, SamplingConfig};
 
 /// Any detector the workspace can persist and serve.
 ///
@@ -135,6 +135,19 @@ impl OutlierDetector for AnyDetector {
 
     fn score(&self, g: &AttributedGraph) -> Scores {
         for_each_variant!(self, m => m.score(g))
+    }
+
+    // Store-backed paths forward to the wrapped detector so its own
+    // override (mini-batch training, global combination, refit-per-batch
+    // for the transductive models) is the one that runs — a blanket
+    // default here would silently bypass them.
+
+    fn fit_store(&mut self, store: &dyn GraphStore, cfg: &SamplingConfig) {
+        for_each_variant!(self, m => OutlierDetector::fit_store(m, store, cfg))
+    }
+
+    fn score_store(&self, store: &dyn GraphStore, cfg: &SamplingConfig) -> Scores {
+        for_each_variant!(self, m => m.score_store(store, cfg))
     }
 }
 

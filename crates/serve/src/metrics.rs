@@ -5,6 +5,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 
+use vgod_graph::{global_store_stats, StoreStats};
+
 /// Batch-size histogram bucket upper bounds (inclusive); the last bucket is
 /// unbounded.
 pub const BATCH_BUCKETS: [usize; 7] = [1, 2, 4, 8, 16, 32, usize::MAX];
@@ -58,6 +60,9 @@ pub struct MetricsSnapshot {
     pub p95_us: u64,
     /// 99th-percentile latency in µs.
     pub p99_us: u64,
+    /// Process-wide out-of-core graph-store counters (resident cache,
+    /// bytes read, evictions) — all zero when serving in-memory graphs.
+    pub graph_store: StoreStats,
 }
 
 impl Metrics {
@@ -174,6 +179,7 @@ impl Metrics {
             p50_us: pct(0.50),
             p95_us: pct(0.95),
             p99_us: pct(0.99),
+            graph_store: global_store_stats(),
         }
     }
 }
@@ -199,7 +205,9 @@ impl MetricsSnapshot {
              \"replica_queue_depth\":[{}],\
              \"connections\":{{\"accepted\":{},\"active\":{}}},\
              \"batches\":{},\"latency_us\":{{\"p50\":{},\"p95\":{},\"p99\":{}}},\
-             \"batch_size_hist\":[{}]}}",
+             \"batch_size_hist\":[{}],\
+             \"graph_store\":{{\"resident_blocks\":{},\"resident_bytes\":{},\
+             \"bytes_read\":{},\"evictions\":{}}}}}",
             self.requests,
             self.errors,
             self.rejected,
@@ -211,7 +219,11 @@ impl MetricsSnapshot {
             self.p50_us,
             self.p95_us,
             self.p99_us,
-            hist.join(",")
+            hist.join(","),
+            self.graph_store.resident_blocks,
+            self.graph_store.resident_bytes,
+            self.graph_store.bytes_read,
+            self.graph_store.evictions
         )
     }
 }
@@ -319,5 +331,14 @@ mod tests {
             v.get("batch_size_hist").unwrap().as_arr().unwrap().len(),
             BATCH_BUCKETS.len()
         );
+        // Graph-store counters are present (zero unless an OocStore is
+        // live in this process).
+        assert!(v
+            .get("graph_store")
+            .unwrap()
+            .get("resident_bytes")
+            .unwrap()
+            .as_u64()
+            .is_some());
     }
 }
