@@ -25,14 +25,16 @@
 //! budget (`parse_mem_budget` syntax, default `96M`).
 
 use std::io::Write as _;
+use std::path::Path;
 use std::time::Instant;
 
 use vgod::{Vbm, VbmConfig};
 use vgod_baselines::{DeepConfig, Deg, Dominant};
 use vgod_eval::OutlierDetector;
 use vgod_graph::{
-    in_memory_bytes_estimate, parse_mem_budget, synth_store, GraphStore, OocStore, SamplingConfig,
-    SynthStoreConfig, DEFAULT_ATTR_BLOCK_NODES, DEFAULT_EDGE_BLOCK_ENTRIES,
+    in_memory_bytes_estimate, parse_mem_budget, synth_store, CachePolicy, GraphStore, OocStore,
+    SamplingConfig, StoreOptions, SynthStoreConfig, DEFAULT_ATTR_BLOCK_NODES,
+    DEFAULT_EDGE_BLOCK_ENTRIES,
 };
 
 struct ClassResult {
@@ -45,6 +47,30 @@ struct ClassResult {
     evictions: u64,
 }
 
+/// One execution mode of the concurrent scoring A/B (same fitted model,
+/// same budget, fresh cold block cache; scores asserted bit-identical).
+struct AbResult {
+    mode: &'static str,
+    threads: usize,
+    score_ms: f64,
+    bytes_read: u64,
+    hits: u64,
+    misses: u64,
+}
+
+/// Cache-replacement comparison under a hot-set-plus-scan workload.
+/// `hot_survival` is the block-level fraction of the hot working set
+/// still served from cache when re-touched after the scan
+/// (`1 − re-read bytes / hot-set bytes`).
+struct ScanCacheResult {
+    policy: &'static str,
+    hot_survival: f64,
+    hot_bytes: u64,
+    hot_reread_bytes: u64,
+    hits: u64,
+    misses: u64,
+}
+
 struct PointResult {
     n: usize,
     edges: usize,
@@ -53,6 +79,8 @@ struct PointResult {
     store_file_bytes: u64,
     in_memory_estimate: u64,
     classes: Vec<ClassResult>,
+    ab: Vec<AbResult>,
+    scan_cache: Vec<ScanCacheResult>,
 }
 
 /// Current peak resident set (`VmHWM`) in bytes, 0 if unreadable.
@@ -110,6 +138,115 @@ fn run_class(
     }
 }
 
+/// Sequential vs batch-parallel vs parallel+prefetch scoring of one fitted
+/// sampled-path detector. Each mode reopens the store so every run starts
+/// from a cold block cache under the same budget; the OS page cache is
+/// warm for all three (the fit pass touched the whole file), so the A/B
+/// isolates the pipeline, not the disk.
+fn run_ab(path: &Path, budget: usize, cfg: &SamplingConfig) -> Vec<AbResult> {
+    let store = OocStore::open(path, budget).expect("open store for A/B fit");
+    let mut vbm = Vbm::new(VbmConfig {
+        hidden_dim: 16,
+        epochs: 2,
+        ..VbmConfig::default()
+    });
+    vbm.fit_store(&store, cfg);
+    drop(store);
+
+    let modes: [(&'static str, usize, bool); 3] = [
+        ("sequential", 1, false),
+        ("parallel", 0, false),
+        ("parallel_prefetch", 0, true),
+    ];
+    let mut baseline: Option<Vec<f32>> = None;
+    let mut out = Vec::new();
+    for (mode, threads, prefetch) in modes {
+        let store = OocStore::open(path, budget).expect("open store for A/B mode");
+        let run_cfg = SamplingConfig {
+            ooc_threads: threads,
+            prefetch,
+            ..*cfg
+        };
+        let t0 = Instant::now();
+        let scores = vbm.score_store(&store, &run_cfg).combined;
+        let score_ms = t0.elapsed().as_secs_f64() * 1e3;
+        match &baseline {
+            None => baseline = Some(scores),
+            Some(b) => assert_eq!(
+                b, &scores,
+                "{mode} must be bit-identical to the sequential baseline"
+            ),
+        }
+        let st = store.stats();
+        out.push(AbResult {
+            mode,
+            threads: run_cfg.score_threads(),
+            score_ms,
+            bytes_read: st.bytes_read,
+            hits: st.hits,
+            misses: st.misses,
+        });
+    }
+    out
+}
+
+/// LRU vs segmented LRU under the adversarial workload the segmented
+/// policy exists for: a small re-used hot set interleaved with one full
+/// per-row sweep. Reported per policy: the hit rate and bytes re-read
+/// when the hot set is touched again *after* the sweep (segmented keeps
+/// it resident; plain LRU has evicted it for scan blocks it never reuses).
+fn run_scan_cache(path: &Path, n: usize, attrs: usize) -> Vec<ScanCacheResult> {
+    fn touch_hot(store: &OocStore, hot: u32, row: &mut [f32], nbrs: &mut Vec<u32>) {
+        for u in 0..hot {
+            store.attr_row_into(u, row);
+            store.neighbors_into(u, nbrs);
+        }
+    }
+    let mut out = Vec::new();
+    for (name, policy) in [
+        ("lru", CachePolicy::Lru),
+        ("segmented", CachePolicy::Segmented),
+    ] {
+        // Budget: row pointers (u64 each) + 12 cache blocks. The hot set
+        // (4 attr blocks plus their ~3 edge blocks) fits the protected
+        // segment's 4/5-of-cache cap with room to spare; the scan does not.
+        let attr_block_bytes = DEFAULT_ATTR_BLOCK_NODES * attrs * 4;
+        let budget = (n + 1) * 8 + 12 * attr_block_bytes;
+        let store = OocStore::open_with(
+            path,
+            StoreOptions {
+                budget,
+                policy,
+                shards: 1, // single shard: eviction order is fully determined
+            },
+        )
+        .expect("open store for scan A/B");
+        let hot = DEFAULT_ATTR_BLOCK_NODES as u32 * 4;
+        let mut row = vec![0.0f32; store.num_attrs()];
+        let mut nbrs = Vec::new();
+        let base = store.stats();
+        touch_hot(&store, hot, &mut row, &mut nbrs); // admit
+        let hot_bytes = store.stats().bytes_read - base.bytes_read;
+        touch_hot(&store, hot, &mut row, &mut nbrs); // reuse: promote under segmented
+        for u in 0..n as u32 {
+            store.attr_row_into(u, &mut row); // the scan
+        }
+        let before = store.stats();
+        touch_hot(&store, hot, &mut row, &mut nbrs); // hot set still resident?
+        let after = store.stats();
+        let reread = after.bytes_read - before.bytes_read;
+        out.push(ScanCacheResult {
+            policy: name,
+            hot_survival: 1.0 - reread as f64 / hot_bytes.max(1) as f64,
+            hot_bytes,
+            hot_reread_bytes: reread,
+            hits: after.hits,
+            misses: after.misses,
+        });
+    }
+    out
+}
+
 fn run_point(n: usize, budget: usize) -> PointResult {
     let path = std::env::temp_dir().join(format!("vgod_scale_{n}_{}", std::process::id()));
     let synth_cfg = SynthStoreConfig::scaled(n, 42);
@@ -158,6 +295,16 @@ fn run_point(n: usize, budget: usize) -> PointResult {
         &cfg,
         &mut dominant,
     ));
+    drop(store);
+
+    // The concurrency A/B and the replacement-policy comparison only make
+    // sense above the sampling threshold (below it scoring is one exact
+    // full-graph pass with nothing to parallelise or thrash).
+    let (ab, scan_cache) = if n > cfg.full_graph_threshold {
+        (run_ab(&path, budget, &cfg), run_scan_cache(&path, n, attrs))
+    } else {
+        (Vec::new(), Vec::new())
+    };
 
     let _ = std::fs::remove_file(&path);
     PointResult {
@@ -168,6 +315,8 @@ fn run_point(n: usize, budget: usize) -> PointResult {
         store_file_bytes,
         in_memory_estimate: in_memory_bytes_estimate(n, edges, attrs),
         classes,
+        ab,
+        scan_cache,
     }
 }
 
@@ -199,6 +348,26 @@ fn main() {
                 c.evictions,
             );
         }
+        for ab in &p.ab {
+            eprintln!(
+                "  ab {:>18} ({} thread(s)) score {:>10.1} ms  read {:>8.1} MB  \
+                 {} hits / {} misses",
+                ab.mode,
+                ab.threads,
+                ab.score_ms,
+                ab.bytes_read as f64 / (1024.0 * 1024.0),
+                ab.hits,
+                ab.misses,
+            );
+        }
+        for sc in &p.scan_cache {
+            eprintln!(
+                "  scan {:>16} hot survival {:>5.1}%  hot re-read {:>8.1} MB",
+                sc.policy,
+                sc.hot_survival * 100.0,
+                sc.hot_reread_bytes as f64 / (1024.0 * 1024.0),
+            );
+        }
         points.push(p);
     }
     write_json(budget, &points);
@@ -210,6 +379,10 @@ fn write_json(budget: usize, points: &[PointResult]) {
     out.push_str("{\n");
     out.push_str("  \"bench\": \"scale\",\n");
     out.push_str(&format!("  \"budget_bytes\": {budget},\n"));
+    out.push_str(&format!(
+        "  \"host_cpus\": {},\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
     out.push_str("  \"trajectory\": [\n");
     for (i, p) in points.iter().enumerate() {
         out.push_str(&format!(
@@ -238,6 +411,36 @@ fn write_json(budget: usize, points: &[PointResult]) {
                 c.bytes_read,
                 c.evictions,
                 if j + 1 < p.classes.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("     ],\n");
+        out.push_str("     \"ab\": [\n");
+        for (j, a) in p.ab.iter().enumerate() {
+            out.push_str(&format!(
+                "       {{\"mode\": \"{}\", \"threads\": {}, \"score_ms\": {:.1}, \
+                 \"bytes_read\": {}, \"hits\": {}, \"misses\": {}}}{}\n",
+                a.mode,
+                a.threads,
+                a.score_ms,
+                a.bytes_read,
+                a.hits,
+                a.misses,
+                if j + 1 < p.ab.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("     ],\n");
+        out.push_str("     \"scan_cache\": [\n");
+        for (j, s) in p.scan_cache.iter().enumerate() {
+            out.push_str(&format!(
+                "       {{\"policy\": \"{}\", \"hot_survival\": {:.4}, \"hot_bytes\": {}, \
+                 \"hot_reread_bytes\": {}, \"hits\": {}, \"misses\": {}}}{}\n",
+                s.policy,
+                s.hot_survival,
+                s.hot_bytes,
+                s.hot_reread_bytes,
+                s.hits,
+                s.misses,
+                if j + 1 < p.scan_cache.len() { "," } else { "" }
             ));
         }
         out.push_str(&format!(

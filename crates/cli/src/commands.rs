@@ -14,14 +14,14 @@ use vgod_datasets::{replica, Dataset, Scale};
 use vgod_eval::{auc, average_precision, precision_at_k, recall_at_k, OutlierDetector};
 use vgod_graph::{
     adjusted_homophily, degree_stats, edge_homophily, load_graph, parse_mem_budget, save_graph,
-    seeded_rng, synth_store, AttributedGraph, GraphStore, OocStore, SamplingConfig,
-    SynthStoreConfig, DEFAULT_ATTR_BLOCK_NODES, DEFAULT_EDGE_BLOCK_ENTRIES,
+    seeded_rng, synth_store, AttributedGraph, CachePolicy, GraphStore, OocStore, SamplingConfig,
+    StoreOptions, SynthStoreConfig, DEFAULT_ATTR_BLOCK_NODES, DEFAULT_EDGE_BLOCK_ENTRIES,
 };
 use vgod_inject::{
     inject_community_replacement, inject_contextual, inject_standard, inject_structural,
     ContextualParams, DistanceMetric, GroundTruth, OutlierKind, StructuralParams,
 };
-use vgod_serve::{AnyDetector, RegistryConfig, ServeConfig};
+use vgod_serve::{AnyDetector, OocServeConfig, RegistryConfig, ServeConfig};
 
 use crate::args::Args;
 use crate::files;
@@ -284,7 +284,17 @@ fn sampling_config(args: &Args, batch: usize) -> Result<SamplingConfig, String> 
         seed: args
             .get_parsed_or("sample-seed", 0)
             .map_err(|e| e.to_string())?,
+        ooc_threads: args
+            .get_parsed_or("ooc-threads", 0)
+            .map_err(|e| e.to_string())?,
+        prefetch: args.has("prefetch"),
     })
+}
+
+/// The block cache policy from `--cache-policy` (default: segmented LRU).
+fn cache_policy(args: &Args) -> Result<CachePolicy, String> {
+    args.get("cache-policy")
+        .map_or(Ok(CachePolicy::default()), CachePolicy::parse)
 }
 
 /// `vgod detect --out-of-core`: train and score against a demand-paged
@@ -304,22 +314,32 @@ fn detect_out_of_core(
     load_model: Option<&str>,
 ) -> CmdResult {
     let budget = parse_mem_budget(args.get("mem-budget").unwrap_or("256M"))?;
-    let store = OocStore::open(Path::new(input), budget).map_err(|e| format!("{input}: {e}"))?;
+    let opts = StoreOptions {
+        budget,
+        policy: cache_policy(args)?,
+        shards: 0,
+    };
+    let store = OocStore::open_with(Path::new(input), opts).map_err(|e| format!("{input}: {e}"))?;
     let scfg = sampling_config(args, batch)?;
     let verbose = args.has("verbose");
     if verbose {
         eprintln!(
-            "store {input}: {} nodes, {} edges, {} attrs; budget {} bytes, \
-             sampling threshold {} (batch {}, fanout {}, hops {}, train seeds {})",
+            "store {input}: {} nodes, {} edges, {} attrs; budget {} bytes \
+             ({} cache, {} shards), sampling threshold {} (batch {}, fanout {}, \
+             hops {}, train seeds {}), {} score thread(s), prefetch {}",
             store.num_nodes(),
             store.num_edges(),
             store.num_attrs(),
             store.budget(),
+            store.policy().name(),
+            store.shard_count(),
             scfg.full_graph_threshold,
             scfg.batch_size,
             scfg.fanout,
             scfg.hops,
             scfg.train_seeds,
+            scfg.score_threads(),
+            if scfg.prefetch { "on" } else { "off" },
         );
     }
     let detector = match load_model {
@@ -340,8 +360,15 @@ fn detect_out_of_core(
         let st = store.stats();
         eprintln!(
             "store stats: {} resident blocks / {} resident bytes (budget {}), \
-             {} bytes read, {} evictions",
-            st.resident_blocks, st.resident_bytes, st.budget_bytes, st.bytes_read, st.evictions
+             {} bytes read, {} evictions, {} hits / {} misses ({:.1}% hit rate)",
+            st.resident_blocks,
+            st.resident_bytes,
+            st.budget_bytes,
+            st.bytes_read,
+            st.evictions,
+            st.hits,
+            st.misses,
+            100.0 * st.hit_rate(),
         );
     }
     Ok(())
@@ -351,13 +378,36 @@ fn detect_out_of_core(
 pub fn store(args: &Args) -> CmdResult {
     if let Some(path) = args.get("info") {
         let budget = parse_mem_budget(args.get("mem-budget").unwrap_or("64M"))?;
-        let s = OocStore::open(Path::new(path), budget).map_err(|e| format!("{path}: {e}"))?;
+        let opts = StoreOptions {
+            budget,
+            policy: cache_policy(args)?,
+            shards: 0,
+        };
+        let s = OocStore::open_with(Path::new(path), opts).map_err(|e| format!("{path}: {e}"))?;
         println!("nodes       : {}", s.num_nodes());
         println!("edges       : {}", s.num_edges());
         println!("attributes  : {}", s.num_attrs());
-        println!("attr block  : {} rows", s.attr_block_nodes());
-        println!("edge block  : {} entries", s.edge_block_entries());
+        println!(
+            "attr block  : {} rows ({} blocks)",
+            s.attr_block_nodes(),
+            s.num_attr_blocks()
+        );
+        println!(
+            "edge block  : {} entries ({} blocks)",
+            s.edge_block_entries(),
+            s.num_edge_blocks()
+        );
         println!("labels      : {}", s.labels_vec().is_some());
+        println!(
+            "cache       : {} policy, {} shards",
+            s.policy().name(),
+            s.shard_count()
+        );
+        println!(
+            "cache budget: {} bytes of {} total (indptr keeps the rest resident)",
+            s.cache_budget(),
+            s.budget()
+        );
         let st = s.stats();
         println!(
             "resident    : {} bytes of {} budget",
@@ -445,6 +495,16 @@ pub fn serve(args: &Args) -> CmdResult {
     let reload_ms: u64 = args
         .get_parsed_or("reload-ms", 500)
         .map_err(|e| e.to_string())?;
+    let out_of_core = if args.has("out-of-core") {
+        let budget = parse_mem_budget(args.get("mem-budget").unwrap_or("256M"))?;
+        Some(OocServeConfig {
+            budget,
+            policy: cache_policy(args)?,
+            sampling: sampling_config(args, 0)?,
+        })
+    } else {
+        None
+    };
 
     let cfg = ServeConfig {
         max_batch: max_batch.max(1),
@@ -454,6 +514,7 @@ pub fn serve(args: &Args) -> CmdResult {
         registry: RegistryConfig {
             reload_poll: Duration::from_millis(reload_ms.max(1)),
         },
+        out_of_core,
     };
     let handle = vgod_serve::serve(
         Path::new(models_dir),
@@ -565,7 +626,7 @@ mod tests {
         // Same switch list as main.rs so tests drive the real flag grammar.
         Args::parse_with_switches(
             &words.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
-            &["out-of-core", "verbose"],
+            &["out-of-core", "verbose", "prefetch"],
         )
         .unwrap()
     }
@@ -827,6 +888,95 @@ mod tests {
     }
 
     #[test]
+    fn serve_out_of_core_round_trip() {
+        let store_path = tmp("srvooc.vgodstore");
+        let models_dir = tmp("srvooc_models");
+        let addr_file = tmp("srvooc_addr.txt");
+        let model_path = format!("{models_dir}/degnorm.ckpt");
+        let _ = std::fs::remove_dir_all(&models_dir);
+        std::fs::create_dir_all(&models_dir).unwrap();
+        store(&args_of(&[
+            "--synth-nodes",
+            "400",
+            "--seed",
+            "5",
+            "--out",
+            &store_path,
+        ]))
+        .unwrap();
+        detect(&args_of(&[
+            "--in",
+            &store_path,
+            "--scores",
+            &tmp("srvooc_scores.tsv"),
+            "--model",
+            "degnorm",
+            "--out-of-core",
+            "--save-model",
+            &model_path,
+        ]))
+        .unwrap();
+
+        // All replicas share one demand-paged store (forced small budget +
+        // a threshold below n so scoring runs the sampled batch pipeline).
+        let serve_args: Vec<String> = [
+            "--models",
+            &models_dir,
+            "--in",
+            &store_path,
+            "--port",
+            "0",
+            "--replicas",
+            "2",
+            "--out-of-core",
+            "--mem-budget",
+            "1M",
+            "--threshold",
+            "100",
+            "--ooc-threads",
+            "2",
+            "--prefetch",
+            "--addr-file",
+            &addr_file,
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let server = std::thread::spawn(move || {
+            serve(&Args::parse_with_switches(&serve_args, &["out-of-core", "prefetch"]).unwrap())
+        });
+
+        let addr = loop {
+            if let Ok(text) = std::fs::read_to_string(&addr_file) {
+                if let Ok(addr) = text.trim().parse::<std::net::SocketAddr>() {
+                    break addr;
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+        let (status, _) = vgod_serve::http::get(addr, "/healthz").unwrap();
+        assert_eq!(status, 200);
+        let (status, body) =
+            vgod_serve::http::post(addr, "/score", r#"{"model":"degnorm","nodes":[0,399]}"#)
+                .unwrap();
+        assert_eq!(status, 200, "{body}");
+        let (status, body) = vgod_serve::http::get(addr, "/metrics").unwrap();
+        assert_eq!(status, 200);
+        assert!(
+            body.contains("\"hits\":"),
+            "metrics must surface cache hits: {body}"
+        );
+        let (status, _) = vgod_serve::http::post(addr, "/shutdown", "").unwrap();
+        assert_eq!(status, 200);
+        server.join().unwrap().unwrap();
+
+        let _ = std::fs::remove_dir_all(&models_dir);
+        for p in [&store_path, &addr_file, &tmp("srvooc_scores.tsv")] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
     fn out_of_core_pipeline_synth_detect_eval() {
         let store_path = tmp("ooc.vgodstore");
         let truth_path = tmp("ooc_truth.txt");
@@ -866,7 +1016,34 @@ mod tests {
             &truth_path,
         ]))
         .unwrap();
-        for p in [&store_path, &truth_path, &scores_path] {
+        // The concurrent pipeline (parallel batches + prefetch) is an
+        // optimisation, not a different algorithm: same scores, any policy.
+        let scores_par = tmp("ooc_scores_par.tsv");
+        detect(&args_of(&[
+            "--in",
+            &store_path,
+            "--scores",
+            &scores_par,
+            "--model",
+            "degnorm",
+            "--out-of-core",
+            "--mem-budget",
+            "1M",
+            "--threshold",
+            "100",
+            "--ooc-threads",
+            "4",
+            "--prefetch",
+            "--cache-policy",
+            "lru",
+        ]))
+        .unwrap();
+        let read = |p: &str| -> Vec<f32> {
+            let mut r = std::io::BufReader::new(File::open(p).unwrap());
+            crate::files::read_scores(&mut r).unwrap()
+        };
+        assert_eq!(read(&scores_path), read(&scores_par));
+        for p in [&store_path, &truth_path, &scores_path, &scores_par] {
             let _ = std::fs::remove_file(p);
         }
     }

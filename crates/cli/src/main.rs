@@ -37,6 +37,9 @@ COMMANDS:
              [--out-of-core: --in is a .vgodstore file, demand-paged under --mem-budget]
              [--mem-budget SIZE (default 256M) --threshold N --fanout N --hops N]
              [--train-seeds N --sample-seed N --verbose: print store stats]
+             [--ooc-threads N: parallel score batches, 0 = worker pool size]
+             [--prefetch: overlap next-batch block reads with compute]
+             [--cache-policy segmented|lru: block replacement, default segmented]
   store      build, convert, or inspect on-disk graph stores (.vgodstore)
              --synth-nodes N --out FILE [--seed N --truth FILE]   synthesize at scale
              --in graph.txt --out FILE                            convert a text graph
@@ -47,6 +50,8 @@ COMMANDS:
              [--replicas N: scoring replicas, 0 = one per core (default)]
              [--reload-ms N: checkpoint hot-reload poll interval, default 500]
              [--addr-file FILE: write the bound address, useful with --port 0]
+             [--out-of-core: replicas share one demand-paged store under
+              --mem-budget, --cache-policy and the detect sampling flags]
   eval       score a ranking against ground truth
              --scores FILE  --truth FILE  [--at K]
   stats      print graph statistics
@@ -59,7 +64,7 @@ fn main() {
         eprint!("{USAGE}");
         std::process::exit(2);
     };
-    let args = match Args::parse_with_switches(rest, &["out-of-core", "verbose"]) {
+    let args = match Args::parse_with_switches(rest, &["out-of-core", "verbose", "prefetch"]) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}\n");

@@ -388,6 +388,7 @@ mod tests {
             hops: 2,
             train_seeds: 200,
             seed: 9,
+            ..SamplingConfig::default()
         };
         let mut model = Vgod::new(fast());
         model.fit_store(&g, &scfg);

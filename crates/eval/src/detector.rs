@@ -1,8 +1,10 @@
 //! The common interface every outlier detector implements.
 
 use std::borrow::Cow;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
-use vgod_graph::{AttributedGraph, GraphStore, NeighborSampler, SamplingConfig};
+use vgod_graph::{AttributedGraph, GraphStore, NeighborSampler, SampledBatch, SamplingConfig};
 
 use crate::combine_mean_std;
 
@@ -127,7 +129,8 @@ pub fn assemble_batch_scores(n: usize, parts: Vec<(usize, Scores)>) -> Scores {
 /// transductive `score`; above it, each sampled batch neighbourhood is
 /// treated as its own small transductive problem — a fresh clone of the
 /// detector is fitted and scored on the batch subgraph and only the seed
-/// rows are kept.
+/// rows are kept. Batches run through [`score_sampled_batches`], so the
+/// refit path parallelises and prefetches like the generic one.
 pub fn refit_score_store<D: OutlierDetector + Clone>(
     det: &D,
     store: &dyn GraphStore,
@@ -136,16 +139,122 @@ pub fn refit_score_store<D: OutlierDetector + Clone>(
     if let Some(g) = full_graph_view(store, cfg) {
         return det.score(&g);
     }
-    let sampler = NeighborSampler::new(store, *cfg);
-    let mut parts = Vec::with_capacity(sampler.num_score_batches());
-    for b in 0..sampler.num_score_batches() {
-        let batch = sampler.score_batch(b);
+    let parts = score_sampled_batches(store, cfg, &|batch| {
         let mut local = det.clone();
-        let mut s = local.fit_score(&batch.graph);
-        s.truncate_to(batch.num_seeds);
-        parts.push((batch.num_seeds, s));
-    }
+        local.fit_score(&batch.graph)
+    });
     assemble_batch_scores(store.num_nodes(), parts)
+}
+
+/// Sets a stop flag when dropped, so the prefetcher thread is released
+/// even when a scoring batch panics mid-flight.
+struct StopGuard<'a>(&'a AtomicBool);
+
+impl Drop for StopGuard<'_> {
+    fn drop(&mut self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+}
+
+/// Score every sampled batch with `score_one`, returning
+/// `(num_seeds, seed-truncated scores)` in batch order.
+///
+/// When the store supports shared access ([`GraphStore::as_shared`]) and
+/// the config asks for concurrency (`score_threads() > 1` or `prefetch`),
+/// batches are dispatched across the tensor worker pool, each writing its
+/// pre-assigned slot; otherwise the plain sequential loop runs. Results
+/// are bit-identical either way and at every thread count: batch `b`'s
+/// sampled subgraph depends only on `(cfg.seed, b)`, never on which
+/// thread ran it or in what order.
+///
+/// With `cfg.prefetch`, a background thread walks one batch wave ahead of
+/// compute, paging the next batches' edge/attribute blocks into the
+/// store's shared cache so compute threads find them resident.
+pub fn score_sampled_batches(
+    store: &dyn GraphStore,
+    cfg: &SamplingConfig,
+    score_one: &(dyn Fn(&SampledBatch) -> Scores + Sync),
+) -> Vec<(usize, Scores)> {
+    let num_batches = NeighborSampler::new(store, *cfg).num_score_batches();
+    let threads = cfg.score_threads();
+    if threads > 1 || cfg.prefetch {
+        if let Some(shared) = store.as_shared() {
+            return score_batches_parallel(shared, cfg, num_batches, threads, score_one);
+        }
+    }
+    let sampler = NeighborSampler::new(store, *cfg);
+    (0..num_batches)
+        .map(|b| {
+            let batch = sampler.score_batch(b);
+            let mut s = score_one(&batch);
+            s.truncate_to(batch.num_seeds);
+            (batch.num_seeds, s)
+        })
+        .collect()
+}
+
+fn score_batches_parallel(
+    store: &(dyn GraphStore + Sync),
+    cfg: &SamplingConfig,
+    num_batches: usize,
+    threads: usize,
+    score_one: &(dyn Fn(&SampledBatch) -> Scores + Sync),
+) -> Vec<(usize, Scores)> {
+    let slots: Vec<OnceLock<(usize, Scores)>> = (0..num_batches).map(|_| OnceLock::new()).collect();
+    let done = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let n = store.num_nodes();
+    // The prefetch stage only pays off when a spare hardware thread can
+    // absorb the pread time; on a single-hardware-thread host every cycle
+    // it spends (it is almost pure system time in `pread`) is stolen from
+    // compute, so the stage is skipped. Scores are bit-identical either
+    // way — prefetching only changes which thread faults a block in.
+    let hw_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    std::thread::scope(|scope| {
+        let _stop_on_unwind = StopGuard(&stop);
+        let prefetcher = (cfg.prefetch && hw_threads > 1).then(|| {
+            scope.spawn(|| {
+                for b in 1..num_batches {
+                    // Pace the I/O: stay at most one batch wave ahead of
+                    // compute so prefetched blocks are still resident when
+                    // their batch runs.
+                    while b > done.load(Ordering::Relaxed) + threads + 1 {
+                        if stop.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        // Coarse poll: pacing only needs batch-scale
+                        // granularity, and each wakeup preempts a compute
+                        // thread when cores are scarce.
+                        std::thread::sleep(std::time::Duration::from_micros(500));
+                    }
+                    if stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let (lo, hi) = cfg.batch_seed_range(n, b);
+                    store.prefetch_nodes(lo, hi);
+                }
+            })
+        });
+        vgod_tensor::threading::run_indexed(num_batches, threads, &|b| {
+            let sampler = NeighborSampler::new(store, *cfg);
+            let batch = sampler.score_batch(b);
+            let mut s = score_one(&batch);
+            s.truncate_to(batch.num_seeds);
+            let set = slots[b].set((batch.num_seeds, s));
+            assert!(set.is_ok(), "batch {b} dispatched twice");
+            done.fetch_add(1, Ordering::Relaxed);
+        });
+        stop.store(true, Ordering::Relaxed);
+        if let Some(p) = prefetcher {
+            p.join().expect("prefetcher thread panicked");
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("missing batch result"))
+        .collect()
 }
 
 /// An unsupervised node outlier detector (Definition 2): fit on a graph
@@ -155,7 +264,11 @@ pub fn refit_score_store<D: OutlierDetector + Clone>(
 /// (fit and score the same graph) and the inductive protocol of
 /// Appendix B (fit on one graph, score another with the same attribute
 /// schema).
-pub trait OutlierDetector {
+///
+/// `Send + Sync` is a supertrait so sampled score batches can run on the
+/// worker pool (every detector is plain data between calls; fitted state
+/// is only mutated through `&mut self`).
+pub trait OutlierDetector: Send + Sync {
     /// Short display name used in result tables.
     fn name(&self) -> &'static str;
 
@@ -212,7 +325,10 @@ pub trait OutlierDetector {
     /// the full graph. Above it, nodes are scored in contiguous sampled
     /// batches — each batch is the induced subgraph around
     /// `cfg.batch_size` seed nodes, scored with the detector's ordinary
-    /// path, keeping only the seed rows. Scores that depend on global
+    /// path, keeping only the seed rows. Batches run through
+    /// [`score_sampled_batches`], which parallelises them across the
+    /// worker pool (and overlaps I/O) when `cfg` asks for it, without
+    /// changing a single score bit. Scores that depend on global
     /// normalisation are approximate under batching; detectors needing
     /// exact global combination (VGOD, DegNorm) override this to combine
     /// across the concatenated components instead.
@@ -220,14 +336,7 @@ pub trait OutlierDetector {
         if let Some(g) = full_graph_view(store, cfg) {
             return self.score(&g);
         }
-        let sampler = NeighborSampler::new(store, *cfg);
-        let mut parts = Vec::with_capacity(sampler.num_score_batches());
-        for b in 0..sampler.num_score_batches() {
-            let batch = sampler.score_batch(b);
-            let mut s = self.score(&batch.graph);
-            s.truncate_to(batch.num_seeds);
-            parts.push((batch.num_seeds, s));
-        }
+        let parts = score_sampled_batches(store, cfg, &|batch| self.score(&batch.graph));
         assemble_batch_scores(store.num_nodes(), parts)
     }
 

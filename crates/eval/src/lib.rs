@@ -23,7 +23,8 @@ mod ranking;
 mod threshold;
 
 pub use detector::{
-    assemble_batch_scores, full_graph_view, refit_score_store, OutlierDetector, Scores,
+    assemble_batch_scores, full_graph_view, refit_score_store, score_sampled_batches,
+    OutlierDetector, Scores,
 };
 pub use metrics::{auc, auc_gap, auc_group_vs_normal, auc_subset};
 pub use normalize::{

@@ -41,8 +41,9 @@ pub use stats::{
 };
 pub use store::{
     global_store_stats, in_memory_bytes_estimate, mix_seed, parse_mem_budget, synth_store,
-    write_store, GraphStore, OocStore, StoreStats, SynthStoreConfig, SynthTruth,
-    DEFAULT_ATTR_BLOCK_NODES, DEFAULT_EDGE_BLOCK_ENTRIES, STORE_MAGIC,
+    write_store, CachePolicy, GraphStore, OocStore, StoreOptions, StoreStats, SynthStoreConfig,
+    SynthTruth, DEFAULT_ATTR_BLOCK_NODES, DEFAULT_CACHE_SHARDS, DEFAULT_EDGE_BLOCK_ENTRIES,
+    STORE_MAGIC,
 };
 
 use rand::SeedableRng;

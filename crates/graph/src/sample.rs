@@ -35,6 +35,16 @@ pub struct SamplingConfig {
     pub train_seeds: usize,
     /// Master seed for every per-batch RNG stream.
     pub seed: u64,
+    /// Worker threads for scoring sampled batches in parallel (stores that
+    /// support shared access only). `0` defers to the tensor pool's
+    /// configured thread count; `1` forces the sequential path. Scores are
+    /// bit-identical at every setting — per-batch RNG streams depend only
+    /// on `(seed, batch index)` and each batch writes a pre-assigned
+    /// output slice.
+    pub ooc_threads: usize,
+    /// Overlap I/O with compute: while batch `k` scores, a background
+    /// thread pages batch `k+1`'s blocks into the cache.
+    pub prefetch: bool,
 }
 
 impl Default for SamplingConfig {
@@ -46,6 +56,8 @@ impl Default for SamplingConfig {
             hops: 2,
             train_seeds: 2048,
             seed: 0,
+            ooc_threads: 0,
+            prefetch: false,
         }
     }
 }
@@ -55,6 +67,24 @@ impl SamplingConfig {
     /// fast path.
     pub fn below_threshold(&self, store: &dyn GraphStore) -> bool {
         store.num_nodes() <= self.full_graph_threshold
+    }
+
+    /// The effective scoring thread count: `ooc_threads`, with `0`
+    /// deferring to the tensor pool's configured size.
+    pub fn score_threads(&self) -> usize {
+        if self.ooc_threads == 0 {
+            vgod_tensor::threading::num_threads()
+        } else {
+            self.ooc_threads
+        }
+    }
+
+    /// The seed-node range `[lo, hi)` of scoring batch `b` at `n` nodes
+    /// (matches [`NeighborSampler::score_batch`]).
+    pub fn batch_seed_range(&self, n: usize, b: usize) -> (u32, u32) {
+        let lo = b * self.batch_size;
+        let hi = n.min(lo + self.batch_size);
+        (lo as u32, hi as u32)
     }
 }
 
@@ -231,6 +261,8 @@ mod tests {
             hops: 2,
             train_seeds: 100,
             seed: 7,
+            ooc_threads: 0,
+            prefetch: false,
         }
     }
 
@@ -347,6 +379,7 @@ mod tests {
                     hops,
                     train_seeds: (n / 2).max(1),
                     seed: sample_seed,
+                    ..SamplingConfig::default()
                 };
                 let first = batches_of(&g, cfg);
                 let rerun = batches_of(&g, cfg);

@@ -10,7 +10,10 @@
 //!   the bit-identical full-graph code path).
 //! * [`OocStore`] — a chunked on-disk CSR + attribute store with an explicit
 //!   memory budget. Fixed-size blocks are demand-paged with `pread` into a
-//!   budgeted LRU block cache; only the row-pointer array stays resident.
+//!   budgeted, sharded (mutex-per-shard) block cache shared by every reader
+//!   thread; only the row-pointer array stays resident. Replacement is
+//!   scan-resistant segmented LRU by default ([`CachePolicy`]), so one
+//!   cold sweep cannot evict the sampler's hot working set.
 //!
 //! `OocStore` deliberately pages with positioned reads instead of `mmap`:
 //! the scale-smoke CI job proves the budget under `ulimit -v`, and a mapping
@@ -34,13 +37,12 @@
 //! an attribute row never spans blocks; edge rows may, and are copied
 //! per-block.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fs::File;
 use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::Path;
-use std::rc::Rc;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, Weak};
 
 use crate::attributes::standard_normal;
 use crate::{seeded_rng, AttributedGraph};
@@ -68,7 +70,9 @@ const FLAG_LABELS: u64 = 1;
 pub struct StoreStats {
     /// Cached blocks currently resident.
     pub resident_blocks: u64,
-    /// Bytes of cached block data currently resident (excluding `indptr`).
+    /// Bytes of cached block data currently resident (the per-store view
+    /// adds the always-resident `indptr`; the global view counts cache
+    /// blocks only).
     pub resident_bytes: u64,
     /// The configured budget in bytes (0 for in-memory stores).
     pub budget_bytes: u64,
@@ -76,23 +80,106 @@ pub struct StoreStats {
     pub bytes_read: u64,
     /// Blocks evicted to stay under the budget.
     pub evictions: u64,
+    /// Block fetches served from the cache.
+    pub hits: u64,
+    /// Block fetches that had to read from disk.
+    pub misses: u64,
 }
 
-static G_RESIDENT_BLOCKS: AtomicU64 = AtomicU64::new(0);
-static G_RESIDENT_BYTES: AtomicU64 = AtomicU64::new(0);
-static G_BYTES_READ: AtomicU64 = AtomicU64::new(0);
-static G_EVICTIONS: AtomicU64 = AtomicU64::new(0);
+impl StoreStats {
+    /// Cache hit rate in `[0, 1]` (0 when no block was ever fetched).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The single source of truth for one store's counters. `OocStore::stats`
+/// reads these directly, and [`global_store_stats`] sums the same atomics
+/// across a process-wide registry — the two views can never disagree.
+#[derive(Debug, Default)]
+struct StoreCounters {
+    resident_blocks: AtomicU64,
+    resident_bytes: AtomicU64,
+    budget_bytes: AtomicU64,
+    bytes_read: AtomicU64,
+    evictions: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl StoreCounters {
+    fn snapshot(&self) -> StoreStats {
+        StoreStats {
+            resident_blocks: self.resident_blocks.load(Ordering::Relaxed),
+            resident_bytes: self.resident_bytes.load(Ordering::Relaxed),
+            budget_bytes: self.budget_bytes.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Live stores (weak, so `Drop` needs no unregistration) plus monotonic
+/// totals folded in from already-dropped stores.
+static REGISTRY: Mutex<Vec<Weak<StoreCounters>>> = Mutex::new(Vec::new());
+static RETIRED_BYTES_READ: AtomicU64 = AtomicU64::new(0);
+static RETIRED_EVICTIONS: AtomicU64 = AtomicU64::new(0);
+static RETIRED_HITS: AtomicU64 = AtomicU64::new(0);
+static RETIRED_MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn register_counters(counters: &Arc<StoreCounters>) {
+    let mut reg = REGISTRY.lock().expect("store registry poisoned");
+    reg.retain(|w| w.strong_count() > 0);
+    reg.push(Arc::downgrade(counters));
+}
+
+fn retire_counters(counters: &StoreCounters) {
+    RETIRED_BYTES_READ.fetch_add(
+        counters.bytes_read.load(Ordering::Relaxed),
+        Ordering::Relaxed,
+    );
+    RETIRED_EVICTIONS.fetch_add(
+        counters.evictions.load(Ordering::Relaxed),
+        Ordering::Relaxed,
+    );
+    RETIRED_HITS.fetch_add(counters.hits.load(Ordering::Relaxed), Ordering::Relaxed);
+    RETIRED_MISSES.fetch_add(counters.misses.load(Ordering::Relaxed), Ordering::Relaxed);
+}
 
 /// Process-wide out-of-core store counters, aggregated across every
-/// [`OocStore`] ever opened (serving exposes these on `/metrics`).
+/// [`OocStore`] in the process (serving exposes these on `/metrics`).
+/// Resident figures cover live stores; read/eviction/hit/miss totals also
+/// include stores that have since been dropped. Reads the exact same
+/// per-store atomics as [`GraphStore::stats`].
 pub fn global_store_stats() -> StoreStats {
-    StoreStats {
-        resident_blocks: G_RESIDENT_BLOCKS.load(Ordering::Relaxed),
-        resident_bytes: G_RESIDENT_BYTES.load(Ordering::Relaxed),
-        budget_bytes: 0,
-        bytes_read: G_BYTES_READ.load(Ordering::Relaxed),
-        evictions: G_EVICTIONS.load(Ordering::Relaxed),
+    let mut total = StoreStats {
+        bytes_read: RETIRED_BYTES_READ.load(Ordering::Relaxed),
+        evictions: RETIRED_EVICTIONS.load(Ordering::Relaxed),
+        hits: RETIRED_HITS.load(Ordering::Relaxed),
+        misses: RETIRED_MISSES.load(Ordering::Relaxed),
+        ..StoreStats::default()
+    };
+    let mut reg = REGISTRY.lock().expect("store registry poisoned");
+    reg.retain(|w| w.strong_count() > 0);
+    for weak in reg.iter() {
+        let Some(c) = weak.upgrade() else { continue };
+        let s = c.snapshot();
+        total.resident_blocks += s.resident_blocks;
+        total.resident_bytes += s.resident_bytes;
+        total.budget_bytes += s.budget_bytes;
+        total.bytes_read += s.bytes_read;
+        total.evictions += s.evictions;
+        total.hits += s.hits;
+        total.misses += s.misses;
     }
+    total
 }
 
 /// Parse a human memory size: plain bytes, or a `K`/`M`/`G` suffix
@@ -178,6 +265,20 @@ pub trait GraphStore {
         StoreStats::default()
     }
 
+    /// A `Sync` view of this store, when the backend supports shared
+    /// multi-threaded access. [`OocStore`] returns `Some`; the in-memory
+    /// [`AttributedGraph`] deliberately returns `None` — its per-detector
+    /// context cache is single-threaded by design. Parallel batch
+    /// dispatch only engages when this returns `Some`.
+    fn as_shared(&self) -> Option<&(dyn GraphStore + Sync)> {
+        None
+    }
+
+    /// Hint that rows `lo..hi` are about to be read: warm their edge and
+    /// attribute blocks into the cache. Default: no-op (in-memory stores
+    /// have nothing to warm).
+    fn prefetch_nodes(&self, _lo: u32, _hi: u32) {}
+
     /// Gather attribute rows for `nodes` (in order) into a dense matrix.
     fn gather_attrs(&self, nodes: &[u32]) -> Matrix {
         let mut out = Matrix::zeros(nodes.len(), self.num_attrs());
@@ -260,75 +361,328 @@ impl GraphStore for AttributedGraph {
 // The out-of-core backend
 // ---------------------------------------------------------------------
 
-struct Entry<T> {
-    data: Rc<Vec<T>>,
-    tick: u64,
+/// Block replacement policy for the out-of-core cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CachePolicy {
+    /// Plain least-recently-used replacement.
+    Lru,
+    /// Scan-resistant segmented LRU (the default). Blocks are admitted on
+    /// probation; a *non-correlated* cache hit (a revisit, not the next
+    /// row of the same block during streaming iteration) promotes a block
+    /// to the protected segment (capped at ~80% of the cache budget per
+    /// shard, demoting its own LRU back to probation when full). Eviction
+    /// takes the probationary LRU first, so one cold sweep of single-use
+    /// blocks cannot flush the hot sampled working set.
+    #[default]
+    Segmented,
 }
 
-#[derive(Default)]
-struct BlockCache {
-    edge: HashMap<usize, Entry<u32>>,
-    attr: HashMap<usize, Entry<f32>>,
-    resident_bytes: usize,
-    tick: u64,
-    bytes_read: u64,
-    evictions: u64,
-}
-
-impl BlockCache {
-    fn next_tick(&mut self) -> u64 {
-        self.tick += 1;
-        self.tick
-    }
-
-    /// Evict least-recently-used blocks until `need` more bytes fit in
-    /// `budget`. Linear scan: the block count is budget/block-size, a few
-    /// hundred at realistic settings.
-    fn make_room(&mut self, need: usize, budget: usize) {
-        while self.resident_bytes + need > budget && !(self.edge.is_empty() && self.attr.is_empty())
-        {
-            let oldest_edge = self.edge.iter().min_by_key(|(_, e)| e.tick);
-            let oldest_attr = self.attr.iter().min_by_key(|(_, e)| e.tick);
-            let evict_edge = match (oldest_edge, oldest_attr) {
-                (Some((_, e)), Some((_, a))) => e.tick <= a.tick,
-                (Some(_), None) => true,
-                (None, Some(_)) => false,
-                (None, None) => unreachable!("loop guard checked non-empty"),
-            };
-            let freed = if evict_edge {
-                let key = *self.edge.iter().min_by_key(|(_, e)| e.tick).unwrap().0;
-                let e = self.edge.remove(&key).unwrap();
-                e.data.len() * 4
-            } else {
-                let key = *self.attr.iter().min_by_key(|(_, e)| e.tick).unwrap().0;
-                let e = self.attr.remove(&key).unwrap();
-                e.data.len() * 4
-            };
-            self.resident_bytes -= freed;
-            self.evictions += 1;
-            G_EVICTIONS.fetch_add(1, Ordering::Relaxed);
-            G_RESIDENT_BLOCKS.fetch_sub(1, Ordering::Relaxed);
-            G_RESIDENT_BYTES.fetch_sub(freed as u64, Ordering::Relaxed);
+impl CachePolicy {
+    /// Parse a CLI name: `lru` or `segmented`.
+    pub fn parse(s: &str) -> Result<CachePolicy, String> {
+        match s {
+            "lru" => Ok(CachePolicy::Lru),
+            "segmented" | "slru" => Ok(CachePolicy::Segmented),
+            other => Err(format!(
+                "unknown cache policy {other:?} (expected lru or segmented)"
+            )),
         }
     }
 
-    fn admit(&mut self, bytes: usize) {
-        self.resident_bytes += bytes;
-        G_RESIDENT_BLOCKS.fetch_add(1, Ordering::Relaxed);
-        G_RESIDENT_BYTES.fetch_add(bytes as u64, Ordering::Relaxed);
+    /// The canonical CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CachePolicy::Lru => "lru",
+            CachePolicy::Segmented => "segmented",
+        }
+    }
+}
+
+/// Default number of cache shards (mutex granularity for concurrent
+/// readers).
+pub const DEFAULT_CACHE_SHARDS: usize = 8;
+
+/// Options for [`OocStore::open_with`]: the byte budget plus cache tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct StoreOptions {
+    /// Total memory budget in bytes (resident `indptr` + block cache).
+    pub budget: usize,
+    /// Block replacement policy.
+    pub policy: CachePolicy,
+    /// Number of cache shards; `0` selects [`DEFAULT_CACHE_SHARDS`].
+    pub shards: usize,
+}
+
+impl StoreOptions {
+    /// Defaults (segmented LRU, auto shard count) at the given budget.
+    pub fn new(budget: usize) -> StoreOptions {
+        StoreOptions {
+            budget,
+            policy: CachePolicy::default(),
+            shards: 0,
+        }
+    }
+}
+
+/// Block payload types, tying each cached element type to its map within a
+/// [`Shard`] and a shard-selection salt (so edge and attribute blocks with
+/// equal ids land on decorrelated shards).
+trait BlockKind: Sized {
+    const SALT: u64;
+    fn map(shard: &mut Shard) -> &mut HashMap<usize, Slot<Self>>;
+    fn last_ref(cache: &ShardedCache) -> &AtomicU64;
+}
+
+impl BlockKind for u32 {
+    const SALT: u64 = 0xED6E_0000;
+    fn map(shard: &mut Shard) -> &mut HashMap<usize, Slot<u32>> {
+        &mut shard.edge
+    }
+    fn last_ref(cache: &ShardedCache) -> &AtomicU64 {
+        &cache.last_edge_ref
+    }
+}
+
+impl BlockKind for f32 {
+    const SALT: u64 = 0xA77A_0000;
+    fn map(shard: &mut Shard) -> &mut HashMap<usize, Slot<f32>> {
+        &mut shard.attr
+    }
+    fn last_ref(cache: &ShardedCache) -> &AtomicU64 {
+        &cache.last_attr_ref
+    }
+}
+
+struct Slot<T> {
+    data: Arc<Vec<T>>,
+    tick: u64,
+    protected: bool,
+}
+
+#[derive(Default)]
+struct Shard {
+    edge: HashMap<usize, Slot<u32>>,
+    attr: HashMap<usize, Slot<f32>>,
+    protected_bytes: usize,
+}
+
+/// The shared block cache: one mutex per shard so concurrent readers only
+/// contend when they touch the same shard, one global byte budget tracked
+/// in the store's [`StoreCounters`] (so `stats()` and eviction agree).
+struct ShardedCache {
+    shards: Vec<Mutex<Shard>>,
+    tick: AtomicU64,
+    evict_cursor: AtomicUsize,
+    policy: CachePolicy,
+    /// Budget available to cached blocks (total minus resident `indptr`).
+    budget: usize,
+    /// Per-shard cap on protected bytes (segmented policy only).
+    protected_cap: usize,
+    /// Most recently referenced edge/attr block ids. Consecutive accesses
+    /// to the same block (streaming row iteration) collapse into one
+    /// logical reference, so a sequential scan that touches each block a
+    /// handful of times in a row never earns promotion — only genuine
+    /// revisits do. Approximate under concurrency, which only costs an
+    /// occasional spurious promotion.
+    last_edge_ref: AtomicU64,
+    last_attr_ref: AtomicU64,
+}
+
+impl ShardedCache {
+    fn new(shards: usize, policy: CachePolicy, budget: usize) -> ShardedCache {
+        let shards = shards.max(1);
+        ShardedCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            tick: AtomicU64::new(0),
+            evict_cursor: AtomicUsize::new(0),
+            policy,
+            budget,
+            protected_cap: budget * 4 / 5 / shards,
+            last_edge_ref: AtomicU64::new(u64::MAX),
+            last_attr_ref: AtomicU64::new(u64::MAX),
+        }
     }
 
-    fn record_read(&mut self, bytes: usize) {
-        self.bytes_read += bytes as u64;
-        G_BYTES_READ.fetch_add(bytes as u64, Ordering::Relaxed);
+    fn shard_of<T: BlockKind>(&self, b: usize) -> usize {
+        splitmix64(b as u64 ^ T::SALT) as usize % self.shards.len()
+    }
+
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Residency probe that leaves every replacement signal untouched —
+    /// no recency bump, no promotion, no correlated-reference update. The
+    /// prefetcher uses this so warming ahead of the compute threads never
+    /// distorts the policy state their own accesses are building.
+    fn contains<T: BlockKind>(&self, b: usize) -> bool {
+        let shard_index = self.shard_of::<T>(b);
+        let mut shard = self.shards[shard_index]
+            .lock()
+            .expect("cache shard poisoned");
+        T::map(&mut shard).contains_key(&b)
+    }
+
+    /// Cache lookup. On a hit the slot's recency is refreshed and (under
+    /// the segmented policy) a non-correlated revisit promotes the block
+    /// to the protected segment.
+    fn lookup<T: BlockKind>(&self, b: usize) -> Option<Arc<Vec<T>>> {
+        let correlated = T::last_ref(self).swap(b as u64, Ordering::Relaxed) == b as u64;
+        let shard_index = self.shard_of::<T>(b);
+        let tick = self.next_tick();
+        let mut shard = self.shards[shard_index]
+            .lock()
+            .expect("cache shard poisoned");
+        let (data, promoted_bytes) = {
+            let slot = T::map(&mut shard).get_mut(&b)?;
+            slot.tick = tick;
+            let mut promoted = 0usize;
+            if self.policy == CachePolicy::Segmented && !slot.protected && !correlated {
+                slot.protected = true;
+                promoted = slot.data.len() * 4;
+            }
+            (Arc::clone(&slot.data), promoted)
+        };
+        if promoted_bytes > 0 {
+            shard.protected_bytes += promoted_bytes;
+            self.rebalance_protected(&mut shard);
+        }
+        Some(data)
+    }
+
+    /// Admit a freshly read block on probation. If another thread admitted
+    /// the same block while this one was reading it from disk, the earlier
+    /// copy wins (and is returned) so both threads share one allocation.
+    fn insert<T: BlockKind>(
+        &self,
+        b: usize,
+        data: Arc<Vec<T>>,
+        counters: &StoreCounters,
+    ) -> Arc<Vec<T>> {
+        let shard_index = self.shard_of::<T>(b);
+        let tick = self.next_tick();
+        let mut shard = self.shards[shard_index]
+            .lock()
+            .expect("cache shard poisoned");
+        if let Some(slot) = T::map(&mut shard).get_mut(&b) {
+            slot.tick = tick;
+            return Arc::clone(&slot.data);
+        }
+        let bytes = data.len() * 4;
+        T::map(&mut shard).insert(
+            b,
+            Slot {
+                data: Arc::clone(&data),
+                tick,
+                protected: false,
+            },
+        );
+        drop(shard);
+        counters.resident_blocks.fetch_add(1, Ordering::Relaxed);
+        counters
+            .resident_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+        self.evict_to_budget(counters);
+        data
+    }
+
+    /// Demote the protected LRU back to probation until the shard's
+    /// protected segment fits its cap.
+    fn rebalance_protected(&self, shard: &mut Shard) {
+        while shard.protected_bytes > self.protected_cap {
+            let Some((is_edge, key)) = Self::victim(shard, true) else {
+                break;
+            };
+            let freed = if is_edge {
+                let slot = shard.edge.get_mut(&key).unwrap();
+                slot.protected = false;
+                slot.data.len() * 4
+            } else {
+                let slot = shard.attr.get_mut(&key).unwrap();
+                slot.protected = false;
+                slot.data.len() * 4
+            };
+            shard.protected_bytes -= freed;
+        }
+    }
+
+    /// The LRU slot with the given protection status, if any.
+    fn victim(shard: &Shard, protected: bool) -> Option<(bool, usize)> {
+        let edge = shard
+            .edge
+            .iter()
+            .filter(|(_, s)| s.protected == protected)
+            .min_by_key(|(_, s)| s.tick)
+            .map(|(k, s)| (*k, s.tick));
+        let attr = shard
+            .attr
+            .iter()
+            .filter(|(_, s)| s.protected == protected)
+            .min_by_key(|(_, s)| s.tick)
+            .map(|(k, s)| (*k, s.tick));
+        match (edge, attr) {
+            (Some((ke, te)), Some((ka, ta))) => {
+                Some(if te <= ta { (true, ke) } else { (false, ka) })
+            }
+            (Some((ke, _)), None) => Some((true, ke)),
+            (None, Some((ka, _))) => Some((false, ka)),
+            (None, None) => None,
+        }
+    }
+
+    /// Drop one block from this shard — probationary LRU first, protected
+    /// LRU only when probation is empty. Returns the bytes freed.
+    fn evict_one(shard: &mut Shard) -> Option<usize> {
+        let (is_edge, key, was_protected) = Self::victim(shard, false)
+            .map(|(e, k)| (e, k, false))
+            .or_else(|| Self::victim(shard, true).map(|(e, k)| (e, k, true)))?;
+        let freed = if is_edge {
+            shard.edge.remove(&key).unwrap().data.len() * 4
+        } else {
+            shard.attr.remove(&key).unwrap().data.len() * 4
+        };
+        if was_protected {
+            shard.protected_bytes -= freed;
+        }
+        Some(freed)
+    }
+
+    /// Evict round-robin across shards until the cache fits its budget.
+    /// Only one shard lock is held at a time; concurrent admissions may
+    /// transiently overshoot the budget, but every admitting thread runs
+    /// this loop, so the cache settles back under budget.
+    fn evict_to_budget(&self, counters: &StoreCounters) {
+        let n = self.shards.len();
+        let mut empty_streak = 0usize;
+        while counters.resident_bytes.load(Ordering::Relaxed) > self.budget as u64
+            && empty_streak < n
+        {
+            let shard_index = self.evict_cursor.fetch_add(1, Ordering::Relaxed) % n;
+            let mut shard = self.shards[shard_index]
+                .lock()
+                .expect("cache shard poisoned");
+            match Self::evict_one(&mut shard) {
+                Some(freed) => {
+                    drop(shard);
+                    empty_streak = 0;
+                    counters.resident_blocks.fetch_sub(1, Ordering::Relaxed);
+                    counters
+                        .resident_bytes
+                        .fetch_sub(freed as u64, Ordering::Relaxed);
+                    counters.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => empty_streak += 1,
+            }
+        }
     }
 }
 
 /// A demand-paged on-disk graph store (see the module docs for the format
-/// and the paging strategy). Single-threaded by design — each scoring
-/// replica or trainer opens its own handle.
+/// and the paging strategy). `Send + Sync`: any number of reader threads
+/// may share one handle, paging through the sharded block cache under one
+/// byte budget.
 pub struct OocStore {
-    file: RefCell<File>,
+    file: StoreFile,
     n: usize,
     m_directed: usize,
     d: usize,
@@ -339,19 +693,16 @@ pub struct OocStore {
     off_labels: Option<u64>,
     /// Row pointers, fully resident (counted against the budget at `open`).
     indptr: Vec<u64>,
-    /// Budget available to the block cache (total minus `indptr`).
-    cache_budget: usize,
     budget: usize,
-    cache: RefCell<BlockCache>,
-    scratch: RefCell<Vec<u32>>,
+    cache: ShardedCache,
+    counters: Arc<StoreCounters>,
 }
 
 impl Drop for OocStore {
     fn drop(&mut self) {
-        let cache = self.cache.get_mut();
-        let blocks = (cache.edge.len() + cache.attr.len()) as u64;
-        G_RESIDENT_BLOCKS.fetch_sub(blocks, Ordering::Relaxed);
-        G_RESIDENT_BYTES.fetch_sub(cache.resident_bytes as u64, Ordering::Relaxed);
+        // Fold the monotonic counters into the process-wide totals; the
+        // resident figures vanish with the registry's weak reference.
+        retire_counters(&self.counters);
     }
 }
 
@@ -366,17 +717,38 @@ impl std::fmt::Debug for OocStore {
     }
 }
 
-fn read_exact_at(file: &RefCell<File>, buf: &mut [u8], off: u64) -> std::io::Result<()> {
+/// Positioned reads over the store file. On Unix a plain [`File`] suffices
+/// (`pread` never moves the cursor, so concurrent readers need no lock);
+/// elsewhere seek+read pairs are serialised behind a mutex.
+struct StoreFile {
     #[cfg(unix)]
-    {
-        use std::os::unix::fs::FileExt;
-        file.borrow().read_exact_at(buf, off)
-    }
+    file: File,
     #[cfg(not(unix))]
-    {
-        let mut f = file.borrow_mut();
-        f.seek(SeekFrom::Start(off))?;
-        f.read_exact(buf)
+    file: Mutex<File>,
+}
+
+impl StoreFile {
+    fn new(file: File) -> StoreFile {
+        StoreFile {
+            #[cfg(unix)]
+            file,
+            #[cfg(not(unix))]
+            file: Mutex::new(file),
+        }
+    }
+
+    fn read_exact_at(&self, buf: &mut [u8], off: u64) -> std::io::Result<()> {
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            self.file.read_exact_at(buf, off)
+        }
+        #[cfg(not(unix))]
+        {
+            let mut f = self.file.lock().expect("store file poisoned");
+            f.seek(SeekFrom::Start(off))?;
+            f.read_exact(buf)
+        }
     }
 }
 
@@ -393,13 +765,23 @@ fn bytes_to_f32s(buf: &[u8]) -> Vec<f32> {
 }
 
 impl OocStore {
-    /// Open a `VGODSTR1` store with a total memory budget in bytes.
+    /// Open a `VGODSTR1` store with a total memory budget in bytes and
+    /// default cache options (segmented LRU, auto shard count).
     ///
     /// The budget covers the resident row-pointer array plus the block
     /// cache; it must fit `indptr` plus at least one edge block and one
     /// attribute block, or `open` refuses with a message stating the
     /// minimum.
     pub fn open(path: &Path, budget: usize) -> Result<OocStore, String> {
+        Self::open_with(path, StoreOptions::new(budget))
+    }
+
+    /// Open a `VGODSTR1` store with explicit cache options (see [`open`]
+    /// for the budget contract).
+    ///
+    /// [`open`]: OocStore::open
+    pub fn open_with(path: &Path, opts: StoreOptions) -> Result<OocStore, String> {
+        let budget = opts.budget;
         let mut file = File::open(path).map_err(|e| format!("open {}: {e}", path.display()))?;
         let mut head = [0u8; HEADER_BYTES as usize];
         file.read_exact(&mut head)
@@ -468,13 +850,24 @@ impl OocStore {
         if indptr.first() != Some(&0) || indptr.last() != Some(&(m_directed as u64)) {
             return Err(format!("{}: inconsistent row pointers", path.display()));
         }
-        G_BYTES_READ.fetch_add(
+
+        let counters = Arc::new(StoreCounters::default());
+        counters
+            .budget_bytes
+            .store(budget as u64, Ordering::Relaxed);
+        counters.bytes_read.store(
             (HEADER_BYTES as usize + indptr_bytes) as u64,
             Ordering::Relaxed,
         );
+        register_counters(&counters);
 
+        let shards = if opts.shards == 0 {
+            DEFAULT_CACHE_SHARDS
+        } else {
+            opts.shards
+        };
         Ok(OocStore {
-            file: RefCell::new(file),
+            file: StoreFile::new(file),
             n,
             m_directed,
             d,
@@ -484,10 +877,9 @@ impl OocStore {
             off_attrs,
             off_labels,
             indptr,
-            cache_budget: budget - indptr_bytes,
             budget,
-            cache: RefCell::new(BlockCache::default()),
-            scratch: RefCell::new(Vec::new()),
+            cache: ShardedCache::new(shards, opts.policy, budget - indptr_bytes),
+            counters,
         })
     }
 
@@ -529,6 +921,48 @@ impl OocStore {
         self.budget
     }
 
+    /// The block replacement policy the cache runs.
+    pub fn policy(&self) -> CachePolicy {
+        self.cache.policy
+    }
+
+    /// Number of mutex-guarded cache shards.
+    pub fn shard_count(&self) -> usize {
+        self.cache.shards.len()
+    }
+
+    /// Bytes of the budget available to cached blocks (total budget minus
+    /// the resident row-pointer array).
+    pub fn cache_budget(&self) -> usize {
+        self.cache.budget
+    }
+
+    /// Total number of edge blocks in the file.
+    pub fn num_edge_blocks(&self) -> usize {
+        self.m_directed.div_ceil(self.edge_block_entries)
+    }
+
+    /// Total number of attribute blocks in the file.
+    pub fn num_attr_blocks(&self) -> usize {
+        self.n.div_ceil(self.attr_block_nodes)
+    }
+
+    /// Sorted ids of the currently cached `(edge, attr)` blocks — cache
+    /// *contents* irrespective of recency order, for tests that compare
+    /// prefetch-on against prefetch-off runs.
+    pub fn resident_block_ids(&self) -> (Vec<usize>, Vec<usize>) {
+        let mut edges = Vec::new();
+        let mut attrs = Vec::new();
+        for shard in &self.cache.shards {
+            let shard = shard.lock().expect("cache shard poisoned");
+            edges.extend(shard.edge.keys().copied());
+            attrs.extend(shard.attr.keys().copied());
+        }
+        edges.sort_unstable();
+        attrs.sort_unstable();
+        (edges, attrs)
+    }
+
     fn row_range(&self, u: u32) -> (usize, usize) {
         (
             self.indptr[u as usize] as usize,
@@ -544,56 +978,59 @@ impl OocStore {
         (self.n - b * self.attr_block_nodes).min(self.attr_block_nodes)
     }
 
-    fn edge_block(&self, b: usize) -> Rc<Vec<u32>> {
-        let mut cache = self.cache.borrow_mut();
-        let tick = cache.next_tick();
-        if let Some(e) = cache.edge.get_mut(&b) {
-            e.tick = tick;
-            return Rc::clone(&e.data);
-        }
-        let len = self.edge_block_len(b);
-        let bytes = len * 4;
-        cache.make_room(bytes, self.cache_budget);
-        let mut buf = vec![0u8; bytes];
-        let off = self.off_indices + (b * self.edge_block_entries * 4) as u64;
-        read_exact_at(&self.file, &mut buf, off).expect("store read failed (edge block)");
-        cache.record_read(bytes);
-        let data = Rc::new(bytes_to_u32s(&buf));
-        cache.admit(bytes);
-        cache.edge.insert(
-            b,
-            Entry {
-                data: Rc::clone(&data),
-                tick,
-            },
-        );
-        data
+    fn record_read(&self, bytes: usize) {
+        self.counters
+            .bytes_read
+            .fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
-    fn attr_block(&self, b: usize) -> Rc<Vec<f32>> {
-        let mut cache = self.cache.borrow_mut();
-        let tick = cache.next_tick();
-        if let Some(e) = cache.attr.get_mut(&b) {
-            e.tick = tick;
-            return Rc::clone(&e.data);
+    /// Read and admit one edge block (the miss path: the shard lock is
+    /// *not* held across the disk read — unlock, `pread` + decode, re-lock
+    /// with a double-check where a racing thread's copy wins).
+    fn load_edge_block(&self, b: usize) -> Arc<Vec<u32>> {
+        let bytes = self.edge_block_len(b) * 4;
+        let mut buf = vec![0u8; bytes];
+        let off = self.off_indices + (b * self.edge_block_entries * 4) as u64;
+        self.file
+            .read_exact_at(&mut buf, off)
+            .expect("store read failed (edge block)");
+        self.counters.misses.fetch_add(1, Ordering::Relaxed);
+        self.record_read(bytes);
+        self.cache
+            .insert(b, Arc::new(bytes_to_u32s(&buf)), &self.counters)
+    }
+
+    /// Fetch one edge block through the cache.
+    fn edge_block(&self, b: usize) -> Arc<Vec<u32>> {
+        if let Some(data) = self.cache.lookup::<u32>(b) {
+            self.counters.hits.fetch_add(1, Ordering::Relaxed);
+            return data;
         }
-        let rows = self.attr_block_rows(b);
-        let bytes = rows * self.d * 4;
-        cache.make_room(bytes, self.cache_budget);
+        self.load_edge_block(b)
+    }
+
+    /// Read and admit one attribute block (same locking protocol as
+    /// [`load_edge_block`](Self::load_edge_block)).
+    fn load_attr_block(&self, b: usize) -> Arc<Vec<f32>> {
+        let bytes = self.attr_block_rows(b) * self.d * 4;
         let mut buf = vec![0u8; bytes];
         let off = self.off_attrs + (b * self.attr_block_nodes * self.d * 4) as u64;
-        read_exact_at(&self.file, &mut buf, off).expect("store read failed (attr block)");
-        cache.record_read(bytes);
-        let data = Rc::new(bytes_to_f32s(&buf));
-        cache.admit(bytes);
-        cache.attr.insert(
-            b,
-            Entry {
-                data: Rc::clone(&data),
-                tick,
-            },
-        );
-        data
+        self.file
+            .read_exact_at(&mut buf, off)
+            .expect("store read failed (attr block)");
+        self.counters.misses.fetch_add(1, Ordering::Relaxed);
+        self.record_read(bytes);
+        self.cache
+            .insert(b, Arc::new(bytes_to_f32s(&buf)), &self.counters)
+    }
+
+    /// Fetch one attribute block through the cache.
+    fn attr_block(&self, b: usize) -> Arc<Vec<f32>> {
+        if let Some(data) = self.cache.lookup::<f32>(b) {
+            self.counters.hits.fetch_add(1, Ordering::Relaxed);
+            return data;
+        }
+        self.load_attr_block(b)
     }
 }
 
@@ -631,12 +1068,22 @@ impl GraphStore for OocStore {
     }
 
     fn has_edge(&self, u: u32, v: u32) -> bool {
-        let mut scratch = self.scratch.borrow_mut();
-        let mut nbrs = std::mem::take(&mut *scratch);
-        self.neighbors_into(u, &mut nbrs);
-        let hit = nbrs.binary_search(&v).is_ok();
-        *scratch = nbrs;
-        hit
+        // Rows are sorted, so each block's sub-slice is searchable in
+        // place — no scratch copy of the neighbour list needed.
+        let (start, end) = self.row_range(u);
+        if start == end {
+            return false;
+        }
+        let eb = self.edge_block_entries;
+        for b in start / eb..=(end - 1) / eb {
+            let block = self.edge_block(b);
+            let lo = start.max(b * eb) - b * eb;
+            let hi = end.min((b + 1) * eb) - b * eb;
+            if block[lo..hi].binary_search(&v).is_ok() {
+                return true;
+            }
+        }
+        false
     }
 
     fn attr_row_into(&self, u: u32, out: &mut [f32]) {
@@ -665,9 +1112,10 @@ impl GraphStore for OocStore {
             let bytes = (end - start) * 4;
             buf.resize(bytes, 0);
             if bytes > 0 {
-                read_exact_at(&self.file, &mut buf, self.off_indices + (start * 4) as u64)
+                self.file
+                    .read_exact_at(&mut buf, self.off_indices + (start * 4) as u64)
                     .expect("store read failed (adjacency sweep)");
-                self.cache.borrow_mut().record_read(bytes);
+                self.record_read(bytes);
             }
             let entries = bytes_to_u32s(&buf);
             for node in u..stop_node {
@@ -687,8 +1135,10 @@ impl GraphStore for OocStore {
             let bytes = rows * self.d * 4;
             buf.resize(bytes, 0);
             let off = self.off_attrs + (b * self.attr_block_nodes * self.d * 4) as u64;
-            read_exact_at(&self.file, &mut buf, off).expect("store read failed (attr sweep)");
-            self.cache.borrow_mut().record_read(bytes);
+            self.file
+                .read_exact_at(&mut buf, off)
+                .expect("store read failed (attr sweep)");
+            self.record_read(bytes);
             let floats = bytes_to_f32s(&buf);
             for r in 0..rows {
                 let u = (b * self.attr_block_nodes + r) as u32;
@@ -700,19 +1150,51 @@ impl GraphStore for OocStore {
     fn labels_vec(&self) -> Option<Vec<u32>> {
         let off = self.off_labels?;
         let mut buf = vec![0u8; self.n * 4];
-        read_exact_at(&self.file, &mut buf, off).expect("store read failed (labels)");
-        self.cache.borrow_mut().record_read(buf.len());
+        self.file
+            .read_exact_at(&mut buf, off)
+            .expect("store read failed (labels)");
+        self.record_read(buf.len());
         Some(bytes_to_u32s(&buf))
     }
 
     fn stats(&self) -> StoreStats {
-        let cache = self.cache.borrow();
-        StoreStats {
-            resident_blocks: (cache.edge.len() + cache.attr.len()) as u64,
-            resident_bytes: cache.resident_bytes as u64 + (self.indptr.len() * 8) as u64,
-            budget_bytes: self.budget as u64,
-            bytes_read: cache.bytes_read,
-            evictions: cache.evictions,
+        let mut stats = self.counters.snapshot();
+        // The per-store view also charges the always-resident row pointers.
+        stats.resident_bytes += (self.indptr.len() * 8) as u64;
+        stats
+    }
+
+    fn as_shared(&self) -> Option<&(dyn GraphStore + Sync)> {
+        Some(self)
+    }
+
+    fn prefetch_nodes(&self, lo: u32, hi: u32) {
+        let hi = hi.min(self.n as u32);
+        if lo >= hi {
+            return;
+        }
+        // Warm-only probes: resident blocks are left completely untouched
+        // (no recency bump, no promotion, no correlated-reference update),
+        // so warming ahead of the compute threads cannot distort the
+        // replacement decisions their own accesses drive. Missing blocks
+        // are read and admitted on probation exactly like a demand miss.
+        let (start, end) = (
+            self.indptr[lo as usize] as usize,
+            self.indptr[hi as usize] as usize,
+        );
+        if start < end {
+            let eb = self.edge_block_entries;
+            for b in start / eb..=(end - 1) / eb {
+                if !self.cache.contains::<u32>(b) {
+                    drop(self.load_edge_block(b));
+                }
+            }
+        }
+        let abn = self.attr_block_nodes;
+        for b in lo as usize / abn..=(hi as usize - 1) / abn {
+            if !self.cache.contains::<f32>(b) {
+                drop(self.load_attr_block(b));
+            }
         }
     }
 }
@@ -1152,6 +1634,156 @@ mod tests {
         assert_eq!(parse_mem_budget("96M").unwrap(), 96 << 20);
         assert_eq!(parse_mem_budget("2g").unwrap(), 2 << 30);
         assert!(parse_mem_budget("lots").is_err());
+    }
+
+    #[test]
+    fn store_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<OocStore>();
+    }
+
+    #[test]
+    fn concurrent_readers_agree_under_tiny_budget() {
+        let g = small_graph(11);
+        let path = temp_path("stress.gstore");
+        OocStore::create_from_graph(&g, &path, 8, 32).unwrap();
+        let n = g.num_nodes();
+        let d = g.num_attrs();
+        // Plain owned expectations: the in-memory graph itself is !Sync.
+        let expected_adj: Vec<Vec<u32>> = (0..n as u32).map(|u| g.neighbors(u).to_vec()).collect();
+        let expected_attr: Vec<Vec<f32>> = (0..n).map(|u| g.attrs().row(u).to_vec()).collect();
+        let min = (n + 1) * 8 + 32 * 4 + 8 * d * 4;
+        let store = OocStore::open_with(
+            &path,
+            StoreOptions {
+                budget: min + 512,
+                policy: CachePolicy::Segmented,
+                shards: 4,
+            },
+        )
+        .unwrap();
+        std::thread::scope(|scope| {
+            for t in 0..8u32 {
+                let store = &store;
+                let expected_adj = &expected_adj;
+                let expected_attr = &expected_attr;
+                scope.spawn(move || {
+                    let mut nbrs = Vec::new();
+                    let mut row = vec![0f32; d];
+                    for pass in 0..3u32 {
+                        for i in 0..n as u32 {
+                            // Thread-dependent visit order provokes
+                            // eviction races on the shared cache.
+                            let u = (i.wrapping_mul(2 * t + 1) + 7 * pass) % n as u32;
+                            store.neighbors_into(u, &mut nbrs);
+                            assert_eq!(
+                                nbrs.as_slice(),
+                                expected_adj[u as usize].as_slice(),
+                                "row {u} (thread {t}, pass {pass})"
+                            );
+                            store.attr_row_into(u, &mut row);
+                            assert_eq!(
+                                row.as_slice(),
+                                expected_attr[u as usize].as_slice(),
+                                "attrs {u} (thread {t}, pass {pass})"
+                            );
+                            let v = (u + t) % n as u32;
+                            assert_eq!(
+                                GraphStore::has_edge(store, u, v),
+                                expected_adj[u as usize].binary_search(&v).is_ok(),
+                                "edge {u}-{v}"
+                            );
+                        }
+                    }
+                });
+            }
+        });
+        let stats = store.stats();
+        assert!(stats.evictions > 0, "tiny budget must evict: {stats:?}");
+        assert!(stats.hits > 0 && stats.misses > 0, "{stats:?}");
+        assert!(
+            stats.resident_bytes <= store.budget() as u64,
+            "resident {} over budget {}",
+            stats.resident_bytes,
+            store.budget()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn segmented_cache_survives_scan_lru_does_not() {
+        let g = small_graph(12);
+        let path = temp_path("scan.gstore");
+        OocStore::create_from_graph(&g, &path, 8, 32).unwrap();
+        let d = g.num_attrs();
+        let indptr_bytes = (g.num_nodes() + 1) * 8;
+        // Room for ~4 edge blocks plus ~3 attribute blocks: a full edge
+        // sweep overflows the cache many times over.
+        let budget = indptr_bytes + 4 * 32 * 4 + 3 * 8 * d * 4;
+        let hot_rows = [0u32, 1, 8, 9]; // attribute blocks 0 and 1
+        let hot_reread_bytes = |policy: CachePolicy| -> u64 {
+            let store = OocStore::open_with(
+                &path,
+                StoreOptions {
+                    budget,
+                    policy,
+                    shards: 1,
+                },
+            )
+            .unwrap();
+            let mut row = vec![0f32; d];
+            // Touch the hot rows twice: the second access promotes their
+            // blocks to the protected segment (under Segmented).
+            for _ in 0..2 {
+                for &u in &hot_rows {
+                    store.attr_row_into(u, &mut row);
+                }
+            }
+            // Cold scan: page every edge block through the cache once.
+            let mut nbrs = Vec::new();
+            for u in 0..GraphStore::num_nodes(&store) as u32 {
+                store.neighbors_into(u, &mut nbrs);
+            }
+            let before = store.stats().bytes_read;
+            for &u in &hot_rows {
+                store.attr_row_into(u, &mut row);
+            }
+            store.stats().bytes_read - before
+        };
+        assert_eq!(
+            hot_reread_bytes(CachePolicy::Segmented),
+            0,
+            "segmented LRU must keep the hot attribute blocks through a scan"
+        );
+        assert!(
+            hot_reread_bytes(CachePolicy::Lru) > 0,
+            "plain LRU is expected to lose the hot blocks to the scan"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn prefetch_warms_exactly_the_touched_blocks() {
+        let g = small_graph(13);
+        let path = temp_path("prefetch.gstore");
+        OocStore::create_from_graph(&g, &path, 8, 32).unwrap();
+        let store = OocStore::open(&path, 1 << 20).unwrap();
+        store.prefetch_nodes(0, 16);
+        let (_, attrs) = store.resident_block_ids();
+        assert_eq!(attrs, vec![0, 1], "rows 0..16 span attribute blocks 0-1");
+        let read_after_prefetch = store.stats().bytes_read;
+        let mut row = vec![0f32; GraphStore::num_attrs(&store)];
+        let mut nbrs = Vec::new();
+        for u in 0..16u32 {
+            store.attr_row_into(u, &mut row);
+            store.neighbors_into(u, &mut nbrs);
+        }
+        assert_eq!(
+            store.stats().bytes_read,
+            read_after_prefetch,
+            "reads of prefetched rows must all hit the cache"
+        );
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

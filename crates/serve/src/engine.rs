@@ -50,11 +50,40 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use vgod_eval::OutlierDetector;
-use vgod_graph::{load_graph, AttributedGraph};
+use vgod_graph::{
+    load_graph, AttributedGraph, CachePolicy, GraphStore, OocStore, SamplingConfig, StoreOptions,
+};
 use vgod_tensor::Matrix;
 
+use crate::detector::AnyDetector;
 use crate::metrics::Metrics;
 use crate::registry::{LookupError, ModelInfo, Registry, RegistryConfig, Snapshot, SnapshotCell};
+
+/// Out-of-core deployment backend: instead of materialising a full
+/// in-memory graph per replica, every replica scores against **one**
+/// shared demand-paged [`OocStore`] under this byte budget — the store is
+/// `Send + Sync` and its sharded block cache is built for exactly this
+/// kind of concurrent reader fleet.
+#[derive(Clone, Debug)]
+pub struct OocServeConfig {
+    /// Total store memory budget in bytes (resident `indptr` + cache).
+    pub budget: usize,
+    /// Block replacement policy for the shared cache.
+    pub policy: CachePolicy,
+    /// Sampling schedule for store-backed scoring.
+    pub sampling: SamplingConfig,
+}
+
+impl OocServeConfig {
+    /// Defaults (segmented LRU, default sampling) at the given budget.
+    pub fn new(budget: usize) -> OocServeConfig {
+        OocServeConfig {
+            budget,
+            policy: CachePolicy::default(),
+            sampling: SamplingConfig::default(),
+        }
+    }
+}
 
 /// Engine tuning knobs.
 #[derive(Clone, Debug)]
@@ -70,6 +99,9 @@ pub struct ServeConfig {
     pub replicas: usize,
     /// Registry knobs (hot-reload poll interval).
     pub registry: RegistryConfig,
+    /// `Some` serves from a shared out-of-core store instead of per-replica
+    /// in-memory graphs (the deployment file must be a `VGODSTR1` store).
+    pub out_of_core: Option<OocServeConfig>,
 }
 
 impl Default for ServeConfig {
@@ -80,6 +112,7 @@ impl Default for ServeConfig {
             queue_capacity: 1024,
             replicas: 0,
             registry: RegistryConfig::default(),
+            out_of_core: None,
         }
     }
 }
@@ -189,6 +222,77 @@ impl GraphSpec {
     }
 }
 
+/// What each replica thread receives at spawn: either the raw parts of an
+/// in-memory graph to rebuild privately, or a handle to the one shared
+/// out-of-core store (which *is* `Send + Sync`, so no rebuild is needed —
+/// all replicas page through the same budgeted cache).
+enum ReplicaSource {
+    Full(Arc<GraphSpec>),
+    Store {
+        store: Arc<OocStore>,
+        sampling: SamplingConfig,
+    },
+}
+
+impl ReplicaSource {
+    /// A cheap per-replica handle (Arc clones only) — the source itself is
+    /// `Send`; the `ReplicaGraph` it builds is not and must be built on
+    /// the replica thread.
+    fn clone_handle(&self) -> ReplicaSource {
+        match self {
+            ReplicaSource::Full(spec) => ReplicaSource::Full(Arc::clone(spec)),
+            ReplicaSource::Store { store, sampling } => ReplicaSource::Store {
+                store: Arc::clone(store),
+                sampling: *sampling,
+            },
+        }
+    }
+
+    fn num_nodes(&self) -> usize {
+        match self {
+            ReplicaSource::Full(spec) => spec.x.rows(),
+            ReplicaSource::Store { store, .. } => GraphStore::num_nodes(&**store),
+        }
+    }
+
+    fn build(&self) -> ReplicaGraph {
+        match self {
+            ReplicaSource::Full(spec) => ReplicaGraph::Full(spec.build()),
+            ReplicaSource::Store { store, sampling } => ReplicaGraph::Store {
+                store: Arc::clone(store),
+                sampling: *sampling,
+            },
+        }
+    }
+}
+
+/// A replica's scoring view of the deployment graph.
+enum ReplicaGraph {
+    Full(AttributedGraph),
+    Store {
+        store: Arc<OocStore>,
+        sampling: SamplingConfig,
+    },
+}
+
+impl ReplicaGraph {
+    fn num_nodes(&self) -> usize {
+        match self {
+            ReplicaGraph::Full(g) => g.num_nodes(),
+            ReplicaGraph::Store { store, .. } => GraphStore::num_nodes(&**store),
+        }
+    }
+
+    /// One full scoring pass with `det` (the per-model pass every flush
+    /// amortises across its grouped requests).
+    fn full_scores(&self, det: &AnyDetector) -> Vec<f32> {
+        match self {
+            ReplicaGraph::Full(g) => det.score(g).combined,
+            ReplicaGraph::Store { store, sampling } => det.score_store(&**store, sampling).combined,
+        }
+    }
+}
+
 /// Per-model sticky routing table: first sight assigns the next replica
 /// round-robin, later requests stick to it.
 struct Router {
@@ -257,11 +361,27 @@ impl Engine {
         cfg: ServeConfig,
         metrics: Arc<Metrics>,
     ) -> Result<Engine, String> {
-        let graph = load_graph(graph_path.display().to_string())
-            .map_err(|e| format!("{}: {e}", graph_path.display()))?;
-        let num_nodes = graph.num_nodes();
-        let spec = Arc::new(GraphSpec::of(&graph));
-        drop(graph);
+        let source = match &cfg.out_of_core {
+            Some(ooc) => {
+                let opts = StoreOptions {
+                    budget: ooc.budget,
+                    policy: ooc.policy,
+                    shards: 0,
+                };
+                let store = OocStore::open_with(&graph_path, opts)
+                    .map_err(|e| format!("{}: {e}", graph_path.display()))?;
+                ReplicaSource::Store {
+                    store: Arc::new(store),
+                    sampling: ooc.sampling,
+                }
+            }
+            None => {
+                let graph = load_graph(graph_path.display().to_string())
+                    .map_err(|e| format!("{}: {e}", graph_path.display()))?;
+                ReplicaSource::Full(Arc::new(GraphSpec::of(&graph)))
+            }
+        };
+        let num_nodes = source.num_nodes();
 
         let registry = Registry::open(&models_dir)?;
         let snapshots = Arc::new(SnapshotCell::new(registry.snapshot()));
@@ -272,13 +392,13 @@ impl Engine {
         let mut replica_txs = Vec::with_capacity(replicas);
         for id in 0..replicas {
             let (tx, rx) = mpsc::sync_channel(cfg.queue_capacity.max(1));
-            let spec = Arc::clone(&spec);
+            let source = source.clone_handle();
             let snapshots = Arc::clone(&snapshots);
             let metrics = Arc::clone(&metrics);
             let cfg = cfg.clone();
             let join = std::thread::Builder::new()
                 .name(format!("vgod-serve-replica-{id}"))
-                .spawn(move || replica_main(id, &spec, rx, &snapshots, &metrics, &cfg))
+                .spawn(move || replica_main(id, source, rx, &snapshots, &metrics, &cfg))
                 .map_err(|e| format!("spawning replica {id}: {e}"))?;
             replica_txs.push(tx);
             joins.push(join);
@@ -441,13 +561,13 @@ fn reloader_main(
 
 fn replica_main(
     id: usize,
-    spec: &GraphSpec,
+    source: ReplicaSource,
     rx: Receiver<EngineMsg>,
     snapshots: &SnapshotCell,
     metrics: &Metrics,
     cfg: &ServeConfig,
 ) {
-    let graph = spec.build();
+    let graph = source.build();
     // The arena scope makes every flush recycle the tensor buffers of the
     // previous one: steady-state serving performs no fresh value/grad
     // allocations (the same discipline the recycled training runtime uses).
@@ -507,7 +627,7 @@ fn collect_batch(
 fn process_batch(
     replica: usize,
     batch: Vec<ScoreRequest>,
-    graph: &AttributedGraph,
+    graph: &ReplicaGraph,
     snapshot: &Snapshot,
     metrics: &Metrics,
 ) {
@@ -531,7 +651,7 @@ fn score_group(
     replica: usize,
     name: &str,
     group: Vec<ScoreRequest>,
-    graph: &AttributedGraph,
+    graph: &ReplicaGraph,
     snapshot: &Snapshot,
     metrics: &Metrics,
 ) {
@@ -555,7 +675,7 @@ fn score_group(
             let (scores, version) = match &full {
                 Some((scores, version)) => (scores.clone(), *version),
                 None => {
-                    let scores = detector.score(graph).combined;
+                    let scores = graph.full_scores(&detector);
                     full = Some((scores.clone(), version));
                     (scores, version)
                 }
@@ -585,7 +705,7 @@ fn score_group(
 fn drain(
     replica: usize,
     rx: &Receiver<EngineMsg>,
-    graph: &AttributedGraph,
+    graph: &ReplicaGraph,
     snapshots: &SnapshotCell,
     metrics: &Metrics,
     cfg: &ServeConfig,

@@ -57,7 +57,9 @@ mod registry;
 mod server;
 
 pub use detector::AnyDetector;
-pub use engine::{Engine, ReplyFn, ScoreError, ScoreReply, ServeConfig, SubmitError};
+pub use engine::{
+    Engine, OocServeConfig, ReplyFn, ScoreError, ScoreReply, ServeConfig, SubmitError,
+};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use registry::{ModelInfo, Registry, RegistryConfig};
 pub use server::{serve, ServerHandle};

@@ -207,7 +207,7 @@ impl MetricsSnapshot {
              \"batches\":{},\"latency_us\":{{\"p50\":{},\"p95\":{},\"p99\":{}}},\
              \"batch_size_hist\":[{}],\
              \"graph_store\":{{\"resident_blocks\":{},\"resident_bytes\":{},\
-             \"bytes_read\":{},\"evictions\":{}}}}}",
+             \"bytes_read\":{},\"evictions\":{},\"hits\":{},\"misses\":{}}}}}",
             self.requests,
             self.errors,
             self.rejected,
@@ -223,7 +223,9 @@ impl MetricsSnapshot {
             self.graph_store.resident_blocks,
             self.graph_store.resident_bytes,
             self.graph_store.bytes_read,
-            self.graph_store.evictions
+            self.graph_store.evictions,
+            self.graph_store.hits,
+            self.graph_store.misses
         )
     }
 }

@@ -71,6 +71,7 @@ fn every_detector_scores_through_the_sampled_store_path() {
         hops: 2,
         train_seeds: 160,
         seed: 4,
+        ..SamplingConfig::default()
     };
     for mut det in all_detectors() {
         det.fit_store(&store, &cfg);
@@ -125,6 +126,7 @@ fn ooc_store_and_in_memory_store_sample_identically() {
         hops: 2,
         train_seeds: 120,
         seed: 8,
+        ..SamplingConfig::default()
     };
     // The sampler sees the same topology/attributes through either backend,
     // so a deterministic detector must score identically from both.
@@ -148,4 +150,95 @@ fn ooc_store_and_in_memory_store_sample_identically() {
         assert_eq!(from_mem, from_ooc, "{} backend parity", det.kind());
     }
     let _ = std::fs::remove_file(&path);
+}
+
+mod concurrency {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sampled_cfg(n: usize, batch_size: usize, seed: u64) -> SamplingConfig {
+        SamplingConfig {
+            full_graph_threshold: n / 4, // always force the sampled path
+            batch_size,
+            fanout: 4,
+            hops: 2,
+            train_seeds: 120,
+            seed,
+            ..SamplingConfig::default()
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(3))]
+
+        /// Tentpole guarantee: the batch-parallel runner is bit-identical to
+        /// the sequential loop at every thread count, for every detector —
+        /// including the globally-recombined (Vgod, DegNorm) and
+        /// refit-per-batch (Radar, AnomalyDae) families.
+        #[test]
+        fn parallel_scoring_is_bit_identical_across_thread_counts(
+            n in 180usize..240,
+            batch_size in 48usize..96,
+            seed in 0u64..1_000,
+        ) {
+            let g = test_graph(n, seed ^ 0x9e37);
+            let path = tmp_store(&format!("par_{seed}_{n}"), &g);
+            let store = OocStore::open(&path, 1 << 18).unwrap();
+            for mut det in all_detectors() {
+                let cfg1 = sampled_cfg(n, batch_size, seed);
+                det.fit_store(&store, &cfg1);
+                let sequential = det
+                    .score_store(&store, &SamplingConfig { ooc_threads: 1, ..cfg1 })
+                    .combined;
+                for threads in [2usize, 8] {
+                    let parallel = det
+                        .score_store(&store, &SamplingConfig { ooc_threads: threads, ..cfg1 })
+                        .combined;
+                    prop_assert_eq!(
+                        &sequential,
+                        &parallel,
+                        "{} diverged at {} threads",
+                        det.kind(),
+                        threads
+                    );
+                }
+            }
+            let _ = std::fs::remove_file(&path);
+        }
+
+        /// Prefetch is an overlap optimisation, not a semantic one: scores
+        /// must be bit-identical with it on or off, and under a no-eviction
+        /// budget both runs leave exactly the same blocks resident (prefetch
+        /// may only change *when* a block is admitted, never *which*). On a
+        /// single-hardware-thread host the stage self-disables (no spare
+        /// core to overlap into) and the property holds trivially.
+        #[test]
+        fn prefetch_changes_timing_not_results(
+            n in 180usize..240,
+            seed in 0u64..1_000,
+        ) {
+            let g = test_graph(n, seed ^ 0x51ed);
+            let path = tmp_store(&format!("pf_{seed}_{n}"), &g);
+            let cfg = SamplingConfig { ooc_threads: 2, ..sampled_cfg(n, 64, seed) };
+            let mut resident = Vec::new();
+            let mut scores = Vec::new();
+            for prefetch in [false, true] {
+                // Generous budget: nothing evicts, so the final cache
+                // contents are exactly the set of blocks ever touched.
+                let store = OocStore::open(&path, 8 << 20).unwrap();
+                let mut det = AnyDetector::DegNorm(DegNorm);
+                det.fit_store(&store, &cfg);
+                let run_cfg = SamplingConfig { prefetch, ..cfg };
+                scores.push(det.score_store(&store, &run_cfg).combined);
+                let (mut edges, mut attrs) = store.resident_block_ids();
+                edges.sort_unstable();
+                attrs.sort_unstable();
+                prop_assert_eq!(store.stats().evictions, 0, "budget must avoid eviction");
+                resident.push((edges, attrs));
+            }
+            prop_assert_eq!(&scores[0], &scores[1], "prefetch changed scores");
+            prop_assert_eq!(&resident[0], &resident[1], "prefetch changed cache contents");
+            let _ = std::fs::remove_file(&path);
+        }
+    }
 }

@@ -34,9 +34,14 @@ pub use csr::Csr;
 pub use kernels::AdamStep;
 pub use matrix::Matrix;
 
-/// Thread-pool configuration for the parallel kernels.
+/// Thread-pool configuration for the parallel kernels, plus the shared
+/// indexed-task dispatcher ([`threading::run_indexed`]) other crates use to
+/// fan independent work units (e.g. out-of-core score batches) across the
+/// same persistent pool.
 pub mod threading {
-    pub use crate::pool::{force_sequential, num_threads, set_num_threads, ThreadCountAlreadySet};
+    pub use crate::pool::{
+        force_sequential, num_threads, run_indexed, set_num_threads, ThreadCountAlreadySet,
+    };
 }
 
 /// Error type for fallible tensor constructors.

@@ -213,7 +213,33 @@ fn execute(job: &Job) {
 /// Re-panics (with a generic message) if any chunk panicked; the remaining
 /// chunks still run so the pool stays consistent.
 pub(crate) fn run_chunks(n_chunks: usize, task: &(dyn Fn(usize) + Sync)) {
-    let threads = num_threads().min(n_chunks);
+    run_with_threads(n_chunks, num_threads(), task);
+}
+
+/// Run `task(0..n_tasks)` on the shared worker pool with an explicit
+/// concurrency cap (counting the calling thread, which participates).
+///
+/// `max_threads == 0` defers to the pool's configured thread count
+/// ([`num_threads`], so `force_sequential` and `VGOD_NUM_THREADS` apply);
+/// any other value is used as-is — callers like the out-of-core batch
+/// scorer may run *more* concurrent tasks than the kernel thread count,
+/// since their tasks are I/O-heavy rather than purely compute-bound.
+/// Tasks must be independent; each index runs exactly once, and nested
+/// parallel kernels inside a task are safe (the inner caller participates).
+///
+/// # Panics
+/// Re-panics if any task panicked; the remaining tasks still run.
+pub fn run_indexed(n_tasks: usize, max_threads: usize, task: &(dyn Fn(usize) + Sync)) {
+    let threads = if max_threads == 0 {
+        num_threads()
+    } else {
+        max_threads
+    };
+    run_with_threads(n_tasks, threads, task);
+}
+
+fn run_with_threads(n_chunks: usize, threads: usize, task: &(dyn Fn(usize) + Sync)) {
+    let threads = threads.min(n_chunks);
     if threads <= 1 {
         for index in 0..n_chunks {
             task(index);
@@ -322,6 +348,30 @@ mod tests {
             total.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(total.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn run_indexed_honours_explicit_caps() {
+        pin_test_threads();
+        // Cap 1: strictly sequential, still every index exactly once.
+        let hits: Vec<AtomicUsize> = (0..32).map(|_| AtomicUsize::new(0)).collect();
+        run_indexed(32, 1, &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        // A cap above the configured pool size spawns the extra workers.
+        let total = AtomicUsize::new(0);
+        run_indexed(100, 16, &|i| {
+            total.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 4950);
+        // Cap 0 defers to the configured thread count; zero tasks is a no-op.
+        run_indexed(0, 0, &|_| panic!("no tasks to run"));
+        let flag = AtomicUsize::new(0);
+        run_indexed(3, 0, &|_| {
+            flag.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(flag.load(Ordering::Relaxed), 3);
     }
 
     #[test]
