@@ -4,7 +4,7 @@
 
 use rand::Rng;
 use vgod_autograd::{persist, ParamStore, Tape, Var};
-use vgod_eval::{refit_score_store, OutlierDetector, Scores};
+use vgod_eval::{refit_score_store, refit_score_store_range, OutlierDetector, RangeScores, Scores};
 use vgod_gnn::{GatLayer, GraphContext};
 use vgod_graph::{seeded_rng, AttributedGraph, GraphStore, SamplingConfig};
 use vgod_nn::{Activation, Linear, Trainer};
@@ -245,6 +245,18 @@ impl OutlierDetector for AnomalyDae {
         // scored as its own transductive problem (the per-node combination
         // `α·s + (1−α)·a` is local, so seeds concatenate cleanly).
         refit_score_store(self, store, cfg)
+    }
+
+    fn score_store_range(
+        &self,
+        store: &dyn GraphStore,
+        cfg: &SamplingConfig,
+        lo: u32,
+        hi: u32,
+    ) -> RangeScores {
+        // Same refit-per-batch decomposition as `score_store`, restricted
+        // to the shard's batches.
+        refit_score_store_range(self, store, cfg, lo, hi)
     }
 }
 

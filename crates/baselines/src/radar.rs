@@ -4,7 +4,7 @@
 //! injection).
 
 use vgod_autograd::{persist, ParamStore};
-use vgod_eval::{refit_score_store, OutlierDetector, Scores};
+use vgod_eval::{refit_score_store, refit_score_store_range, OutlierDetector, RangeScores, Scores};
 use vgod_gnn::GraphContext;
 use vgod_graph::{seeded_rng, AttributedGraph, GraphStore, SamplingConfig};
 use vgod_nn::Trainer;
@@ -177,6 +177,18 @@ impl OutlierDetector for Radar {
         // apply. Each batch neighbourhood becomes its own small
         // transductive problem instead: refit-and-score per batch.
         refit_score_store(self, store, cfg)
+    }
+
+    fn score_store_range(
+        &self,
+        store: &dyn GraphStore,
+        cfg: &SamplingConfig,
+        lo: u32,
+        hi: u32,
+    ) -> RangeScores {
+        // Refit-per-batch is embarrassingly range-parallel: each batch is
+        // its own transductive problem, so shards just split the batches.
+        refit_score_store_range(self, store, cfg, lo, hi)
     }
 }
 

@@ -2,7 +2,7 @@
 
 use rand::Rng;
 use vgod_autograd::persist;
-use vgod_eval::{full_graph_view, OutlierDetector, Scores};
+use vgod_eval::{full_graph_view, OutlierDetector, RangeScores, ScoreMerge, Scores};
 use vgod_graph::{seeded_rng, AttributedGraph, GraphStore, SamplingConfig};
 
 /// Node degree as the outlier score (the structural leakage probe of
@@ -41,6 +41,20 @@ impl OutlierDetector for Deg {
         // Exact at any scale: degrees stream straight off the store's
         // (fully resident) edge index, no sampling involved.
         Scores::combined_only(store_degrees(store))
+    }
+
+    fn score_store_range(
+        &self,
+        store: &dyn GraphStore,
+        _cfg: &SamplingConfig,
+        lo: u32,
+        hi: u32,
+    ) -> RangeScores {
+        // Per-node exact, so a shard only reads its own degrees.
+        RangeScores {
+            scores: Scores::combined_only(store_degrees_range(store, lo, hi)),
+            merge: ScoreMerge::Concat,
+        }
     }
 }
 
@@ -83,6 +97,27 @@ impl OutlierDetector for L2Norm {
         // Exact up to summation order: one streaming pass over the
         // attribute chunks, never materialising the n×d matrix.
         Scores::combined_only(store_l2_norms(store))
+    }
+
+    fn score_store_range(
+        &self,
+        store: &dyn GraphStore,
+        cfg: &SamplingConfig,
+        lo: u32,
+        hi: u32,
+    ) -> RangeScores {
+        if let Some(g) = full_graph_view(store, cfg) {
+            return RangeScores {
+                scores: self.score(&g).slice_range(lo as usize, hi as usize),
+                merge: ScoreMerge::Concat,
+            };
+        }
+        // Same per-row arithmetic as the streaming pass, restricted to the
+        // shard's own attribute rows.
+        RangeScores {
+            scores: Scores::combined_only(store_l2_norms_range(store, lo, hi)),
+            merge: ScoreMerge::Concat,
+        }
     }
 }
 
@@ -127,6 +162,33 @@ impl OutlierDetector for DegNorm {
         // components are streamed at full length and combined once, so the
         // ranking is not distorted by per-batch statistics.
         Scores::from_components(store_degrees(store), store_l2_norms(store))
+    }
+
+    fn score_store_range(
+        &self,
+        store: &dyn GraphStore,
+        cfg: &SamplingConfig,
+        lo: u32,
+        hi: u32,
+    ) -> RangeScores {
+        if let Some(g) = full_graph_view(store, cfg) {
+            return RangeScores {
+                scores: self.score(&g).slice_range(lo as usize, hi as usize),
+                merge: ScoreMerge::Concat,
+            };
+        }
+        // Eq. 20 is the halo-free half of distributed scoring: a shard
+        // emits raw degree/L2 components for its own rows and the
+        // coordinator reapplies the global mean-std combination over the
+        // concatenated full-length vectors (the local combined is a
+        // placeholder it overwrites).
+        RangeScores {
+            scores: Scores::from_components(
+                store_degrees_range(store, lo, hi),
+                store_l2_norms_range(store, lo, hi),
+            ),
+            merge: ScoreMerge::MeanStd,
+        }
     }
 }
 
@@ -194,6 +256,26 @@ impl OutlierDetector for RandomDetector {
                 .collect(),
         )
     }
+
+    fn score_store_range(
+        &self,
+        _store: &dyn GraphStore,
+        _cfg: &SamplingConfig,
+        lo: u32,
+        hi: u32,
+    ) -> RangeScores {
+        // The RNG stream is sequential over node ids, so a shard replays
+        // the draws up to `lo` and keeps its own range — identical values
+        // regardless of how the node set is partitioned.
+        let mut rng = seeded_rng(self.seed);
+        for _ in 0..lo {
+            let _: f32 = rng.gen_range(0.0..1.0);
+        }
+        RangeScores {
+            scores: Scores::combined_only((lo..hi).map(|_| rng.gen_range(0.0..1.0)).collect()),
+            merge: ScoreMerge::Concat,
+        }
+    }
 }
 
 fn degrees(g: &AttributedGraph) -> Vec<f32> {
@@ -217,6 +299,20 @@ fn store_l2_norms(store: &dyn GraphStore) -> Vec<f32> {
     store.visit_attrs(&mut |_, row| {
         out.push(row.iter().map(|v| v * v).sum::<f32>().sqrt());
     });
+    out
+}
+
+fn store_degrees_range(store: &dyn GraphStore, lo: u32, hi: u32) -> Vec<f32> {
+    (lo..hi).map(|u| store.degree(u) as f32).collect()
+}
+
+fn store_l2_norms_range(store: &dyn GraphStore, lo: u32, hi: u32) -> Vec<f32> {
+    let mut row = vec![0.0f32; store.num_attrs()];
+    let mut out = Vec::with_capacity((hi - lo) as usize);
+    for u in lo..hi {
+        store.attr_row_into(u, &mut row);
+        out.push(row.iter().map(|v| v * v).sum::<f32>().sqrt());
+    }
     out
 }
 

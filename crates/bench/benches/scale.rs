@@ -49,6 +49,9 @@ struct ClassResult {
 
 /// One execution mode of the concurrent scoring A/B (same fitted model,
 /// same budget, fresh cold block cache; scores asserted bit-identical).
+/// A mode whose machinery self-disables on this host (prefetch with no
+/// spare hardware thread) is recorded as `skipped` instead of being timed:
+/// a timing row for a stage that never ran would only measure noise.
 struct AbResult {
     mode: &'static str,
     threads: usize,
@@ -56,6 +59,7 @@ struct AbResult {
     bytes_read: u64,
     hits: u64,
     misses: u64,
+    skipped: Option<&'static str>,
 }
 
 /// Cache-replacement comparison under a hot-set-plus-scan workload.
@@ -158,9 +162,26 @@ fn run_ab(path: &Path, budget: usize, cfg: &SamplingConfig) -> Vec<AbResult> {
         ("parallel", 0, false),
         ("parallel_prefetch", 0, true),
     ];
+    let hw_threads = std::thread::available_parallelism().map_or(1, |p| p.get());
     let mut baseline: Option<Vec<f32>> = None;
     let mut out = Vec::new();
     for (mode, threads, prefetch) in modes {
+        // The scoring pipeline self-disables the prefetcher when there is
+        // no spare hardware thread to absorb its pread time; honor that
+        // here instead of publishing a timing row for a stage that never
+        // ran (it would differ from plain parallel only by noise).
+        if prefetch && hw_threads <= 1 {
+            out.push(AbResult {
+                mode,
+                threads: hw_threads,
+                score_ms: 0.0,
+                bytes_read: 0,
+                hits: 0,
+                misses: 0,
+                skipped: Some("prefetch self-disables on a single-hardware-thread host"),
+            });
+            continue;
+        }
         let store = OocStore::open(path, budget).expect("open store for A/B mode");
         let run_cfg = SamplingConfig {
             ooc_threads: threads,
@@ -185,6 +206,7 @@ fn run_ab(path: &Path, budget: usize, cfg: &SamplingConfig) -> Vec<AbResult> {
             bytes_read: st.bytes_read,
             hits: st.hits,
             misses: st.misses,
+            skipped: None,
         });
     }
     out
@@ -349,6 +371,10 @@ fn main() {
             );
         }
         for ab in &p.ab {
+            if let Some(reason) = ab.skipped {
+                eprintln!("  ab {:>18} skipped: {reason}", ab.mode);
+                continue;
+            }
             eprintln!(
                 "  ab {:>18} ({} thread(s)) score {:>10.1} ms  read {:>8.1} MB  \
                  {} hits / {} misses",
@@ -416,16 +442,18 @@ fn write_json(budget: usize, points: &[PointResult]) {
         out.push_str("     ],\n");
         out.push_str("     \"ab\": [\n");
         for (j, a) in p.ab.iter().enumerate() {
+            let comma = if j + 1 < p.ab.len() { "," } else { "" };
+            if let Some(reason) = a.skipped {
+                out.push_str(&format!(
+                    "       {{\"mode\": \"{}\", \"threads\": {}, \"skipped\": \"{reason}\"}}{comma}\n",
+                    a.mode, a.threads,
+                ));
+                continue;
+            }
             out.push_str(&format!(
                 "       {{\"mode\": \"{}\", \"threads\": {}, \"score_ms\": {:.1}, \
-                 \"bytes_read\": {}, \"hits\": {}, \"misses\": {}}}{}\n",
-                a.mode,
-                a.threads,
-                a.score_ms,
-                a.bytes_read,
-                a.hits,
-                a.misses,
-                if j + 1 < p.ab.len() { "," } else { "" }
+                 \"bytes_read\": {}, \"hits\": {}, \"misses\": {}}}{comma}\n",
+                a.mode, a.threads, a.score_ms, a.bytes_read, a.hits, a.misses,
             ));
         }
         out.push_str("     ],\n");

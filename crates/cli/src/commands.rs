@@ -2,8 +2,10 @@
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
-use std::path::Path;
-use std::time::Duration;
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
 
 use vgod::{MiniBatchConfig, Vbm, Vgod, VgodConfig};
 use vgod_baselines::{
@@ -13,15 +15,18 @@ use vgod_baselines::{
 use vgod_datasets::{replica, Dataset, Scale};
 use vgod_eval::{auc, average_precision, precision_at_k, recall_at_k, OutlierDetector};
 use vgod_graph::{
-    adjusted_homophily, degree_stats, edge_homophily, load_graph, parse_mem_budget, save_graph,
-    seeded_rng, synth_store, AttributedGraph, CachePolicy, GraphStore, OocStore, SamplingConfig,
-    StoreOptions, SynthStoreConfig, DEFAULT_ATTR_BLOCK_NODES, DEFAULT_EDGE_BLOCK_ENTRIES,
+    adjusted_homophily, degree_stats, edge_homophily, load_graph, parse_mem_budget,
+    partition_store, save_graph, seeded_rng, synth_store, AttributedGraph, CachePolicy, GraphStore,
+    OocStore, PartitionConfig, PartitionManifest, PartitionMode, SamplingConfig, StoreOptions,
+    SynthStoreConfig, DEFAULT_ATTR_BLOCK_NODES, DEFAULT_EDGE_BLOCK_ENTRIES,
 };
 use vgod_inject::{
     inject_community_replacement, inject_contextual, inject_standard, inject_structural,
     ContextualParams, DistanceMetric, GroundTruth, OutlierKind, StructuralParams,
 };
-use vgod_serve::{AnyDetector, OocServeConfig, RegistryConfig, ServeConfig};
+use vgod_serve::{
+    AnyDetector, OocServeConfig, RegistryConfig, ServeConfig, ShardSpec, WorkerConfig,
+};
 
 use crate::args::Args;
 use crate::files;
@@ -176,6 +181,21 @@ pub fn detect(args: &Args) -> CmdResult {
 
     let save_model = args.get("save-model");
     let load_model = args.get("load-model");
+
+    if args.get("shards").is_some() {
+        return detect_sharded(
+            args,
+            input,
+            scores_path,
+            &model,
+            deep,
+            vgod_cfg,
+            seed,
+            batch,
+            save_model,
+            load_model,
+        );
+    }
 
     if args.has("out-of-core") {
         return detect_out_of_core(
@@ -374,9 +394,367 @@ fn detect_out_of_core(
     Ok(())
 }
 
+// ---------------------------------------------------------------------------
+// Sharded scoring: partition, spawn one worker process per shard, scatter.
+
+/// `--shards N`, validated.
+fn shard_count(args: &Args) -> Result<usize, String> {
+    let shards: usize = args.get_parsed_or("shards", 1).map_err(|e| e.to_string())?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    Ok(shards)
+}
+
+/// Partition `input` (a text graph or a `.vgodstore` file) into `dir`.
+fn partition_input(
+    input: &str,
+    dir: &Path,
+    shards: usize,
+    sampling: SamplingConfig,
+    budget: usize,
+) -> Result<PartitionManifest, String> {
+    let cfg = PartitionConfig::new(shards, sampling);
+    let manifest = if input.ends_with(".vgodstore") {
+        let store = OocStore::open_with(Path::new(input), StoreOptions::new(budget))
+            .map_err(|e| format!("{input}: {e}"))?;
+        partition_store(&store, dir, &cfg)?
+    } else {
+        let g = load(input)?;
+        partition_store(&g, dir, &cfg)?
+    };
+    let mode = match manifest.mode {
+        PartitionMode::FullCopy => "full-copy",
+        PartitionMode::Sliced => "sliced",
+    };
+    println!(
+        "partitioned {input}: {} nodes / {} edges into {shards} {mode} shard(s) \
+         ({} ghosts, {} cross edges, {} halo bytes) under {}",
+        manifest.num_nodes,
+        manifest.num_edges,
+        manifest.total_ghosts(),
+        manifest.total_cross_edges(),
+        manifest.total_halo_bytes(),
+        dir.display()
+    );
+    Ok(manifest)
+}
+
+/// A spawned shard worker process. Dropping the guard kills the process,
+/// so an error anywhere in coordinator startup never leaks workers.
+struct ChildGuard {
+    child: Child,
+    shard: usize,
+}
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        // After a graceful shutdown the process has already exited and
+        // both calls are harmless no-ops.
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Give cleanly shut-down workers a moment to exit on their own before
+/// the guards' drop kills whatever is left.
+fn reap_workers(guards: &mut [ChildGuard]) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    for g in guards.iter_mut() {
+        while Instant::now() < deadline {
+            if matches!(g.child.try_wait(), Ok(Some(_))) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+}
+
+/// Fork one `vgod shard-worker` process per shard of `manifest` and wait
+/// for each to report its ephemeral address through an addr file.
+fn spawn_shard_workers(
+    partition_dir: &Path,
+    models_dir: &Path,
+    manifest: &PartitionManifest,
+    budget_flag: &str,
+) -> Result<(Vec<ChildGuard>, Vec<ShardSpec>), String> {
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let mut guards = Vec::new();
+    let mut addr_files = Vec::new();
+    for meta in &manifest.shards {
+        let addr_file = partition_dir.join(format!("worker-{}.addr", meta.index));
+        let _ = std::fs::remove_file(&addr_file);
+        let child = Command::new(&exe)
+            .arg("shard-worker")
+            .arg("--partition")
+            .arg(partition_dir)
+            .arg("--shard")
+            .arg(meta.index.to_string())
+            .arg("--models")
+            .arg(models_dir)
+            .arg("--port")
+            .arg("0")
+            .arg("--mem-budget")
+            .arg(budget_flag)
+            .arg("--addr-file")
+            .arg(&addr_file)
+            .stdout(Stdio::null())
+            .spawn()
+            .map_err(|e| format!("spawning shard worker {}: {e}", meta.index))?;
+        guards.push(ChildGuard {
+            child,
+            shard: meta.index,
+        });
+        addr_files.push(addr_file);
+    }
+    let mut specs = Vec::new();
+    for (guard, addr_file) in guards.iter_mut().zip(&addr_files) {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let addr = loop {
+            if let Ok(text) = std::fs::read_to_string(addr_file) {
+                if let Ok(addr) = text.trim().parse::<SocketAddr>() {
+                    break addr;
+                }
+            }
+            if let Ok(Some(status)) = guard.child.try_wait() {
+                return Err(format!(
+                    "shard worker {} exited during startup: {status}",
+                    guard.shard
+                ));
+            }
+            if Instant::now() >= deadline {
+                return Err(format!(
+                    "shard worker {} did not report an address within 30s",
+                    guard.shard
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        specs.push(ShardSpec {
+            addr,
+            meta: manifest.shards[guard.shard].clone(),
+        });
+    }
+    Ok((guards, specs))
+}
+
+/// `vgod shard-worker` (internal): one shard's scoring process, forked by
+/// `serve --shards` / `detect --shards`. Serves its slice until
+/// `POST /shutdown`.
+pub fn shard_worker(args: &Args) -> CmdResult {
+    let partition = args.required("partition").map_err(|e| e.to_string())?;
+    let shard: usize = args.get_parsed_or("shard", 0).map_err(|e| e.to_string())?;
+    let models = args.required("models").map_err(|e| e.to_string())?;
+    let host = args.get("host").unwrap_or("127.0.0.1");
+    let port: u16 = args.get_parsed_or("port", 0).map_err(|e| e.to_string())?;
+    let budget = parse_mem_budget(args.get("mem-budget").unwrap_or("256M"))?;
+    let handle = vgod_serve::run_shard_worker(&WorkerConfig {
+        partition_dir: PathBuf::from(partition),
+        shard,
+        models_dir: PathBuf::from(models),
+        bind: format!("{host}:{port}"),
+        budget,
+    })?;
+    if let Some(path) = args.get("addr-file") {
+        std::fs::write(path, handle.addr().to_string()).map_err(|e| format!("{path}: {e}"))?;
+    }
+    eprintln!("shard worker {shard} serving on {}", handle.addr());
+    handle.join();
+    Ok(())
+}
+
+/// `vgod detect --shards N`: fit single-process (training stays local —
+/// the distributed layer is scatter-gather *scoring*), publish the
+/// checkpoint, partition the graph, fork the workers, and gather merged
+/// scores through the coordinator. Output is byte-identical to the
+/// single-process score file.
+#[allow(clippy::too_many_arguments)]
+fn detect_sharded(
+    args: &Args,
+    input: &str,
+    scores_path: &str,
+    model: &str,
+    deep: DeepConfig,
+    vgod_cfg: VgodConfig,
+    seed: u64,
+    batch: usize,
+    save_model: Option<&str>,
+    load_model: Option<&str>,
+) -> CmdResult {
+    let shards = shard_count(args)?;
+    let scfg = sampling_config(args, batch)?;
+    let budget_flag = args.get("mem-budget").unwrap_or("256M");
+    let budget = parse_mem_budget(budget_flag)?;
+
+    let detector = match load_model {
+        Some(path) => load_checked(args, path)?,
+        None if args.has("out-of-core") => {
+            let store = OocStore::open_with(Path::new(input), StoreOptions::new(budget))
+                .map_err(|e| format!("{input}: {e}"))?;
+            let mut det = fresh_detector(model, deep, vgod_cfg, seed)?;
+            det.fit_store(&store, &scfg);
+            det
+        }
+        None => {
+            let g = load(input)?;
+            let mut det = fresh_detector(model, deep, vgod_cfg, seed)?;
+            let minibatch = MiniBatchConfig {
+                batch_size: batch,
+                neighbor_cap: 16,
+            };
+            match &mut det {
+                AnyDetector::Vbm(m) if batch > 0 => m.fit_minibatch(&g, &minibatch),
+                AnyDetector::Arm(m) if batch > 0 => m.fit_minibatch(&g, &minibatch),
+                other => OutlierDetector::fit(other, &g),
+            }
+            det
+        }
+    };
+    if let Some(path) = save_model {
+        detector.save_file(Path::new(path))?;
+        println!("saved {} checkpoint to {path}", detector.kind());
+    }
+
+    let work = std::env::temp_dir().join(format!(
+        "vgod_detect_shards_{}_{}",
+        std::process::id(),
+        detector.kind()
+    ));
+    let _ = std::fs::remove_dir_all(&work);
+    let models_dir = work.join("models");
+    let partition_dir = work.join("partition");
+    std::fs::create_dir_all(&models_dir).map_err(|e| format!("{}: {e}", models_dir.display()))?;
+    std::fs::create_dir_all(&partition_dir)
+        .map_err(|e| format!("{}: {e}", partition_dir.display()))?;
+
+    let result = (|| -> Result<Vec<f32>, String> {
+        detector.save_file(&models_dir.join(format!("{}.ckpt", detector.kind())))?;
+        let manifest = partition_input(input, &partition_dir, shards, scfg, budget)?;
+        let (mut guards, specs) =
+            spawn_shard_workers(&partition_dir, &models_dir, &manifest, budget_flag)?;
+        let handle = vgod_serve::serve_sharded(manifest, specs, &models_dir, "127.0.0.1:0", 64)?;
+        let body = format!("{{\"model\":\"{}\"}}", detector.kind());
+        let scatter = vgod_serve::http::post(handle.addr(), "/score", &body)
+            .map_err(|e| format!("scatter: {e}"));
+        handle.shutdown();
+        handle.join();
+        reap_workers(&mut guards);
+        drop(guards);
+        let (status, text) = scatter?;
+        if status != 200 {
+            return Err(format!("sharded scoring failed ({status}): {text}"));
+        }
+        let parsed =
+            vgod_serve::json::Json::parse(&text).map_err(|e| format!("bad /score reply: {e}"))?;
+        let arr = parsed
+            .get("scores")
+            .and_then(|s| s.as_arr())
+            .ok_or("missing \"scores\" in /score reply")?;
+        // f32 scores survive the wire exactly: the worker renders the
+        // shortest round-trip decimal and f64 parsing re-reads it bit-for-bit.
+        arr.iter()
+            .map(|v| {
+                v.as_f64()
+                    .map(|f| f as f32)
+                    .ok_or_else(|| "non-numeric score in /score reply".to_string())
+            })
+            .collect()
+    })();
+    let _ = std::fs::remove_dir_all(&work);
+    let scores = result?;
+    write_scores_file(&scores, scores_path, detector.kind())
+}
+
+/// `vgod serve --shards N`: partition, fork one worker per shard, and run
+/// the coordinator front in this process.
+fn serve_shards_cmd(
+    args: &Args,
+    models_dir: &str,
+    input: &str,
+    host: &str,
+    port: u16,
+    queue: usize,
+) -> CmdResult {
+    let shards = shard_count(args)?;
+    let scfg = sampling_config(args, 0)?;
+    let budget_flag = args.get("mem-budget").unwrap_or("256M");
+    let budget = parse_mem_budget(budget_flag)?;
+    let (dir, ephemeral) = match args.get("partition-dir") {
+        Some(d) => (PathBuf::from(d), false),
+        None => (
+            std::env::temp_dir().join(format!("vgod_shards_{}", std::process::id())),
+            true,
+        ),
+    };
+    std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+
+    let result = (|| -> CmdResult {
+        let manifest = partition_input(input, &dir, shards, scfg, budget)?;
+        let (mut guards, specs) =
+            spawn_shard_workers(&dir, Path::new(models_dir), &manifest, budget_flag)?;
+        let handle = vgod_serve::serve_sharded(
+            manifest,
+            specs,
+            Path::new(models_dir),
+            &format!("{host}:{port}"),
+            queue,
+        )?;
+        let models = handle.models();
+        println!(
+            "serving {} model(s) on http://{} across {shards} shard worker(s) — \
+             POST /shutdown to stop",
+            models.len(),
+            handle.addr(),
+        );
+        for m in &models {
+            println!("  {} v{} ({})", m.name, m.version, m.kind);
+        }
+        if let Some(path) = args.get("addr-file") {
+            std::fs::write(path, handle.addr().to_string()).map_err(|e| format!("{path}: {e}"))?;
+        }
+        handle.join();
+        reap_workers(&mut guards);
+        drop(guards);
+        println!("server stopped");
+        Ok(())
+    })();
+    if ephemeral {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    result
+}
+
 /// `vgod store`: build, convert, or inspect on-disk graph stores.
 pub fn store(args: &Args) -> CmdResult {
     if let Some(path) = args.get("info") {
+        // A directory is a partition: print its manifest metadata instead
+        // of opening a single store file.
+        if Path::new(path).is_dir() {
+            let m = PartitionManifest::load(Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+            let mode = match m.mode {
+                PartitionMode::FullCopy => "full-copy",
+                PartitionMode::Sliced => "sliced",
+            };
+            println!("partition   : {mode}, {} shard(s)", m.shards.len());
+            println!("nodes       : {}", m.num_nodes);
+            println!("edges       : {}", m.num_edges);
+            println!("attributes  : {}", m.num_attrs);
+            let s = &m.sampling;
+            println!(
+                "sampling    : threshold={} batch={} fanout={} hops={} train_seeds={} seed={}",
+                s.full_graph_threshold, s.batch_size, s.fanout, s.hops, s.train_seeds, s.seed
+            );
+            println!("ghosts      : {}", m.total_ghosts());
+            println!("cross edges : {}", m.total_cross_edges());
+            println!("halo bytes  : {}", m.total_halo_bytes());
+            for sh in &m.shards {
+                println!(
+                    "shard {:<5} : [{}, {}) closure={} ghosts={} cross_edges={} halo_bytes={}",
+                    sh.index, sh.lo, sh.hi, sh.closure, sh.ghosts, sh.cross_edges, sh.halo_bytes
+                );
+            }
+            return Ok(());
+        }
         let budget = parse_mem_budget(args.get("mem-budget").unwrap_or("64M"))?;
         let opts = StoreOptions {
             budget,
@@ -495,6 +873,9 @@ pub fn serve(args: &Args) -> CmdResult {
     let reload_ms: u64 = args
         .get_parsed_or("reload-ms", 500)
         .map_err(|e| e.to_string())?;
+    if args.get("shards").is_some() {
+        return serve_shards_cmd(args, models_dir, input, host, port, queue.max(1));
+    }
     let out_of_core = if args.has("out-of-core") {
         let budget = parse_mem_budget(args.get("mem-budget").unwrap_or("256M"))?;
         Some(OocServeConfig {

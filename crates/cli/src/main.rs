@@ -40,10 +40,13 @@ COMMANDS:
              [--ooc-threads N: parallel score batches, 0 = worker pool size]
              [--prefetch: overlap next-batch block reads with compute]
              [--cache-policy segmented|lru: block replacement, default segmented]
+             [--shards N: partition the graph and score across N forked
+              worker processes; merged output is byte-identical]
   store      build, convert, or inspect on-disk graph stores (.vgodstore)
              --synth-nodes N --out FILE [--seed N --truth FILE]   synthesize at scale
              --in graph.txt --out FILE                            convert a text graph
              --info FILE [--mem-budget SIZE]                      print header + stats
+             --info DIR                                           print partition metadata
   serve      serve checkpointed models over HTTP (replicated micro-batched scoring)
              --models DIR  --in FILE  [--host H --port N: default 127.0.0.1:7878]
              [--max-batch N --max-wait-us N --queue N: per-replica queue]
@@ -52,6 +55,9 @@ COMMANDS:
              [--addr-file FILE: write the bound address, useful with --port 0]
              [--out-of-core: replicas share one demand-paged store under
               --mem-budget, --cache-policy and the detect sampling flags]
+             [--shards N: partition --in, fork one shard-worker process per
+              shard, and run the scatter-gather coordinator on this port]
+             [--partition-dir DIR: keep the partition here (default: temp)]
   eval       score a ranking against ground truth
              --scores FILE  --truth FILE  [--at K]
   stats      print graph statistics
@@ -84,6 +90,8 @@ fn main() {
         "detect" => commands::detect(&args),
         "store" => commands::store(&args),
         "serve" => commands::serve(&args),
+        // Internal: one shard's scoring process, forked by --shards.
+        "shard-worker" => commands::shard_worker(&args),
         "eval" => commands::eval(&args),
         "stats" => commands::stats(&args),
         "help" | "--help" | "-h" => {

@@ -1,0 +1,275 @@
+//! End-to-end `--shards`: forked worker processes, coordinator front, and
+//! byte-identical merged output, all driven through the real binary.
+
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn vgod() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_vgod"))
+}
+
+fn run(args: &[&str]) {
+    let out = vgod().args(args).output().expect("spawn vgod");
+    assert!(
+        out.status.success(),
+        "vgod {args:?} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("vgod_shard_e2e_{}_{name}", std::process::id()))
+}
+
+/// Parse a `node score` file into the score column.
+fn read_scores(path: &Path) -> Vec<f32> {
+    std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+        .lines()
+        .map(|l| l.split_whitespace().nth(1).unwrap().parse::<f32>().unwrap())
+        .collect()
+}
+
+#[test]
+fn detect_sharded_is_byte_identical_to_single_process() {
+    let store = tmp("det.vgodstore");
+    let s_ref = tmp("det_ref.tsv");
+    let s_one = tmp("det_one.tsv");
+    let s_two = tmp("det_two.tsv");
+    run(&[
+        "store",
+        "--synth-nodes",
+        "300",
+        "--seed",
+        "9",
+        "--out",
+        store.to_str().unwrap(),
+    ]);
+    // Sliced mode: threshold below n forces the sampled range path.
+    let base = [
+        "detect",
+        "--in",
+        store.to_str().unwrap(),
+        "--model",
+        "degnorm",
+        "--out-of-core",
+        "--threshold",
+        "50",
+        "--batch",
+        "64",
+    ];
+    let with = |scores: &Path, extra: &[&str]| {
+        let mut args: Vec<&str> = base.to_vec();
+        args.extend_from_slice(&["--scores", scores.to_str().unwrap()]);
+        args.extend_from_slice(extra);
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        run(&owned.iter().map(String::as_str).collect::<Vec<_>>());
+    };
+    with(&s_ref, &[]);
+    with(&s_one, &["--shards", "1"]);
+    with(&s_two, &["--shards", "2"]);
+    let reference = std::fs::read(&s_ref).unwrap();
+    assert_eq!(
+        reference,
+        std::fs::read(&s_one).unwrap(),
+        "--shards 1 must reproduce the single-process score file byte-for-byte"
+    );
+    assert_eq!(
+        reference,
+        std::fs::read(&s_two).unwrap(),
+        "--shards 2 must reproduce the single-process score file byte-for-byte"
+    );
+    for p in [&store, &s_ref, &s_one, &s_two] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn detect_sharded_handles_text_graphs_full_copy() {
+    let graph = tmp("txt_graph.txt");
+    let s_ref = tmp("txt_ref.tsv");
+    let s_two = tmp("txt_two.tsv");
+    run(&[
+        "generate",
+        "--dataset",
+        "cora",
+        "--scale",
+        "tiny",
+        "--seed",
+        "12",
+        "--out",
+        graph.to_str().unwrap(),
+    ]);
+    // Default threshold far above n: the partition falls back to one
+    // shared full copy and every worker takes the full-graph path.
+    run(&[
+        "detect",
+        "--in",
+        graph.to_str().unwrap(),
+        "--scores",
+        s_ref.to_str().unwrap(),
+        "--model",
+        "degnorm",
+    ]);
+    run(&[
+        "detect",
+        "--in",
+        graph.to_str().unwrap(),
+        "--scores",
+        s_two.to_str().unwrap(),
+        "--model",
+        "degnorm",
+        "--shards",
+        "2",
+    ]);
+    assert_eq!(
+        std::fs::read(&s_ref).unwrap(),
+        std::fs::read(&s_two).unwrap()
+    );
+    for p in [&graph, &s_ref, &s_two] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+/// Kill the server process on panic so a failing assert never leaks it.
+struct ServerGuard(Child);
+
+impl Drop for ServerGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+#[test]
+fn serve_sharded_round_trip_via_binary() {
+    let store = tmp("srv.vgodstore");
+    let models = tmp("srv_models");
+    let part = tmp("srv_partition");
+    let addr_file = tmp("srv_addr.txt");
+    let s_ref = tmp("srv_ref.tsv");
+    let _ = std::fs::remove_dir_all(&models);
+    let _ = std::fs::remove_dir_all(&part);
+    let _ = std::fs::remove_file(&addr_file);
+    std::fs::create_dir_all(&models).unwrap();
+    run(&[
+        "store",
+        "--synth-nodes",
+        "240",
+        "--seed",
+        "11",
+        "--out",
+        store.to_str().unwrap(),
+    ]);
+    let ckpt = models.join("degnorm.ckpt");
+    // The serve path has no --batch flag, so the reference detect must use
+    // the same default batch size (no --batch) for byte-identity.
+    run(&[
+        "detect",
+        "--in",
+        store.to_str().unwrap(),
+        "--scores",
+        s_ref.to_str().unwrap(),
+        "--model",
+        "degnorm",
+        "--out-of-core",
+        "--threshold",
+        "50",
+        "--save-model",
+        ckpt.to_str().unwrap(),
+    ]);
+
+    let child = vgod()
+        .args([
+            "serve",
+            "--models",
+            models.to_str().unwrap(),
+            "--in",
+            store.to_str().unwrap(),
+            "--shards",
+            "2",
+            "--threshold",
+            "50",
+            "--partition-dir",
+            part.to_str().unwrap(),
+            "--port",
+            "0",
+            "--addr-file",
+            addr_file.to_str().unwrap(),
+        ])
+        .stdout(Stdio::null())
+        .spawn()
+        .unwrap();
+    let mut guard = ServerGuard(child);
+
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let addr = loop {
+        if let Ok(text) = std::fs::read_to_string(&addr_file) {
+            if let Ok(addr) = text.trim().parse::<SocketAddr>() {
+                break addr;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "coordinator did not write its address"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+
+    let (status, _) = vgod_serve::http::get(addr, "/healthz").unwrap();
+    assert_eq!(status, 200);
+
+    // Merged scores from the sharded server equal the offline detect run.
+    let (status, body) = vgod_serve::http::post(addr, "/score", r#"{"model":"degnorm"}"#).unwrap();
+    assert_eq!(status, 200, "{body}");
+    let parsed = vgod_serve::json::Json::parse(&body).unwrap();
+    let served: Vec<f32> = parsed
+        .get("scores")
+        .and_then(|s| s.as_arr())
+        .expect("scores array")
+        .iter()
+        .map(|v| v.as_f64().unwrap() as f32)
+        .collect();
+    let reference = read_scores(&s_ref);
+    assert_eq!(
+        served.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+        reference.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+        "served sharded scores must match offline detect bit-for-bit"
+    );
+
+    // Coordinator metrics carry the partition and per-shard sections.
+    let (status, metrics) = vgod_serve::http::get(addr, "/metrics").unwrap();
+    assert_eq!(status, 200);
+    assert!(metrics.contains("\"partition\""), "{metrics}");
+    assert!(metrics.contains("\"halo_bytes\""), "{metrics}");
+
+    // store --info on the kept partition directory prints the manifest.
+    let out = vgod()
+        .args(["store", "--info", part.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("2 shard(s)"), "{text}");
+    assert!(text.contains("sliced"), "{text}");
+
+    let (status, _) = vgod_serve::http::post(addr, "/shutdown", "").unwrap();
+    assert_eq!(status, 200);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if guard.0.try_wait().unwrap().is_some() {
+            break;
+        }
+        assert!(Instant::now() < deadline, "server did not exit on shutdown");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let _ = std::fs::remove_dir_all(&models);
+    let _ = std::fs::remove_dir_all(&part);
+    for p in [&store, &addr_file, &s_ref] {
+        let _ = std::fs::remove_file(p);
+    }
+}

@@ -1,6 +1,9 @@
 //! The VGOD framework (§V-C, Algorithm 1).
 
-use vgod_eval::{combine_mean_std, combine_sum_to_unit, full_graph_view, OutlierDetector, Scores};
+use vgod_eval::{
+    combine_mean_std, combine_sum_to_unit, full_graph_view, OutlierDetector, RangeScores,
+    ScoreMerge, Scores,
+};
 use vgod_graph::{AttributedGraph, GraphStore, NeighborSampler, SamplingConfig};
 
 use crate::{Arm, CombineStrategy, MiniBatchConfig, Vbm, VgodConfig};
@@ -162,6 +165,51 @@ impl OutlierDetector for Vgod {
             combined,
             structural: Some(structural),
             contextual: Some(contextual),
+        }
+    }
+
+    fn score_store_range(
+        &self,
+        store: &dyn GraphStore,
+        cfg: &SamplingConfig,
+        lo: u32,
+        hi: u32,
+    ) -> RangeScores {
+        if let Some(g) = full_graph_view(store, cfg) {
+            // Already globally combined by the full pass; the coordinator
+            // only needs to concatenate the rows.
+            return RangeScores {
+                scores: self.score(&g).slice_range(lo as usize, hi as usize),
+                merge: ScoreMerge::Concat,
+            };
+        }
+        // Ship raw per-range components; the *global* Eq. 19 combination
+        // must run over full-length vectors, so it moves to the merge rule
+        // applied by the coordinator after concatenation. The local
+        // `combined` is a range-normalised placeholder, overwritten there.
+        let structural = self
+            .vbm
+            .score_store_range(store, cfg, lo, hi)
+            .scores
+            .combined;
+        let contextual = self
+            .arm
+            .score_store_range(store, cfg, lo, hi)
+            .scores
+            .combined;
+        let combined = self.combine(&structural, &contextual);
+        let merge = match self.cfg.combine {
+            CombineStrategy::MeanStd => ScoreMerge::MeanStd,
+            CombineStrategy::SumToUnit => ScoreMerge::SumToUnit,
+            CombineStrategy::Weighted(alpha) => ScoreMerge::Weighted(alpha),
+        };
+        RangeScores {
+            scores: Scores {
+                combined,
+                structural: Some(structural),
+                contextual: Some(contextual),
+            },
+            merge,
         }
     }
 }

@@ -6,7 +6,7 @@ use std::sync::OnceLock;
 
 use vgod_graph::{AttributedGraph, GraphStore, NeighborSampler, SampledBatch, SamplingConfig};
 
-use crate::combine_mean_std;
+use crate::{combine_mean_std, combine_sum_to_unit};
 
 /// Outlier scores produced by a detector for every node of a graph.
 ///
@@ -76,6 +76,154 @@ impl Scores {
             v.truncate(len);
         }
     }
+
+    /// The contiguous row range `[lo, hi)` of every present channel.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi` or `hi` exceeds the score length.
+    pub fn slice_range(&self, lo: usize, hi: usize) -> Scores {
+        Scores {
+            combined: self.combined[lo..hi].to_vec(),
+            structural: self.structural.as_ref().map(|v| v[lo..hi].to_vec()),
+            contextual: self.contextual.as_ref().map(|v| v[lo..hi].to_vec()),
+        }
+    }
+}
+
+/// How per-range score channels recombine into the global score vector.
+///
+/// Sharded scoring splits the node set into contiguous ranges, scores each
+/// range on its owning shard, and concatenates the raw channels in range
+/// order. `Concat` means the concatenated `combined` already *is* the
+/// global score (per-batch and streaming detectors). The other rules are
+/// the global recombinations proven in the out-of-core work: the combined
+/// score is a function of the *full-length* structural/contextual vectors
+/// (VGOD Eq. 19 / DegNorm Eq. 20 need global mean/std or global sums), so
+/// the coordinator recomputes it after concatenation — byte-identical to
+/// the single-process pass because it runs the same combine kernels on the
+/// same inputs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ScoreMerge {
+    /// Concatenated combined scores are final.
+    Concat,
+    /// Recombine with the paper's mean-std rule (Eq. 19).
+    MeanStd,
+    /// Recombine with sum-to-unit normalisation (Eq. 23).
+    SumToUnit,
+    /// `alpha * structural + (1 - alpha) * contextual`, elementwise.
+    Weighted(f32),
+}
+
+impl ScoreMerge {
+    /// Stable textual form used on the shard wire protocol
+    /// (`concat`, `mean-std`, `sum-to-unit`, `weighted:<alpha>`).
+    pub fn wire_name(&self) -> String {
+        match self {
+            ScoreMerge::Concat => "concat".into(),
+            ScoreMerge::MeanStd => "mean-std".into(),
+            ScoreMerge::SumToUnit => "sum-to-unit".into(),
+            // f32 Display prints the shortest round-tripping decimal, so
+            // the parsed alpha is bit-identical on the other side.
+            ScoreMerge::Weighted(alpha) => format!("weighted:{alpha}"),
+        }
+    }
+
+    /// Parse [`ScoreMerge::wire_name`] output.
+    pub fn parse_wire(s: &str) -> Result<ScoreMerge, String> {
+        match s {
+            "concat" => Ok(ScoreMerge::Concat),
+            "mean-std" => Ok(ScoreMerge::MeanStd),
+            "sum-to-unit" => Ok(ScoreMerge::SumToUnit),
+            _ => match s.strip_prefix("weighted:") {
+                Some(alpha) => alpha
+                    .parse::<f32>()
+                    .map(ScoreMerge::Weighted)
+                    .map_err(|e| format!("bad weighted alpha {alpha:?}: {e}")),
+                None => Err(format!("unknown merge rule {s:?}")),
+            },
+        }
+    }
+
+    /// Apply the rule to full-length concatenated channels, producing the
+    /// final global combined score.
+    ///
+    /// # Panics
+    /// Panics if a non-`Concat` rule is applied to scores missing a
+    /// structural or contextual channel.
+    pub fn apply(&self, mut scores: Scores) -> Scores {
+        if let ScoreMerge::Concat = self {
+            return scores;
+        }
+        let structural = scores
+            .structural
+            .as_deref()
+            .expect("merge rule needs a structural channel");
+        let contextual = scores
+            .contextual
+            .as_deref()
+            .expect("merge rule needs a contextual channel");
+        scores.combined = match self {
+            ScoreMerge::Concat => unreachable!(),
+            ScoreMerge::MeanStd => combine_mean_std(structural, contextual),
+            ScoreMerge::SumToUnit => combine_sum_to_unit(structural, contextual),
+            ScoreMerge::Weighted(alpha) => structural
+                .iter()
+                .zip(contextual)
+                .map(|(&s, &c)| alpha * s + (1.0 - alpha) * c)
+                .collect(),
+        };
+        scores
+    }
+}
+
+/// Raw score channels for one contiguous node range, plus the rule a
+/// coordinator must apply after concatenating all ranges. Produced by
+/// [`OutlierDetector::score_store_range`], consumed by
+/// [`merge_range_scores`].
+#[derive(Clone, Debug)]
+pub struct RangeScores {
+    /// Per-range channels, `hi - lo` rows each.
+    pub scores: Scores,
+    /// Global recombination rule; must agree across all ranges of a graph.
+    pub merge: ScoreMerge,
+}
+
+/// Reassemble per-range score channels (ranges tile `[0, n)` in order)
+/// into the global [`Scores`], applying the shared merge rule. This is the
+/// coordinator half of sharded scoring; byte-identical to a single-process
+/// `score_store` by construction.
+///
+/// # Panics
+/// Panics if `parts` is empty, the merge rules disagree, or the
+/// concatenated length is not `n`.
+pub fn merge_range_scores(n: usize, parts: Vec<RangeScores>) -> Scores {
+    let merge = parts.first().expect("at least one range").merge;
+    let mut combined = Vec::with_capacity(n);
+    let mut structural = Some(Vec::with_capacity(n));
+    let mut contextual = Some(Vec::with_capacity(n));
+    for part in parts {
+        assert!(
+            part.merge == merge,
+            "shards disagree on the merge rule: {:?} vs {:?}",
+            part.merge,
+            merge
+        );
+        combined.extend_from_slice(&part.scores.combined);
+        match (&mut structural, &part.scores.structural) {
+            (Some(acc), Some(p)) => acc.extend_from_slice(p),
+            _ => structural = None,
+        }
+        match (&mut contextual, &part.scores.contextual) {
+            (Some(acc), Some(p)) => acc.extend_from_slice(p),
+            _ => contextual = None,
+        }
+    }
+    assert_eq!(combined.len(), n, "score ranges must tile every node once");
+    merge.apply(Scores {
+        combined,
+        structural,
+        contextual,
+    })
 }
 
 /// The bit-identical small-graph fast path of the store-backed detector
@@ -146,6 +294,70 @@ pub fn refit_score_store<D: OutlierDetector + Clone>(
     assemble_batch_scores(store.num_nodes(), parts)
 }
 
+/// Range variant of [`refit_score_store`] for the transductive detectors:
+/// each batch in the range is refitted and scored independently (exactly
+/// the per-batch work of the full pass), so the concatenation over ranges
+/// is byte-identical to single-process output.
+pub fn refit_score_store_range<D: OutlierDetector + Clone>(
+    det: &D,
+    store: &dyn GraphStore,
+    cfg: &SamplingConfig,
+    lo: u32,
+    hi: u32,
+) -> RangeScores {
+    if let Some(g) = full_graph_view(store, cfg) {
+        return RangeScores {
+            scores: det.score(&g).slice_range(lo as usize, hi as usize),
+            merge: ScoreMerge::Concat,
+        };
+    }
+    let batches = range_score_batches(store.num_nodes(), cfg, lo, hi);
+    let parts = score_sampled_batch_range(store, cfg, batches, &|batch| {
+        let mut local = det.clone();
+        local.fit_score(&batch.graph)
+    });
+    RangeScores {
+        scores: assemble_batch_scores((hi - lo) as usize, parts),
+        merge: ScoreMerge::Concat,
+    }
+}
+
+/// The score-batch indices that tile exactly the node range `[lo, hi)`.
+///
+/// # Panics
+/// Panics unless the range lies in `[0, n]` and is aligned to whole score
+/// batches: `lo` on a batch boundary and `hi` on a boundary or at `n`.
+/// Sharded partitions are built batch-aligned so every shard scores whole
+/// global batches — the precondition for byte-identical reassembly.
+pub fn range_score_batches(
+    n: usize,
+    cfg: &SamplingConfig,
+    lo: u32,
+    hi: u32,
+) -> std::ops::Range<usize> {
+    let (lo, hi) = (lo as usize, hi as usize);
+    assert!(
+        lo <= hi && hi <= n,
+        "bad score range [{lo}, {hi}) for n={n}"
+    );
+    if lo == hi {
+        // Empty ranges (trailing shards of a small graph) score nothing.
+        return 0..0;
+    }
+    assert_eq!(
+        lo % cfg.batch_size,
+        0,
+        "range start {lo} not aligned to batch size {}",
+        cfg.batch_size
+    );
+    assert!(
+        hi % cfg.batch_size == 0 || hi == n,
+        "range end {hi} not aligned to batch size {} (n={n})",
+        cfg.batch_size
+    );
+    lo / cfg.batch_size..hi.div_ceil(cfg.batch_size)
+}
+
 /// Sets a stop flag when dropped, so the prefetcher thread is released
 /// even when a scoring batch panics mid-flight.
 struct StopGuard<'a>(&'a AtomicBool);
@@ -176,14 +388,28 @@ pub fn score_sampled_batches(
     score_one: &(dyn Fn(&SampledBatch) -> Scores + Sync),
 ) -> Vec<(usize, Scores)> {
     let num_batches = NeighborSampler::new(store, *cfg).num_score_batches();
+    score_sampled_batch_range(store, cfg, 0..num_batches, score_one)
+}
+
+/// [`score_sampled_batches`] restricted to a contiguous batch-index range —
+/// the per-shard building block of distributed scoring. Batch `b` still
+/// means *global* batch `b` (seeds `[b * batch_size, ..)`, RNG stream keyed
+/// on `(cfg.seed, b)`), so a shard scoring its slice of batches produces
+/// bit-identical results to the same batches of a full single-process pass.
+pub fn score_sampled_batch_range(
+    store: &dyn GraphStore,
+    cfg: &SamplingConfig,
+    batches: std::ops::Range<usize>,
+    score_one: &(dyn Fn(&SampledBatch) -> Scores + Sync),
+) -> Vec<(usize, Scores)> {
     let threads = cfg.score_threads();
     if threads > 1 || cfg.prefetch {
         if let Some(shared) = store.as_shared() {
-            return score_batches_parallel(shared, cfg, num_batches, threads, score_one);
+            return score_batches_parallel(shared, cfg, batches, threads, score_one);
         }
     }
     let sampler = NeighborSampler::new(store, *cfg);
-    (0..num_batches)
+    batches
         .map(|b| {
             let batch = sampler.score_batch(b);
             let mut s = score_one(&batch);
@@ -196,10 +422,12 @@ pub fn score_sampled_batches(
 fn score_batches_parallel(
     store: &(dyn GraphStore + Sync),
     cfg: &SamplingConfig,
-    num_batches: usize,
+    batches: std::ops::Range<usize>,
     threads: usize,
     score_one: &(dyn Fn(&SampledBatch) -> Scores + Sync),
 ) -> Vec<(usize, Scores)> {
+    let first = batches.start;
+    let num_batches = batches.len();
     let slots: Vec<OnceLock<(usize, Scores)>> = (0..num_batches).map(|_| OnceLock::new()).collect();
     let done = AtomicUsize::new(0);
     let stop = AtomicBool::new(false);
@@ -216,11 +444,11 @@ fn score_batches_parallel(
         let _stop_on_unwind = StopGuard(&stop);
         let prefetcher = (cfg.prefetch && hw_threads > 1).then(|| {
             scope.spawn(|| {
-                for b in 1..num_batches {
+                for rel in 1..num_batches {
                     // Pace the I/O: stay at most one batch wave ahead of
                     // compute so prefetched blocks are still resident when
                     // their batch runs.
-                    while b > done.load(Ordering::Relaxed) + threads + 1 {
+                    while rel > done.load(Ordering::Relaxed) + threads + 1 {
                         if stop.load(Ordering::Relaxed) {
                             return;
                         }
@@ -232,17 +460,18 @@ fn score_batches_parallel(
                     if stop.load(Ordering::Relaxed) {
                         return;
                     }
-                    let (lo, hi) = cfg.batch_seed_range(n, b);
+                    let (lo, hi) = cfg.batch_seed_range(n, first + rel);
                     store.prefetch_nodes(lo, hi);
                 }
             })
         });
-        vgod_tensor::threading::run_indexed(num_batches, threads, &|b| {
+        vgod_tensor::threading::run_indexed(num_batches, threads, &|rel| {
+            let b = first + rel;
             let sampler = NeighborSampler::new(store, *cfg);
             let batch = sampler.score_batch(b);
             let mut s = score_one(&batch);
             s.truncate_to(batch.num_seeds);
-            let set = slots[b].set((batch.num_seeds, s));
+            let set = slots[rel].set((batch.num_seeds, s));
             assert!(set.is_ok(), "batch {b} dispatched twice");
             done.fetch_add(1, Ordering::Relaxed);
         });
@@ -345,6 +574,43 @@ pub trait OutlierDetector: Send + Sync {
     fn fit_score_store(&mut self, store: &dyn GraphStore, cfg: &SamplingConfig) -> Scores {
         self.fit_store(store, cfg);
         self.score_store(store, cfg)
+    }
+
+    /// Score only the contiguous node range `[lo, hi)` of the store — the
+    /// per-shard half of distributed scoring. Returns the range's raw
+    /// score channels plus the [`ScoreMerge`] rule a coordinator applies
+    /// after concatenating all ranges in order; the merged result is
+    /// byte-identical to [`OutlierDetector::score_store`] on the whole
+    /// store.
+    ///
+    /// Below the sampling threshold the default runs the ordinary
+    /// full-graph pass and returns the requested rows. Above it, the range
+    /// must be batch-aligned (see [`range_score_batches`]) and the default
+    /// scores exactly the global sampled batches covering the range.
+    /// Detectors whose `score_store` globally recombines components
+    /// (VGOD, DegNorm) override this to emit raw components with the
+    /// matching non-`Concat` merge rule; streaming-exact detectors
+    /// override it to score just the range.
+    fn score_store_range(
+        &self,
+        store: &dyn GraphStore,
+        cfg: &SamplingConfig,
+        lo: u32,
+        hi: u32,
+    ) -> RangeScores {
+        if let Some(g) = full_graph_view(store, cfg) {
+            return RangeScores {
+                scores: self.score(&g).slice_range(lo as usize, hi as usize),
+                merge: ScoreMerge::Concat,
+            };
+        }
+        let batches = range_score_batches(store.num_nodes(), cfg, lo, hi);
+        let parts =
+            score_sampled_batch_range(store, cfg, batches, &|batch| self.score(&batch.graph));
+        RangeScores {
+            scores: assemble_batch_scores((hi - lo) as usize, parts),
+            merge: ScoreMerge::Concat,
+        }
     }
 }
 

@@ -23,8 +23,9 @@ mod ranking;
 mod threshold;
 
 pub use detector::{
-    assemble_batch_scores, full_graph_view, refit_score_store, score_sampled_batches,
-    OutlierDetector, Scores,
+    assemble_batch_scores, full_graph_view, merge_range_scores, range_score_batches,
+    refit_score_store, refit_score_store_range, score_sampled_batch_range, score_sampled_batches,
+    OutlierDetector, RangeScores, ScoreMerge, Scores,
 };
 pub use metrics::{auc, auc_gap, auc_group_vs_normal, auc_subset};
 pub use normalize::{

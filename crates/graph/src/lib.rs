@@ -26,6 +26,7 @@ mod attributes;
 mod generate;
 mod graph;
 mod io;
+mod partition;
 mod sample;
 mod stats;
 mod store;
@@ -34,6 +35,11 @@ pub use attributes::{binary_topic_attributes, gaussian_mixture_attributes, stand
 pub use generate::{community_graph, CommunityGraphConfig};
 pub use graph::{AttributedGraph, ContextCache};
 pub use io::{load_graph, read_graph, save_graph, write_graph, GraphIoError};
+pub use partition::{
+    closure_ghosts, count_cross_edges, partition_store, shard_ranges, HaloManifest,
+    PartitionConfig, PartitionManifest, PartitionMode, ShardMeta, ShardStore, HALO_MAGIC,
+    PARTITION_MAGIC,
+};
 pub use sample::{NeighborSampler, SampledBatch, SamplingConfig};
 pub use stats::{
     adjusted_homophily, attribute_variance, clustering_coefficients, connected_components,

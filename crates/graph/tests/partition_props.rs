@@ -1,0 +1,200 @@
+//! Property tests for the contiguous-range partitioner: ranges tile the
+//! node space exactly once, halo manifests list exactly the cross-shard
+//! ghosts, and every shard slice reproduces its closure bit-for-bit.
+//!
+//! (The companion acceptance property — merged shard scores byte-identical
+//! to single-process output for all 13 detectors — lives in
+//! `crates/serve/tests/sharded_scoring.rs`, next to the detectors.)
+
+use std::path::PathBuf;
+
+use proptest::prelude::*;
+use vgod_graph::{
+    partition_store, seeded_rng, shard_ranges, AttributedGraph, GraphStore, HaloManifest,
+    PartitionConfig, PartitionManifest, PartitionMode, SamplingConfig, ShardStore, StoreOptions,
+};
+
+use rand::Rng;
+use vgod_tensor::Matrix;
+
+fn random_graph(n: usize, avg_deg: usize, attrs: usize, seed: u64) -> AttributedGraph {
+    let mut rng = seeded_rng(seed);
+    let mut edges = Vec::new();
+    for _ in 0..n * avg_deg / 2 {
+        let u: u32 = rng.gen_range(0..n as u32);
+        let v: u32 = rng.gen_range(0..n as u32);
+        if u != v {
+            edges.push((u, v));
+        }
+    }
+    let data: Vec<f32> = (0..n * attrs)
+        .map(|_| rng.gen_range(-1.0f32..1.0))
+        .collect();
+    let x = Matrix::from_vec(n, attrs, data).unwrap();
+    AttributedGraph::from_edges(x, &edges)
+}
+
+/// Ghosts of `[lo, hi)` by an independent level-by-level BFS (written
+/// differently from the partitioner's visited-flag walk on purpose).
+fn bfs_ghosts(g: &AttributedGraph, lo: u32, hi: u32, hops: usize) -> Vec<u32> {
+    let mut dist = vec![usize::MAX; g.num_nodes()];
+    let mut frontier: Vec<u32> = (lo..hi).collect();
+    for &u in &frontier {
+        dist[u as usize] = 0;
+    }
+    for level in 1..=hops {
+        let mut next = Vec::new();
+        for &u in &frontier {
+            for &v in g.neighbors(u) {
+                if dist[v as usize] == usize::MAX {
+                    dist[v as usize] = level;
+                    next.push(v);
+                }
+            }
+        }
+        frontier = next;
+    }
+    (0..g.num_nodes() as u32)
+        .filter(|&u| !(lo..hi).contains(&u) && dist[u as usize] != usize::MAX)
+        .collect()
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("vgod_partition_props_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Ranges tile `[0, n)` exactly once: contiguous, in order, and
+    /// batch-aligned at every interior boundary.
+    #[test]
+    fn ranges_cover_every_node_exactly_once(
+        n in 1usize..30_000,
+        shards in 1usize..9,
+        batch in 1usize..2048,
+    ) {
+        let ranges = shard_ranges(n, shards, batch);
+        prop_assert_eq!(ranges.len(), shards);
+        prop_assert_eq!(ranges[0].0, 0);
+        prop_assert_eq!(ranges.last().unwrap().1 as usize, n);
+        let mut covered = 0usize;
+        for (i, &(lo, hi)) in ranges.iter().enumerate() {
+            prop_assert!(lo <= hi, "range {i} is inverted");
+            if i > 0 {
+                prop_assert_eq!(ranges[i - 1].1, lo, "gap/overlap before range {i}");
+            }
+            if (hi as usize) < n {
+                prop_assert_eq!(hi as usize % batch, 0, "interior boundary off batch grid");
+            }
+            covered += (hi - lo) as usize;
+        }
+        prop_assert_eq!(covered, n);
+    }
+}
+
+proptest! {
+    // Each case writes a full partition to disk, so keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A sliced partition's halo manifests list exactly the cross-shard
+    /// edges and BFS ghosts, and every slice reproduces its closure's
+    /// adjacency and attribute rows bit-for-bit.
+    #[test]
+    fn sliced_partitions_carry_exact_halos_and_faithful_slices(
+        n in 60usize..240,
+        avg_deg in 2usize..7,
+        graph_seed in 0u64..1000,
+        shards in 2usize..5,
+        batch in 16usize..64,
+        hops in 1usize..4,
+    ) {
+        let g = random_graph(n, avg_deg, 6, graph_seed);
+        let sampling = SamplingConfig {
+            full_graph_threshold: 1, // force Sliced
+            batch_size: batch,
+            hops,
+            ..SamplingConfig::default()
+        };
+        let dir = scratch_dir("sliced");
+        let manifest = partition_store(&g, &dir, &PartitionConfig::new(shards, sampling)).unwrap();
+        prop_assert_eq!(manifest.mode, PartitionMode::Sliced);
+        prop_assert_eq!(manifest.num_nodes, n);
+        prop_assert_eq!(PartitionManifest::load(&dir).unwrap(), manifest.clone());
+
+        let mut covered = 0usize;
+        let mut nbrs = Vec::new();
+        let mut row = vec![0.0f32; g.num_attrs()];
+        for meta in &manifest.shards {
+            covered += (meta.hi - meta.lo) as usize;
+
+            // Exact cross-shard edge count, by brute force.
+            let cross: u64 = (meta.lo..meta.hi)
+                .map(|u| {
+                    g.neighbors(u)
+                        .iter()
+                        .filter(|&&v| !(meta.lo..meta.hi).contains(&v))
+                        .count() as u64
+                })
+                .sum();
+            prop_assert_eq!(meta.cross_edges, cross, "shard {} cross edges", meta.index);
+
+            // The halo file lists exactly the hops-hop BFS ghosts, sorted.
+            let halo = HaloManifest::load(&PartitionManifest::halo_path(&dir, meta.index)).unwrap();
+            let expect = bfs_ghosts(&g, meta.lo, meta.hi, hops);
+            prop_assert_eq!(&halo.ghosts, &expect, "shard {} ghosts", meta.index);
+            prop_assert_eq!(meta.ghosts, expect.len() as u64);
+            prop_assert_eq!(meta.closure, (meta.hi - meta.lo) as u64 + meta.ghosts);
+            prop_assert_eq!(halo.cross_edges, meta.cross_edges);
+            prop_assert_eq!(halo.halo_bytes, meta.halo_bytes);
+
+            // The slice serves its whole closure bit-for-bit in global ids.
+            let slice = ShardStore::open(&dir, meta.index, StoreOptions::new(8 << 20)).unwrap();
+            prop_assert_eq!(slice.num_nodes(), n);
+            let closure: Vec<u32> = (meta.lo..meta.hi).chain(expect.iter().copied()).collect();
+            for u in closure {
+                slice.neighbors_into(u, &mut nbrs);
+                prop_assert_eq!(&nbrs[..], g.neighbors(u), "shard {} node {u} adjacency", meta.index);
+                prop_assert_eq!(slice.degree(u), g.neighbors(u).len());
+                slice.attr_row_into(u, &mut row);
+                let want: Vec<u32> = g.attrs().row(u as usize).iter().map(|v| v.to_bits()).collect();
+                let got: Vec<u32> = row.iter().map(|v| v.to_bits()).collect();
+                prop_assert_eq!(got, want, "shard {} node {u} attrs", meta.index);
+            }
+        }
+        prop_assert_eq!(covered, n, "shards must own every node exactly once");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// At or below the threshold the partition degrades to one shared full
+    /// copy with no ghosts and no halo traffic.
+    #[test]
+    fn full_copy_partitions_have_no_ghosts(
+        n in 40usize..160,
+        graph_seed in 0u64..1000,
+        shards in 1usize..5,
+    ) {
+        let g = random_graph(n, 4, 5, graph_seed);
+        let sampling = SamplingConfig {
+            full_graph_threshold: 100_000,
+            ..SamplingConfig::default()
+        };
+        let dir = scratch_dir("full");
+        let manifest = partition_store(&g, &dir, &PartitionConfig::new(shards, sampling)).unwrap();
+        prop_assert_eq!(manifest.mode, PartitionMode::FullCopy);
+        prop_assert_eq!(manifest.total_ghosts(), 0);
+        prop_assert_eq!(manifest.total_halo_bytes(), 0);
+        let covered: usize = manifest.shards.iter().map(|m| (m.hi - m.lo) as usize).sum();
+        prop_assert_eq!(covered, n);
+        for meta in &manifest.shards {
+            let slice = ShardStore::open(&dir, meta.index, StoreOptions::new(8 << 20)).unwrap();
+            prop_assert_eq!(slice.num_nodes(), n);
+            prop_assert_eq!(slice.num_edges(), g.num_edges());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

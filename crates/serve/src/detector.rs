@@ -6,7 +6,7 @@ use vgod::{Arm, Vbm, Vgod};
 use vgod_baselines::{
     AnomalyDae, Cola, Conad, Deg, DegNorm, Dominant, Done, L2Norm, Radar, RandomDetector,
 };
-use vgod_eval::{OutlierDetector, Scores};
+use vgod_eval::{OutlierDetector, RangeScores, Scores};
 use vgod_graph::{AttributedGraph, GraphStore, SamplingConfig};
 
 /// Any detector the workspace can persist and serve.
@@ -148,6 +148,16 @@ impl OutlierDetector for AnyDetector {
 
     fn score_store(&self, store: &dyn GraphStore, cfg: &SamplingConfig) -> Scores {
         for_each_variant!(self, m => m.score_store(store, cfg))
+    }
+
+    fn score_store_range(
+        &self,
+        store: &dyn GraphStore,
+        cfg: &SamplingConfig,
+        lo: u32,
+        hi: u32,
+    ) -> RangeScores {
+        for_each_variant!(self, m => m.score_store_range(store, cfg, lo, hi))
     }
 }
 

@@ -153,6 +153,14 @@ pub enum ScoreError {
         /// The graph's node count.
         num_nodes: usize,
     },
+    /// A shard worker process died or stopped answering (sharded serving
+    /// only) — the request cannot be scored until it is restarted.
+    ShardDown {
+        /// The dead shard's index.
+        shard: usize,
+        /// The transport failure observed (connect refused, EOF, ...).
+        cause: String,
+    },
 }
 
 impl std::fmt::Display for ScoreError {
@@ -161,6 +169,9 @@ impl std::fmt::Display for ScoreError {
             ScoreError::Lookup(e) => e.fmt(f),
             ScoreError::NodeOutOfRange { node, num_nodes } => {
                 write!(f, "node {node} out of range (graph has {num_nodes} nodes)")
+            }
+            ScoreError::ShardDown { shard, cause } => {
+                write!(f, "shard {shard} down: {cause}")
             }
         }
     }

@@ -55,6 +55,7 @@ pub mod json;
 mod metrics;
 mod registry;
 mod server;
+mod shard;
 
 pub use detector::AnyDetector;
 pub use engine::{
@@ -62,4 +63,5 @@ pub use engine::{
 };
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use registry::{ModelInfo, Registry, RegistryConfig};
-pub use server::{serve, ServerHandle};
+pub use server::{serve, serve_sharded, ServerHandle};
+pub use shard::{run_shard_worker, Coordinator, ShardSpec, WorkerConfig, WorkerHandle};

@@ -12,21 +12,112 @@ use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
-use crate::engine::{Engine, ScoreError, ScoreReply, ServeConfig, SubmitError};
+use crate::engine::{Engine, ReplyFn, ScoreError, ScoreReply, ServeConfig, SubmitError};
 use crate::json::{escape, Json};
 use crate::metrics::Metrics;
 use crate::registry::LookupError;
+use crate::shard::{Coordinator, ShardSpec};
 
-/// Running server: the engine plus the connection-handling thread.
+/// Running server: the scoring backend plus the connection-handling thread.
 pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
     loop_join: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
+/// The scoring backend behind the HTTP front: the in-process replicated
+/// [`Engine`], or a [`Coordinator`] scatter-gathering over shard worker
+/// processes. Both expose the same submit surface, so the connection loops
+/// never know which one they are driving.
+pub(crate) enum Backend {
+    Engine(Engine),
+    Shards(Coordinator),
+}
+
+impl Backend {
+    pub(crate) fn try_submit_with(
+        &self,
+        model: String,
+        version: Option<u64>,
+        nodes: Option<Vec<u32>>,
+        reply: ReplyFn,
+    ) -> Result<(), SubmitError> {
+        match self {
+            Backend::Engine(e) => e.try_submit_with(model, version, nodes, reply),
+            Backend::Shards(c) => c.try_submit_with(model, version, nodes, reply),
+        }
+    }
+
+    // Only the portable blocking front calls this; the epoll front uses
+    // the callback path.
+    #[cfg_attr(target_os = "linux", allow(dead_code))]
+    pub(crate) fn try_submit(
+        &self,
+        model: String,
+        version: Option<u64>,
+        nodes: Option<Vec<u32>>,
+    ) -> Result<std::sync::mpsc::Receiver<Result<ScoreReply, ScoreError>>, SubmitError> {
+        match self {
+            Backend::Engine(e) => e.try_submit(model, version, nodes),
+            Backend::Shards(c) => c.try_submit(model, version, nodes),
+        }
+    }
+
+    pub(crate) fn models(&self) -> Vec<crate::ModelInfo> {
+        match self {
+            Backend::Engine(e) => e.models(),
+            Backend::Shards(c) => c.models(),
+        }
+    }
+
+    pub(crate) fn num_nodes(&self) -> usize {
+        match self {
+            Backend::Engine(e) => e.num_nodes(),
+            Backend::Shards(c) => c.num_nodes(),
+        }
+    }
+
+    pub(crate) fn replicas(&self) -> usize {
+        match self {
+            Backend::Engine(e) => e.replicas(),
+            Backend::Shards(c) => c.replicas(),
+        }
+    }
+
+    pub(crate) fn metrics(&self) -> &Metrics {
+        match self {
+            Backend::Engine(e) => e.metrics(),
+            Backend::Shards(c) => c.metrics(),
+        }
+    }
+
+    /// The `GET /metrics` body — the coordinator appends partition and
+    /// per-shard scatter sections to the engine-shaped counters.
+    pub(crate) fn metrics_json(&self) -> String {
+        match self {
+            Backend::Engine(e) => e.metrics().snapshot().render_json(),
+            Backend::Shards(c) => c.render_metrics_json(),
+        }
+    }
+
+    pub(crate) fn shutdown(&self) {
+        match self {
+            Backend::Engine(e) => e.shutdown(),
+            Backend::Shards(c) => c.shutdown(),
+        }
+    }
+
+    pub(crate) fn join(&self) {
+        match self {
+            Backend::Engine(e) => e.join(),
+            Backend::Shards(c) => c.join(),
+        }
+    }
+}
+
 /// State shared between the connection loop and the handle.
 pub(crate) struct Shared {
-    pub(crate) engine: Engine,
+    pub(crate) engine: Backend,
     shutdown: AtomicBool,
     addr: SocketAddr,
 }
@@ -64,6 +155,34 @@ pub fn serve(
         cfg,
         metrics,
     )?;
+    start_front(Backend::Engine(engine), bind_addr)
+}
+
+/// Start the sharded front: validate the model catalogue, connect the
+/// [`Coordinator`] to the given shard workers (spawned by the caller — the
+/// CLI forks one process per shard), bind, and serve the same endpoint set
+/// as [`serve`]. Additional semantics over the single-process front:
+///
+/// * `/score` answers are reassembled from per-shard range scores and are
+///   byte-identical to single-process output;
+/// * a dead worker fails `/score` with
+///   `503 {"error":"shard_down","shard":I,"cause":"..."}`;
+/// * `/metrics` carries `partition` and `shards` sections (per-shard
+///   latency, scatter byte counts, halo-exchange sizes);
+/// * checkpoints never hot-reload (every model stays at version 1).
+pub fn serve_sharded(
+    manifest: vgod_graph::PartitionManifest,
+    shards: Vec<ShardSpec>,
+    models_dir: &Path,
+    bind_addr: &str,
+    queue_capacity: usize,
+) -> Result<ServerHandle, String> {
+    let metrics = Arc::new(Metrics::new());
+    let coordinator = Coordinator::start(manifest, shards, models_dir, queue_capacity, metrics)?;
+    start_front(Backend::Shards(coordinator), bind_addr)
+}
+
+fn start_front(engine: Backend, bind_addr: &str) -> Result<ServerHandle, String> {
     let listener = TcpListener::bind(bind_addr).map_err(|e| format!("bind {bind_addr}: {e}"))?;
     let addr = listener.local_addr().map_err(|e| e.to_string())?;
     let shared = Arc::new(Shared {
@@ -191,7 +310,7 @@ pub(crate) fn route_immediate(method: &str, path: &str, shared: &Shared) -> Opti
                 ),
             )
         }
-        ("GET", "/metrics") => (200, shared.engine.metrics().snapshot().render_json()),
+        ("GET", "/metrics") => (200, shared.engine.metrics_json()),
         ("POST", "/shutdown") => {
             shared.begin_shutdown();
             (200, "{\"status\":\"shutting down\"}".into())
@@ -267,11 +386,19 @@ pub(crate) fn submit_error_response(err: &SubmitError) -> (u16, String) {
 pub(crate) fn score_result_response(result: Result<ScoreReply, ScoreError>) -> (u16, String) {
     match result {
         Ok(reply) => (200, render_reply(&reply)),
+        Err(ScoreError::ShardDown { shard, cause }) => (
+            503,
+            format!(
+                "{{\"error\":\"shard_down\",\"shard\":{shard},\"cause\":\"{}\"}}",
+                escape(&cause)
+            ),
+        ),
         Err(e) => {
             let status = match &e {
                 ScoreError::Lookup(LookupError::UnknownModel(_)) => 404,
                 ScoreError::Lookup(LookupError::VersionMismatch { .. }) => 409,
                 ScoreError::NodeOutOfRange { .. } => 400,
+                ScoreError::ShardDown { .. } => unreachable!(),
             };
             (
                 status,

@@ -1,0 +1,353 @@
+//! Sharded scoring must be byte-identical to single-process scoring: the
+//! partition → per-shard `score_store_range` → `merge_range_scores`
+//! pipeline for every detector the workspace ships, and the full
+//! worker/coordinator HTTP path end to end (including dead-shard `503`s
+//! and the coordinator's partition metrics).
+
+use vgod::{Arm, Vbm, Vgod, VgodConfig};
+use vgod_baselines::{
+    AnomalyDae, Cola, Conad, DeepConfig, Deg, DegNorm, Dominant, Done, L2Norm, Radar,
+    RandomDetector,
+};
+use vgod_eval::{merge_range_scores, OutlierDetector};
+use vgod_graph::{
+    community_graph, gaussian_mixture_attributes, partition_store, seeded_rng, AttributedGraph,
+    CommunityGraphConfig, OocStore, PartitionConfig, PartitionManifest, PartitionMode,
+    SamplingConfig, ShardStore, StoreOptions,
+};
+use vgod_serve::http;
+use vgod_serve::json::Json;
+use vgod_serve::{
+    run_shard_worker, serve, serve_sharded, AnyDetector, OocServeConfig, ServeConfig, ShardSpec,
+    WorkerConfig,
+};
+
+fn test_graph(n: usize, seed: u64) -> AttributedGraph {
+    let mut rng = seeded_rng(seed);
+    let mut g = community_graph(&CommunityGraphConfig::homogeneous(n, 4, 5.0, 0.9), &mut rng);
+    let x = gaussian_mixture_attributes(g.labels().unwrap(), 8, 3.0, 0.5, &mut rng);
+    g.set_attrs(x);
+    g
+}
+
+/// One fresh, cheap-to-train detector of every kind the CLI exposes.
+fn all_detectors() -> Vec<AnyDetector> {
+    let deep = DeepConfig {
+        epochs: 2,
+        hidden: 4,
+        ..DeepConfig::fast()
+    };
+    let mut vcfg = VgodConfig::default();
+    vcfg.vbm.hidden_dim = 8;
+    vcfg.vbm.epochs = 2;
+    vcfg.arm.hidden_dim = 8;
+    vcfg.arm.epochs = 2;
+    vec![
+        AnyDetector::Vgod(Vgod::new(vcfg.clone())),
+        AnyDetector::Vbm(Vbm::new(vcfg.vbm)),
+        AnyDetector::Arm(Arm::new(vcfg.arm)),
+        AnyDetector::Dominant(Dominant::new(deep.clone())),
+        AnyDetector::AnomalyDae(AnomalyDae::new(deep.clone())),
+        AnyDetector::Done(Done::new(deep.clone())),
+        AnyDetector::Cola(Cola::new(deep.clone())),
+        AnyDetector::Conad(Conad::new(deep.clone())),
+        AnyDetector::Radar(Radar::new(deep)),
+        AnyDetector::DegNorm(DegNorm),
+        AnyDetector::Deg(Deg),
+        AnyDetector::L2Norm(L2Norm),
+        AnyDetector::Random(RandomDetector::new(3)),
+    ]
+}
+
+fn tmp(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("vgod_sharded_{tag}_{}", std::process::id()))
+}
+
+fn make_store(tag: &str, g: &AttributedGraph) -> std::path::PathBuf {
+    let path = tmp(&format!("{tag}.vgodstore"));
+    OocStore::create_from_graph(g, &path, 64, 256).unwrap();
+    path
+}
+
+/// Tentpole guarantee at the library level: for every detector, scoring
+/// each shard's owned range on its own [`ShardStore`] slice and merging
+/// reproduces the single-process `score_store` output bit for bit — at 1,
+/// 2, and 4 shards (4 shards over 240 nodes leaves a trailing empty shard,
+/// which must contribute nothing).
+#[test]
+fn sharded_range_scoring_is_bit_identical_for_every_detector() {
+    let n = 240;
+    let g = test_graph(n, 21);
+    let store_path = make_store("lib", &g);
+    let store = OocStore::open(&store_path, 1 << 20).unwrap();
+    let cfg = SamplingConfig {
+        full_graph_threshold: 50, // force the sampled / sliced path
+        batch_size: 96,
+        fanout: 5,
+        hops: 2,
+        train_seeds: 160,
+        seed: 4,
+        ..SamplingConfig::default()
+    };
+
+    // Partition once per shard count.
+    let mut partitions = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let dir = tmp(&format!("lib_parts_{shards}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let manifest = partition_store(&store, &dir, &PartitionConfig::new(shards, cfg)).unwrap();
+        assert_eq!(manifest.mode, PartitionMode::Sliced);
+        let slices: Vec<ShardStore> = (0..shards)
+            .map(|i| ShardStore::open(&dir, i, StoreOptions::new(1 << 20)).unwrap())
+            .collect();
+        partitions.push((dir, manifest, slices));
+    }
+
+    for mut det in all_detectors() {
+        det.fit_store(&store, &cfg);
+        let single = det.score_store(&store, &cfg);
+        for (_, manifest, slices) in &partitions {
+            let parts: Vec<_> = manifest
+                .shards
+                .iter()
+                .zip(slices)
+                .map(|(meta, slice)| det.score_store_range(slice, &cfg, meta.lo, meta.hi))
+                .collect();
+            let merged = merge_range_scores(n, parts);
+            assert_eq!(
+                merged.combined,
+                single.combined,
+                "{} diverged at {} shards",
+                det.kind(),
+                manifest.shards.len()
+            );
+        }
+    }
+
+    let _ = std::fs::remove_file(&store_path);
+    for (dir, _, _) in partitions {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Below the sampling threshold the partitioner writes one shared full
+/// copy; range scoring takes the materialised full-graph path and merging
+/// must still reproduce the plain full-graph scores.
+#[test]
+fn full_copy_partitions_merge_bit_identically() {
+    let n = 120;
+    let g = test_graph(n, 22);
+    let store_path = make_store("fullcopy", &g);
+    let store = OocStore::open(&store_path, 1 << 20).unwrap();
+    let cfg = SamplingConfig {
+        full_graph_threshold: 10_000, // n is far below: full-copy mode
+        ..SamplingConfig::default()
+    };
+    let dir = tmp("fullcopy_parts");
+    let _ = std::fs::remove_dir_all(&dir);
+    let manifest = partition_store(&store, &dir, &PartitionConfig::new(2, cfg)).unwrap();
+    assert_eq!(manifest.mode, PartitionMode::FullCopy);
+    let slices: Vec<ShardStore> = (0..2)
+        .map(|i| ShardStore::open(&dir, i, StoreOptions::new(1 << 20)).unwrap())
+        .collect();
+    for mut det in all_detectors() {
+        det.fit_store(&store, &cfg);
+        let single = det.score_store(&store, &cfg);
+        let parts: Vec<_> = manifest
+            .shards
+            .iter()
+            .zip(&slices)
+            .map(|(meta, slice)| det.score_store_range(slice, &cfg, meta.lo, meta.hi))
+            .collect();
+        let merged = merge_range_scores(n, parts);
+        assert_eq!(
+            merged.combined,
+            single.combined,
+            "{} diverged in full-copy mode",
+            det.kind()
+        );
+    }
+    let _ = std::fs::remove_file(&store_path);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+struct E2eFixture {
+    store_path: std::path::PathBuf,
+    partition_dir: std::path::PathBuf,
+    models_dir: std::path::PathBuf,
+    manifest: PartitionManifest,
+    cfg: SamplingConfig,
+}
+
+/// A sliced 2-shard partition plus fitted checkpoints covering the three
+/// merge families: `deg` (streaming concat), `degnorm` (global mean-std
+/// recombination), `vbm` (per-batch GNN concat). `spare` is registered but
+/// never scored before the dead-shard probe, so its first scatter happens
+/// after the kill.
+fn e2e_fixture(tag: &str) -> E2eFixture {
+    let g = test_graph(220, 31);
+    let store_path = make_store(&format!("{tag}_e2e"), &g);
+    let store = OocStore::open(&store_path, 1 << 20).unwrap();
+    let cfg = SamplingConfig {
+        full_graph_threshold: 50,
+        batch_size: 96,
+        fanout: 5,
+        hops: 2,
+        train_seeds: 160,
+        seed: 4,
+        ..SamplingConfig::default()
+    };
+    let partition_dir = tmp(&format!("{tag}_parts"));
+    let _ = std::fs::remove_dir_all(&partition_dir);
+    let manifest = partition_store(&store, &partition_dir, &PartitionConfig::new(2, cfg)).unwrap();
+    assert_eq!(manifest.mode, PartitionMode::Sliced);
+
+    let models_dir = tmp(&format!("{tag}_models"));
+    let _ = std::fs::remove_dir_all(&models_dir);
+    std::fs::create_dir_all(&models_dir).unwrap();
+    let mut vbm = AnyDetector::Vbm(Vbm::new({
+        let mut c = VgodConfig::default().vbm;
+        c.hidden_dim = 8;
+        c.epochs = 2;
+        c
+    }));
+    vbm.fit_store(&store, &cfg);
+    vbm.save_file(&models_dir.join("vbm.ckpt")).unwrap();
+    for (name, det) in [
+        ("deg", AnyDetector::Deg(Deg)),
+        ("degnorm", AnyDetector::DegNorm(DegNorm)),
+        ("spare", AnyDetector::L2Norm(L2Norm)),
+    ] {
+        det.save_file(&models_dir.join(format!("{name}.ckpt")))
+            .unwrap();
+    }
+    E2eFixture {
+        store_path,
+        partition_dir,
+        models_dir,
+        manifest,
+        cfg,
+    }
+}
+
+impl Drop for E2eFixture {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.store_path);
+        let _ = std::fs::remove_dir_all(&self.partition_dir);
+        let _ = std::fs::remove_dir_all(&self.models_dir);
+    }
+}
+
+#[test]
+fn sharded_serving_matches_single_process_and_survives_worker_death() {
+    let fx = e2e_fixture("serve");
+
+    // Single-process reference: the engine serving the same store under
+    // the same sampling schedule.
+    let reference = serve(
+        &fx.models_dir,
+        &fx.store_path,
+        "127.0.0.1:0",
+        ServeConfig {
+            replicas: 1,
+            out_of_core: Some(OocServeConfig {
+                sampling: fx.cfg,
+                ..OocServeConfig::new(1 << 20)
+            }),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+
+    // Two in-process shard workers plus the coordinator front.
+    let workers: Vec<_> = (0..2)
+        .map(|shard| {
+            run_shard_worker(&WorkerConfig {
+                partition_dir: fx.partition_dir.clone(),
+                shard,
+                models_dir: fx.models_dir.clone(),
+                bind: "127.0.0.1:0".into(),
+                budget: 1 << 20,
+            })
+            .unwrap()
+        })
+        .collect();
+    let specs: Vec<ShardSpec> = workers
+        .iter()
+        .zip(&fx.manifest.shards)
+        .map(|(w, meta)| ShardSpec {
+            addr: w.addr(),
+            meta: meta.clone(),
+        })
+        .collect();
+    let sharded = serve_sharded(
+        fx.manifest.clone(),
+        specs,
+        &fx.models_dir,
+        "127.0.0.1:0",
+        64,
+    )
+    .unwrap();
+
+    // Byte-identical responses for every model, full graph and subsets.
+    for model in ["deg", "degnorm", "vbm"] {
+        let body = format!("{{\"model\":\"{model}\"}}");
+        let (status_ref, body_ref) = http::post(reference.addr(), "/score", &body).unwrap();
+        let (status_sh, body_sh) = http::post(sharded.addr(), "/score", &body).unwrap();
+        assert_eq!((status_ref, status_sh), (200, 200), "{model}: {body_sh}");
+        assert_eq!(body_ref, body_sh, "{model} full-graph response diverged");
+
+        let subset = format!("{{\"model\":\"{model}\",\"nodes\":[0,7,219]}}");
+        let (_, subset_ref) = http::post(reference.addr(), "/score", &subset).unwrap();
+        let (_, subset_sh) = http::post(sharded.addr(), "/score", &subset).unwrap();
+        assert_eq!(subset_ref, subset_sh, "{model} subset response diverged");
+    }
+
+    // Engine-compatible error mapping through the coordinator.
+    let (status, _) = http::post(sharded.addr(), "/score", r#"{"model":"nope"}"#).unwrap();
+    assert_eq!(status, 404);
+    let (status, _) =
+        http::post(sharded.addr(), "/score", r#"{"model":"deg","version":9}"#).unwrap();
+    assert_eq!(status, 409);
+    let (status, _) =
+        http::post(sharded.addr(), "/score", r#"{"model":"deg","nodes":[999]}"#).unwrap();
+    assert_eq!(status, 400);
+
+    // /models and /metrics carry the sharded catalogue and partition stats.
+    let (_, models_body) = http::get(sharded.addr(), "/models").unwrap();
+    let models = Json::parse(&models_body).unwrap();
+    assert_eq!(models.get("graph_nodes").unwrap().as_u64(), Some(220));
+    assert_eq!(models.get("models").unwrap().as_arr().unwrap().len(), 4);
+    let (_, metrics_body) = http::get(sharded.addr(), "/metrics").unwrap();
+    let metrics = Json::parse(&metrics_body).unwrap();
+    let partition = metrics.get("partition").unwrap();
+    assert_eq!(partition.get("shards").unwrap().as_u64(), Some(2));
+    assert!(partition.get("halo_bytes").unwrap().as_u64().unwrap() > 0);
+    let shard_rows = metrics.get("shards").unwrap().as_arr().unwrap();
+    assert_eq!(shard_rows.len(), 2);
+    for row in shard_rows {
+        assert!(row.get("requests").unwrap().as_u64().unwrap() >= 1);
+        assert!(row.get("bytes_rx").unwrap().as_u64().unwrap() > 0);
+        assert!(row.get("cross_edges").unwrap().as_u64().is_some());
+    }
+
+    // Kill shard 1. A model that was never scattered before now fails with
+    // a machine-readable shard_down 503; an already-merged (cached) model
+    // keeps answering.
+    workers[1].shutdown();
+    workers[1].join();
+    let (status, body) = http::post(sharded.addr(), "/score", r#"{"model":"spare"}"#).unwrap();
+    assert_eq!(status, 503, "{body}");
+    let err = Json::parse(&body).unwrap();
+    assert_eq!(err.get("error").unwrap().as_str(), Some("shard_down"));
+    assert_eq!(err.get("shard").unwrap().as_u64(), Some(1));
+    assert!(err.get("cause").unwrap().as_str().is_some());
+    let (status, _) = http::post(sharded.addr(), "/score", r#"{"model":"deg"}"#).unwrap();
+    assert_eq!(status, 200, "cached models must survive a dead shard");
+
+    let (status, _) = http::post(sharded.addr(), "/shutdown", "").unwrap();
+    assert_eq!(status, 200);
+    sharded.join();
+    reference.shutdown();
+    reference.join();
+}
