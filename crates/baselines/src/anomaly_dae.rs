@@ -4,7 +4,10 @@
 
 use rand::Rng;
 use vgod_autograd::{persist, ParamStore, Tape, Var};
-use vgod_eval::{refit_score_store, refit_score_store_range, OutlierDetector, RangeScores, Scores};
+use vgod_eval::{
+    refit_score_store, refit_score_store_range, DeltaCapability, OutlierDetector, RangeScores,
+    Scores,
+};
 use vgod_gnn::{GatLayer, GraphContext};
 use vgod_graph::{seeded_rng, AttributedGraph, GraphStore, SamplingConfig};
 use vgod_nn::{Activation, Linear, Trainer};
@@ -257,6 +260,12 @@ impl OutlierDetector for AnomalyDae {
         // Same refit-per-batch decomposition as `score_store`, restricted
         // to the shard's batches.
         refit_score_store_range(self, store, cfg, lo, hi)
+    }
+
+    fn delta_capability(&self) -> DeltaCapability {
+        // The attribute autoencoder runs over the transposed n×d matrix —
+        // its weights are sized to the node count, so mutations refit.
+        DeltaCapability::Refit
     }
 }
 

@@ -4,7 +4,10 @@
 //! injection).
 
 use vgod_autograd::{persist, ParamStore};
-use vgod_eval::{refit_score_store, refit_score_store_range, OutlierDetector, RangeScores, Scores};
+use vgod_eval::{
+    refit_score_store, refit_score_store_range, DeltaCapability, OutlierDetector, RangeScores,
+    Scores,
+};
 use vgod_gnn::GraphContext;
 use vgod_graph::{seeded_rng, AttributedGraph, GraphStore, SamplingConfig};
 use vgod_nn::Trainer;
@@ -189,6 +192,12 @@ impl OutlierDetector for Radar {
         // Refit-per-batch is embarrassingly range-parallel: each batch is
         // its own transductive problem, so shards just split the batches.
         refit_score_store_range(self, store, cfg, lo, hi)
+    }
+
+    fn delta_capability(&self) -> DeltaCapability {
+        // Transductive: the learned residual matrix R is sized to the
+        // training graph, so any mutation forces a refit.
+        DeltaCapability::Refit
     }
 }
 

@@ -2,7 +2,7 @@
 
 use rand::Rng;
 use vgod_autograd::persist;
-use vgod_eval::{full_graph_view, OutlierDetector, RangeScores, ScoreMerge, Scores};
+use vgod_eval::{full_graph_view, DeltaCapability, OutlierDetector, RangeScores, ScoreMerge, Scores};
 use vgod_graph::{seeded_rng, AttributedGraph, GraphStore, SamplingConfig};
 
 /// Node degree as the outlier score (the structural leakage probe of
@@ -53,6 +53,15 @@ impl OutlierDetector for Deg {
         // Per-node exact, so a shard only reads its own degrees.
         RangeScores {
             scores: Scores::combined_only(store_degrees_range(store, lo, hi)),
+            merge: ScoreMerge::Concat,
+        }
+    }
+
+    fn delta_capability(&self) -> DeltaCapability {
+        // degree(u) only reads u's adjacency row, but the 1-hop closure is
+        // needed so the induced subgraph reproduces the full-graph degree.
+        DeltaCapability::Local {
+            hops: 1,
             merge: ScoreMerge::Concat,
         }
     }
@@ -116,6 +125,14 @@ impl OutlierDetector for L2Norm {
         // shard's own attribute rows.
         RangeScores {
             scores: Scores::combined_only(store_l2_norms_range(store, lo, hi)),
+            merge: ScoreMerge::Concat,
+        }
+    }
+
+    fn delta_capability(&self) -> DeltaCapability {
+        // Pure per-row attribute arithmetic: zero-hop receptive field.
+        DeltaCapability::Local {
+            hops: 0,
             merge: ScoreMerge::Concat,
         }
     }
@@ -187,6 +204,16 @@ impl OutlierDetector for DegNorm {
                 store_degrees_range(store, lo, hi),
                 store_l2_norms_range(store, lo, hi),
             ),
+            merge: ScoreMerge::MeanStd,
+        }
+    }
+
+    fn delta_capability(&self) -> DeltaCapability {
+        // Raw components are local (degree needs the 1-hop closure); the
+        // Eq. 20 mean-std combination moves to the global merge rule, same
+        // as the sharded path above.
+        DeltaCapability::Local {
+            hops: 1,
             merge: ScoreMerge::MeanStd,
         }
     }

@@ -1,0 +1,275 @@
+//! Streaming update latency: delta frontier rescoring vs a from-scratch
+//! full rescore, plus the served end-to-end path.
+//!
+//! Two measurements on one ~100k-node graph:
+//!
+//! 1. **Library A/B** — per local detector, apply single-edge updates to
+//!    the overlay and time (a) the delta path (`apply_mutation_rescore`:
+//!    k-hop frontier, induced-closure rescore, cache patch) against
+//!    (b) what a non-delta server would do (materialise the mutated graph
+//!    and run a full `score`). Every update asserts the patched cache is
+//!    **bit-identical** to the full rescore — the delta path is an
+//!    execution strategy, never an approximation.
+//! 2. **End-to-end** — start `serve_streaming` on the same graph and
+//!    checkpoints, POST single-edge `/graph/update` batches over HTTP,
+//!    and record client-observed wall latency (connect + parse + apply +
+//!    delta rescore for every model + snapshot publish + reply).
+//!
+//! Results go to `BENCH_stream.json` at the repository root. CI's
+//! stream-smoke job gates delta speedup ≥ 5x and end-to-end median
+//! < 10 ms on these numbers.
+//!
+//! Environment knobs: `VGOD_STREAM_NODES` (default 100000) sizes the
+//! graph, `VGOD_STREAM_UPDATES` (default 30) is the per-path update count.
+
+use std::io::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::Rng;
+use vgod::{Vbm, VbmConfig};
+use vgod_baselines::{Deg, DegNorm};
+use vgod_eval::{apply_mutation_rescore, DeltaCapability, OutlierDetector, ScoreCache};
+use vgod_graph::{
+    save_graph, seeded_rng, AttributedGraph, FrozenGraph, GraphMutation, GraphStore, OverlayGraph,
+};
+use vgod_serve::{http, AnyDetector, StreamConfig};
+use vgod_tensor::Matrix;
+
+fn random_graph(n: usize, avg_deg: usize, attrs: usize, seed: u64) -> AttributedGraph {
+    let mut rng = seeded_rng(seed);
+    let mut edges = Vec::with_capacity(n * avg_deg / 2);
+    for _ in 0..n * avg_deg / 2 {
+        let u: u32 = rng.gen_range(0..n as u32);
+        let v: u32 = rng.gen_range(0..n as u32);
+        if u != v {
+            edges.push((u, v));
+        }
+    }
+    let data: Vec<f32> = (0..n * attrs)
+        .map(|_| rng.gen_range(-1.0f32..1.0))
+        .collect();
+    let x = Matrix::from_vec(n, attrs, data).unwrap();
+    AttributedGraph::from_edges(x, &edges)
+}
+
+fn median(sorted_us: &mut [u64]) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    sorted_us.sort_unstable();
+    sorted_us[sorted_us.len() / 2]
+}
+
+struct DeltaRun {
+    detector: &'static str,
+    fit_ms: f64,
+    initial_score_ms: f64,
+    hops: usize,
+    delta_us_median: u64,
+    full_us_median: u64,
+    speedup: f64,
+    frontier_median: usize,
+}
+
+/// Single-edge update A/B for one detector: delta patch vs full rescore,
+/// asserting bit-identity on every update.
+fn delta_ab(
+    detector: &'static str,
+    det: &AnyDetector,
+    fit_ms: f64,
+    g: &AttributedGraph,
+    updates: usize,
+) -> DeltaRun {
+    let DeltaCapability::Local { hops, merge } = det.delta_capability() else {
+        panic!("{detector}: bench expects a local delta capability");
+    };
+    let t0 = Instant::now();
+    let full = det.score(g);
+    let initial_score_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let mut cache = ScoreCache::new(full, merge);
+
+    let mut overlay = OverlayGraph::new(Arc::new(FrozenGraph::from_store(g)));
+    let n = GraphStore::num_nodes(&overlay) as u32;
+    let mut rng = seeded_rng(0xBEEF ^ detector.len() as u64);
+    let mut delta_us = Vec::with_capacity(updates);
+    let mut full_us = Vec::with_capacity(updates);
+    let mut frontiers = Vec::with_capacity(updates);
+    for _ in 0..updates {
+        let u = rng.gen_range(0..n);
+        let v = (u + rng.gen_range(1..n)) % n;
+        let effect = overlay
+            .apply_batch(&[GraphMutation::AddEdge { u, v }])
+            .expect("apply update");
+        if effect.applied == 0 {
+            continue; // the random edge already existed
+        }
+        let t0 = Instant::now();
+        let frontier = apply_mutation_rescore(det, &overlay, &effect.touched, &mut cache);
+        delta_us.push(t0.elapsed().as_micros() as u64);
+        frontiers.push(frontier);
+
+        // The non-delta baseline: materialise the mutated graph and run a
+        // full scoring pass, exactly like a FullRescore-capability model.
+        let t0 = Instant::now();
+        let reference = det.score(&overlay.materialize());
+        full_us.push(t0.elapsed().as_micros() as u64);
+
+        assert_eq!(
+            cache
+                .combined()
+                .iter()
+                .map(|s| s.to_bits())
+                .collect::<Vec<_>>(),
+            reference
+                .combined
+                .iter()
+                .map(|s| s.to_bits())
+                .collect::<Vec<_>>(),
+            "{detector}: delta-patched cache must equal the full rescore"
+        );
+    }
+    frontiers.sort_unstable();
+    let delta_med = median(&mut delta_us);
+    let full_med = median(&mut full_us);
+    DeltaRun {
+        detector,
+        fit_ms,
+        initial_score_ms,
+        hops,
+        delta_us_median: delta_med,
+        full_us_median: full_med,
+        speedup: full_med as f64 / (delta_med as f64).max(1.0),
+        frontier_median: frontiers.get(frontiers.len() / 2).copied().unwrap_or(0),
+    }
+}
+
+fn main() {
+    let n: usize = std::env::var("VGOD_STREAM_NODES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100_000);
+    let updates: usize = std::env::var("VGOD_STREAM_UPDATES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30);
+
+    let g = random_graph(n, 8, 16, 42);
+    eprintln!(
+        "graph: {} nodes, {} edges, {} attrs",
+        g.num_nodes(),
+        g.num_edges(),
+        g.num_attrs()
+    );
+
+    // One streaming-exact baseline, one σ-recombining baseline, one
+    // trained MLP — the three distinct cache-patch shapes the delta
+    // layer implements.
+    let t0 = Instant::now();
+    let mut vbm = Vbm::new(VbmConfig {
+        hidden_dim: 16,
+        epochs: 2,
+        ..VbmConfig::default()
+    });
+    OutlierDetector::fit(&mut vbm, &g);
+    let vbm_fit_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let dets: Vec<(&'static str, AnyDetector, f64)> = vec![
+        ("deg", AnyDetector::Deg(Deg), 0.0),
+        ("degnorm", AnyDetector::DegNorm(DegNorm), 0.0),
+        ("vbm", AnyDetector::Vbm(vbm), vbm_fit_ms),
+    ];
+
+    let mut runs = Vec::new();
+    for (name, det, fit_ms) in &dets {
+        let run = delta_ab(name, det, *fit_ms, &g, updates);
+        eprintln!(
+            "{name}: delta {} us vs full {} us median = {:.1}x (frontier median {}, {} hop(s))",
+            run.delta_us_median, run.full_us_median, run.speedup, run.frontier_median, run.hops
+        );
+        runs.push(run);
+    }
+
+    // End-to-end: serve the same checkpoints in streaming mode and POST
+    // single-edge updates over loopback HTTP.
+    let dir = std::env::temp_dir().join(format!("vgod_bench_stream_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let models_dir = dir.join("models");
+    std::fs::create_dir_all(&models_dir).expect("create models dir");
+    for (name, det, _) in &dets {
+        det.save_file(&models_dir.join(format!("{name}.ckpt")))
+            .expect("save checkpoint");
+    }
+    let graph_path = dir.join("graph.txt");
+    save_graph(&g, graph_path.to_str().unwrap()).expect("save graph");
+
+    let handle = vgod_serve::serve_streaming(
+        &models_dir,
+        &graph_path,
+        "127.0.0.1:0",
+        StreamConfig::default(),
+    )
+    .expect("serve_streaming");
+    let addr = handle.addr();
+    let mut rng = seeded_rng(7);
+    let mut e2e_us = Vec::with_capacity(updates);
+    for _ in 0..updates {
+        let u = rng.gen_range(0..n as u32);
+        let v = (u + rng.gen_range(1..n as u32)) % n as u32;
+        let body = format!("{{\"ops\":[{{\"op\":\"add_edge\",\"u\":{u},\"v\":{v}}}]}}");
+        let t0 = Instant::now();
+        let (status, reply) = http::post(addr, "/graph/update", &body).expect("post update");
+        e2e_us.push(t0.elapsed().as_micros() as u64);
+        assert_eq!(status, 200, "update failed: {reply}");
+    }
+    let _ = http::post(addr, "/shutdown", "");
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let e2e_median = median(&mut e2e_us);
+    let e2e_p99 = e2e_us[((e2e_us.len() as f64 - 1.0) * 0.99).round() as usize];
+    let throughput = if e2e_median > 0 {
+        1e6 / e2e_median as f64
+    } else {
+        0.0
+    };
+    eprintln!(
+        "end-to-end single-edge update: median {e2e_median} us, p99 {e2e_p99} us \
+         (~{throughput:.0} update/s at median)"
+    );
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"streaming\",\n");
+    out.push_str(&format!("  \"nodes\": {},\n", g.num_nodes()));
+    out.push_str(&format!("  \"edges\": {},\n", g.num_edges()));
+    out.push_str(&format!("  \"updates\": {updates},\n"));
+    out.push_str("  \"detectors\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"detector\": \"{}\", \"fit_ms\": {:.1}, \"initial_score_ms\": {:.1}, \
+             \"hops\": {}, \"delta_us_median\": {}, \"full_us_median\": {}, \
+             \"speedup\": {:.2}, \"frontier_median\": {}}}{}\n",
+            r.detector,
+            r.fit_ms,
+            r.initial_score_ms,
+            r.hops,
+            r.delta_us_median,
+            r.full_us_median,
+            r.speedup,
+            r.frontier_median,
+            if i + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"end_to_end\": {{\"updates\": {}, \"median_us\": {e2e_median}, \
+         \"p99_us\": {e2e_p99}, \"updates_per_sec_at_median\": {throughput:.1}}}\n",
+        e2e_us.len()
+    ));
+    out.push_str("}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_stream.json");
+    let mut f = std::fs::File::create(path).expect("create BENCH_stream.json");
+    f.write_all(out.as_bytes()).expect("write BENCH_stream.json");
+    println!("wrote {path}");
+}

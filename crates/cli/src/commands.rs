@@ -16,16 +16,19 @@ use vgod_datasets::{replica, Dataset, Scale};
 use vgod_eval::{auc, average_precision, precision_at_k, recall_at_k, OutlierDetector};
 use vgod_graph::{
     adjusted_homophily, degree_stats, edge_homophily, load_graph, parse_mem_budget,
-    partition_store, save_graph, seeded_rng, synth_store, AttributedGraph, CachePolicy, GraphStore,
-    OocStore, PartitionConfig, PartitionManifest, PartitionMode, SamplingConfig, StoreOptions,
-    SynthStoreConfig, DEFAULT_ATTR_BLOCK_NODES, DEFAULT_EDGE_BLOCK_ENTRIES,
+    partition_store, save_graph, seeded_rng, synth_store, AttributedGraph, CachePolicy,
+    FrozenGraph, GraphMutation, GraphStore, HaloManifest, OocStore, OverlayGraph,
+    PartitionConfig, PartitionManifest,
+    PartitionMode, SamplingConfig, StoreOptions, SynthStoreConfig, DEFAULT_ATTR_BLOCK_NODES,
+    DEFAULT_EDGE_BLOCK_ENTRIES,
 };
 use vgod_inject::{
     inject_community_replacement, inject_contextual, inject_standard, inject_structural,
     ContextualParams, DistanceMetric, GroundTruth, OutlierKind, StructuralParams,
 };
 use vgod_serve::{
-    AnyDetector, OocServeConfig, RegistryConfig, ServeConfig, ShardSpec, WorkerConfig,
+    AnyDetector, OocServeConfig, RegistryConfig, ServeConfig, ShardSpec, StreamConfig,
+    WorkerConfig,
 };
 
 use crate::args::Args;
@@ -752,6 +755,22 @@ pub fn store(args: &Args) -> CmdResult {
                     "shard {:<5} : [{}, {}) closure={} ghosts={} cross_edges={} halo_bytes={}",
                     sh.index, sh.lo, sh.hi, sh.closure, sh.ghosts, sh.cross_edges, sh.halo_bytes
                 );
+                // Sliced partitions also carry binary VGODHAL1 halo
+                // manifests; report what is actually on disk, not just the
+                // text-manifest summary above.
+                let halo = PartitionManifest::halo_path(Path::new(path), sh.index);
+                if halo.is_file() {
+                    let hm = HaloManifest::load(&halo)
+                        .map_err(|e| format!("{}: {e}", halo.display()))?;
+                    let disk = std::fs::metadata(&halo).map(|md| md.len()).unwrap_or(0);
+                    println!(
+                        "  halo file : {} — {} ghost id(s), {} exchange byte(s), {} on disk",
+                        halo.file_name().unwrap_or_default().to_string_lossy(),
+                        hm.ghosts.len(),
+                        hm.halo_bytes,
+                        disk
+                    );
+                }
             }
             return Ok(());
         }
@@ -873,6 +892,40 @@ pub fn serve(args: &Args) -> CmdResult {
     let reload_ms: u64 = args
         .get_parsed_or("reload-ms", 500)
         .map_err(|e| e.to_string())?;
+    if args.has("streaming") {
+        if args.get("shards").is_some() || args.has("out-of-core") {
+            return Err("--streaming cannot be combined with --shards or --out-of-core".to_string());
+        }
+        let compact_bytes = parse_mem_budget(args.get("compact-bytes").unwrap_or("4M"))?;
+        let queue_capacity: usize = args
+            .get_parsed_or("update-queue", 256)
+            .map_err(|e| e.to_string())?;
+        let handle = vgod_serve::serve_streaming(
+            Path::new(models_dir),
+            Path::new(input),
+            &format!("{host}:{port}"),
+            StreamConfig {
+                compact_bytes,
+                queue_capacity: queue_capacity.max(1),
+            },
+        )?;
+        let models = handle.models();
+        println!(
+            "streaming {} model(s) on http://{} — POST /graph/update to mutate, /shutdown to stop",
+            models.len(),
+            handle.addr()
+        );
+        for m in &models {
+            println!("  {} v{} ({})", m.name, m.version, m.kind);
+        }
+        if let Some(path) = args.get("addr-file") {
+            std::fs::write(path, handle.addr().to_string())
+                .map_err(|e| format!("{path}: {e}"))?;
+        }
+        handle.join();
+        println!("server stopped");
+        return Ok(());
+    }
     if args.get("shards").is_some() {
         return serve_shards_cmd(args, models_dir, input, host, port, queue.max(1));
     }
@@ -920,6 +973,216 @@ pub fn serve(args: &Args) -> CmdResult {
     }
     handle.join();
     println!("server stopped");
+    Ok(())
+}
+
+/// One random mutation against an `n`-node graph with `d` attributes.
+/// `label_hi` is `Some(max_label)` for labelled graphs so appended nodes
+/// carry a valid community label.
+fn random_mutation(
+    n: u32,
+    d: usize,
+    label_hi: Option<u32>,
+    rng: &mut impl rand::Rng,
+) -> GraphMutation {
+    match rng.gen_range(0..9) {
+        // Mostly edge churn — that is what the delta path is built for.
+        0..=3 => {
+            let u = rng.gen_range(0..n);
+            let v = (u + rng.gen_range(1..n)) % n;
+            GraphMutation::AddEdge { u, v }
+        }
+        4 | 5 => GraphMutation::RemoveEdge {
+            u: rng.gen_range(0..n),
+            v: rng.gen_range(0..n),
+        },
+        6 => GraphMutation::SetAttrs {
+            node: rng.gen_range(0..n),
+            attrs: (0..d).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        },
+        7 => GraphMutation::AddNode {
+            attrs: (0..d).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+            label: label_hi.map(|hi| rng.gen_range(0..=hi)),
+        },
+        _ => GraphMutation::RemoveNode {
+            node: rng.gen_range(0..n),
+        },
+    }
+}
+
+/// Render one mutation in the `POST /graph/update` wire format.
+fn mutation_json(op: &GraphMutation) -> String {
+    fn attrs_json(attrs: &[f32]) -> String {
+        let vals: Vec<String> = attrs.iter().map(|a| a.to_string()).collect();
+        format!("[{}]", vals.join(","))
+    }
+    match op {
+        GraphMutation::AddEdge { u, v } => format!("{{\"op\":\"add_edge\",\"u\":{u},\"v\":{v}}}"),
+        GraphMutation::RemoveEdge { u, v } => {
+            format!("{{\"op\":\"remove_edge\",\"u\":{u},\"v\":{v}}}")
+        }
+        GraphMutation::AddNode { attrs, label } => match label {
+            Some(l) => format!(
+                "{{\"op\":\"add_node\",\"attrs\":{},\"label\":{l}}}",
+                attrs_json(attrs)
+            ),
+            None => format!("{{\"op\":\"add_node\",\"attrs\":{}}}", attrs_json(attrs)),
+        },
+        GraphMutation::RemoveNode { node } => format!("{{\"op\":\"remove_node\",\"node\":{node}}}"),
+        GraphMutation::SetAttrs { node, attrs } => format!(
+            "{{\"op\":\"set_attrs\",\"node\":{node},\"attrs\":{}}}",
+            attrs_json(attrs)
+        ),
+    }
+}
+
+/// `vgod stream-gen` — write a JSONL mutation log plus the graph the log
+/// produces, by applying every batch to the same overlay a streaming
+/// server would use. Scoring the `--final` graph offline therefore gives
+/// the exact scores a server that replayed `--out` must serve.
+pub fn stream_gen(args: &Args) -> CmdResult {
+    use std::io::Write;
+
+    let input = args.required("in").map_err(|e| e.to_string())?;
+    let out = args.required("out").map_err(|e| e.to_string())?;
+    let final_path = args.required("final").map_err(|e| e.to_string())?;
+    let batches: usize = args
+        .get_parsed_or("batches", 20)
+        .map_err(|e| e.to_string())?;
+    let ops_per_batch: usize = args.get_parsed_or("ops", 8).map_err(|e| e.to_string())?;
+    let seed: u64 = args.get_parsed_or("seed", 7).map_err(|e| e.to_string())?;
+    if batches == 0 || ops_per_batch == 0 {
+        return Err("--batches and --ops must be at least 1".to_string());
+    }
+
+    let g = load(input)?;
+    if g.num_nodes() < 3 {
+        return Err("stream-gen needs a graph with at least 3 nodes".to_string());
+    }
+    let d = g.num_attrs();
+    let label_hi = g.labels().map(|l| l.iter().copied().max().unwrap_or(0));
+    let mut rng = seeded_rng(seed);
+    let mut overlay = OverlayGraph::new(std::sync::Arc::new(FrozenGraph::from_store(&g)));
+
+    let mut log = BufWriter::new(File::create(out).map_err(|e| format!("{out}: {e}"))?);
+    let mut applied_total = 0usize;
+    for _ in 0..batches {
+        // Ops are generated against the pre-batch node count, so every id
+        // they reference is valid no matter how the batch interleaves.
+        let n = GraphStore::num_nodes(&overlay) as u32;
+        let ops: Vec<GraphMutation> = (0..ops_per_batch)
+            .map(|_| random_mutation(n, d, label_hi, &mut rng))
+            .collect();
+        let effect = overlay.apply_batch(&ops)?;
+        applied_total += effect.applied;
+        let rendered: Vec<String> = ops.iter().map(mutation_json).collect();
+        writeln!(log, "{{\"ops\":[{}]}}", rendered.join(","))
+            .map_err(|e| format!("{out}: {e}"))?;
+    }
+    log.flush().map_err(|e| format!("{out}: {e}"))?;
+
+    let final_g = overlay.materialize();
+    save_graph(&final_g, final_path).map_err(|e| format!("{final_path}: {e}"))?;
+    println!(
+        "wrote {out}: {batches} batch(es) × {ops_per_batch} op(s), {applied_total} applied"
+    );
+    println!(
+        "wrote {final_path}: {} nodes, {} edges after replay",
+        final_g.num_nodes(),
+        final_g.num_edges()
+    );
+    Ok(())
+}
+
+/// Pull the integer value of `"key":N` out of a flat JSON reply.
+fn json_uint_field(body: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let i = body.find(&pat)? + pat.len();
+    let rest = &body[i..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// `vgod stream-replay` — POST a mutation log to a running streaming
+/// server, one batch per request, then optionally fetch a model's served
+/// scores into a score file (same `node score` format as `detect`, and the
+/// server renders floats exactly like offline score files — so the two are
+/// byte-comparable).
+pub fn stream_replay(args: &Args) -> CmdResult {
+    use std::io::{BufRead, Write};
+
+    let log_path = args.required("log").map_err(|e| e.to_string())?;
+    let addr_str = args.required("addr").map_err(|e| e.to_string())?;
+    let addr: SocketAddr = addr_str
+        .parse()
+        .map_err(|e| format!("{addr_str}: {e}"))?;
+
+    let reader = BufReader::new(File::open(log_path).map_err(|e| format!("{log_path}: {e}"))?);
+    let started = Instant::now();
+    let mut batches = 0usize;
+    let mut applied = 0u64;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| format!("{log_path} line {}: {e}", lineno + 1))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (status, body) = vgod_serve::http::post(addr, "/graph/update", &line)?;
+        if status != 200 {
+            return Err(format!(
+                "{log_path} line {}: server answered {status}: {body}",
+                lineno + 1
+            ));
+        }
+        batches += 1;
+        applied += json_uint_field(&body, "applied").unwrap_or(0);
+    }
+    let elapsed = started.elapsed();
+    println!(
+        "replayed {batches} batch(es) ({applied} op(s) applied) in {:.1}ms",
+        elapsed.as_secs_f64() * 1e3
+    );
+
+    if let Some(model) = args.get("model") {
+        let (status, body) =
+            vgod_serve::http::post(addr, "/score", &format!("{{\"model\":\"{model}\"}}"))?;
+        if status != 200 {
+            return Err(format!("/score {model}: server answered {status}: {body}"));
+        }
+        let version = json_uint_field(&body, "version").unwrap_or(0);
+        let tag = "\"scores\":[";
+        let start = body
+            .find(tag)
+            .ok_or_else(|| format!("/score {model}: malformed reply"))?
+            + tag.len();
+        let end = body[start..]
+            .find(']')
+            .ok_or_else(|| format!("/score {model}: malformed reply"))?
+            + start;
+        let raw = &body[start..end];
+        let count = if raw.is_empty() {
+            0
+        } else {
+            raw.split(',').count()
+        };
+        println!("served {model} v{version}: {count} score(s)");
+        if let Some(scores_out) = args.get("scores-out") {
+            let mut w = BufWriter::new(
+                File::create(scores_out).map_err(|e| format!("{scores_out}: {e}"))?,
+            );
+            if !raw.is_empty() {
+                // Write the server's literal float tokens: no re-parse, no
+                // re-format, so the file is byte-identical to what
+                // `detect --scores` writes for the same values.
+                for (u, tok) in raw.split(',').enumerate() {
+                    writeln!(w, "{u} {tok}").map_err(|e| format!("{scores_out}: {e}"))?;
+                }
+            }
+            w.flush().map_err(|e| format!("{scores_out}: {e}"))?;
+            println!("wrote {scores_out}");
+        }
+    }
     Ok(())
 }
 

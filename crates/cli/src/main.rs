@@ -58,6 +58,16 @@ COMMANDS:
              [--shards N: partition --in, fork one shard-worker process per
               shard, and run the scatter-gather coordinator on this port]
              [--partition-dir DIR: keep the partition here (default: temp)]
+             [--streaming: mutable graph + POST /graph/update; applied
+              batches delta-rescore the dirty k-hop frontier per model]
+             [--compact-bytes SIZE: overlay fold threshold, default 4M]
+             [--update-queue N: pending mutation batches, default 256]
+  stream-gen generate a mutation log (JSONL batches) plus the final graph
+             --in FILE  --out LOG  --final FILE  [--batches N --ops N --seed N]
+  stream-replay  POST a mutation log to a streaming server, batch by batch
+             --log LOG  --addr HOST:PORT  [--model NAME: fetch the model's
+              served scores after replay --scores-out FILE: write them as a
+              score file, byte-comparable to detect --scores output]
   eval       score a ranking against ground truth
              --scores FILE  --truth FILE  [--at K]
   stats      print graph statistics
@@ -70,7 +80,7 @@ fn main() {
         eprint!("{USAGE}");
         std::process::exit(2);
     };
-    let args = match Args::parse_with_switches(rest, &["out-of-core", "verbose", "prefetch"]) {
+    let args = match Args::parse_with_switches(rest, &["out-of-core", "verbose", "prefetch", "streaming"]) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}\n");
@@ -92,6 +102,8 @@ fn main() {
         "serve" => commands::serve(&args),
         // Internal: one shard's scoring process, forked by --shards.
         "shard-worker" => commands::shard_worker(&args),
+        "stream-gen" => commands::stream_gen(&args),
+        "stream-replay" => commands::stream_replay(&args),
         "eval" => commands::eval(&args),
         "stats" => commands::stats(&args),
         "help" | "--help" | "-h" => {

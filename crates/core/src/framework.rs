@@ -1,8 +1,8 @@
 //! The VGOD framework (§V-C, Algorithm 1).
 
 use vgod_eval::{
-    combine_mean_std, combine_sum_to_unit, full_graph_view, OutlierDetector, RangeScores,
-    ScoreMerge, Scores,
+    combine_mean_std, combine_sum_to_unit, full_graph_view, DeltaCapability, OutlierDetector,
+    RangeScores, ScoreMerge, Scores,
 };
 use vgod_graph::{AttributedGraph, GraphStore, NeighborSampler, SamplingConfig};
 
@@ -212,6 +212,23 @@ impl OutlierDetector for Vgod {
             merge,
         }
     }
+
+    fn delta_capability(&self) -> DeltaCapability {
+        // Receptive field = the wider component: VBM is 1-hop, ARM is its
+        // GCN/GAT depth plus one ring for exact endpoint degrees. The
+        // global Eq. 19 combination becomes the merge rule, exactly as in
+        // the sharded path above.
+        let hops = match self.arm.delta_capability() {
+            DeltaCapability::Local { hops, .. } => hops.max(1),
+            _ => unreachable!("ARM is always local"),
+        };
+        let merge = match self.cfg.combine {
+            CombineStrategy::MeanStd => ScoreMerge::MeanStd,
+            CombineStrategy::SumToUnit => ScoreMerge::SumToUnit,
+            CombineStrategy::Weighted(alpha) => ScoreMerge::Weighted(alpha),
+        };
+        DeltaCapability::Local { hops, merge }
+    }
 }
 
 impl OutlierDetector for Vbm {
@@ -244,6 +261,15 @@ impl OutlierDetector for Vbm {
             }
         }
     }
+
+    fn delta_capability(&self) -> DeltaCapability {
+        // Variance over direct neighbours' embeddings of their own
+        // attributes (Eq. 14): strictly 1-hop, raw row sums.
+        DeltaCapability::Local {
+            hops: 1,
+            merge: ScoreMerge::Concat,
+        }
+    }
 }
 
 impl OutlierDetector for Arm {
@@ -272,6 +298,15 @@ impl OutlierDetector for Arm {
                 let seeds = NeighborSampler::new(store, *cfg).training_seeds();
                 self.fit_minibatch_nodes(store, &minibatch_of(cfg), seeds);
             }
+        }
+    }
+
+    fn delta_capability(&self) -> DeltaCapability {
+        // `layers` rounds of message passing, plus one ring so the GCN/GAT
+        // normalisation sees exact degrees for every closure endpoint.
+        DeltaCapability::Local {
+            hops: self.config().layers + 1,
+            merge: ScoreMerge::Concat,
         }
     }
 }

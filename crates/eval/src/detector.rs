@@ -176,6 +176,35 @@ impl ScoreMerge {
     }
 }
 
+/// How a detector's scores respond to a graph mutation — whether the
+/// dirty frontier can be rescored in isolation, declared per detector via
+/// [`OutlierDetector::delta_capability`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DeltaCapability {
+    /// Per-node raw score channels are a pure function of the node's
+    /// `hops`-hop neighbourhood. After a mutation, only the ball
+    /// `B_hops(touched)` can change; rescoring the exact closure subgraph
+    /// around that frontier and re-applying `merge` over the patched
+    /// full-length channels is byte-identical to a full rescore.
+    /// `merge` is [`ScoreMerge::Concat`] when the combined score itself is
+    /// local; a non-`Concat` rule means the channels are local but the
+    /// combination is global (mean-std, sum-to-unit, weighted) and must be
+    /// recomputed over the full-length channels after patching.
+    Local {
+        /// Receptive-field radius in hops.
+        hops: usize,
+        /// Global recombination applied over the patched channels.
+        merge: ScoreMerge,
+    },
+    /// Scores depend on global state (global normalisation inside
+    /// `score`, inference-time RNG streams keyed on node order): any
+    /// mutation invalidates every score; rescore the whole graph.
+    FullRescore,
+    /// Transductive detector — scoring is refitting (Radar, AnomalyDAE);
+    /// a mutation requires a full refit + rescore.
+    Refit,
+}
+
 /// Raw score channels for one contiguous node range, plus the rule a
 /// coordinator must apply after concatenating all ranges. Produced by
 /// [`OutlierDetector::score_store_range`], consumed by
@@ -611,6 +640,20 @@ pub trait OutlierDetector: Send + Sync {
             scores: assemble_batch_scores((hi - lo) as usize, parts),
             merge: ScoreMerge::Concat,
         }
+    }
+
+    /// How this detector's scores react to a local graph mutation — the
+    /// streaming engine's dispatch flag (see [`crate::delta`]).
+    ///
+    /// The default is the safe answer: scores may depend on the whole
+    /// graph (global normalisation, inference-time randomness keyed on
+    /// node indices), so a mutation invalidates every score and only a
+    /// full rescore is exact. Detectors whose per-node score is a pure
+    /// function of a bounded neighbourhood override this with
+    /// [`DeltaCapability::Local`]; transductive detectors whose scoring
+    /// *is* refitting declare [`DeltaCapability::Refit`].
+    fn delta_capability(&self) -> DeltaCapability {
+        DeltaCapability::FullRescore
     }
 }
 

@@ -256,6 +256,33 @@ impl AttributedGraph {
         }
     }
 
+    /// Append an isolated node with the given attribute row (and label, on
+    /// labelled graphs), returning its id. The streaming overlay's
+    /// `AddNode` mutation is the online counterpart of this.
+    ///
+    /// # Panics
+    /// Panics if `attrs.len() != num_attrs()`, or if a label is supplied
+    /// for an unlabelled graph (and vice versa).
+    pub fn append_node(&mut self, attrs: &[f32], label: Option<u32>) -> u32 {
+        let (n, d) = (self.num_nodes(), self.num_attrs());
+        assert_eq!(attrs.len(), d, "attribute row must have {d} columns");
+        assert_eq!(
+            label.is_some(),
+            self.labels.is_some(),
+            "label presence must match the graph's labelling"
+        );
+        self.invalidate_cache();
+        let mut x = Matrix::zeros(n + 1, d);
+        x.as_mut_slice()[..n * d].copy_from_slice(self.x.as_slice());
+        x.row_mut(n).copy_from_slice(attrs);
+        self.x = x;
+        self.adj.push(Vec::new());
+        if let (Some(labels), Some(label)) = (&mut self.labels, label) {
+            labels.push(label);
+        }
+        n as u32
+    }
+
     /// Remove every edge incident to `u`, returning its former neighbours.
     pub fn detach_node(&mut self, u: u32) -> Vec<u32> {
         self.invalidate_cache();
@@ -765,6 +792,47 @@ mod tests {
         g.attrs_mut();
         let e = g.cached(|g| Rc::new(g.num_edges()));
         assert!(!Rc::ptr_eq(&c, &e));
+    }
+
+    /// Regression: every mutator must drop the derived cache — a stale
+    /// GNN context silently scoring the pre-mutation topology is exactly
+    /// the class of bug the streaming delta path cannot tolerate.
+    #[test]
+    fn every_mutator_invalidates_the_cache() {
+        fn goes_cold(what: &str, mutate: impl FnOnce(&mut AttributedGraph)) {
+            let mut g = path_graph(5);
+            let warm = g.cached(|g| Rc::new(g.num_edges()));
+            mutate(&mut g);
+            let rebuilt = g.cached(|g| Rc::new(g.num_edges()));
+            assert!(
+                !Rc::ptr_eq(&warm, &rebuilt),
+                "{what} must invalidate the derived cache"
+            );
+        }
+        goes_cold("add_edge", |g| {
+            g.add_edge(0, 4);
+        });
+        goes_cold("remove_edge", |g| {
+            g.remove_edge(0, 1);
+        });
+        goes_cold("append_node", |g| {
+            g.append_node(&[1.0, 2.0], None);
+        });
+        goes_cold("detach_node", |g| {
+            g.detach_node(2);
+        });
+        goes_cold("set_attrs", |g| {
+            g.set_attrs(Matrix::zeros(5, 3));
+        });
+        goes_cold("attrs_mut", |g| {
+            g.attrs_mut();
+        });
+        goes_cold("set_labels", |g| {
+            g.set_labels(vec![0; 5]);
+        });
+        goes_cold("make_clique", |g| {
+            g.make_clique(&[0, 2, 4]);
+        });
     }
 
     #[test]

@@ -26,6 +26,7 @@ mod attributes;
 mod generate;
 mod graph;
 mod io;
+mod overlay;
 mod partition;
 mod sample;
 mod stats;
@@ -35,6 +36,10 @@ pub use attributes::{binary_topic_attributes, gaussian_mixture_attributes, stand
 pub use generate::{community_graph, CommunityGraphConfig};
 pub use graph::{AttributedGraph, ContextCache};
 pub use io::{load_graph, read_graph, save_graph, write_graph, GraphIoError};
+pub use overlay::{
+    induced_store_subgraph, k_hop_ball, BatchEffect, FrozenGraph, GraphMutation, OverlayDelta,
+    OverlayGraph,
+};
 pub use partition::{
     closure_ghosts, count_cross_edges, partition_store, shard_ranges, HaloManifest,
     PartitionConfig, PartitionManifest, PartitionMode, ShardMeta, ShardStore, HALO_MAGIC,

@@ -6,7 +6,7 @@ use vgod::{Arm, Vbm, Vgod};
 use vgod_baselines::{
     AnomalyDae, Cola, Conad, Deg, DegNorm, Dominant, Done, L2Norm, Radar, RandomDetector,
 };
-use vgod_eval::{OutlierDetector, RangeScores, Scores};
+use vgod_eval::{DeltaCapability, OutlierDetector, RangeScores, Scores};
 use vgod_graph::{AttributedGraph, GraphStore, SamplingConfig};
 
 /// Any detector the workspace can persist and serve.
@@ -158,6 +158,10 @@ impl OutlierDetector for AnyDetector {
         hi: u32,
     ) -> RangeScores {
         for_each_variant!(self, m => m.score_store_range(store, cfg, lo, hi))
+    }
+
+    fn delta_capability(&self) -> DeltaCapability {
+        for_each_variant!(self, m => m.delta_capability())
     }
 }
 

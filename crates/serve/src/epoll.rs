@@ -441,6 +441,7 @@ impl Reactor {
                     conn.next_seq += 1;
                     conn.sent_continue = false;
                     let method_is_score = req.method == "POST" && req.path == "/score";
+                    let method_is_update = req.method == "POST" && req.path == "/graph/update";
                     let response = if method_is_score {
                         let parsed = parse_score_body(req.body);
                         conn.rpos += consumed;
@@ -450,6 +451,13 @@ impl Reactor {
                                 self.submit_score(idx, seq, model, version, nodes)
                             }
                         }
+                    } else if method_is_update {
+                        // Parse happens inside the backend (it owns the op
+                        // grammar); the body must be copied out of rbuf
+                        // before the borrow ends either way.
+                        let body = req.body.to_vec();
+                        conn.rpos += consumed;
+                        self.submit_update(idx, seq, &body)
                     } else {
                         let immediate = route_immediate(req.method, req.path, &self.shared)
                             .unwrap_or((500, "{\"error\":\"unroutable\"}".into()));
@@ -505,6 +513,25 @@ impl Reactor {
             Ok(()) => None,
             Err(e) => Some(crate::server::submit_error_response(&e)),
         }
+    }
+
+    /// Queue a `/graph/update` on the streaming backend. Same slot
+    /// discipline as [`Reactor::submit_score`]: `Some(response)` on a
+    /// synchronous failure, `None` when the mutation worker will deliver a
+    /// [`Completion`].
+    fn submit_update(&mut self, idx: usize, seq: u64, body: &[u8]) -> Option<(u16, String)> {
+        let gen = self.conns[idx].as_ref().unwrap().gen;
+        let completions = Arc::clone(&self.completions);
+        let reply = Box::new(move |status, body| {
+            completions.push(Completion {
+                conn: idx,
+                gen,
+                seq,
+                status,
+                body,
+            });
+        });
+        self.shared.engine.try_submit_update(body, reply)
     }
 
     /// Deliver finished `/score` computations into their slots.

@@ -56,6 +56,7 @@ mod metrics;
 mod registry;
 mod server;
 mod shard;
+mod stream;
 
 pub use detector::AnyDetector;
 pub use engine::{
@@ -63,5 +64,6 @@ pub use engine::{
 };
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use registry::{ModelInfo, Registry, RegistryConfig};
-pub use server::{serve, serve_sharded, ServerHandle};
+pub use server::{serve, serve_sharded, serve_streaming, ServerHandle};
 pub use shard::{run_shard_worker, Coordinator, ShardSpec, WorkerConfig, WorkerHandle};
+pub use stream::{StreamConfig, StreamEngine, FRONTIER_BUCKETS};

@@ -17,6 +17,7 @@ use crate::json::{escape, Json};
 use crate::metrics::Metrics;
 use crate::registry::LookupError;
 use crate::shard::{Coordinator, ShardSpec};
+use crate::stream::{parse_update_body, StreamConfig, StreamEngine, UpdateReplyFn};
 
 /// Running server: the scoring backend plus the connection-handling thread.
 pub struct ServerHandle {
@@ -26,12 +27,14 @@ pub struct ServerHandle {
 }
 
 /// The scoring backend behind the HTTP front: the in-process replicated
-/// [`Engine`], or a [`Coordinator`] scatter-gathering over shard worker
-/// processes. Both expose the same submit surface, so the connection loops
-/// never know which one they are driving.
+/// [`Engine`], a [`Coordinator`] scatter-gathering over shard worker
+/// processes, or the streaming [`StreamEngine`] with its mutable graph.
+/// All expose the same submit surface, so the connection loops never know
+/// which one they are driving.
 pub(crate) enum Backend {
     Engine(Engine),
     Shards(Coordinator),
+    Stream(StreamEngine),
 }
 
 impl Backend {
@@ -45,6 +48,32 @@ impl Backend {
         match self {
             Backend::Engine(e) => e.try_submit_with(model, version, nodes, reply),
             Backend::Shards(c) => c.try_submit_with(model, version, nodes, reply),
+            Backend::Stream(s) => s.try_submit_with(model, version, nodes, reply),
+        }
+    }
+
+    /// Queue a `POST /graph/update` batch. `Some(response)` if it failed
+    /// synchronously (non-streaming backend, malformed body, shed);
+    /// `None` when the mutation worker owns it and will call `reply`.
+    pub(crate) fn try_submit_update(
+        &self,
+        body: &[u8],
+        reply: UpdateReplyFn,
+    ) -> Option<(u16, String)> {
+        let Backend::Stream(s) = self else {
+            return Some((
+                404,
+                "{\"error\":\"graph updates need a streaming server (vgod serve --streaming)\"}"
+                    .into(),
+            ));
+        };
+        let ops = match parse_update_body(body) {
+            Ok(ops) => ops,
+            Err(response) => return Some(response),
+        };
+        match s.try_submit_update(ops, reply) {
+            Ok(()) => None,
+            Err(e) => Some(submit_error_response(&e)),
         }
     }
 
@@ -60,6 +89,7 @@ impl Backend {
         match self {
             Backend::Engine(e) => e.try_submit(model, version, nodes),
             Backend::Shards(c) => c.try_submit(model, version, nodes),
+            Backend::Stream(s) => s.try_submit(model, version, nodes),
         }
     }
 
@@ -67,6 +97,7 @@ impl Backend {
         match self {
             Backend::Engine(e) => e.models(),
             Backend::Shards(c) => c.models(),
+            Backend::Stream(s) => s.models(),
         }
     }
 
@@ -74,6 +105,7 @@ impl Backend {
         match self {
             Backend::Engine(e) => e.num_nodes(),
             Backend::Shards(c) => c.num_nodes(),
+            Backend::Stream(s) => s.num_nodes(),
         }
     }
 
@@ -81,6 +113,7 @@ impl Backend {
         match self {
             Backend::Engine(e) => e.replicas(),
             Backend::Shards(c) => c.replicas(),
+            Backend::Stream(s) => s.replicas(),
         }
     }
 
@@ -88,15 +121,18 @@ impl Backend {
         match self {
             Backend::Engine(e) => e.metrics(),
             Backend::Shards(c) => c.metrics(),
+            Backend::Stream(s) => s.metrics(),
         }
     }
 
     /// The `GET /metrics` body — the coordinator appends partition and
-    /// per-shard scatter sections to the engine-shaped counters.
+    /// per-shard scatter sections, the streaming engine a `stream`
+    /// section, to the engine-shaped counters.
     pub(crate) fn metrics_json(&self) -> String {
         match self {
             Backend::Engine(e) => e.metrics().snapshot().render_json(),
             Backend::Shards(c) => c.render_metrics_json(),
+            Backend::Stream(s) => s.metrics_json(),
         }
     }
 
@@ -104,6 +140,7 @@ impl Backend {
         match self {
             Backend::Engine(e) => e.shutdown(),
             Backend::Shards(c) => c.shutdown(),
+            Backend::Stream(s) => s.shutdown(),
         }
     }
 
@@ -111,6 +148,7 @@ impl Backend {
         match self {
             Backend::Engine(e) => e.join(),
             Backend::Shards(c) => c.join(),
+            Backend::Stream(s) => s.join(),
         }
     }
 }
@@ -180,6 +218,32 @@ pub fn serve_sharded(
     let metrics = Arc::new(Metrics::new());
     let coordinator = Coordinator::start(manifest, shards, models_dir, queue_capacity, metrics)?;
     start_front(Backend::Shards(coordinator), bind_addr)
+}
+
+/// Start the streaming front: load the graph and checkpoints like
+/// [`serve`], but back the server with the mutable [`StreamEngine`] and
+/// expose `POST /graph/update` alongside the usual endpoint set:
+///
+/// * mutation batches apply to a versioned overlay over the packed base
+///   graph; each applied batch delta-rescores the dirty k-hop frontier for
+///   every local-receptive-field model and atomically republishes scores
+///   (global/transductive models fall back to a full rescore or refit per
+///   their [`DeltaCapability`](vgod_eval::DeltaCapability));
+/// * `/score` answers from the published snapshot and is byte-identical to
+///   offline `vgod detect` on the current (mutated) graph for every
+///   local-capability detector;
+/// * `/metrics` gains a `stream` section (mutation throughput, overlay
+///   size, frontier histogram, update latency, staleness);
+/// * checkpoints never hot-reload (the version axis belongs to the graph).
+pub fn serve_streaming(
+    models_dir: &Path,
+    graph_path: &Path,
+    bind_addr: &str,
+    cfg: StreamConfig,
+) -> Result<ServerHandle, String> {
+    let metrics = Arc::new(Metrics::new());
+    let engine = StreamEngine::start(models_dir, graph_path, cfg, metrics)?;
+    start_front(Backend::Stream(engine), bind_addr)
 }
 
 fn start_front(engine: Backend, bind_addr: &str) -> Result<ServerHandle, String> {
@@ -281,11 +345,12 @@ impl Shared {
     }
 }
 
-/// Route everything except `POST /score` (which is asynchronous). `None`
-/// means "this is a score request".
+/// Route everything except `POST /score` and `POST /graph/update` (which
+/// are asynchronous). `None` means "this request queues on the backend" —
+/// the caller dispatches on the path.
 pub(crate) fn route_immediate(method: &str, path: &str, shared: &Shared) -> Option<(u16, String)> {
     Some(match (method, path) {
-        ("POST", "/score") => return None,
+        ("POST", "/score") | ("POST", "/graph/update") => return None,
         ("GET", "/healthz") => (200, "{\"status\":\"ok\"}".into()),
         ("GET", "/models") => {
             let entries: Vec<String> = shared
@@ -483,6 +548,18 @@ mod fallback {
     fn respond(method: &str, path: &str, body: &[u8], shared: &Shared) -> (u16, String) {
         if let Some(immediate) = route_immediate(method, path, shared) {
             return immediate;
+        }
+        if path == "/graph/update" {
+            let (tx, rx) = std::sync::mpsc::channel();
+            let reply = Box::new(move |status, body| {
+                let _ = tx.send((status, body));
+            });
+            return match shared.engine.try_submit_update(body, reply) {
+                Some(response) => response,
+                None => rx
+                    .recv()
+                    .unwrap_or((500, "{\"error\":\"engine dropped the update\"}".into())),
+            };
         }
         let (model, version, nodes) = match parse_score_body(body) {
             Ok(parts) => parts,
