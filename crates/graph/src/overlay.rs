@@ -361,11 +361,13 @@ impl OverlayGraph {
         &mut over.neighbors
     }
 
-    /// Apply one batch of mutations. Ops apply in order; the first invalid
-    /// op aborts the remainder (earlier ops stay applied) — batches are a
-    /// throughput unit, not a transaction. Returns which nodes were
-    /// touched, for frontier computation.
+    /// Apply one batch of mutations. The whole batch is validated first
+    /// ([`OverlayGraph::validate_batch`]); an invalid op rejects the batch
+    /// with the graph unchanged, so callers never observe a partially
+    /// applied batch. Returns which nodes were touched, for frontier
+    /// computation.
     pub fn apply_batch(&mut self, ops: &[GraphMutation]) -> Result<BatchEffect, String> {
+        self.validate_batch(ops)?;
         let version = self.version + 1;
         let mut effect = BatchEffect {
             version: self.version,
@@ -384,6 +386,60 @@ impl OverlayGraph {
         effect.touched.sort_unstable();
         effect.touched.dedup();
         Ok(effect)
+    }
+
+    /// Check every op in a batch without mutating anything, tracking the
+    /// node count as `AddNode` ops would grow it. Covers every error
+    /// `apply_one` can raise (out-of-range id, self-loop, attribute shape
+    /// mismatch), which is what makes batch application atomic: a batch
+    /// that passes validation cannot fail mid-way.
+    pub fn validate_batch(&self, ops: &[GraphMutation]) -> Result<(), String> {
+        fn check(u: u32, num_nodes: usize, i: usize) -> Result<(), String> {
+            if (u as usize) < num_nodes {
+                Ok(())
+            } else {
+                Err(format!(
+                    "op {i}: node {u} out of range (graph has {num_nodes} nodes)"
+                ))
+            }
+        }
+        let mut num_nodes = self.num_nodes;
+        let d = self.base.num_attrs();
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                GraphMutation::AddEdge { u, v } => {
+                    check(*u, num_nodes, i)?;
+                    check(*v, num_nodes, i)?;
+                    if u == v {
+                        return Err(format!("op {i}: self-loop on node {u} not supported"));
+                    }
+                }
+                GraphMutation::RemoveEdge { u, v } => {
+                    check(*u, num_nodes, i)?;
+                    check(*v, num_nodes, i)?;
+                }
+                GraphMutation::AddNode { attrs, .. } => {
+                    if attrs.len() != d {
+                        return Err(format!(
+                            "op {i}: attribute row has {} entries, graph has {d} attributes",
+                            attrs.len()
+                        ));
+                    }
+                    num_nodes += 1;
+                }
+                GraphMutation::RemoveNode { node } => check(*node, num_nodes, i)?,
+                GraphMutation::SetAttrs { node, attrs } => {
+                    check(*node, num_nodes, i)?;
+                    if attrs.len() != d {
+                        return Err(format!(
+                            "op {i}: attribute row has {} entries, graph has {d} attributes",
+                            attrs.len()
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     fn check_node(&self, u: u32) -> Result<(), String> {
@@ -872,6 +928,40 @@ mod tests {
                 node: 0,
                 attrs: vec![1.0; 7],
             }])
+            .is_err());
+    }
+
+    #[test]
+    fn invalid_batch_rejects_atomically() {
+        let g = random_graph(20, 2, 6);
+        let mut overlay = OverlayGraph::new(Arc::new(FrozenGraph::from_store(&g)));
+        // A valid op followed by an invalid one: nothing may apply.
+        let err = overlay
+            .apply_batch(&[
+                GraphMutation::AddEdge { u: 0, v: 10 },
+                GraphMutation::AddEdge { u: 4, v: 4 },
+            ])
+            .unwrap_err();
+        assert!(err.contains("op 1"), "{err}");
+        assert_eq!(overlay.version(), 0);
+        assert_eq!(overlay.overlay_rows(), 0);
+        assert_eq!(overlay.overlay_bytes(), 0);
+        assert_same(&overlay, &g);
+
+        // AddNode grows the id space for later ops in the same batch...
+        let n = g.num_nodes() as u32;
+        overlay
+            .validate_batch(&[
+                GraphMutation::AddNode {
+                    attrs: vec![0.0; 2],
+                    label: None,
+                },
+                GraphMutation::AddEdge { u: 0, v: n },
+            ])
+            .unwrap();
+        // ...but without the append the same edge is out of range.
+        assert!(overlay
+            .validate_batch(&[GraphMutation::AddEdge { u: 0, v: n }])
             .is_err());
     }
 

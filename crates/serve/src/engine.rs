@@ -137,8 +137,10 @@ pub struct ScoreReply {
     pub version: u64,
     /// The nodes scored, when the request named a subset.
     pub nodes: Option<Vec<u32>>,
-    /// Scores, aligned with `nodes` (or with all graph nodes).
-    pub scores: Vec<f32>,
+    /// Scores, aligned with `nodes` (or with all graph nodes). Behind an
+    /// `Arc` so unfiltered whole-graph replies share the cached vector
+    /// instead of cloning `O(n)` floats per request.
+    pub scores: Arc<Vec<f32>>,
 }
 
 /// Why a request could not be scored.
@@ -668,7 +670,7 @@ fn score_group(
 ) {
     // One full scoring pass serves every request for this model; it is
     // computed lazily so a group of pure lookup errors costs nothing.
-    let mut full: Option<(Vec<f32>, u64)> = None;
+    let mut full: Option<(Arc<Vec<f32>>, u64)> = None;
     for req in group {
         let result = (|| {
             let (detector, version) = snapshot
@@ -684,15 +686,17 @@ fn score_group(
                 }
             }
             let (scores, version) = match &full {
-                Some((scores, version)) => (scores.clone(), *version),
+                Some((scores, version)) => (Arc::clone(scores), *version),
                 None => {
-                    let scores = graph.full_scores(&detector);
-                    full = Some((scores.clone(), version));
+                    let scores = Arc::new(graph.full_scores(&detector));
+                    full = Some((Arc::clone(&scores), version));
                     (scores, version)
                 }
             };
             let selected = match &req.nodes {
-                Some(nodes) => nodes.iter().map(|&u| scores[u as usize]).collect(),
+                Some(nodes) => {
+                    Arc::new(nodes.iter().map(|&u| scores[u as usize]).collect::<Vec<f32>>())
+                }
                 None => scores,
             };
             Ok(ScoreReply {

@@ -699,8 +699,10 @@ fn score_scattered(
         }
     };
     let selected = match &req.nodes {
-        Some(nodes) => nodes.iter().map(|&u| combined[u as usize]).collect(),
-        None => combined.as_ref().clone(),
+        Some(nodes) => {
+            Arc::new(nodes.iter().map(|&u| combined[u as usize]).collect::<Vec<f32>>())
+        }
+        None => combined,
     };
     Ok(ScoreReply {
         model: req.model.clone(),

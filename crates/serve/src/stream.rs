@@ -273,16 +273,21 @@ impl StreamEngine {
             received: Instant::now(),
             reply,
         };
+        // Count the job before it can be dequeued: incrementing after a
+        // successful try_send races the worker's decrement, wrapping the
+        // gauge to u64::MAX.
+        self.shared.stream.queue_depth.fetch_add(1, Ordering::Relaxed);
         match self.tx.try_send(job) {
-            Ok(()) => {
-                self.shared.stream.queue_depth.fetch_add(1, Ordering::Relaxed);
-                Ok(())
-            }
+            Ok(()) => Ok(()),
             Err(mpsc::TrySendError::Full(_)) => {
+                self.shared.stream.queue_depth.fetch_sub(1, Ordering::Relaxed);
                 self.shared.stream.rejected.fetch_add(1, Ordering::Relaxed);
                 Err(SubmitError::Overloaded)
             }
-            Err(mpsc::TrySendError::Disconnected(_)) => Err(SubmitError::ShuttingDown),
+            Err(mpsc::TrySendError::Disconnected(_)) => {
+                self.shared.stream.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                Err(SubmitError::ShuttingDown)
+            }
         }
     }
 
@@ -352,7 +357,9 @@ impl StreamEngine {
             }
         }
         let scores = match &nodes {
-            None => entry.scores.as_ref().clone(),
+            // Whole-graph reads share the published vector: the hot read
+            // path stays allocation-free.
+            None => Arc::clone(&entry.scores),
             Some(ids) => {
                 if let Some(&bad) = ids.iter().find(|&&u| u as usize >= snapshot.num_nodes) {
                     return Err(ScoreError::NodeOutOfRange {
@@ -360,7 +367,7 @@ impl StreamEngine {
                         num_nodes: snapshot.num_nodes,
                     });
                 }
-                ids.iter().map(|&u| entry.scores[u as usize]).collect()
+                Arc::new(ids.iter().map(|&u| entry.scores[u as usize]).collect::<Vec<f32>>())
             }
         };
         Ok(ScoreReply {
@@ -534,13 +541,27 @@ fn worker_loop(
                 received,
                 reply,
             } => (ops, received, reply),
-            Job::Shutdown => break,
+            Job::Shutdown => {
+                // Answer updates that raced in behind the sentinel so
+                // their connections get a response instead of hanging
+                // (the epoll front only completes on an explicit reply).
+                while let Ok(job) = rx.try_recv() {
+                    if let Job::Update { reply, .. } = job {
+                        shared.stream.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                        reply(503, "{\"error\":\"shutting down\"}".to_string());
+                    }
+                }
+                break;
+            }
         };
         shared.stream.queue_depth.fetch_sub(1, Ordering::Relaxed);
 
         let effect = match overlay.apply_batch(&ops) {
             Ok(effect) => effect,
             Err(e) => {
+                // apply_batch validates the whole batch before touching
+                // the overlay, so a rejected batch left the graph — and
+                // therefore the published scores — unchanged.
                 shared.stream.update_errors.fetch_add(1, Ordering::Relaxed);
                 reply(400, format!("{{\"error\":\"{}\"}}", escape(&e)));
                 continue;
@@ -757,6 +778,8 @@ mod tests {
             .unwrap()
             .unwrap()
             .scores
+            .as_ref()
+            .clone()
     }
 
     #[test]
@@ -889,7 +912,7 @@ mod tests {
         assert!(parse_update_body(br#"{"ops":[{"op":"add_edge","u":1}]}"#).is_err());
 
         // Self-loops are rejected at apply time with a 400.
-        let (models, graph_path, _) = fixture("badop");
+        let (models, graph_path, g) = fixture("badop");
         let engine = StreamEngine::start(
             &models,
             &graph_path,
@@ -899,6 +922,21 @@ mod tests {
         .unwrap();
         let (status, body) = apply(&engine, vec![GraphMutation::AddEdge { u: 4, v: 4 }]);
         assert_eq!(status, 400, "{body}");
+
+        // A batch with a valid op ahead of the bad one rejects whole:
+        // nothing applies, and served scores still match an offline pass
+        // on the unmutated graph byte-for-byte.
+        let (status, body) = apply(
+            &engine,
+            vec![
+                GraphMutation::AddEdge { u: 0, v: 50 },
+                GraphMutation::AddEdge { u: 4, v: 4 },
+            ],
+        );
+        assert_eq!(status, 400, "{body}");
+        use vgod_eval::OutlierDetector as _;
+        assert_eq!(served(&engine, "degnorm"), DegNorm.score(&g).combined);
+        assert_eq!(engine.num_nodes(), g.num_nodes());
         engine.shutdown();
         engine.join();
         let _ = std::fs::remove_dir_all(&models);
